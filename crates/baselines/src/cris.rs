@@ -1,0 +1,259 @@
+//! CRIS-like baseline: a GA test cultivator whose fitness uses only *logic*
+//! simulation.
+//!
+//! CRIS (Saab, Saab, Abraham, ICCAD 1992) evolves test sequences with a GA
+//! but evaluates candidates with a logic simulator — rewarding circuit
+//! activity and newly visited states instead of simulating faults. That
+//! makes each evaluation much cheaper than GATEST's, at the price of a less
+//! accurate fitness and thus lower final coverage: exactly the trade-off
+//! the paper reports (GATEST beat CRIS's coverage on 17 of 18 circuits
+//! while spending 6–40× the time).
+//!
+//! The fault coverage of the assembled test set is measured once, at the
+//! end, with the real fault simulator — the GA itself never sees fault
+//! information.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gatest_ga::{Chromosome, GaConfig, GaEngine, Rng};
+use gatest_netlist::Circuit;
+use gatest_sim::{FaultSim, GoodSim, Logic};
+
+/// Configuration for the CRIS-like generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrisConfig {
+    /// Sequence length evolved per GA attempt, in multiples of the
+    /// sequential depth.
+    pub sequence_multiplier: f64,
+    /// Consecutive attempts without new states before stopping.
+    pub max_stale_attempts: usize,
+    /// GA population size.
+    pub population: usize,
+    /// GA generations per attempt.
+    pub generations: usize,
+    /// Hard cap on total vectors.
+    pub max_vectors: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for CrisConfig {
+    fn default() -> Self {
+        CrisConfig {
+            sequence_multiplier: 2.0,
+            max_stale_attempts: 4,
+            population: 32,
+            generations: 8,
+            max_vectors: 4_000,
+            seed: 1,
+        }
+    }
+}
+
+/// Result of a CRIS-like run.
+#[derive(Debug, Clone)]
+pub struct CrisResult {
+    /// Circuit name.
+    pub circuit: String,
+    /// Total faults in the collapsed list (graded at the end).
+    pub total_faults: usize,
+    /// Faults detected by the assembled test set.
+    pub detected: usize,
+    /// The assembled test set.
+    pub test_set: Vec<Vec<Logic>>,
+    /// Distinct flip-flop states visited during generation.
+    pub states_visited: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl CrisResult {
+    /// Detected / total.
+    pub fn fault_coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.total_faults as f64
+        }
+    }
+
+    /// Number of vectors generated.
+    pub fn vectors(&self) -> usize {
+        self.test_set.len()
+    }
+}
+
+/// The CRIS-like test generator.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gatest_baselines::cris::{CrisAtpg, CrisConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27")?);
+/// let result = CrisAtpg::new(circuit, CrisConfig::default()).run();
+/// assert!(result.vectors() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CrisAtpg {
+    circuit: Arc<Circuit>,
+    config: CrisConfig,
+}
+
+impl CrisAtpg {
+    /// Creates a generator for `circuit`.
+    pub fn new(circuit: Arc<Circuit>, config: CrisConfig) -> Self {
+        CrisAtpg { circuit, config }
+    }
+
+    /// Runs the generator and grades the result with a fault simulator.
+    pub fn run(&mut self) -> CrisResult {
+        let start = Instant::now();
+        let mut rng = Rng::new(self.config.seed);
+        let mut good = GoodSim::new(Arc::clone(&self.circuit));
+        let pis = self.circuit.num_inputs();
+        let depth = gatest_netlist::depth::sequential_depth(&self.circuit).max(1) as usize;
+        let seq_len = ((self.config.sequence_multiplier * depth as f64).round() as usize).max(2);
+
+        let mut visited: HashSet<Vec<Logic>> = HashSet::new();
+        visited.insert(good.state());
+        let mut test_set: Vec<Vec<Logic>> = Vec::new();
+        let mut stale = 0usize;
+
+        while stale < self.config.max_stale_attempts
+            && test_set.len() + seq_len <= self.config.max_vectors
+        {
+            let snapshot = good.snapshot();
+            let ga = GaEngine::new(GaConfig {
+                population_size: self.config.population,
+                generations: self.config.generations,
+                ..GaConfig::default()
+            });
+            let mut run_rng = rng.fork();
+            let visited_ref = &visited;
+            let good_ref = &mut good;
+            let result = ga.run(seq_len * pis, &mut run_rng, |chrom| {
+                good_ref.restore(&snapshot);
+                logic_fitness(good_ref, chrom, pis, seq_len, visited_ref)
+            });
+
+            // Commit the best sequence and record the states it visits.
+            good.restore(&snapshot);
+            let mut new_states = 0usize;
+            for frame in 0..seq_len {
+                let v: Vec<Logic> = (0..pis)
+                    .map(|i| Logic::from_bool(result.best.chromosome.bit(frame * pis + i)))
+                    .collect();
+                good.apply(&v);
+                if visited.insert(good.state()) {
+                    new_states += 1;
+                }
+                test_set.push(v);
+            }
+            if new_states == 0 {
+                stale += 1;
+            } else {
+                stale = 0;
+            }
+        }
+
+        // Grade with the real fault simulator (CRIS reports coverage the
+        // same way: fault-grade the cultivated vectors).
+        let mut fsim = FaultSim::new(Arc::clone(&self.circuit));
+        for v in &test_set {
+            fsim.step(v);
+        }
+
+        CrisResult {
+            circuit: self.circuit.name().to_string(),
+            total_faults: fsim.fault_list().len(),
+            detected: fsim.detected_count(),
+            test_set,
+            states_visited: visited.len(),
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// Activity/novelty fitness: events plus a bonus for every state not seen
+/// before this attempt.
+fn logic_fitness(
+    good: &mut GoodSim,
+    chrom: &Chromosome,
+    pis: usize,
+    seq_len: usize,
+    visited: &HashSet<Vec<Logic>>,
+) -> f64 {
+    let mut events = 0u64;
+    let mut novel = 0usize;
+    let mut local: HashSet<Vec<Logic>> = HashSet::new();
+    for frame in 0..seq_len {
+        let v: Vec<Logic> = (0..pis)
+            .map(|i| Logic::from_bool(chrom.bit(frame * pis + i)))
+            .collect();
+        let r = good.apply(&v);
+        events += r.events;
+        let state = good.state();
+        if !visited.contains(&state) && local.insert(state) {
+            novel += 1;
+        }
+    }
+    novel as f64 * 100.0 + events as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_grades_s27() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let result = CrisAtpg::new(circuit, CrisConfig::default()).run();
+        assert!(result.detected > 0);
+        assert!(result.states_visited > 1);
+        assert!(result.fault_coverage() > 0.3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let a = CrisAtpg::new(Arc::clone(&circuit), CrisConfig::default()).run();
+        let b = CrisAtpg::new(circuit, CrisConfig::default()).run();
+        assert_eq!(a.test_set, b.test_set);
+        assert_eq!(a.detected, b.detected);
+    }
+
+    #[test]
+    fn respects_vector_cap() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let config = CrisConfig {
+            max_vectors: 10,
+            ..CrisConfig::default()
+        };
+        let result = CrisAtpg::new(circuit, config).run();
+        assert!(result.vectors() <= 10);
+    }
+
+    #[test]
+    fn coverage_trails_gatest_on_s298() {
+        // The paper's comparison: fault-simulation-guided GATEST beats the
+        // logic-simulation-guided CRIS.
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let cris = CrisAtpg::new(Arc::clone(&circuit), CrisConfig::default()).run();
+
+        let config = gatest_core::GatestConfig::for_circuit(&circuit).with_seed(1);
+        let gatest = gatest_core::TestGenerator::new(circuit, config).run();
+        assert!(
+            gatest.detected >= cris.detected,
+            "GATEST {} vs CRIS {}",
+            gatest.detected,
+            cris.detected
+        );
+    }
+}

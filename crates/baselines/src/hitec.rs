@@ -1,0 +1,864 @@
+//! HITEC-like deterministic sequential ATPG baseline.
+//!
+//! A simplified re-creation of the fault-oriented deterministic test
+//! generator the paper compares against (Niermann's HITEC): for each
+//! undetected fault, a PODEM-style branch-and-bound search runs over a
+//! *time-frame expansion* of the circuit — `k` copies of the combinational
+//! logic chained through the flip-flops, starting from an all-X state — with
+//! a backtrack limit. Derived tests are fault-simulated against the whole
+//! fault list so collateral detections are dropped (exactly how HITEC uses
+//! PROOFS).
+//!
+//! The faulty machine is modeled alongside the good machine (a 5-valued
+//! D-algebra in effect: 0, 1, X, D, D̄), with the target fault injected in
+//! every frame.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gatest_ga::Rng;
+use gatest_netlist::depth::SequentialDepth;
+use gatest_netlist::levelize::Levelization;
+use gatest_netlist::scoap::Scoap;
+use gatest_netlist::{Circuit, NetId};
+use gatest_sim::eval::{controlling_value, eval_scalar};
+use gatest_sim::{Fault, FaultId, FaultList, FaultSim, FaultSite, Logic};
+
+/// Outcome of targeting one fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetOutcome {
+    /// A test sequence was found.
+    Detected,
+    /// The backtrack or frame limit was exhausted.
+    Aborted,
+    /// The search space was exhausted without the limit firing — the fault
+    /// is untestable within the tried number of time frames from an all-X
+    /// start.
+    Untestable,
+}
+
+/// Heuristic used to choose among X-valued inputs during backtrace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BacktraceGuide {
+    /// Prefer the input with the smallest structural sequential depth
+    /// (fewest flip-flops between it and the primary inputs).
+    #[default]
+    SequentialDepth,
+    /// Prefer the input whose required value is cheapest by the SCOAP
+    /// controllability measure — what production deterministic ATPG uses.
+    Scoap,
+}
+
+/// Configuration for the deterministic baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HitecConfig {
+    /// Maximum time frames to unroll (tried in increasing powers of two-ish
+    /// schedule up to this).
+    pub max_frames: usize,
+    /// Backtrack limit per (fault, frame-count) attempt.
+    pub backtrack_limit: usize,
+    /// Total backtrack budget per fault, across all frame counts; once
+    /// spent, the fault is abandoned as aborted (real deterministic ATPG
+    /// bounds per-fault effort the same way).
+    pub per_fault_backtracks: usize,
+    /// Hard cap on search iterations (implication passes) per attempt.
+    /// Backtracks alone do not bound work — between two backtracks the
+    /// search may assign every primary input of every frame — so deep
+    /// unrollings need this second limit to keep per-fault cost bounded.
+    pub iteration_limit: usize,
+    /// Backtrace heuristic.
+    pub guide: BacktraceGuide,
+    /// Random seed for X-filling derived vectors.
+    pub seed: u64,
+}
+
+impl Default for HitecConfig {
+    fn default() -> Self {
+        HitecConfig {
+            max_frames: 16,
+            backtrack_limit: 100,
+            per_fault_backtracks: 300,
+            iteration_limit: 600,
+            guide: BacktraceGuide::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// Result of a full deterministic ATPG run.
+#[derive(Debug, Clone)]
+pub struct HitecResult {
+    /// Circuit name.
+    pub circuit: String,
+    /// Total faults targeted.
+    pub total_faults: usize,
+    /// Faults detected (by derived tests, including collaterals).
+    pub detected: usize,
+    /// Faults proven untestable within the frame limit.
+    pub untestable: usize,
+    /// Faults aborted at the backtrack limit.
+    pub aborted: usize,
+    /// The assembled test set.
+    pub test_set: Vec<Vec<Logic>>,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl HitecResult {
+    /// Detected / total.
+    pub fn fault_coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.total_faults as f64
+        }
+    }
+
+    /// Number of vectors generated.
+    pub fn vectors(&self) -> usize {
+        self.test_set.len()
+    }
+}
+
+/// Good/faulty value pair for one net in one frame (5-valued algebra).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct Gf {
+    good: Logic,
+    faulty: Logic,
+}
+
+impl Gf {
+    const X: Gf = Gf {
+        good: Logic::X,
+        faulty: Logic::X,
+    };
+
+    fn is_d(self) -> bool {
+        self.good.is_known() && self.faulty.is_known() && self.good != self.faulty
+    }
+}
+
+/// The deterministic test generator.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gatest_baselines::hitec::{HitecAtpg, HitecConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27")?);
+/// let result = HitecAtpg::new(circuit, HitecConfig::default()).run();
+/// assert!(result.fault_coverage() > 0.8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct HitecAtpg {
+    circuit: Arc<Circuit>,
+    lev: Levelization,
+    depth: SequentialDepth,
+    scoap: Scoap,
+    config: HitecConfig,
+    rng: Rng,
+}
+
+impl HitecAtpg {
+    /// Creates a generator for `circuit`.
+    pub fn new(circuit: Arc<Circuit>, config: HitecConfig) -> Self {
+        let lev = Levelization::new(&circuit);
+        let depth = SequentialDepth::new(&circuit);
+        let scoap = Scoap::new(&circuit);
+        let rng = Rng::new(config.seed);
+        HitecAtpg {
+            circuit,
+            lev,
+            depth,
+            scoap,
+            config,
+            rng,
+        }
+    }
+
+    /// Runs deterministic ATPG over the collapsed fault list.
+    pub fn run(&mut self) -> HitecResult {
+        let faults = FaultList::collapsed(&self.circuit);
+        self.run_with(faults)
+    }
+
+    /// Runs over a caller-supplied fault list.
+    pub fn run_with(&mut self, faults: FaultList) -> HitecResult {
+        let start = Instant::now();
+        let mut sim = FaultSim::with_faults(Arc::clone(&self.circuit), faults.clone());
+        let mut test_set: Vec<Vec<Logic>> = Vec::new();
+        let mut untestable = 0usize;
+        let mut aborted = 0usize;
+
+        let ids: Vec<FaultId> = faults.iter().map(|(id, _)| id).collect();
+        for id in ids {
+            if !sim.active_faults().contains(&id) {
+                continue; // already detected collaterally
+            }
+            let fault = faults.get(id);
+            match self.target(fault) {
+                (TargetOutcome::Detected, Some(seq)) => {
+                    for v in &seq {
+                        sim.step(v);
+                    }
+                    test_set.extend(seq);
+                }
+                (TargetOutcome::Untestable, _) => untestable += 1,
+                _ => aborted += 1,
+            }
+        }
+
+        HitecResult {
+            circuit: self.circuit.name().to_string(),
+            total_faults: faults.len(),
+            detected: sim.detected_count(),
+            untestable,
+            aborted,
+            test_set,
+            elapsed: start.elapsed(),
+        }
+    }
+
+    /// Targets one fault: tries increasing unroll depths until a test is
+    /// found, the fault is proven untestable at the maximum depth, or every
+    /// attempt aborts.
+    pub fn target(&mut self, fault: Fault) -> (TargetOutcome, Option<Vec<Vec<Logic>>>) {
+        let mut frames = 1usize;
+        let mut last = TargetOutcome::Untestable;
+        let mut budget = self.config.per_fault_backtracks;
+        while frames <= self.config.max_frames && budget > 0 {
+            let attempt_limit = self.config.backtrack_limit.min(budget);
+            let mut search = PodemSearch::new(
+                Arc::clone(&self.circuit),
+                &self.lev,
+                &self.depth,
+                &self.scoap,
+                self.config.guide,
+                fault,
+                frames,
+                attempt_limit,
+                self.config.iteration_limit,
+            );
+            match search.run() {
+                TargetOutcome::Detected => {
+                    let seq = search.extract_vectors(&mut self.rng);
+                    return (TargetOutcome::Detected, Some(seq));
+                }
+                TargetOutcome::Aborted => last = TargetOutcome::Aborted,
+                TargetOutcome::Untestable => {
+                    if last != TargetOutcome::Aborted {
+                        last = TargetOutcome::Untestable;
+                    }
+                }
+            }
+            let spent = attempt_limit - search.backtracks_left;
+            budget = budget.saturating_sub(spent.max(1));
+            frames = if frames < 4 { frames + 1 } else { frames * 2 };
+        }
+        // "Untestable" here means: no test within max_frames from all-X.
+        (last, None)
+    }
+}
+
+/// One PODEM search over a fixed `frames`-deep unrolling.
+struct PodemSearch<'a> {
+    circuit: Arc<Circuit>,
+    lev: &'a Levelization,
+    depth: &'a SequentialDepth,
+    scoap: &'a Scoap,
+    guide: BacktraceGuide,
+    fault: Fault,
+    frames: usize,
+    backtracks_left: usize,
+    iterations_left: usize,
+    /// PI assignments: `pi_assign[frame][pi_index]`.
+    pi_assign: Vec<Vec<Logic>>,
+    /// Values: `values[frame][net]`.
+    values: Vec<Vec<Gf>>,
+    decisions: Vec<Decision>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Decision {
+    frame: usize,
+    pi: usize,
+    value: Logic,
+    flipped: bool,
+}
+
+impl<'a> PodemSearch<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        circuit: Arc<Circuit>,
+        lev: &'a Levelization,
+        depth: &'a SequentialDepth,
+        scoap: &'a Scoap,
+        guide: BacktraceGuide,
+        fault: Fault,
+        frames: usize,
+        backtrack_limit: usize,
+        iteration_limit: usize,
+    ) -> Self {
+        let n = circuit.num_gates();
+        let pis = circuit.num_inputs();
+        PodemSearch {
+            circuit,
+            lev,
+            depth,
+            scoap,
+            guide,
+            fault,
+            frames,
+            backtracks_left: backtrack_limit,
+            iterations_left: iteration_limit,
+            pi_assign: vec![vec![Logic::X; pis]; frames],
+            values: vec![vec![Gf::X; n]; frames],
+            decisions: Vec::new(),
+        }
+    }
+
+    fn run(&mut self) -> TargetOutcome {
+        loop {
+            if self.iterations_left == 0 {
+                self.backtracks_left = 0;
+                return TargetOutcome::Aborted;
+            }
+            self.iterations_left -= 1;
+            self.simulate();
+            if self.detected() {
+                return TargetOutcome::Detected;
+            }
+            // X-path check: once the fault is activated, some difference
+            // must still have a path of X-valued nets to a primary output
+            // (possibly through flip-flops into later frames); if not, this
+            // branch of the search is dead.
+            if self.activated() && !self.xpath_exists() {
+                if !self.backtrack() {
+                    return if self.backtracks_left == 0 {
+                        TargetOutcome::Aborted
+                    } else {
+                        TargetOutcome::Untestable
+                    };
+                }
+                continue;
+            }
+            // Try every available objective until one backtraces to an
+            // unassigned primary input; only when none does is the current
+            // decision level a dead end.
+            let mut assigned = false;
+            for (net, frame, value) in self.objectives() {
+                if let Some((pi, pframe, pvalue)) = self.backtrace(net, frame, value) {
+                    self.decisions.push(Decision {
+                        frame: pframe,
+                        pi,
+                        value: pvalue,
+                        flipped: false,
+                    });
+                    self.pi_assign[pframe][pi] = pvalue;
+                    assigned = true;
+                    break;
+                }
+            }
+            if !assigned && !self.backtrack() {
+                return if self.backtracks_left == 0 {
+                    TargetOutcome::Aborted
+                } else {
+                    TargetOutcome::Untestable
+                };
+            }
+        }
+    }
+
+    /// Full forward simulation of all frames with the fault injected.
+    fn simulate(&mut self) {
+        let circuit = Arc::clone(&self.circuit);
+        for frame in 0..self.frames {
+            // State inputs.
+            for (i, &ff) in circuit.dffs().iter().enumerate() {
+                let v = if frame == 0 {
+                    Gf::X
+                } else {
+                    let d = circuit.fanin(ff)[0];
+                    let mut prev = self.values[frame - 1][d.index()];
+                    // Branch fault on the flip-flop's D pin.
+                    if let FaultSite::Branch { gate, pin: 0 } = self.fault.site {
+                        if gate == ff {
+                            prev.faulty = self.fault.stuck;
+                        }
+                    }
+                    prev
+                };
+                let _ = i;
+                self.values[frame][ff.index()] = self.apply_stem(ff, v);
+            }
+            // Primary inputs.
+            for (i, &pi) in circuit.inputs().iter().enumerate() {
+                let a = self.pi_assign[frame][i];
+                self.values[frame][pi.index()] = self.apply_stem(pi, Gf { good: a, faulty: a });
+            }
+            // Constants.
+            for id in circuit.net_ids() {
+                let v = match circuit.kind(id) {
+                    gatest_netlist::GateKind::Const0 => Logic::Zero,
+                    gatest_netlist::GateKind::Const1 => Logic::One,
+                    _ => continue,
+                };
+                self.values[frame][id.index()] = self.apply_stem(id, Gf { good: v, faulty: v });
+            }
+            // Combinational gates in level order.
+            for &gate in self.lev.schedule() {
+                let kind = circuit.kind(gate);
+                if !kind.is_combinational() {
+                    continue;
+                }
+                let mut good_in = Vec::with_capacity(circuit.fanin(gate).len());
+                let mut faulty_in = Vec::with_capacity(circuit.fanin(gate).len());
+                for (pin, &src) in circuit.fanin(gate).iter().enumerate() {
+                    let mut v = self.values[frame][src.index()];
+                    if let FaultSite::Branch { gate: fg, pin: fp } = self.fault.site {
+                        if fg == gate && fp as usize == pin {
+                            v.faulty = self.fault.stuck;
+                        }
+                    }
+                    good_in.push(v.good);
+                    faulty_in.push(v.faulty);
+                }
+                let out = Gf {
+                    good: eval_scalar(kind, &good_in),
+                    faulty: eval_scalar(kind, &faulty_in),
+                };
+                self.values[frame][gate.index()] = self.apply_stem(gate, out);
+            }
+        }
+    }
+
+    fn apply_stem(&self, net: NetId, mut v: Gf) -> Gf {
+        if self.fault.site == FaultSite::Stem(net) {
+            v.faulty = self.fault.stuck;
+        }
+        v
+    }
+
+    fn detected(&self) -> bool {
+        for frame in 0..self.frames {
+            for &po in self.circuit.outputs() {
+                if self.values[frame][po.index()].is_d() {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Whether the fault is activated (a good/faulty difference exists at
+    /// the fault site) in any frame.
+    fn activated(&self) -> bool {
+        (0..self.frames).any(|f| self.site_value(f).is_d())
+    }
+
+    /// X-path check: can any existing difference still reach a primary
+    /// output through X-valued nets (crossing flip-flops into later
+    /// frames)? Differences at known-valued nets are blocked.
+    fn xpath_exists(&self) -> bool {
+        use std::collections::VecDeque;
+        let n = self.circuit.num_gates();
+        let mut seen = vec![false; n * self.frames];
+        let mut queue: VecDeque<(NetId, usize)> = VecDeque::new();
+
+        let is_x = |v: Gf| v.good == Logic::X || v.faulty == Logic::X;
+
+        // Seeds: nets already carrying a difference, plus the faulted gate
+        // for branch faults (whose difference lives on the pin).
+        for frame in 0..self.frames {
+            for net in self.circuit.net_ids() {
+                let v = self.values[frame][net.index()];
+                if v.is_d() {
+                    queue.push_back((net, frame));
+                    seen[frame * n + net.index()] = true;
+                }
+            }
+            if let FaultSite::Branch { gate, pin } = self.fault.site {
+                let driver = self.circuit.fanin(gate)[pin as usize];
+                let v = self.values[frame][driver.index()];
+                if v.good.is_known() && v.good != self.fault.stuck {
+                    let gv = self.values[frame][gate.index()];
+                    if gv.is_d() || is_x(gv) {
+                        queue.push_back((gate, frame));
+                        seen[frame * n + gate.index()] = true;
+                    }
+                }
+            }
+        }
+
+        while let Some((net, frame)) = queue.pop_front() {
+            if self.circuit.outputs().contains(&net) {
+                return true;
+            }
+            for &out in self.circuit.fanout(net) {
+                let (next, nframe) = if self.circuit.kind(out).is_sequential() {
+                    if frame + 1 >= self.frames {
+                        continue;
+                    }
+                    (out, frame + 1)
+                } else {
+                    (out, frame)
+                };
+                if seen[nframe * n + next.index()] {
+                    continue;
+                }
+                let v = self.values[nframe][next.index()];
+                if v.is_d() || is_x(v) {
+                    seen[nframe * n + next.index()] = true;
+                    queue.push_back((next, nframe));
+                }
+            }
+        }
+        false
+    }
+
+    /// Enumerates objective candidates `(net, frame, good-value)`, most
+    /// promising first.
+    fn objectives(&self) -> Vec<(NetId, usize, Logic)> {
+        let mut out = Vec::new();
+
+        // 1. Activation: the fault site's good value must be the opposite
+        //    of the stuck value in some frame. If a difference already
+        //    exists anywhere, skip to propagation.
+        let activated = (0..self.frames).any(|f| self.site_value(f).is_d());
+        if !activated {
+            let want = !self.fault.stuck;
+            let site = self.activation_net();
+            // Later frames have more state available to justify.
+            for frame in (0..self.frames).rev() {
+                if self.values[frame][site.index()].good == Logic::X {
+                    out.push((site, frame, want));
+                }
+            }
+            return out;
+        }
+
+        // 2. Propagation: every D-frontier gate (an input carrying a
+        //    good/faulty difference, output X) contributes one candidate
+        //    per X side-input. A branch fault's difference lives on the
+        //    faulted pin itself, so the faulted gate is checked explicitly.
+        'frames: for frame in 0..self.frames {
+            for gate in self.circuit.net_ids() {
+                let kind = self.circuit.kind(gate);
+                if !kind.is_combinational() {
+                    continue;
+                }
+                let outv = self.values[frame][gate.index()];
+                if outv.good != Logic::X && outv.faulty != Logic::X {
+                    continue;
+                }
+                let mut has_d = self
+                    .circuit
+                    .fanin(gate)
+                    .iter()
+                    .any(|&s| self.values[frame][s.index()].is_d());
+                if let FaultSite::Branch { gate: fg, pin } = self.fault.site {
+                    if fg == gate {
+                        let driver = self.circuit.fanin(gate)[pin as usize];
+                        let v = self.values[frame][driver.index()];
+                        if v.good.is_known() && v.good != self.fault.stuck {
+                            has_d = true;
+                        }
+                    }
+                }
+                if !has_d {
+                    continue;
+                }
+                let noncontrol = controlling_value(kind).map(|c| !c).unwrap_or(Logic::One);
+                for &src in self.circuit.fanin(gate) {
+                    let v = self.values[frame][src.index()];
+                    if v.good == Logic::X {
+                        out.push((src, frame, noncontrol));
+                        if out.len() >= 24 {
+                            break 'frames;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The net whose good value must be set to activate the fault.
+    fn activation_net(&self) -> NetId {
+        match self.fault.site {
+            FaultSite::Stem(net) => net,
+            FaultSite::Branch { gate, pin } => self.circuit.fanin(gate)[pin as usize],
+        }
+    }
+
+    /// The 5-valued value at the fault site (post-injection) in `frame`.
+    fn site_value(&self, frame: usize) -> Gf {
+        let site = self.activation_net();
+        let mut v = self.values[frame][site.index()];
+        if v.good.is_known() {
+            v.faulty = self.fault.stuck;
+        }
+        v
+    }
+
+    /// PODEM backtrace: walk from the objective to an unassigned primary
+    /// input, possibly crossing flip-flops into earlier frames. The walk
+    /// only enters nets whose structural sequential depth the remaining
+    /// frames can still justify, and prefers the shallowest X input, which
+    /// steers it toward primary inputs instead of unjustifiable state.
+    fn backtrace(
+        &self,
+        mut net: NetId,
+        mut frame: usize,
+        mut value: Logic,
+    ) -> Option<(usize, usize, Logic)> {
+        use gatest_netlist::GateKind;
+        for _ in 0..(self.circuit.num_gates() * self.frames + 1) {
+            let kind = self.circuit.kind(net);
+            match kind {
+                GateKind::Input => {
+                    let pi = self
+                        .circuit
+                        .inputs()
+                        .iter()
+                        .position(|&p| p == net)
+                        .expect("input net is a PI");
+                    if self.pi_assign[frame][pi] == Logic::X {
+                        return Some((pi, frame, value));
+                    }
+                    return None; // already assigned: conflict
+                }
+                GateKind::Dff => {
+                    if frame == 0 {
+                        return None; // cannot justify the initial state
+                    }
+                    frame -= 1;
+                    net = self.circuit.fanin(net)[0];
+                }
+                GateKind::Const0 | GateKind::Const1 => return None,
+                _ => {
+                    let inverting = gatest_sim::eval::is_inverting(kind);
+                    let want_in = match kind {
+                        GateKind::Xor | GateKind::Xnor => value,
+                        _ => {
+                            if inverting {
+                                !value
+                            } else {
+                                value
+                            }
+                        }
+                    };
+                    // Among X inputs justifiable within `frame` remaining
+                    // frames, pick by the configured heuristic: shallowest
+                    // sequential depth, or cheapest SCOAP controllability.
+                    let fanin = self.circuit.fanin(net);
+                    let control = controlling_value(kind);
+                    let mut chosen: Option<(NetId, u32)> = None;
+                    for &src in fanin {
+                        if self.values[frame][src.index()].good != Logic::X {
+                            continue;
+                        }
+                        let d = self.depth.of(src);
+                        if d == gatest_netlist::depth::UNREACHABLE || d as usize > frame {
+                            continue;
+                        }
+                        let score = match self.guide {
+                            BacktraceGuide::SequentialDepth => d,
+                            BacktraceGuide::Scoap => self.scoap.cc0(src).min(self.scoap.cc1(src)),
+                        };
+                        if chosen.is_none_or(|(_, best)| score < best) {
+                            chosen = Some((src, score));
+                        }
+                    }
+                    let (src, _) = chosen?;
+                    let v = match (control, kind) {
+                        (_, GateKind::Xor) | (_, GateKind::Xnor) => want_in,
+                        (Some(c), _) => {
+                            let controlled_out = eval_scalar(kind, &vec![c; fanin.len().max(1)]);
+                            if value == controlled_out {
+                                c
+                            } else {
+                                !c
+                            }
+                        }
+                        (None, _) => want_in,
+                    };
+                    net = src;
+                    value = v;
+                }
+            }
+        }
+        None
+    }
+
+    /// Undoes the last decision, flipping it if possible.
+    fn backtrack(&mut self) -> bool {
+        while let Some(mut d) = self.decisions.pop() {
+            self.pi_assign[d.frame][d.pi] = Logic::X;
+            if !d.flipped {
+                if self.backtracks_left == 0 {
+                    return false;
+                }
+                self.backtracks_left -= 1;
+                d.value = !d.value;
+                d.flipped = true;
+                self.pi_assign[d.frame][d.pi] = d.value;
+                self.decisions.push(d);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Extracts the derived vector sequence, filling unassigned PIs
+    /// randomly (they are don't-cares).
+    fn extract_vectors(&self, rng: &mut Rng) -> Vec<Vec<Logic>> {
+        self.pi_assign
+            .iter()
+            .map(|frame| {
+                frame
+                    .iter()
+                    .map(|&v| {
+                        if v == Logic::X {
+                            Logic::from_bool(rng.coin())
+                        } else {
+                            v
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s27() -> Arc<Circuit> {
+        Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap())
+    }
+
+    #[test]
+    fn detects_combinational_fault_in_one_frame() {
+        use gatest_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("and2");
+        let a = b.input("a");
+        let x = b.input("x");
+        let y = b.gate(GateKind::And, "y", &[a, x]);
+        b.output(y);
+        let circuit = Arc::new(b.finish().unwrap());
+        let mut atpg = HitecAtpg::new(Arc::clone(&circuit), HitecConfig::default());
+        let fault = Fault {
+            site: FaultSite::Stem(circuit.find_net("y").unwrap()),
+            stuck: Logic::Zero,
+        };
+        let (outcome, seq) = atpg.target(fault);
+        assert_eq!(outcome, TargetOutcome::Detected);
+        let seq = seq.unwrap();
+        assert_eq!(seq.len(), 1);
+        // The test must set both inputs to 1.
+        assert_eq!(seq[0], vec![Logic::One, Logic::One]);
+    }
+
+    #[test]
+    fn proves_redundant_fault_untestable() {
+        use gatest_netlist::{CircuitBuilder, GateKind};
+        // y = OR(a, NOT a) is constant 1: y/SA1 is untestable.
+        let mut b = CircuitBuilder::new("taut");
+        let a = b.input("a");
+        let n = b.gate(GateKind::Not, "n", &[a]);
+        let y = b.gate(GateKind::Or, "y", &[a, n]);
+        b.output(y);
+        let circuit = Arc::new(b.finish().unwrap());
+        let mut atpg = HitecAtpg::new(
+            Arc::clone(&circuit),
+            HitecConfig {
+                max_frames: 2,
+                ..HitecConfig::default()
+            },
+        );
+        let fault = Fault {
+            site: FaultSite::Stem(circuit.find_net("y").unwrap()),
+            stuck: Logic::One,
+        };
+        let (outcome, _) = atpg.target(fault);
+        assert_eq!(outcome, TargetOutcome::Untestable);
+    }
+
+    #[test]
+    fn sequential_fault_needs_multiple_frames() {
+        use gatest_netlist::{CircuitBuilder, GateKind};
+        // A fault behind a flip-flop needs >= 2 frames to reach the output.
+        let mut b = CircuitBuilder::new("pipe");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, "g", &[a]);
+        let q = b.gate(GateKind::Dff, "q", &[g]);
+        let y = b.gate(GateKind::Buf, "y", &[q]);
+        b.output(y);
+        let circuit = Arc::new(b.finish().unwrap());
+        let mut atpg = HitecAtpg::new(Arc::clone(&circuit), HitecConfig::default());
+        let fault = Fault {
+            site: FaultSite::Stem(circuit.find_net("g").unwrap()),
+            stuck: Logic::Zero,
+        };
+        let (outcome, seq) = atpg.target(fault);
+        assert_eq!(outcome, TargetOutcome::Detected);
+        assert!(seq.unwrap().len() >= 2);
+    }
+
+    #[test]
+    fn s27_full_run_gets_high_coverage() {
+        let mut atpg = HitecAtpg::new(s27(), HitecConfig::default());
+        let result = atpg.run();
+        assert!(
+            result.fault_coverage() > 0.85,
+            "coverage {:.3} (aborted {} untestable {})",
+            result.fault_coverage(),
+            result.aborted,
+            result.untestable
+        );
+    }
+
+    #[test]
+    fn derived_tests_actually_detect() {
+        // Replay HITEC's test set through an independent fault simulator.
+        let circuit = s27();
+        let mut atpg = HitecAtpg::new(Arc::clone(&circuit), HitecConfig::default());
+        let result = atpg.run();
+        let mut sim = FaultSim::new(circuit);
+        for v in &result.test_set {
+            sim.step(v);
+        }
+        assert_eq!(sim.detected_count(), result.detected);
+    }
+
+    #[test]
+    fn scoap_guide_also_works() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s386").unwrap());
+        for guide in [BacktraceGuide::SequentialDepth, BacktraceGuide::Scoap] {
+            let config = HitecConfig {
+                guide,
+                ..HitecConfig::default()
+            };
+            let result = HitecAtpg::new(Arc::clone(&circuit), config).run();
+            assert!(
+                result.fault_coverage() > 0.4,
+                "{guide:?}: {:.2}",
+                result.fault_coverage()
+            );
+        }
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let mut atpg = HitecAtpg::new(s27(), HitecConfig::default());
+        let result = atpg.run();
+        assert!(result.detected + result.untestable + result.aborted <= result.total_faults);
+        assert!(result.detected > 0);
+    }
+}

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! Baseline test generators the paper compares GATEST against.
+//!
+//! * [`hitec`] — a simplified HITEC-like deterministic, fault-oriented ATPG
+//!   (PODEM over a time-frame expansion with a backtrack limit).
+//! * [`cris`] — a CRIS-like GA cultivator whose fitness uses logic
+//!   simulation only (activity and state novelty).
+//! * [`random`] — plain random vectors and Breuer-style best-of-random.
+//! * [`weighted`] — weighted-random patterns with fault-simulation-tuned
+//!   per-input probabilities (the paper's combinational-era references
+//!   \[3\]-\[5\]).
+//!
+//! All baselines report results in the same shape (faults detected, vectors,
+//! wall-clock) so the experiment harness can tabulate them against
+//! [`gatest_core::TestGenerator`].
+
+pub mod cris;
+pub mod hitec;
+pub mod random;
+pub mod weighted;
+
+pub use cris::{CrisAtpg, CrisConfig, CrisResult};
+pub use hitec::{BacktraceGuide, HitecAtpg, HitecConfig, HitecResult, TargetOutcome};
+pub use random::{BestOfRandomAtpg, RandomAtpg, RandomResult};
+pub use weighted::{WeightedConfig, WeightedRandomAtpg};

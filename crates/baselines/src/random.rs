@@ -1,0 +1,215 @@
+//! Random-pattern baselines.
+//!
+//! Two generators from the pre-GA literature the paper builds on:
+//!
+//! * [`RandomAtpg`] — plain random vectors, the weakest baseline;
+//! * [`BestOfRandomAtpg`] — Breuer's 1971 technique: fault-simulate a batch
+//!   of random candidates each time frame and keep the best one.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gatest_ga::Rng;
+use gatest_netlist::Circuit;
+use gatest_sim::{FaultSim, Logic};
+
+/// Result common to the random baselines.
+#[derive(Debug, Clone)]
+pub struct RandomResult {
+    /// Circuit name.
+    pub circuit: String,
+    /// Total faults targeted.
+    pub total_faults: usize,
+    /// Faults detected.
+    pub detected: usize,
+    /// The generated test set.
+    pub test_set: Vec<Vec<Logic>>,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl RandomResult {
+    /// Detected / total.
+    pub fn fault_coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.total_faults as f64
+        }
+    }
+
+    /// Number of vectors generated.
+    pub fn vectors(&self) -> usize {
+        self.test_set.len()
+    }
+}
+
+/// Plain random test generation with a fixed vector budget.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gatest_baselines::random::RandomAtpg;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27")?);
+/// let result = RandomAtpg::new(circuit, 7).run(100);
+/// assert!(result.detected > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RandomAtpg {
+    circuit: Arc<Circuit>,
+    rng: Rng,
+}
+
+impl RandomAtpg {
+    /// Creates a generator with the given seed.
+    pub fn new(circuit: Arc<Circuit>, seed: u64) -> Self {
+        RandomAtpg {
+            circuit,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Applies `budget` random vectors and reports coverage.
+    pub fn run(&mut self, budget: usize) -> RandomResult {
+        let start = Instant::now();
+        let mut sim = FaultSim::new(Arc::clone(&self.circuit));
+        let pis = self.circuit.num_inputs();
+        let mut test_set = Vec::with_capacity(budget);
+        for _ in 0..budget {
+            if sim.remaining() == 0 {
+                break;
+            }
+            let v: Vec<Logic> = (0..pis)
+                .map(|_| Logic::from_bool(self.rng.coin()))
+                .collect();
+            sim.step(&v);
+            test_set.push(v);
+        }
+        RandomResult {
+            circuit: self.circuit.name().to_string(),
+            total_faults: sim.fault_list().len(),
+            detected: sim.detected_count(),
+            test_set,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// Breuer-style best-of-random: each frame, `candidates` random vectors are
+/// fault-simulated from the current state and the one detecting the most
+/// faults (breaking ties on fault effects at flip-flops) is applied.
+#[derive(Debug)]
+pub struct BestOfRandomAtpg {
+    circuit: Arc<Circuit>,
+    rng: Rng,
+    /// Candidates evaluated per frame.
+    pub candidates: usize,
+}
+
+impl BestOfRandomAtpg {
+    /// Creates a generator evaluating `candidates` random vectors per frame.
+    pub fn new(circuit: Arc<Circuit>, seed: u64, candidates: usize) -> Self {
+        BestOfRandomAtpg {
+            circuit,
+            rng: Rng::new(seed),
+            candidates: candidates.max(1),
+        }
+    }
+
+    /// Generates up to `budget` vectors, stopping after `stall_limit`
+    /// consecutive frames without a detection.
+    pub fn run(&mut self, budget: usize, stall_limit: usize) -> RandomResult {
+        let start = Instant::now();
+        let mut sim = FaultSim::new(Arc::clone(&self.circuit));
+        let pis = self.circuit.num_inputs();
+        let mut test_set = Vec::new();
+        let mut stall = 0usize;
+
+        while test_set.len() < budget && sim.remaining() > 0 && stall < stall_limit {
+            let cp = sim.checkpoint();
+            let mut best: Option<(f64, Vec<Logic>)> = None;
+            for _ in 0..self.candidates {
+                let v: Vec<Logic> = (0..pis)
+                    .map(|_| Logic::from_bool(self.rng.coin()))
+                    .collect();
+                sim.restore(&cp);
+                let r = sim.step(&v);
+                // Detections dominate; then flip-flop initialization; then
+                // fault effects. (Rewarding effects above initialization is
+                // a trap: before the machine initializes, an X-vs-binary
+                // difference counts as an effect, so a pure effect score
+                // favors vectors that keep the good machine uninitialized.)
+                let score = r.detected() as f64 * 1e6
+                    + r.good.ffs_set as f64 * 1e2
+                    + r.ff_effect_pairs as f64 * 1e-3;
+                if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                    best = Some((score, v));
+                }
+            }
+            let (score, v) = best.expect("at least one candidate");
+            sim.restore(&cp);
+            let r = sim.step(&v);
+            test_set.push(v);
+            if r.detected() == 0 {
+                stall += 1;
+            } else {
+                stall = 0;
+            }
+            let _ = score;
+        }
+
+        RandomResult {
+            circuit: self.circuit.name().to_string(),
+            total_faults: sim.fault_list().len(),
+            detected: sim.detected_count(),
+            test_set,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s27() -> Arc<Circuit> {
+        Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap())
+    }
+
+    #[test]
+    fn random_covers_easy_circuit() {
+        let result = RandomAtpg::new(s27(), 5).run(128);
+        assert!(result.fault_coverage() > 0.8, "{}", result.fault_coverage());
+    }
+
+    #[test]
+    fn best_of_random_beats_plain_random_per_vector() {
+        let budget = 40;
+        let plain = RandomAtpg::new(s27(), 7).run(budget);
+        let guided = BestOfRandomAtpg::new(s27(), 7, 8).run(budget, budget);
+        assert!(
+            guided.detected >= plain.detected,
+            "guided {} vs plain {}",
+            guided.detected,
+            plain.detected
+        );
+    }
+
+    #[test]
+    fn stall_limit_stops_early() {
+        let result = BestOfRandomAtpg::new(s27(), 3, 4).run(1000, 5);
+        assert!(result.vectors() < 1000, "stall limit must kick in");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = RandomAtpg::new(s27(), 11).run(50);
+        let b = RandomAtpg::new(s27(), 11).run(50);
+        assert_eq!(a.test_set, b.test_set);
+    }
+}

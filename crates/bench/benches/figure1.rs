@@ -1,0 +1,32 @@
+//! Figure 1 bench: throughput of the top-level test-generation flow
+//! (vectors committed per second) on small and mid-size circuits.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use gatest_core::{FaultSample, GatestConfig, TestGenerator};
+use gatest_netlist::benchmarks;
+
+fn bench_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1_flow");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+    for name in ["s27", "s298"] {
+        let circuit = Arc::new(benchmarks::iscas89(name).expect("bundled circuit"));
+        // Measure one full run; report throughput in committed vectors.
+        let mut config = GatestConfig::for_circuit(&circuit).with_seed(1);
+        config.fault_sample = FaultSample::Count(100);
+        let vectors = TestGenerator::new(Arc::clone(&circuit), config.clone())
+            .run()
+            .vectors() as u64;
+        group.throughput(Throughput::Elements(vectors.max(1)));
+        group.bench_with_input(BenchmarkId::from_parameter(name), name, |b, _| {
+            b.iter(|| TestGenerator::new(Arc::clone(&circuit), config.clone()).run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flow);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table 2 bench: cost of a full test-generation run per method — the
+//! GA-based generator against the HITEC-like deterministic generator and
+//! plain random patterns. The paper's headline: the GA's run time is a
+//! small fraction of HITEC's at comparable coverage.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gatest_baselines::hitec::{HitecAtpg, HitecConfig};
+use gatest_baselines::random::RandomAtpg;
+use gatest_core::{FaultSample, GatestConfig, TestGenerator};
+use gatest_netlist::benchmarks;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_full_run");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+
+    let circuit = Arc::new(benchmarks::iscas89("s27").expect("bundled circuit"));
+    group.bench_function("gatest_s27", |b| {
+        b.iter(|| {
+            let config = GatestConfig::for_circuit(&circuit).with_seed(1);
+            TestGenerator::new(Arc::clone(&circuit), config).run()
+        })
+    });
+    group.bench_function("hitec_s27", |b| {
+        b.iter(|| HitecAtpg::new(Arc::clone(&circuit), HitecConfig::default()).run())
+    });
+    group.bench_function("random_s27", |b| {
+        b.iter(|| RandomAtpg::new(Arc::clone(&circuit), 1).run(64))
+    });
+
+    let s298 = Arc::new(benchmarks::iscas89("s298").expect("bundled circuit"));
+    group.bench_function("gatest_s298_sampled", |b| {
+        b.iter(|| {
+            let mut config = GatestConfig::for_circuit(&s298).with_seed(1);
+            config.fault_sample = FaultSample::Count(100);
+            TestGenerator::new(Arc::clone(&s298), config).run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

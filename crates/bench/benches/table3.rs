@@ -1,0 +1,73 @@
+//! Table 3 bench: cost of the selection and crossover schemes, both as raw
+//! operators and inside a full (small) test-generation run.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gatest_core::{GatestConfig, TestGenerator};
+use gatest_ga::{Chromosome, Coding, CrossoverScheme, Rng, SelectionScheme};
+use gatest_netlist::benchmarks;
+
+fn bench_selection_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_selection_op");
+    let mut rng = Rng::new(1);
+    let fitness: Vec<f64> = (0..64).map(|_| rng.f64() * 100.0).collect();
+    for scheme in SelectionScheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                let mut rng = Rng::new(2);
+                b.iter(|| scheme.select(&fitness, 64, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_crossover_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_crossover_op");
+    let mut rng = Rng::new(3);
+    let a = Chromosome::random(256, &mut rng);
+    let bc = Chromosome::random(256, &mut rng);
+    for scheme in CrossoverScheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |bencher, &scheme| {
+                let mut rng = Rng::new(4);
+                bencher.iter(|| scheme.cross(&a, &bc, Coding::Binary, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scheme_in_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_full_run");
+    group.sample_size(10);
+    let circuit = Arc::new(benchmarks::iscas89("s27").expect("bundled circuit"));
+    for scheme in SelectionScheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                b.iter(|| {
+                    let mut config = GatestConfig::for_circuit(&circuit).with_seed(1);
+                    config.selection = scheme;
+                    TestGenerator::new(Arc::clone(&circuit), config).run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_selection_operators,
+    bench_crossover_operators,
+    bench_scheme_in_full_run
+);
+criterion_main!(benches);

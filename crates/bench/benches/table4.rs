@@ -1,0 +1,50 @@
+//! Table 4 bench: the mutation operator across the studied rates, and its
+//! effect on full-run cost.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gatest_core::{GatestConfig, TestGenerator};
+use gatest_ga::{mutation::mutate, Chromosome, Coding, Rng};
+use gatest_netlist::benchmarks;
+
+fn bench_mutation_rates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_mutation_op");
+    for denom in [16u32, 32, 64, 128, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("1/{denom}")),
+            &denom,
+            |b, &denom| {
+                let mut rng = Rng::new(1);
+                let mut chrom = Chromosome::random(512, &mut rng);
+                let rate = 1.0 / denom as f64;
+                b.iter(|| mutate(&mut chrom, rate, Coding::Binary, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mutation_in_full_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4_full_run");
+    group.sample_size(10);
+    let circuit = Arc::new(benchmarks::iscas89("s27").expect("bundled circuit"));
+    for denom in [16u32, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("1/{denom}")),
+            &denom,
+            |b, &denom| {
+                b.iter(|| {
+                    let mut config = GatestConfig::for_circuit(&circuit).with_seed(1);
+                    config.sequence_mutation = 1.0 / denom as f64;
+                    TestGenerator::new(Arc::clone(&circuit), config).run()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mutation_rates, bench_mutation_in_full_run);
+criterion_main!(benches);

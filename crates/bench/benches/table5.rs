@@ -1,0 +1,59 @@
+//! Table 5 bench: binary vs nonbinary coding and population size — operator
+//! cost (boundary-respecting crossover/mutation) and full-run cost.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gatest_core::{GatestConfig, TestGenerator};
+use gatest_ga::{mutation::mutate, Chromosome, Coding, CrossoverScheme, Rng};
+use gatest_netlist::benchmarks;
+
+fn bench_coding_operators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_coding_op");
+    let mut rng = Rng::new(1);
+    let a = Chromosome::random(280, &mut rng); // 40 frames x 7 PIs
+    let b2 = Chromosome::random(280, &mut rng);
+    for (label, coding) in [
+        ("binary", Coding::Binary),
+        ("nonbinary", Coding::Nonbinary { bits_per_char: 7 }),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("uniform_cross", label),
+            &coding,
+            |bench, &coding| {
+                let mut rng = Rng::new(2);
+                bench.iter(|| CrossoverScheme::Uniform.cross(&a, &b2, coding, &mut rng))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutate", label),
+            &coding,
+            |bench, &coding| {
+                let mut rng = Rng::new(3);
+                let mut chrom = a.clone();
+                bench.iter(|| mutate(&mut chrom, 1.0 / 64.0, coding, &mut rng))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_population_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_population_full_run");
+    group.sample_size(10);
+    let circuit = Arc::new(benchmarks::iscas89("s27").expect("bundled circuit"));
+    for pop in [16usize, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(pop), &pop, |b, &pop| {
+            b.iter(|| {
+                let mut config = GatestConfig::for_circuit(&circuit).with_seed(1);
+                config.sequence_population = pop;
+                TestGenerator::new(Arc::clone(&circuit), config).run()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coding_operators, bench_population_sizes);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table 7 bench: overlapping populations — GA evaluations per run under
+//! the studied generation gaps, at matched evaluation budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use gatest_ga::{Chromosome, GaConfig, GaEngine, Rng};
+
+fn one_max(c: &Chromosome) -> f64 {
+    c.bits().iter().filter(|&&b| b).count() as f64
+}
+
+fn bench_generation_gaps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_generation_gap");
+    // The paper's four operating points with matched evaluation budgets:
+    // (gap, population multiplier, generations multiplier).
+    let points: [(&str, Option<f64>, f64, f64); 5] = [
+        ("nonoverlap", None, 1.0, 1.0),
+        ("2/N", Some(2.0 / 96.0), 3.0, 4.0),
+        ("1/4", Some(0.25), 2.0, 2.0),
+        ("1/2", Some(0.5), 1.5, 1.0),
+        ("3/4", Some(0.75), 1.0, 1.0),
+    ];
+    for (label, gap, pop_mult, gen_mult) in points {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &gap, |b, &gap| {
+            let config = GaConfig {
+                population_size: (32.0 * pop_mult) as usize,
+                generations: (8.0 * gen_mult) as usize,
+                generation_gap: gap,
+                ..GaConfig::default()
+            };
+            let engine = GaEngine::new(config);
+            b.iter(|| engine.run(128, &mut Rng::new(1), one_max))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation_gaps);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! One-shot GA run on a large suite circuit, for the EXPERIMENTS.md big-
+//! circuit data points.
+//!
+//! ```text
+//! big_run [circuit] [sample] [workers]
+//! ```
+
+use std::sync::Arc;
+
+use gatest_core::{FaultSample, GatestConfig, TestGenerator};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "s5378".into());
+    let sample: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(300);
+    let workers: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(4);
+
+    let c = Arc::new(gatest_netlist::benchmarks::iscas89(&name).unwrap_or_else(|e| panic!("{e}")));
+    eprintln!(
+        "{} depth={}",
+        c.stats(),
+        gatest_netlist::depth::sequential_depth(&c)
+    );
+    let mut cfg = GatestConfig::for_circuit(&c)
+        .with_seed(1)
+        .with_workers(workers);
+    cfg.fault_sample = FaultSample::Count(sample);
+    let t0 = std::time::Instant::now();
+    let r = TestGenerator::new(Arc::clone(&c), cfg).run();
+    println!(
+        "{}: det={}/{} ({:.1}%) vec={} phases={:?} t={:.0}s",
+        name,
+        r.detected,
+        r.total_faults,
+        100.0 * r.fault_coverage(),
+        r.vectors(),
+        r.phase_vectors,
+        t0.elapsed().as_secs_f64()
+    );
+}

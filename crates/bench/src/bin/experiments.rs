@@ -1,0 +1,96 @@
+//! CLI for the experiment harness.
+//!
+//! ```text
+//! experiments [table1|table2|...|table7|figure1|figure2|cris|all]...
+//!             [--runs N] [--circuits a,b,c] [--full] [--seed N]
+//! ```
+
+use gatest_bench::experiments::{self, ExperimentOpts};
+use gatest_core::FaultSample;
+
+fn main() {
+    let mut opts = ExperimentOpts::default();
+    let mut which: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runs" => {
+                let n = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--runs needs a number");
+                    std::process::exit(2);
+                });
+                opts.runs = n;
+            }
+            "--seed" => {
+                opts.seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(1);
+            }
+            "--circuits" => {
+                let list = args.next().unwrap_or_default();
+                opts.circuits = list.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--sample" => {
+                let n: usize = args.next().and_then(|v| v.parse().ok()).unwrap_or(100);
+                opts.fault_sample = if n == 0 {
+                    FaultSample::Full
+                } else {
+                    FaultSample::Count(n)
+                };
+            }
+            "--full" => {
+                let runs = opts.runs;
+                opts = ExperimentOpts::full();
+                if runs != ExperimentOpts::default().runs {
+                    opts.runs = runs;
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+            other => which.push(other.to_string()),
+        }
+    }
+    if which.is_empty() {
+        which.push("all".to_string());
+    }
+
+    let all = which.iter().any(|w| w == "all");
+    let wants = |name: &str| all || which.iter().any(|w| w == name);
+
+    if wants("table1") {
+        println!("{}", experiments::table1());
+    }
+    if wants("table2") {
+        println!("{}", experiments::table2(&opts));
+    }
+    if wants("table3") {
+        println!("{}", experiments::table3(&opts));
+    }
+    if wants("table4") {
+        println!("{}", experiments::table4(&opts));
+    }
+    if wants("table5") {
+        println!("{}", experiments::table5(&opts));
+    }
+    if wants("table6") {
+        println!("{}", experiments::table6(&opts));
+    }
+    if wants("table7") {
+        println!("{}", experiments::table7(&opts));
+    }
+    if wants("figure1") {
+        println!("{}", experiments::figure1(&opts));
+    }
+    if wants("figure2") {
+        println!("{}", experiments::figure2(&opts));
+    }
+    if wants("cris") {
+        println!("{}", experiments::cris_comparison(&opts));
+    }
+    if wants("ladder") {
+        println!("{}", experiments::ladder(&opts));
+    }
+    if wants("untestable") {
+        println!("{}", experiments::untestable(&opts));
+    }
+}

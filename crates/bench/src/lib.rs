@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Experiment harness reproducing every table and figure of the paper.
+//!
+//! * [`paper`] — the reference numbers transcribed from the paper's tables.
+//! * [`experiments`] — one runner per table/figure; each returns formatted
+//!   text so the `experiments` binary, tests, and docs share one codepath.
+//! * [`stats`] — mean/σ aggregation across repeated runs.
+//!
+//! Criterion micro/meso-benchmarks live in `benches/` (one per table or
+//! figure, plus ablations for the design choices called out in DESIGN.md).
+//!
+//! Run the full harness with:
+//!
+//! ```text
+//! cargo run --release -p gatest-bench --bin experiments -- all
+//! ```
+
+pub mod experiments;
+pub mod paper;
+pub mod stats;
+
+pub use experiments::ExperimentOpts;

@@ -1,0 +1,411 @@
+//! Reference numbers transcribed from the paper's tables, used to print
+//! paper-vs-measured comparisons.
+
+/// One row of the paper's Table 2 (sequential circuit results).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Circuit name.
+    pub circuit: &'static str,
+    /// Primary inputs.
+    pub pis: usize,
+    /// Structural sequential depth.
+    pub seq_depth: u32,
+    /// Total (collapsed) faults in the paper's list.
+    pub total_faults: usize,
+    /// HITEC: faults detected (None where the paper has no entry).
+    pub hitec_detected: Option<usize>,
+    /// HITEC: vectors.
+    pub hitec_vectors: Option<usize>,
+    /// HITEC: run time in seconds (SPARCstation SLC).
+    pub hitec_seconds: Option<f64>,
+    /// GA: mean faults detected over the paper's runs.
+    pub ga_detected: f64,
+    /// GA: standard deviation of faults detected.
+    pub ga_detected_std: f64,
+    /// GA: mean vectors.
+    pub ga_vectors: f64,
+    /// GA: run time in seconds (SPARCstation II).
+    pub ga_seconds: f64,
+}
+
+const H: f64 = 3600.0;
+const M: f64 = 60.0;
+
+/// The paper's Table 2, in row order.
+pub const TABLE2: [Table2Row; 19] = [
+    Table2Row {
+        circuit: "s298",
+        pis: 3,
+        seq_depth: 8,
+        total_faults: 308,
+        hitec_detected: Some(265),
+        hitec_vectors: Some(306),
+        hitec_seconds: Some(4.44 * H),
+        ga_detected: 264.7,
+        ga_detected_std: 0.5,
+        ga_vectors: 161.0,
+        ga_seconds: 6.05 * M,
+    },
+    Table2Row {
+        circuit: "s344",
+        pis: 9,
+        seq_depth: 6,
+        total_faults: 342,
+        hitec_detected: Some(328),
+        hitec_vectors: Some(142),
+        hitec_seconds: Some(1.33 * H),
+        ga_detected: 329.0,
+        ga_detected_std: 0.0,
+        ga_vectors: 95.0,
+        ga_seconds: 5.85 * M,
+    },
+    Table2Row {
+        circuit: "s349",
+        pis: 9,
+        seq_depth: 6,
+        total_faults: 350,
+        hitec_detected: Some(335),
+        hitec_vectors: Some(137),
+        hitec_seconds: Some(52.2 * M),
+        ga_detected: 335.0,
+        ga_detected_std: 0.0,
+        ga_vectors: 95.0,
+        ga_seconds: 5.83 * M,
+    },
+    Table2Row {
+        circuit: "s382",
+        pis: 3,
+        seq_depth: 11,
+        total_faults: 399,
+        hitec_detected: Some(363),
+        hitec_vectors: Some(4931),
+        hitec_seconds: Some(12.0 * H),
+        ga_detected: 347.0,
+        ga_detected_std: 1.2,
+        ga_vectors: 281.0,
+        ga_seconds: 8.91 * M,
+    },
+    Table2Row {
+        circuit: "s386",
+        pis: 7,
+        seq_depth: 5,
+        total_faults: 384,
+        hitec_detected: Some(314),
+        hitec_vectors: Some(311),
+        hitec_seconds: Some(1.03 * M),
+        ga_detected: 295.2,
+        ga_detected_std: 2.2,
+        ga_vectors: 154.0,
+        ga_seconds: 3.45 * M,
+    },
+    Table2Row {
+        circuit: "s400",
+        pis: 3,
+        seq_depth: 11,
+        total_faults: 426,
+        hitec_detected: Some(383),
+        hitec_vectors: Some(4309),
+        hitec_seconds: Some(12.1 * H),
+        ga_detected: 365.1,
+        ga_detected_std: 2.7,
+        ga_vectors: 280.0,
+        ga_seconds: 9.45 * M,
+    },
+    Table2Row {
+        circuit: "s444",
+        pis: 3,
+        seq_depth: 11,
+        total_faults: 474,
+        hitec_detected: Some(414),
+        hitec_vectors: Some(2240),
+        hitec_seconds: Some(16.1 * H),
+        ga_detected: 405.7,
+        ga_detected_std: 1.7,
+        ga_vectors: 275.0,
+        ga_seconds: 10.5 * M,
+    },
+    Table2Row {
+        circuit: "s526",
+        pis: 3,
+        seq_depth: 11,
+        total_faults: 555,
+        hitec_detected: Some(365),
+        hitec_vectors: Some(2232),
+        hitec_seconds: Some(46.8 * H),
+        ga_detected: 416.7,
+        ga_detected_std: 4.8,
+        ga_vectors: 281.0,
+        ga_seconds: 14.3 * M,
+    },
+    Table2Row {
+        circuit: "s641",
+        pis: 35,
+        seq_depth: 6,
+        total_faults: 467,
+        hitec_detected: Some(404),
+        hitec_vectors: Some(216),
+        hitec_seconds: Some(18.0 * M),
+        ga_detected: 404.0,
+        ga_detected_std: 0.0,
+        ga_vectors: 139.0,
+        ga_seconds: 8.24 * M,
+    },
+    Table2Row {
+        circuit: "s713",
+        pis: 35,
+        seq_depth: 6,
+        total_faults: 581,
+        hitec_detected: Some(476),
+        hitec_vectors: Some(194),
+        hitec_seconds: Some(1.52 * M),
+        ga_detected: 476.0,
+        ga_detected_std: 0.0,
+        ga_vectors: 128.0,
+        ga_seconds: 9.41 * M,
+    },
+    Table2Row {
+        circuit: "s820",
+        pis: 18,
+        seq_depth: 4,
+        total_faults: 850,
+        hitec_detected: Some(813),
+        hitec_vectors: Some(984),
+        hitec_seconds: Some(1.61 * H),
+        ga_detected: 516.5,
+        ga_detected_std: 29.2,
+        ga_vectors: 146.0,
+        ga_seconds: 13.4 * M,
+    },
+    Table2Row {
+        circuit: "s832",
+        pis: 18,
+        seq_depth: 4,
+        total_faults: 870,
+        hitec_detected: Some(817),
+        hitec_vectors: Some(981),
+        hitec_seconds: Some(1.76 * H),
+        ga_detected: 539.0,
+        ga_detected_std: 32.1,
+        ga_vectors: 150.0,
+        ga_seconds: 12.3 * M,
+    },
+    Table2Row {
+        circuit: "s1196",
+        pis: 14,
+        seq_depth: 4,
+        total_faults: 1242,
+        hitec_detected: Some(1239),
+        hitec_vectors: Some(453),
+        hitec_seconds: Some(1.53 * M),
+        ga_detected: 1232.0,
+        ga_detected_std: 3.0,
+        ga_vectors: 347.0,
+        ga_seconds: 11.6 * M,
+    },
+    Table2Row {
+        circuit: "s1238",
+        pis: 14,
+        seq_depth: 4,
+        total_faults: 1355,
+        hitec_detected: Some(1283),
+        hitec_vectors: Some(478),
+        hitec_seconds: Some(2.20 * M),
+        ga_detected: 1274.0,
+        ga_detected_std: 3.0,
+        ga_vectors: 383.0,
+        ga_seconds: 16.0 * M,
+    },
+    Table2Row {
+        circuit: "s1423",
+        pis: 17,
+        seq_depth: 10,
+        total_faults: 1515,
+        hitec_detected: None,
+        hitec_vectors: None,
+        hitec_seconds: None,
+        ga_detected: 1222.0,
+        ga_detected_std: 51.0,
+        ga_vectors: 663.0,
+        ga_seconds: 2.83 * H,
+    },
+    Table2Row {
+        circuit: "s1488",
+        pis: 8,
+        seq_depth: 5,
+        total_faults: 1486,
+        hitec_detected: Some(1444),
+        hitec_vectors: Some(1294),
+        hitec_seconds: Some(3.60 * H),
+        ga_detected: 1392.0,
+        ga_detected_std: 32.0,
+        ga_vectors: 243.0,
+        ga_seconds: 25.2 * M,
+    },
+    Table2Row {
+        circuit: "s1494",
+        pis: 8,
+        seq_depth: 5,
+        total_faults: 1506,
+        hitec_detected: Some(1453),
+        hitec_vectors: Some(1407),
+        hitec_seconds: Some(1.91 * H),
+        ga_detected: 1416.0,
+        ga_detected_std: 20.0,
+        ga_vectors: 245.0,
+        ga_seconds: 23.2 * M,
+    },
+    Table2Row {
+        circuit: "s5378",
+        pis: 35,
+        seq_depth: 36,
+        total_faults: 4603,
+        hitec_detected: None,
+        hitec_vectors: None,
+        hitec_seconds: None,
+        ga_detected: 3175.0,
+        ga_detected_std: 53.0,
+        ga_vectors: 511.0,
+        ga_seconds: 6.08 * H,
+    },
+    Table2Row {
+        circuit: "s35932",
+        pis: 35,
+        seq_depth: 35,
+        total_faults: 39094,
+        hitec_detected: Some(34902),
+        hitec_vectors: Some(240),
+        hitec_seconds: Some(3.80 * H),
+        ga_detected: 35009.0,
+        ga_detected_std: 51.0,
+        ga_vectors: 197.0,
+        ga_seconds: 105.2 * H,
+    },
+];
+
+/// Looks up a Table 2 row by circuit name.
+pub fn table2_row(circuit: &str) -> Option<&'static Table2Row> {
+    TABLE2.iter().find(|r| r.circuit == circuit)
+}
+
+/// Circuits used in the paper's parameter-study tables (3, 4, 5 all use the
+/// same subset; circuits with flat responses were omitted).
+pub const STUDY_CIRCUITS: [&str; 11] = [
+    "s298", "s386", "s526", "s820", "s832", "s1196", "s1238", "s1423", "s1488", "s1494", "s5378",
+];
+
+/// Mutation rates studied in Table 4.
+pub const TABLE4_MUTATION_RATES: [f64; 5] =
+    [1.0 / 16.0, 1.0 / 32.0, 1.0 / 64.0, 1.0 / 128.0, 1.0 / 256.0];
+
+/// Population sizes studied in Table 5.
+pub const TABLE5_POPULATIONS: [usize; 3] = [16, 32, 64];
+
+/// Fault sample sizes studied in Table 6.
+pub const TABLE6_SAMPLES: [usize; 3] = [100, 200, 300];
+
+/// Generation gaps studied in Table 7 with their population scaling and
+/// generation scaling relative to the nonoverlapping base (the paper sizes
+/// populations 3×, 2×, 1.5×, 1× and adjusts generations so the evaluation
+/// counts roughly match).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table7Point {
+    /// Human-readable gap label.
+    pub label: &'static str,
+    /// Generation gap as a fraction of the population (`None` encodes the
+    /// paper's `2/N`).
+    pub gap: Option<f64>,
+    /// Population multiplier vs. the nonoverlapping base.
+    pub population_multiplier: f64,
+    /// Generations multiplier vs. the base 8 generations.
+    pub generations_multiplier: f64,
+}
+
+/// Table 7's four operating points.
+pub const TABLE7_POINTS: [Table7Point; 4] = [
+    Table7Point {
+        label: "2/N",
+        gap: None,
+        population_multiplier: 3.0,
+        generations_multiplier: 4.0,
+    },
+    Table7Point {
+        label: "1/4",
+        gap: Some(0.25),
+        population_multiplier: 2.0,
+        generations_multiplier: 2.0,
+    },
+    Table7Point {
+        label: "1/2",
+        gap: Some(0.5),
+        population_multiplier: 1.5,
+        generations_multiplier: 1.0,
+    },
+    Table7Point {
+        label: "3/4",
+        gap: Some(0.75),
+        population_multiplier: 1.0,
+        generations_multiplier: 1.0,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_covers_all_19_circuits() {
+        assert_eq!(TABLE2.len(), 19);
+        assert!(table2_row("s298").is_some());
+        assert!(table2_row("s9999").is_none());
+    }
+
+    #[test]
+    fn table2_matches_benchmark_profiles() {
+        // The PI counts and depths here must agree with the bundled
+        // benchmark profiles (both transcribed from the paper).
+        for row in &TABLE2 {
+            let profile = gatest_netlist::benchmarks::profile(row.circuit)
+                .unwrap_or_else(|| panic!("{} missing from suite", row.circuit));
+            assert_eq!(profile.inputs, row.pis, "{} PI count", row.circuit);
+            assert_eq!(profile.seq_depth, row.seq_depth, "{} depth", row.circuit);
+        }
+    }
+
+    #[test]
+    fn ga_beats_or_ties_hitec_detection_on_seven_circuits() {
+        // §V: "The number of faults detected was greater than or equal to
+        // that of HITEC for seven of the 17 circuits".
+        let better = TABLE2
+            .iter()
+            .filter(|r| r.hitec_detected.is_some_and(|h| r.ga_detected >= h as f64))
+            .count();
+        // Six rows compare >= outright; the paper's seventh is s298, whose
+        // mean (264.7 +/- 0.5) it evidently counted as matching HITEC's 265.
+        assert_eq!(better, 6);
+        let near = TABLE2
+            .iter()
+            .filter(|r| {
+                r.hitec_detected
+                    .is_some_and(|h| r.ga_detected + r.ga_detected_std >= h as f64)
+            })
+            .count();
+        assert!(near >= 7);
+    }
+
+    #[test]
+    fn ga_time_is_usually_a_fraction_of_hitec() {
+        let faster = TABLE2
+            .iter()
+            .filter(|r| r.hitec_seconds.is_some_and(|h| r.ga_seconds < h))
+            .count();
+        let with_hitec = TABLE2.iter().filter(|r| r.hitec_seconds.is_some()).count();
+        assert!(faster * 2 > with_hitec, "{faster}/{with_hitec}");
+    }
+
+    #[test]
+    fn table7_points_cover_paper_gaps() {
+        assert_eq!(TABLE7_POINTS.len(), 4);
+        assert_eq!(TABLE7_POINTS[0].label, "2/N");
+        assert_eq!(TABLE7_POINTS[3].gap, Some(0.75));
+    }
+}

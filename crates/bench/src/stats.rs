@@ -1,0 +1,77 @@
+//! Small statistics helpers for experiment aggregation.
+
+/// Mean of a sample (0 for an empty one).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (0 for fewer than two points).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Aggregate of repeated test-generation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunStats {
+    /// Mean faults detected.
+    pub detected_mean: f64,
+    /// Standard deviation of faults detected.
+    pub detected_std: f64,
+    /// Mean vectors generated.
+    pub vectors_mean: f64,
+    /// Standard deviation of vectors generated.
+    pub vectors_std: f64,
+    /// Mean wall-clock seconds.
+    pub seconds_mean: f64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+impl RunStats {
+    /// Aggregates `(detected, vectors, seconds)` observations.
+    pub fn from_observations(obs: &[(usize, usize, f64)]) -> Self {
+        let det: Vec<f64> = obs.iter().map(|o| o.0 as f64).collect();
+        let vec: Vec<f64> = obs.iter().map(|o| o.1 as f64).collect();
+        let sec: Vec<f64> = obs.iter().map(|o| o.2).collect();
+        RunStats {
+            detected_mean: mean(&det),
+            detected_std: std_dev(&det),
+            vectors_mean: mean(&vec),
+            vectors_std: std_dev(&vec),
+            seconds_mean: mean(&sec),
+            runs: obs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138).abs() < 0.01);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn run_stats_aggregate() {
+        let s = RunStats::from_observations(&[(10, 5, 1.0), (12, 7, 3.0)]);
+        assert_eq!(s.detected_mean, 11.0);
+        assert_eq!(s.vectors_mean, 6.0);
+        assert_eq!(s.seconds_mean, 2.0);
+        assert_eq!(s.runs, 2);
+        assert!(s.detected_std > 1.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! The CLI subcommands.
+
+use std::error::Error;
+use std::sync::Arc;
+
+use gatest_baselines::hitec::{BacktraceGuide, HitecAtpg, HitecConfig};
+use gatest_core::report::{
+    coverage_curve, format_duration, sparkline, test_set_from_string, test_set_to_string,
+};
+use gatest_core::{compact_test_set, FaultSample, GatestConfig, TestGenerator};
+use gatest_netlist::depth::sequential_depth;
+use gatest_netlist::scoap::Scoap;
+use gatest_sim::dictionary::FaultDictionary;
+use gatest_sim::transition::TransitionFaultSim;
+use gatest_sim::{FaultSim, Logic};
+
+use crate::load_circuit;
+use crate::opts::Opts;
+
+/// Writes `text` to `--out` if given, else stdout.
+fn emit(opts: &Opts, text: &str) -> Result<(), Box<dyn Error>> {
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, text)?;
+            eprintln!("wrote {path}");
+            Ok(())
+        }
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn read_tests(opts: &Opts) -> Result<Vec<Vec<Logic>>, Box<dyn Error>> {
+    let path = opts.require("tests")?;
+    let text = std::fs::read_to_string(path)?;
+    Ok(test_set_from_string(&text).map_err(std::io::Error::other)?)
+}
+
+/// `gatest atpg` — run the GA test generator.
+pub fn atpg(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    let circuit = load_circuit(opts.circuit()?)?;
+    let mut config = GatestConfig::for_circuit(&circuit)
+        .with_seed(opts.num("seed", 1u64)?)
+        .with_workers(opts.num("workers", 1usize)?);
+    let sample: usize = opts.num("sample", 100)?;
+    config.fault_sample = if sample == 0 {
+        FaultSample::Full
+    } else {
+        FaultSample::Count(sample)
+    };
+    let result = TestGenerator::new(Arc::clone(&circuit), config).run();
+    eprintln!(
+        "{}: {}/{} faults ({:.1}%), {} vectors, {} — phases {:?}",
+        result.circuit,
+        result.detected,
+        result.total_faults,
+        100.0 * result.fault_coverage(),
+        result.vectors(),
+        format_duration(result.elapsed),
+        result.phase_vectors,
+    );
+    let curve = coverage_curve(&circuit, &result.test_set);
+    eprintln!("coverage {}", sparkline(&curve, result.total_faults));
+    emit(opts, &test_set_to_string(&result.test_set))
+}
+
+/// `gatest grade` — fault-grade a test set.
+pub fn grade(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    let circuit = load_circuit(opts.circuit()?)?;
+    let tests = read_tests(opts)?;
+    if opts.has("transition") {
+        let mut sim = TransitionFaultSim::new(Arc::clone(&circuit));
+        for v in &tests {
+            sim.step(v);
+        }
+        println!(
+            "transition faults: {}/{} detected ({:.1}%)",
+            sim.detected_count(),
+            sim.total_faults(),
+            100.0 * sim.detected_count() as f64 / sim.total_faults().max(1) as f64
+        );
+    } else {
+        let mut sim = FaultSim::new(Arc::clone(&circuit));
+        for v in &tests {
+            sim.step(v);
+        }
+        let total = sim.fault_list().len();
+        println!(
+            "stuck-at faults: {}/{} detected ({:.1}%)",
+            sim.detected_count(),
+            total,
+            100.0 * sim.detected_count() as f64 / total.max(1) as f64
+        );
+        let survivors: Vec<String> = sim
+            .active_faults()
+            .iter()
+            .take(opts.num("survivors", 10usize)?)
+            .map(|&id| sim.fault_list().get(id).display(&circuit).to_string())
+            .collect();
+        if !survivors.is_empty() {
+            println!(
+                "undetected (first {}): {}",
+                survivors.len(),
+                survivors.join(", ")
+            );
+        }
+        if let Some(path) = opts.get("report") {
+            std::fs::write(
+                path,
+                gatest_sim::fault_report::write_fault_report(&circuit, &sim),
+            )?;
+            eprintln!("wrote per-fault report to {path}");
+        }
+    }
+    Ok(())
+}
+
+/// `gatest compact` — shrink a test set coverage-preservingly.
+pub fn compact(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    let circuit = load_circuit(opts.circuit()?)?;
+    let tests = read_tests(opts)?;
+    let (compacted, stats) = compact_test_set(&circuit, &tests);
+    eprintln!(
+        "{} -> {} vectors ({:.1}% removed), {} faults covered, {} passes",
+        stats.original_vectors,
+        stats.compacted_vectors,
+        100.0 * stats.reduction(),
+        stats.detected,
+        stats.passes
+    );
+    emit(opts, &test_set_to_string(&compacted))
+}
+
+/// `gatest diagnose` — dictionary diagnosis from failing observations.
+pub fn diagnose(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    let circuit = load_circuit(opts.circuit()?)?;
+    let tests = read_tests(opts)?;
+    let observe = opts.require("observe")?;
+    let mut observed: Vec<(u32, u16)> = Vec::new();
+    for pair in observe.split(',') {
+        let (v, po) = pair
+            .split_once(':')
+            .ok_or_else(|| format!("--observe expects V:PO pairs, got `{pair}`"))?;
+        observed.push((v.trim().parse()?, po.trim().parse()?));
+    }
+    let dict = FaultDictionary::build(Arc::clone(&circuit), &tests);
+    let ranked = dict.diagnose(&observed);
+    if ranked.is_empty() {
+        println!("no candidate faults match the observations");
+        return Ok(());
+    }
+    println!("{:<30} {:>7}", "candidate fault", "score");
+    for (fault, score) in ranked.iter().take(opts.num("top", 10usize)?) {
+        println!(
+            "{:<30} {:>7.3}",
+            dict.fault_list().get(*fault).display(&circuit).to_string(),
+            score
+        );
+    }
+    Ok(())
+}
+
+/// `gatest stats` — circuit and testability summary.
+pub fn stats(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    let circuit = load_circuit(opts.circuit()?)?;
+    println!("{}", circuit.stats());
+    println!("sequential depth: {}", sequential_depth(&circuit));
+    let faults = gatest_sim::FaultList::collapsed(&circuit);
+    println!(
+        "faults: {} collapsed (of {} universe)",
+        faults.len(),
+        faults.universe_size()
+    );
+    let scoap = Scoap::new(&circuit);
+    let mut hardest: Vec<(u32, String)> = circuit
+        .net_ids()
+        .map(|id| {
+            (
+                scoap
+                    .fault_difficulty(id, false)
+                    .max(scoap.fault_difficulty(id, true)),
+                circuit.net_name(id).to_string(),
+            )
+        })
+        .collect();
+    hardest.sort_by(|a, b| b.0.cmp(&a.0));
+    let names: Vec<String> = hardest
+        .iter()
+        .take(8)
+        .map(|(d, n)| format!("{n} ({d})"))
+        .collect();
+    println!("hardest nets by SCOAP: {}", names.join(", "));
+    Ok(())
+}
+
+/// `gatest scan` — emit the full-scan version.
+pub fn scan(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    let circuit = load_circuit(opts.circuit()?)?;
+    let scanned = gatest_netlist::scan::full_scan(&circuit);
+    eprintln!(
+        "{} -> {} ({} pseudo-PIs added)",
+        circuit.stats(),
+        scanned.circuit().stats(),
+        scanned.scan_inputs().len()
+    );
+    emit(opts, &gatest_netlist::write_bench(scanned.circuit()))
+}
+
+/// `gatest convert` — re-serialize a netlist.
+pub fn convert(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    let circuit = load_circuit(opts.circuit()?)?;
+    let text = match opts.require("to")? {
+        "bench" => gatest_netlist::write_bench(&circuit),
+        "verilog" | "v" => gatest_netlist::verilog::write_verilog(&circuit),
+        "dot" => gatest_netlist::dot::to_dot(&circuit),
+        other => return Err(format!("unknown format `{other}` (bench|verilog|dot)").into()),
+    };
+    emit(opts, &text)
+}
+
+/// `gatest hitec` — run the deterministic baseline.
+pub fn hitec(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    let circuit = load_circuit(opts.circuit()?)?;
+    let config = HitecConfig {
+        guide: if opts.has("scoap") {
+            BacktraceGuide::Scoap
+        } else {
+            BacktraceGuide::SequentialDepth
+        },
+        max_frames: opts.num("frames", 16usize)?,
+        backtrack_limit: opts.num("backtracks", 100usize)?,
+        ..HitecConfig::default()
+    };
+    let result = HitecAtpg::new(Arc::clone(&circuit), config).run();
+    eprintln!(
+        "{}: {}/{} faults ({:.1}%), {} vectors, {} — {} untestable, {} aborted",
+        result.circuit,
+        result.detected,
+        result.total_faults,
+        100.0 * result.fault_coverage(),
+        result.vectors(),
+        format_duration(result.elapsed),
+        result.untestable,
+        result.aborted,
+    );
+    emit(opts, &test_set_to_string(&result.test_set))
+}

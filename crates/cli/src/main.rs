@@ -1,0 +1,101 @@
+//! `gatest` — the command-line front door to the GATEST suite.
+//!
+//! ```text
+//! gatest atpg     <circuit> [--seed N] [--sample N] [--workers N] [--out tests.txt]
+//! gatest grade    <circuit> --tests tests.txt [--transition]
+//! gatest compact  <circuit> --tests tests.txt [--out compacted.txt]
+//! gatest diagnose <circuit> --tests tests.txt --observe V:PO[,V:PO...]
+//! gatest stats    <circuit>
+//! gatest scan     <circuit> [--out scanned.bench]
+//! gatest convert  <circuit> --to bench|verilog|dot [--out file]
+//! gatest hitec    <circuit> [--scoap]
+//! ```
+//!
+//! `<circuit>` is either a bundled benchmark name (`s27`, `s298`, ...) or a
+//! path to a `.bench` / `.v` netlist.
+
+use std::error::Error;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use gatest_netlist::Circuit;
+
+mod commands;
+mod opts;
+
+use opts::Opts;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let command = args.remove(0);
+    match run(&command, args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gatest {command}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    let mut s = String::from("gatest — GA-based sequential circuit test generation\n\n");
+    s.push_str("commands:\n");
+    for (cmd, desc) in [
+        ("atpg", "generate a stuck-at test set with the GATEST GA"),
+        (
+            "grade",
+            "fault-grade an existing test set (--transition for delay faults)",
+        ),
+        ("compact", "shrink a test set without losing coverage"),
+        (
+            "diagnose",
+            "rank candidate faults from failing observations",
+        ),
+        ("stats", "print circuit statistics and testability summary"),
+        ("scan", "emit the full-scan version of a circuit"),
+        ("convert", "convert between bench/verilog/dot formats"),
+        ("hitec", "run the deterministic (PODEM) baseline"),
+    ] {
+        s.push_str(&format!("  {cmd:<9} {desc}\n"));
+    }
+    s.push_str("\nrun `gatest <command> --help` style flags are listed in the module docs;\n");
+    s.push_str("circuits are bundled names (s27, s298, ...) or .bench/.v file paths\n");
+    s
+}
+
+fn run(command: &str, args: Vec<String>) -> Result<(), Box<dyn Error>> {
+    let opts = Opts::parse(args)?;
+    match command {
+        "atpg" => commands::atpg(&opts),
+        "grade" => commands::grade(&opts),
+        "compact" => commands::compact(&opts),
+        "diagnose" => commands::diagnose(&opts),
+        "stats" => commands::stats(&opts),
+        "scan" => commands::scan(&opts),
+        "convert" => commands::convert(&opts),
+        "hitec" => commands::hitec(&opts),
+        other => Err(format!("unknown command `{other}` (try --help)").into()),
+    }
+}
+
+/// Loads a circuit from a bundled benchmark name or a netlist file path.
+pub(crate) fn load_circuit(spec: &str) -> Result<Arc<Circuit>, Box<dyn Error>> {
+    if let Ok(c) = gatest_netlist::benchmarks::iscas89(spec) {
+        return Ok(Arc::new(c));
+    }
+    let text = std::fs::read_to_string(spec)
+        .map_err(|e| format!("`{spec}` is not a bundled circuit and reading it failed: {e}"))?;
+    let name = std::path::Path::new(spec)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit");
+    if spec.ends_with(".v") {
+        Ok(Arc::new(gatest_netlist::verilog::parse_verilog(&text)?))
+    } else {
+        Ok(Arc::new(gatest_netlist::parse_bench(name, &text)?))
+    }
+}

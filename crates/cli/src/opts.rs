@@ -1,0 +1,116 @@
+//! Minimal flag parsing for the CLI (no external dependencies).
+
+use std::collections::HashMap;
+use std::error::Error;
+
+/// Parsed command-line: one positional circuit spec plus `--flag [value]`
+/// pairs.
+#[derive(Debug, Default)]
+pub struct Opts {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Opts {
+    /// Parses `args` (everything after the subcommand).
+    ///
+    /// Flags may be boolean (`--scoap`) or valued (`--seed 7`); a flag is
+    /// treated as boolean when the next token is another flag or absent.
+    pub fn parse(args: Vec<String>) -> Result<Opts, Box<dyn Error>> {
+        let mut opts = Opts::default();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                    _ => String::from("true"),
+                };
+                opts.flags.insert(name.to_string(), value);
+            } else {
+                opts.positional.push(arg);
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The circuit spec (first positional argument).
+    pub fn circuit(&self) -> Result<&str, Box<dyn Error>> {
+        self.positional
+            .first()
+            .map(String::as_str)
+            .ok_or_else(|| "missing circuit argument".into())
+    }
+
+    /// A string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, Box<dyn Error>> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}").into())
+    }
+
+    /// A parsed numeric flag with a default.
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, Box<dyn Error>> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got `{v}`").into()),
+        }
+    }
+
+    /// A boolean flag.
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> Opts {
+        Opts::parse(parts.iter().map(|s| s.to_string()).collect()).unwrap()
+    }
+
+    #[test]
+    fn positional_and_flags() {
+        let o = parse(&["s298", "--seed", "7", "--scoap", "--out", "x.txt"]);
+        assert_eq!(o.circuit().unwrap(), "s298");
+        assert_eq!(o.num("seed", 1u64).unwrap(), 7);
+        assert!(o.has("scoap"));
+        assert_eq!(o.get("out"), Some("x.txt"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let o = parse(&["s27"]);
+        assert_eq!(o.num("seed", 42u64).unwrap(), 42);
+        assert!(!o.has("scoap"));
+    }
+
+    #[test]
+    fn missing_circuit_errors() {
+        let o = parse(&["--seed", "1"]);
+        assert!(o.circuit().is_err());
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        let o = parse(&["s27", "--seed", "banana"]);
+        assert!(o.num("seed", 0u64).is_err());
+    }
+
+    #[test]
+    fn boolean_flag_before_positional() {
+        // `--scoap s27`: since `s27` doesn't start with --, it becomes the
+        // flag's value; users should put flags after the circuit. Document
+        // by asserting the actual behaviour.
+        let o = parse(&["s27", "--scoap"]);
+        assert!(o.has("scoap"));
+        assert_eq!(o.circuit().unwrap(), "s27");
+    }
+}

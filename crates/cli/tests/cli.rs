@@ -1,0 +1,114 @@
+//! End-to-end tests of the `gatest` binary.
+
+use std::process::Command;
+
+fn gatest(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_gatest"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn help_lists_commands() {
+    let out = gatest(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in [
+        "atpg", "grade", "compact", "diagnose", "stats", "scan", "convert", "hitec",
+    ] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = gatest(&["frobnicate", "s27"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn atpg_then_grade_round_trip() {
+    let dir = std::env::temp_dir().join("gatest_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tests = dir.join("s27.tests");
+    let out = gatest(&[
+        "atpg",
+        "s27",
+        "--seed",
+        "3",
+        "--out",
+        tests.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("faults"));
+
+    let out = gatest(&["grade", "s27", "--tests", tests.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("26/26"), "expected full coverage: {text}");
+}
+
+#[test]
+fn grade_transition_mode() {
+    let dir = std::env::temp_dir().join("gatest_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let tests = dir.join("s27t.tests");
+    gatest(&["atpg", "s27", "--out", tests.to_str().unwrap()]);
+    let out = gatest(&[
+        "grade",
+        "s27",
+        "--tests",
+        tests.to_str().unwrap(),
+        "--transition",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("transition faults"));
+}
+
+#[test]
+fn stats_and_convert() {
+    let out = gatest(&["stats", "s298"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("sequential depth: 8"));
+    assert!(text.contains("SCOAP"));
+
+    let out = gatest(&["convert", "s27", "--to", "dot"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
+}
+
+#[test]
+fn scan_emits_combinational_bench() {
+    let out = gatest(&["scan", "s27"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(!text.contains("DFF"), "scan output must be flip-flop-free");
+    assert!(text.contains("INPUT(G5)"), "flip-flop became a pseudo-PI");
+}
+
+#[test]
+fn file_based_circuit_loads() {
+    // Write s27 out, read it back in via file path.
+    let dir = std::env::temp_dir().join("gatest_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mine.bench");
+    let circuit = gatest_netlist::benchmarks::iscas89("s27").unwrap();
+    std::fs::write(&path, gatest_netlist::write_bench(&circuit)).unwrap();
+    let out = gatest(&["stats", path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("3 DFFs"));
+}
+
+#[test]
+fn missing_flag_is_reported() {
+    let out = gatest(&["grade", "s27"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--tests"));
+}

@@ -1,0 +1,257 @@
+//! Test-set compaction for sequential test sets.
+//!
+//! Sequential test sets cannot be reordered or thinned freely — every
+//! vector changes the state all later vectors run from — so compaction
+//! works by *candidate removal with re-verification*:
+//!
+//! 1. **Tail trimming**: drop everything after the last detecting vector
+//!    (always safe).
+//! 2. **Window removal**: repeatedly try deleting a window of
+//!    non-detecting vectors and re-fault-simulate the remainder; keep the
+//!    deletion only if total coverage is preserved. This is a light-weight
+//!    form of the vector-restoration compaction used in production flows.
+//!
+//! Compaction never reduces coverage: the result is re-verified against
+//! the same fault list.
+
+use std::sync::Arc;
+
+use gatest_netlist::Circuit;
+use gatest_sim::{FaultList, FaultSim, Logic};
+
+/// What compaction achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Vectors before compaction.
+    pub original_vectors: usize,
+    /// Vectors after compaction.
+    pub compacted_vectors: usize,
+    /// Faults detected (identical before and after, by construction).
+    pub detected: usize,
+    /// Re-simulation passes spent.
+    pub passes: usize,
+}
+
+impl CompactionStats {
+    /// Fraction of vectors removed.
+    pub fn reduction(&self) -> f64 {
+        if self.original_vectors == 0 {
+            0.0
+        } else {
+            1.0 - self.compacted_vectors as f64 / self.original_vectors as f64
+        }
+    }
+}
+
+/// Simulates `test_set` and returns the number of detected faults plus the
+/// per-vector detection counts.
+fn grade(
+    circuit: &Arc<Circuit>,
+    faults: &FaultList,
+    test_set: &[Vec<Logic>],
+) -> (usize, Vec<usize>) {
+    let mut sim = FaultSim::with_faults(Arc::clone(circuit), faults.clone());
+    let mut per_vector = Vec::with_capacity(test_set.len());
+    for v in test_set {
+        per_vector.push(sim.step(v).detected());
+    }
+    (sim.detected_count(), per_vector)
+}
+
+/// Compacts `test_set` without losing coverage on the collapsed fault list
+/// of `circuit`.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gatest_core::compact::compact_test_set;
+/// use gatest_sim::Logic;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27")?);
+/// let test_set = vec![vec![Logic::One, Logic::One, Logic::Zero, Logic::Zero]; 10];
+/// let (compacted, stats) = compact_test_set(&circuit, &test_set);
+/// assert!(compacted.len() <= test_set.len());
+/// assert_eq!(stats.detected, {
+///     let mut sim = gatest_sim::FaultSim::new(circuit);
+///     for v in &compacted { sim.step(v); }
+///     sim.detected_count()
+/// });
+/// # Ok(())
+/// # }
+/// ```
+pub fn compact_test_set(
+    circuit: &Arc<Circuit>,
+    test_set: &[Vec<Logic>],
+) -> (Vec<Vec<Logic>>, CompactionStats) {
+    let faults = FaultList::collapsed(circuit);
+    compact_with(circuit, faults, test_set)
+}
+
+/// Compacts against a caller-supplied fault list.
+pub fn compact_with(
+    circuit: &Arc<Circuit>,
+    faults: FaultList,
+    test_set: &[Vec<Logic>],
+) -> (Vec<Vec<Logic>>, CompactionStats) {
+    let original_vectors = test_set.len();
+    let (target, per_vector) = grade(circuit, &faults, test_set);
+    let mut passes = 1usize;
+
+    // 1. Tail trim.
+    let last_detecting = per_vector.iter().rposition(|&d| d > 0);
+    let mut current: Vec<Vec<Logic>> = match last_detecting {
+        Some(last) => test_set[..=last].to_vec(),
+        None => Vec::new(),
+    };
+
+    // 2. Window removal: shrink windows of non-detecting vectors, largest
+    //    first, re-verifying each candidate deletion.
+    let mut window = (current.len() / 4).max(1);
+    while window >= 1 && !current.is_empty() {
+        let (_, per_vector) = grade(circuit, &faults, &current);
+        passes += 1;
+        // Candidate windows: maximal runs of non-detecting vectors, split
+        // into `window`-sized chunks, scanned from the back so indexes stay
+        // valid after deletion.
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        let mut run_end = None;
+        for i in (0..current.len()).rev() {
+            if per_vector[i] == 0 {
+                if run_end.is_none() {
+                    run_end = Some(i);
+                }
+            } else if let Some(end) = run_end.take() {
+                let start = i + 1;
+                let mut lo = start;
+                while lo <= end {
+                    let hi = (lo + window - 1).min(end);
+                    candidates.push((lo, hi));
+                    lo = hi + 1;
+                }
+            }
+        }
+        if let Some(end) = run_end.take() {
+            let mut lo = 0;
+            while lo <= end {
+                let hi = (lo + window - 1).min(end);
+                candidates.push((lo, hi));
+                lo = hi + 1;
+            }
+        }
+        candidates.sort_by_key(|&(lo, _)| std::cmp::Reverse(lo)); // back to front
+
+        let mut removed_any = false;
+        for (lo, hi) in candidates {
+            if hi >= current.len() {
+                continue;
+            }
+            let mut trial = current.clone();
+            trial.drain(lo..=hi);
+            let (cov, _) = grade(circuit, &faults, &trial);
+            passes += 1;
+            if cov >= target {
+                current = trial;
+                removed_any = true;
+            }
+        }
+        if !removed_any {
+            window /= 2;
+        }
+    }
+
+    let (final_cov, _) = grade(circuit, &faults, &current);
+    passes += 1;
+    debug_assert!(final_cov >= target);
+
+    let stats = CompactionStats {
+        original_vectors,
+        compacted_vectors: current.len(),
+        detected: final_cov,
+        passes,
+    };
+    (current, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s27() -> Arc<Circuit> {
+        Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap())
+    }
+
+    fn padded_test_set() -> Vec<Vec<Logic>> {
+        // A detecting vector surrounded by useless repetition.
+        let detect = vec![Logic::One, Logic::One, Logic::Zero, Logic::Zero];
+        let idle = vec![Logic::Zero, Logic::Zero, Logic::Zero, Logic::Zero];
+        let mut set = vec![idle.clone(); 6];
+        set.push(detect.clone());
+        set.extend(vec![idle.clone(); 8]);
+        set.push(detect);
+        set.extend(vec![idle; 10]);
+        set
+    }
+
+    #[test]
+    fn compaction_preserves_coverage() {
+        let circuit = s27();
+        let set = padded_test_set();
+        let faults = FaultList::collapsed(&circuit);
+        let (before, _) = grade(&circuit, &faults, &set);
+        let (compacted, stats) = compact_test_set(&circuit, &set);
+        let (after, _) = grade(&circuit, &faults, &compacted);
+        assert_eq!(before, after);
+        assert_eq!(stats.detected, after);
+    }
+
+    #[test]
+    fn compaction_removes_padding() {
+        let circuit = s27();
+        let set = padded_test_set();
+        let (compacted, _) = compact_test_set(&circuit, &set);
+        assert!(
+            compacted.len() < set.len(),
+            "padding should be removed: {} -> {}",
+            set.len(),
+            compacted.len()
+        );
+        // At minimum the trailing idle block goes away.
+        assert!(compacted.len() <= set.len() - 10);
+    }
+
+    #[test]
+    fn empty_and_useless_sets_compact_to_empty() {
+        let circuit = s27();
+        let (compacted, stats) = compact_test_set(&circuit, &[]);
+        assert!(compacted.is_empty());
+        assert_eq!(stats.detected, 0);
+        // All-X detect nothing on their own? All-zero vectors detect some
+        // faults on s27, so use an empty set only.
+    }
+
+    #[test]
+    fn generated_test_sets_shrink_without_losing_coverage() {
+        use crate::{GatestConfig, TestGenerator};
+        let circuit = s27();
+        let config = GatestConfig::for_circuit(&circuit).with_seed(5);
+        let result = TestGenerator::new(Arc::clone(&circuit), config).run();
+        let (compacted, _) = compact_test_set(&circuit, &result.test_set);
+        let faults = FaultList::collapsed(&circuit);
+        let (cov, _) = grade(&circuit, &faults, &compacted);
+        assert_eq!(cov, result.detected);
+        assert!(compacted.len() <= result.vectors());
+    }
+
+    #[test]
+    fn reduction_statistic() {
+        let stats = CompactionStats {
+            original_vectors: 100,
+            compacted_vectors: 60,
+            detected: 10,
+            passes: 3,
+        };
+        assert!((stats.reduction() - 0.4).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,233 @@
+//! GATEST configuration: the paper's GA parameters and schedules.
+
+use gatest_ga::{Coding, CrossoverScheme, SelectionScheme};
+use gatest_netlist::Circuit;
+
+/// How many faults to simulate when evaluating candidate fitness (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSample {
+    /// Simulate every remaining fault (most accurate, slowest).
+    Full,
+    /// Simulate a fixed-size random sample of the remaining faults
+    /// (the paper studies 100, 200, and 300 in Table 6).
+    Count(usize),
+    /// Simulate a random fraction of the remaining faults (the paper
+    /// suggests 1%–10%).
+    Fraction(f64),
+}
+
+impl FaultSample {
+    /// The sample size for `remaining` undetected faults.
+    pub fn size_for(self, remaining: usize) -> usize {
+        match self {
+            FaultSample::Full => remaining,
+            FaultSample::Count(n) => n.min(remaining),
+            FaultSample::Fraction(f) => {
+                (((remaining as f64) * f).ceil() as usize).clamp(1, remaining)
+            }
+        }
+    }
+}
+
+/// Table 1 of the paper: GA parameter values for individual-vector
+/// generation as a function of the vector length `L` (the number of primary
+/// inputs).
+///
+/// | L      | population | mutation |
+/// |--------|------------|----------|
+/// | < 4    | 8          | 1/8      |
+/// | 4–16   | 16         | 1/16     |
+/// | > 16   | 16         | 1/L      |
+pub fn table1_parameters(vector_length: usize) -> (usize, f64) {
+    if vector_length < 4 {
+        (8, 1.0 / 8.0)
+    } else if vector_length <= 16 {
+        (16, 1.0 / 16.0)
+    } else {
+        (16, 1.0 / vector_length as f64)
+    }
+}
+
+/// Full configuration of the GATEST test generator.
+///
+/// [`GatestConfig::for_circuit`] produces the paper's settings for a given
+/// circuit, including the Table 1 vector-generation parameters and the
+/// big-circuit schedule overrides used for s5378 and s35932.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatestConfig {
+    /// Parent selection scheme (paper default: tournament without
+    /// replacement).
+    pub selection: SelectionScheme,
+    /// Crossover operator (paper default: uniform).
+    pub crossover: CrossoverScheme,
+    /// Crossover probability (paper: 1.0).
+    pub crossover_probability: f64,
+    /// Generations per GA invocation (paper: 8).
+    pub generations: usize,
+    /// Population size for individual-vector generation (Table 1).
+    pub vector_population: usize,
+    /// Mutation rate for individual-vector generation (Table 1).
+    pub vector_mutation: f64,
+    /// Population size for sequence generation (paper: 32).
+    pub sequence_population: usize,
+    /// Mutation rate for sequence generation (paper: 1/64).
+    pub sequence_mutation: f64,
+    /// Alphabet coding for sequences (paper default: binary).
+    pub coding: Coding,
+    /// Generation gap; `None` = nonoverlapping (paper default).
+    pub generation_gap: Option<f64>,
+    /// Fault sampling during fitness evaluation.
+    pub fault_sample: FaultSample,
+    /// Progress limit for individual-vector generation, in multiples of the
+    /// sequential depth (paper: 4, but 1 for s5378/s35932).
+    pub progress_limit_multiplier: f64,
+    /// Candidate sequence lengths, in multiples of the sequential depth
+    /// (paper: [1, 2, 4], but [1/4, 1/2, 1] for s5378/s35932).
+    pub sequence_length_multipliers: Vec<f64>,
+    /// Consecutive failed sequence attempts before moving to the next
+    /// length (paper: 4).
+    pub max_sequence_failures: usize,
+    /// Hard cap on the total number of committed vectors, as a safety net
+    /// for degenerate circuits.
+    pub max_vectors: usize,
+    /// Worker threads for candidate fitness evaluation. `1` evaluates
+    /// serially; larger values split each GA generation's offspring across
+    /// threads, each with its own fault-simulator clone. Results are
+    /// bit-identical for any worker count (the paper's conclusion points at
+    /// exactly this parallelism).
+    pub parallel_workers: usize,
+    /// Master random seed.
+    pub seed: u64,
+}
+
+impl Default for GatestConfig {
+    fn default() -> Self {
+        GatestConfig {
+            selection: SelectionScheme::TournamentWithoutReplacement,
+            crossover: CrossoverScheme::Uniform,
+            crossover_probability: 1.0,
+            generations: 8,
+            vector_population: 16,
+            vector_mutation: 1.0 / 16.0,
+            sequence_population: 32,
+            sequence_mutation: 1.0 / 64.0,
+            coding: Coding::Binary,
+            generation_gap: None,
+            fault_sample: FaultSample::Full,
+            progress_limit_multiplier: 4.0,
+            sequence_length_multipliers: vec![1.0, 2.0, 4.0],
+            max_sequence_failures: 4,
+            max_vectors: 10_000,
+            parallel_workers: 1,
+            seed: 1,
+        }
+    }
+}
+
+impl GatestConfig {
+    /// The paper's configuration for `circuit`: Table 1 vector parameters
+    /// from the PI count, and the s5378/s35932 schedule overrides (progress
+    /// limit 1× depth and sequence lengths ¼/½/1× depth for those two).
+    pub fn for_circuit(circuit: &Circuit) -> Self {
+        let (vector_population, vector_mutation) = table1_parameters(circuit.num_inputs());
+        let big = matches!(circuit.name(), "s5378" | "s35932");
+        GatestConfig {
+            vector_population,
+            vector_mutation,
+            progress_limit_multiplier: if big { 1.0 } else { 4.0 },
+            sequence_length_multipliers: if big {
+                vec![0.25, 0.5, 1.0]
+            } else {
+                vec![1.0, 2.0, 4.0]
+            },
+            ..GatestConfig::default()
+        }
+    }
+
+    /// A new configuration with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A new configuration with a different worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.parallel_workers = workers.max(1);
+        self
+    }
+
+    /// The progress limit (in vectors) for a circuit of the given
+    /// sequential depth: `max(1, multiplier × depth)`.
+    pub fn progress_limit(&self, seq_depth: u32) -> usize {
+        ((self.progress_limit_multiplier * seq_depth as f64).round() as usize).max(1)
+    }
+
+    /// The candidate sequence lengths (in vectors) for the given depth,
+    /// deduplicated and in increasing order, each at least 2.
+    pub fn sequence_lengths(&self, seq_depth: u32) -> Vec<usize> {
+        let mut lens: Vec<usize> = self
+            .sequence_length_multipliers
+            .iter()
+            .map(|m| ((m * seq_depth as f64).round() as usize).max(2))
+            .collect();
+        lens.sort_unstable();
+        lens.dedup();
+        lens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        assert_eq!(table1_parameters(3), (8, 1.0 / 8.0));
+        assert_eq!(table1_parameters(4), (16, 1.0 / 16.0));
+        assert_eq!(table1_parameters(16), (16, 1.0 / 16.0));
+        assert_eq!(table1_parameters(17), (16, 1.0 / 17.0));
+        assert_eq!(table1_parameters(35), (16, 1.0 / 35.0));
+    }
+
+    #[test]
+    fn for_circuit_applies_table1() {
+        let c = gatest_netlist::benchmarks::iscas89("s298").unwrap();
+        let cfg = GatestConfig::for_circuit(&c);
+        assert_eq!(cfg.vector_population, 8, "s298 has 3 PIs");
+        assert_eq!(cfg.vector_mutation, 1.0 / 8.0);
+        assert_eq!(cfg.progress_limit_multiplier, 4.0);
+        assert_eq!(cfg.sequence_length_multipliers, vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn big_circuits_get_reduced_schedule() {
+        let c = gatest_netlist::benchmarks::iscas89("s5378").unwrap();
+        let cfg = GatestConfig::for_circuit(&c);
+        assert_eq!(cfg.progress_limit_multiplier, 1.0);
+        assert_eq!(cfg.sequence_length_multipliers, vec![0.25, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn progress_limit_floors_at_one() {
+        let cfg = GatestConfig::default();
+        assert_eq!(cfg.progress_limit(0), 1);
+        assert_eq!(cfg.progress_limit(8), 32);
+    }
+
+    #[test]
+    fn sequence_lengths_scale_with_depth() {
+        let cfg = GatestConfig::default();
+        assert_eq!(cfg.sequence_lengths(8), vec![8, 16, 32]);
+        // Tiny depths floor at 2 and deduplicate.
+        assert_eq!(cfg.sequence_lengths(1), vec![2, 4]);
+    }
+
+    #[test]
+    fn fault_sample_sizes() {
+        assert_eq!(FaultSample::Full.size_for(500), 500);
+        assert_eq!(FaultSample::Count(100).size_for(500), 100);
+        assert_eq!(FaultSample::Count(100).size_for(50), 50);
+        assert_eq!(FaultSample::Fraction(0.1).size_for(500), 50);
+        assert_eq!(FaultSample::Fraction(0.001).size_for(500), 1);
+    }
+}

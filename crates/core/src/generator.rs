@@ -1,0 +1,650 @@
+//! The GATEST test generator: Figure 1's top-level flow and Figure 2's
+//! phase machine for individual-vector generation.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gatest_ga::{Chromosome, Coding, GaConfig, GaEngine, Rng};
+use gatest_netlist::depth::sequential_depth;
+use gatest_netlist::Circuit;
+use gatest_sim::{FaultId, FaultList, FaultSim, Logic};
+
+use crate::config::{FaultSample, GatestConfig};
+use crate::fitness::{phase1, phase2, phase3, phase4, FitnessScale, Phase};
+
+/// Result of one GATEST run.
+#[derive(Debug, Clone)]
+pub struct TestGenResult {
+    /// Circuit name.
+    pub circuit: String,
+    /// Faults in the (collapsed) target list.
+    pub total_faults: usize,
+    /// Faults detected by the generated test set.
+    pub detected: usize,
+    /// The generated test set, one vector per time frame.
+    pub test_set: Vec<Vec<Logic>>,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Vectors committed while in each phase (1–3 individual vectors,
+    /// 4 = sequences).
+    pub phase_vectors: [usize; 4],
+    /// Total GA fitness evaluations (candidate simulations).
+    pub ga_evaluations: usize,
+    /// Number of sequence-generation GA attempts (successful or not).
+    pub sequence_attempts: usize,
+    /// The phase (1-4) each committed vector was generated in, in test-set
+    /// order — the observable trace of Figure 2's phase machine.
+    pub phase_trace: Vec<u8>,
+}
+
+impl TestGenResult {
+    /// Detected / total, in 0..=1.
+    pub fn fault_coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.total_faults as f64
+        }
+    }
+
+    /// Number of vectors in the test set.
+    pub fn vectors(&self) -> usize {
+        self.test_set.len()
+    }
+}
+
+/// The GA-based sequential circuit test generator.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gatest_core::{GatestConfig, TestGenerator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27")?);
+/// let config = GatestConfig::for_circuit(&circuit).with_seed(5);
+/// let mut tg = TestGenerator::new(Arc::clone(&circuit), config);
+/// let result = tg.run();
+/// assert!(result.fault_coverage() > 0.8, "s27 is easy");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TestGenerator {
+    circuit: Arc<Circuit>,
+    sim: FaultSim,
+    config: GatestConfig,
+    rng: Rng,
+    seq_depth: u32,
+}
+
+impl TestGenerator {
+    /// Creates a generator over the collapsed fault list of `circuit`.
+    pub fn new(circuit: Arc<Circuit>, config: GatestConfig) -> Self {
+        let sim = FaultSim::new(Arc::clone(&circuit));
+        Self::from_parts(circuit, sim, config)
+    }
+
+    /// Creates a generator over a caller-supplied fault list.
+    pub fn with_faults(circuit: Arc<Circuit>, faults: FaultList, config: GatestConfig) -> Self {
+        let sim = FaultSim::with_faults(Arc::clone(&circuit), faults);
+        Self::from_parts(circuit, sim, config)
+    }
+
+    fn from_parts(circuit: Arc<Circuit>, sim: FaultSim, config: GatestConfig) -> Self {
+        let rng = Rng::new(config.seed);
+        let seq_depth = sequential_depth(&circuit);
+        TestGenerator {
+            circuit,
+            sim,
+            config,
+            rng,
+            seq_depth,
+        }
+    }
+
+    /// The fault simulator (e.g. to inspect per-fault status after a run).
+    pub fn sim(&self) -> &FaultSim {
+        &self.sim
+    }
+
+    /// The structural sequential depth driving the schedules.
+    pub fn seq_depth(&self) -> u32 {
+        self.seq_depth
+    }
+
+    /// Runs the full GATEST flow (Figure 1): individual test vectors until
+    /// the progress limit is exhausted, then test sequences of increasing
+    /// length until four consecutive attempts fail at the longest length.
+    pub fn run(&mut self) -> TestGenResult {
+        let start = Instant::now();
+        let mut test_set: Vec<Vec<Logic>> = Vec::new();
+        let mut phase_vectors = [0usize; 4];
+        let mut phase_trace: Vec<u8> = Vec::new();
+        let mut ga_evaluations = 0usize;
+        let mut sequence_attempts = 0usize;
+
+        self.generate_vectors(
+            &mut test_set,
+            &mut phase_vectors,
+            &mut phase_trace,
+            &mut ga_evaluations,
+        );
+        self.generate_sequences(
+            &mut test_set,
+            &mut phase_vectors,
+            &mut phase_trace,
+            &mut ga_evaluations,
+            &mut sequence_attempts,
+        );
+
+        TestGenResult {
+            circuit: self.circuit.name().to_string(),
+            total_faults: self.sim.fault_list().len(),
+            detected: self.sim.detected_count(),
+            test_set,
+            elapsed: start.elapsed(),
+            phase_vectors,
+            ga_evaluations,
+            sequence_attempts,
+            phase_trace,
+        }
+    }
+
+    /// Phases 1–3 (Figure 2): evolve one vector at a time.
+    fn generate_vectors(
+        &mut self,
+        test_set: &mut Vec<Vec<Logic>>,
+        phase_vectors: &mut [usize; 4],
+        phase_trace: &mut Vec<u8>,
+        ga_evaluations: &mut usize,
+    ) {
+        let progress_limit = self.config.progress_limit(self.seq_depth);
+        let nffs = self.circuit.num_dffs();
+        let pis = self.circuit.num_inputs();
+
+        let mut phase = if nffs == 0 {
+            Phase::VectorGeneration
+        } else {
+            Phase::Initialization
+        };
+        let mut noncontributing = 0usize;
+        let mut best_known_ffs = 0usize;
+        let mut init_stall = 0usize;
+
+        while test_set.len() < self.config.max_vectors && self.sim.remaining() > 0 {
+            let sample = self.draw_sample();
+            let scale = FitnessScale {
+                faults: sample.len(),
+                flip_flops: nffs,
+                nodes: self.circuit.num_gates(),
+            };
+
+            let ga = GaEngine::new(self.vector_ga_config());
+            let cp = self.sim.checkpoint();
+            let workers = self.config.parallel_workers.max(1);
+            let mut run_rng = self.rng.fork();
+            let evaluate_one = |sim: &mut FaultSim, chrom: &Chromosome| -> f64 {
+                sim.restore(&cp);
+                let v = decode_vector(chrom, pis);
+                match phase {
+                    Phase::Initialization => {
+                        // Candidates are scored over a two-frame hold: with
+                        // deep synchronous-reset structures, the payoff of
+                        // a good initialization vector often appears one
+                        // frame later (anchors must reach their rest values
+                        // before the next rank's reset can fire), and a
+                        // single-frame score plateaus. The winning vector
+                        // is committed for both frames.
+                        sim.step_good_only(&v);
+                        phase1(&sim.step_good_only(&v), scale)
+                    }
+                    Phase::VectorGeneration => phase2(&sim.step_sampled(&v, &sample), scale),
+                    Phase::StalledVectorGeneration => phase3(&sim.step_sampled(&v, &sample), scale),
+                    Phase::SequenceGeneration => unreachable!("not in sequence phase"),
+                }
+            };
+            // Initial population: mostly random, seeded with the all-zero
+            // and all-one vectors and the previously committed vector (the
+            // paper: the initial population "may also be supplied by the
+            // user"). The constant vectors matter for initialization-hard
+            // circuits, where holding a reset-friendly input for several
+            // frames is the only way to keep partial state from decaying
+            // back to X.
+            let mut initial: Vec<Chromosome> = Vec::with_capacity(self.config.vector_population);
+            initial.push(Chromosome::from_bits(vec![false; pis]));
+            initial.push(Chromosome::from_bits(vec![true; pis]));
+            if let Some(prev) = test_set.last() {
+                initial.push(Chromosome::from_bits(
+                    prev.iter().map(|&v| v == Logic::One).collect(),
+                ));
+            }
+            while initial.len() < self.config.vector_population {
+                initial.push(Chromosome::random(pis, &mut run_rng));
+            }
+            let result = if workers == 1 {
+                let sim = &mut self.sim;
+                ga.run_seeded(initial, &mut run_rng, |chrom| evaluate_one(sim, chrom))
+            } else {
+                let base = &self.sim;
+                ga.run_seeded_batched(initial, &mut run_rng, |batch| {
+                    evaluate_parallel(base, workers, batch, &evaluate_one)
+                })
+            };
+            *ga_evaluations += result.evaluations;
+
+            // Commit the best vector with a full-list simulation (twice in
+            // phase 1, matching the two-frame evaluation above).
+            self.sim.restore(&cp);
+            let vector = decode_vector(&result.best.chromosome, pis);
+            let report = if phase == Phase::Initialization {
+                self.sim.step(&vector);
+                test_set.push(vector.clone());
+                phase_vectors[0] += 1;
+                phase_trace.push(1);
+                self.sim.step(&vector)
+            } else {
+                self.sim.step(&vector)
+            };
+            test_set.push(vector);
+            phase_vectors[phase.number() as usize - 1] += 1;
+            phase_trace.push(phase.number());
+
+            match phase {
+                Phase::Initialization => {
+                    let known = self.sim.good().known_next_state();
+                    if known == nffs {
+                        phase = Phase::VectorGeneration;
+                    } else if known > best_known_ffs {
+                        best_known_ffs = known;
+                        init_stall = 0;
+                    } else {
+                        init_stall += 1;
+                        if init_stall >= progress_limit {
+                            // Some flip-flops are uninitializable; move on.
+                            phase = Phase::VectorGeneration;
+                        }
+                    }
+                }
+                Phase::VectorGeneration => {
+                    if report.detected() == 0 {
+                        phase = Phase::StalledVectorGeneration;
+                        noncontributing = 1;
+                    }
+                }
+                Phase::StalledVectorGeneration => {
+                    if report.detected() > 0 {
+                        phase = Phase::VectorGeneration;
+                        noncontributing = 0;
+                    } else {
+                        noncontributing += 1;
+                        if noncontributing > progress_limit {
+                            return; // progress limit exhausted: on to sequences
+                        }
+                    }
+                }
+                Phase::SequenceGeneration => unreachable!("not in sequence phase"),
+            }
+        }
+    }
+
+    /// Phase 4: evolve whole sequences, reinitializing the GA population for
+    /// every attempt, over the configured schedule of lengths.
+    fn generate_sequences(
+        &mut self,
+        test_set: &mut Vec<Vec<Logic>>,
+        phase_vectors: &mut [usize; 4],
+        phase_trace: &mut Vec<u8>,
+        ga_evaluations: &mut usize,
+        sequence_attempts: &mut usize,
+    ) {
+        let nffs = self.circuit.num_dffs();
+        let pis = self.circuit.num_inputs();
+
+        for len in self.config.sequence_lengths(self.seq_depth) {
+            let mut failures = 0usize;
+            while failures < self.config.max_sequence_failures
+                && self.sim.remaining() > 0
+                && test_set.len() + len <= self.config.max_vectors
+            {
+                let sample = self.draw_sample();
+                let scale = FitnessScale {
+                    faults: sample.len(),
+                    flip_flops: nffs,
+                    nodes: self.circuit.num_gates(),
+                };
+
+                let ga = GaEngine::new(self.sequence_ga_config(pis));
+                let cp = self.sim.checkpoint();
+                let workers = self.config.parallel_workers.max(1);
+                let mut run_rng = self.rng.fork();
+                let evaluate_one = |sim: &mut FaultSim, chrom: &Chromosome| -> f64 {
+                    sim.restore(&cp);
+                    let mut reports = Vec::with_capacity(len);
+                    for frame in 0..len {
+                        let v = decode_frame(chrom, pis, frame);
+                        reports.push(sim.step_sampled(&v, &sample));
+                    }
+                    phase4(&reports, scale)
+                };
+                let result = if workers == 1 {
+                    let sim = &mut self.sim;
+                    ga.run(len * pis, &mut run_rng, |chrom| evaluate_one(sim, chrom))
+                } else {
+                    let base = &self.sim;
+                    ga.run_batched(len * pis, &mut run_rng, |batch| {
+                        evaluate_parallel(base, workers, batch, &evaluate_one)
+                    })
+                };
+                *ga_evaluations += result.evaluations;
+                *sequence_attempts += 1;
+
+                // Commit with full simulation only if it helps.
+                self.sim.restore(&cp);
+                let mut detected = 0usize;
+                let mut seq = Vec::with_capacity(len);
+                for frame in 0..len {
+                    let v = decode_frame(&result.best.chromosome, pis, frame);
+                    detected += self.sim.step(&v).detected();
+                    seq.push(v);
+                }
+                if detected > 0 {
+                    phase_vectors[3] += seq.len();
+                    phase_trace.extend(std::iter::repeat_n(4u8, seq.len()));
+                    test_set.extend(seq);
+                    failures = 0;
+                } else {
+                    self.sim.restore(&cp);
+                    failures += 1;
+                }
+            }
+        }
+    }
+
+    fn vector_ga_config(&self) -> GaConfig {
+        GaConfig {
+            population_size: self.config.vector_population,
+            generations: self.config.generations,
+            selection: self.config.selection,
+            crossover: self.config.crossover,
+            crossover_probability: self.config.crossover_probability,
+            mutation_rate: self.config.vector_mutation,
+            coding: Coding::Binary,
+            generation_gap: self.config.generation_gap,
+            elitism: 0,
+        }
+    }
+
+    fn sequence_ga_config(&self, pis: usize) -> GaConfig {
+        GaConfig {
+            population_size: self.config.sequence_population,
+            generations: self.config.generations,
+            selection: self.config.selection,
+            crossover: self.config.crossover,
+            crossover_probability: self.config.crossover_probability,
+            mutation_rate: self.config.sequence_mutation,
+            coding: match self.config.coding {
+                Coding::Binary => Coding::Binary,
+                Coding::Nonbinary { .. } => Coding::Nonbinary { bits_per_char: pis },
+            },
+            generation_gap: self.config.generation_gap,
+            elitism: 0,
+        }
+    }
+
+    /// Draws the fitness-evaluation fault sample from the active list.
+    fn draw_sample(&mut self) -> Vec<FaultId> {
+        let active = self.sim.active_faults();
+        let want = match self.config.fault_sample {
+            FaultSample::Full => return active.to_vec(),
+            other => other.size_for(active.len()),
+        };
+        if want >= active.len() {
+            return active.to_vec();
+        }
+        let mut pool = active.to_vec();
+        self.rng.shuffle(&mut pool);
+        pool.truncate(want);
+        pool.sort_unstable();
+        pool
+    }
+}
+
+/// Splits `batch` across `workers` scoped threads, each evaluating with its
+/// own clone of `base`. Scores come back in input order, so results are
+/// identical to serial evaluation.
+fn evaluate_parallel(
+    base: &FaultSim,
+    workers: usize,
+    batch: &[Chromosome],
+    evaluate_one: &(dyn Fn(&mut FaultSim, &Chromosome) -> f64 + Sync),
+) -> Vec<f64> {
+    if batch.is_empty() {
+        return Vec::new();
+    }
+    let chunk = batch.len().div_ceil(workers.min(batch.len()));
+    let mut scores = vec![0.0f64; batch.len()];
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, (chunk_in, chunk_out)) in batch
+            .chunks(chunk)
+            .zip(scores.chunks_mut(chunk))
+            .enumerate()
+        {
+            let mut sim = base.clone();
+            handles.push(scope.spawn(move || {
+                for (c, out) in chunk_in.iter().zip(chunk_out.iter_mut()) {
+                    *out = evaluate_one(&mut sim, c);
+                }
+            }));
+            let _ = i;
+        }
+        for h in handles {
+            h.join().expect("fitness worker panicked");
+        }
+    });
+    scores
+}
+
+fn decode_vector(chrom: &Chromosome, pis: usize) -> Vec<Logic> {
+    (0..pis).map(|i| Logic::from_bool(chrom.bit(i))).collect()
+}
+
+fn decode_frame(chrom: &Chromosome, pis: usize, frame: usize) -> Vec<Logic> {
+    (0..pis)
+        .map(|i| Logic::from_bool(chrom.bit(frame * pis + i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(name: &str, seed: u64) -> TestGenResult {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89(name).unwrap());
+        let config = GatestConfig::for_circuit(&circuit).with_seed(seed);
+        TestGenerator::new(circuit, config).run()
+    }
+
+    #[test]
+    fn s27_reaches_high_coverage() {
+        let result = run_on("s27", 3);
+        assert!(
+            result.fault_coverage() > 0.9,
+            "coverage {:.3}",
+            result.fault_coverage()
+        );
+        assert!(result.vectors() > 0);
+    }
+
+    #[test]
+    fn test_set_replays_to_the_same_coverage() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let config = GatestConfig::for_circuit(&circuit).with_seed(9);
+        let mut tg = TestGenerator::new(Arc::clone(&circuit), config);
+        let result = tg.run();
+
+        // Replay the produced test set through a fresh fault simulator.
+        let mut sim = FaultSim::new(circuit);
+        for v in &result.test_set {
+            sim.step(v);
+        }
+        assert_eq!(sim.detected_count(), result.detected);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_on("s27", 11);
+        let b = run_on("s27", 11);
+        assert_eq!(a.test_set, b.test_set);
+        assert_eq!(a.detected, b.detected);
+    }
+
+    #[test]
+    fn different_seeds_vary() {
+        let a = run_on("s27", 1);
+        let b = run_on("s27", 2);
+        assert!(
+            a.test_set != b.test_set || a.vectors() != b.vectors(),
+            "two seeds should explore differently"
+        );
+    }
+
+    #[test]
+    fn phase_counters_sum_to_test_set() {
+        let r = run_on("s27", 5);
+        assert_eq!(r.phase_vectors.iter().sum::<usize>(), r.vectors());
+    }
+
+    #[test]
+    fn initialization_phase_runs_first() {
+        let r = run_on("s27", 7);
+        assert!(
+            r.phase_vectors[0] >= 1,
+            "s27 starts with all flip-flops at X, so phase 1 must commit at least one vector"
+        );
+    }
+
+    #[test]
+    fn phase_trace_follows_figure_2() {
+        // Figure 2's machine: phase 1 first (while flip-flops initialize),
+        // never returning to it; phases 2 and 3 interleave; phase 4 only at
+        // the end.
+        let r = run_on("s298", 2);
+        assert_eq!(r.phase_trace.len(), r.vectors());
+        let first_non_init = r.phase_trace.iter().position(|&p| p != 1);
+        if let Some(pos) = first_non_init {
+            assert!(
+                r.phase_trace[pos..].iter().all(|&p| p != 1),
+                "phase 1 must not reappear"
+            );
+        }
+        let first_seq = r.phase_trace.iter().position(|&p| p == 4);
+        if let Some(pos) = first_seq {
+            assert!(
+                r.phase_trace[pos..].iter().all(|&p| p == 4),
+                "sequence vectors come last"
+            );
+        }
+        // A phase-3 vector is only entered after a non-contributing
+        // phase-2 vector, so 3 never directly follows 1.
+        for w in r.phase_trace.windows(2) {
+            assert!(
+                !(w[0] == 1 && w[1] == 3),
+                "phase 3 cannot follow phase 1 directly"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_sampling_still_achieves_coverage() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let mut config = GatestConfig::for_circuit(&circuit).with_seed(13);
+        config.fault_sample = FaultSample::Count(10);
+        let result = TestGenerator::new(circuit, config).run();
+        assert!(
+            result.fault_coverage() > 0.8,
+            "coverage {:.3}",
+            result.fault_coverage()
+        );
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_and_faster_logically() {
+        // Any worker count must reproduce the serial run exactly.
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let run = |workers: usize| {
+            let mut config = GatestConfig::for_circuit(&circuit)
+                .with_seed(21)
+                .with_workers(workers);
+            config.fault_sample = FaultSample::Count(60);
+            TestGenerator::new(Arc::clone(&circuit), config).run()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.test_set, parallel.test_set);
+        assert_eq!(serial.detected, parallel.detected);
+        assert_eq!(serial.ga_evaluations, parallel.ga_evaluations);
+    }
+
+    #[test]
+    fn combinational_circuits_skip_initialization() {
+        // A scanned (flip-flop-free) circuit: phase 1 must commit nothing,
+        // and the generator still reaches high coverage.
+        let seq = gatest_netlist::benchmarks::iscas89("s27").unwrap();
+        let comb = Arc::new(gatest_netlist::scan::full_scan(&seq).circuit().clone());
+        let config = GatestConfig::for_circuit(&comb).with_seed(5);
+        let result = TestGenerator::new(Arc::clone(&comb), config).run();
+        assert_eq!(result.phase_vectors[0], 0, "no initialization phase");
+        assert!(
+            result.fault_coverage() > 0.85,
+            "coverage {:.2}",
+            result.fault_coverage()
+        );
+    }
+
+    #[test]
+    fn custom_fault_list_is_respected() {
+        use gatest_sim::FaultList;
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let full = FaultList::full(&circuit);
+        let expected = full.len();
+        let config = GatestConfig::for_circuit(&circuit).with_seed(2);
+        let result = TestGenerator::with_faults(Arc::clone(&circuit), full, config).run();
+        assert_eq!(result.total_faults, expected);
+        assert!(result.fault_coverage() > 0.9);
+    }
+
+    #[test]
+    fn fraction_sampling_works_end_to_end() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let mut config = GatestConfig::for_circuit(&circuit).with_seed(8);
+        config.fault_sample = FaultSample::Fraction(0.2);
+        let result = TestGenerator::new(circuit, config).run();
+        assert!(result.fault_coverage() > 0.5, "{}", result.fault_coverage());
+    }
+
+    #[test]
+    fn coverage_beats_pure_random_on_s298() {
+        // The headline claim: GA-guided vectors beat unguided random ones
+        // under an equal vector budget.
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let mut config = GatestConfig::for_circuit(&circuit).with_seed(17);
+        config.fault_sample = FaultSample::Count(100);
+        let result = TestGenerator::new(Arc::clone(&circuit), config).run();
+
+        let mut random_sim = FaultSim::new(circuit);
+        let mut rng = Rng::new(17);
+        for _ in 0..result.vectors() {
+            let v: Vec<Logic> = (0..3).map(|_| Logic::from_bool(rng.coin())).collect();
+            random_sim.step(&v);
+        }
+        assert!(
+            result.detected > random_sim.detected_count(),
+            "GA {} vs random {}",
+            result.detected,
+            random_sim.detected_count()
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Formatting helpers for test-generation results.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+use gatest_netlist::Circuit;
+use gatest_sim::{FaultSim, Logic};
+
+use crate::generator::TestGenResult;
+
+/// Formats a duration the way the paper's tables do: seconds below a
+/// minute, then `m`, then `h`.
+///
+/// # Example
+///
+/// ```
+/// use std::time::Duration;
+/// use gatest_core::report::format_duration;
+///
+/// assert_eq!(format_duration(Duration::from_secs_f64(2.5)), "2.50s");
+/// assert_eq!(format_duration(Duration::from_secs(90)), "1.50m");
+/// assert_eq!(format_duration(Duration::from_secs(5400)), "1.50h");
+/// ```
+pub fn format_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs < 60.0 {
+        format!("{secs:.2}s")
+    } else if secs < 3600.0 {
+        format!("{:.2}m", secs / 60.0)
+    } else {
+        format!("{:.2}h", secs / 3600.0)
+    }
+}
+
+/// One row of a Table 2-style report.
+pub fn table_row(result: &TestGenResult) -> String {
+    format!(
+        "{:<8} {:>7} {:>7} {:>7.2}% {:>6} {:>9}",
+        result.circuit,
+        result.total_faults,
+        result.detected,
+        result.fault_coverage() * 100.0,
+        result.vectors(),
+        format_duration(result.elapsed),
+    )
+}
+
+/// Header matching [`table_row`].
+pub fn table_header() -> String {
+    format!(
+        "{:<8} {:>7} {:>7} {:>8} {:>6} {:>9}",
+        "circuit", "faults", "det", "cov", "vec", "time"
+    )
+}
+
+/// Serializes a test set as one line of `0`/`1` per vector (the usual
+/// exchange format for sequential test sets).
+pub fn test_set_to_string(test_set: &[Vec<Logic>]) -> String {
+    let mut out = String::new();
+    for vector in test_set {
+        for v in vector {
+            let _ = write!(out, "{v}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a test set written by [`test_set_to_string`].
+///
+/// # Errors
+///
+/// Returns a human-readable message naming the offending line on malformed
+/// input (characters other than `0`, `1`, `x`).
+pub fn test_set_from_string(text: &str) -> Result<Vec<Vec<Logic>>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut vector = Vec::with_capacity(line.len());
+        for c in line.chars() {
+            vector.push(match c {
+                '0' => Logic::Zero,
+                '1' => Logic::One,
+                'x' | 'X' => Logic::X,
+                other => {
+                    return Err(format!(
+                        "invalid character `{other}` in test set at line {}",
+                        lineno + 1
+                    ))
+                }
+            });
+        }
+        out.push(vector);
+    }
+    Ok(out)
+}
+
+/// The cumulative fault-coverage curve of a test set: entry `i` is the
+/// number of faults detected by vectors `0..=i`.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gatest_core::report::coverage_curve;
+/// use gatest_sim::Logic;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27")?);
+/// let tests = vec![vec![Logic::One, Logic::One, Logic::Zero, Logic::Zero]; 3];
+/// let curve = coverage_curve(&circuit, &tests);
+/// assert_eq!(curve.len(), 3);
+/// assert!(curve.windows(2).all(|w| w[1] >= w[0]), "monotone");
+/// # Ok(())
+/// # }
+/// ```
+pub fn coverage_curve(circuit: &Arc<Circuit>, test_set: &[Vec<Logic>]) -> Vec<usize> {
+    let mut sim = FaultSim::new(Arc::clone(circuit));
+    let mut curve = Vec::with_capacity(test_set.len());
+    for v in test_set {
+        sim.step(v);
+        curve.push(sim.detected_count());
+    }
+    curve
+}
+
+/// Renders a coverage curve as a compact ASCII sparkline plus endpoints,
+/// for terminal reports.
+pub fn sparkline(curve: &[usize], total: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if curve.is_empty() || total == 0 {
+        return String::from("(empty)");
+    }
+    let step = (curve.len() / 60).max(1);
+    let mut out = String::new();
+    for chunk in curve.chunks(step) {
+        let v = *chunk.last().expect("chunks are non-empty");
+        let idx = (v * (BARS.len() - 1)) / total;
+        out.push(BARS[idx.min(BARS.len() - 1)]);
+    }
+    let _ = write!(
+        out,
+        " {}/{} ({:.1}%)",
+        curve.last().expect("non-empty"),
+        total,
+        100.0 * *curve.last().expect("non-empty") as f64 / total as f64
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_match_paper_style() {
+        assert_eq!(format_duration(Duration::from_millis(350)), "0.35s");
+        assert_eq!(format_duration(Duration::from_secs(61)), "1.02m");
+        assert_eq!(format_duration(Duration::from_secs(7200)), "2.00h");
+    }
+
+    #[test]
+    fn test_set_round_trips() {
+        let set = vec![
+            vec![Logic::One, Logic::Zero, Logic::X],
+            vec![Logic::Zero, Logic::Zero, Logic::One],
+        ];
+        let text = test_set_to_string(&set);
+        assert_eq!(text, "10x\n001\n");
+        assert_eq!(test_set_from_string(&text).unwrap(), set);
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        let err = test_set_from_string("01\n0Z\n").unwrap_err();
+        assert!(err.contains("line 2"));
+        assert!(err.contains('Z'));
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let set = test_set_from_string("\n01\n\n10\n").unwrap();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn coverage_curve_is_monotone_and_matches_final_count() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let tests = vec![
+            vec![Logic::One, Logic::One, Logic::Zero, Logic::Zero],
+            vec![Logic::Zero, Logic::Zero, Logic::One, Logic::One],
+            vec![Logic::One, Logic::Zero, Logic::One, Logic::Zero],
+        ];
+        let curve = coverage_curve(&circuit, &tests);
+        assert!(curve.windows(2).all(|w| w[1] >= w[0]));
+        let mut sim = FaultSim::new(circuit);
+        for v in &tests {
+            sim.step(v);
+        }
+        assert_eq!(curve.last().copied(), Some(sim.detected_count()));
+    }
+
+    #[test]
+    fn sparkline_renders() {
+        let s = sparkline(&[1, 3, 7, 9, 10], 10);
+        assert!(s.contains("10/10"));
+        assert!(s.contains("100.0%"));
+        assert_eq!(sparkline(&[], 10), "(empty)");
+    }
+
+    #[test]
+    fn header_and_row_align() {
+        // Same number of columns; widths close enough for terminal tables.
+        let header = table_header();
+        assert!(header.contains("circuit"));
+        assert!(header.contains("cov"));
+    }
+}

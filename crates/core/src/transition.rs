@@ -1,0 +1,289 @@
+//! GA-based test generation for **transition faults** — the paper's
+//! conclusion made concrete: "other fault models can easily be accommodated
+//! with appropriate fitness functions."
+//!
+//! The flow mirrors the stuck-at generator: evolve one vector per frame
+//! with a GA whose fitness now rewards *detections*, then *launches*
+//! (transitions fired on still-undetected fault sites — the transition
+//! analogue of fault activation), then *fault effects at flip-flops*; when
+//! vectors stall, evolve whole sequences. Two-pattern structure comes for
+//! free: the simulator's launch condition spans the committed previous
+//! frame and the candidate frame.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use gatest_ga::{Chromosome, GaConfig, GaEngine, Rng};
+use gatest_netlist::depth::sequential_depth;
+use gatest_netlist::Circuit;
+use gatest_sim::transition::{TransitionFaultSim, TransitionStepReport};
+use gatest_sim::Logic;
+
+use crate::config::GatestConfig;
+
+/// Result of a transition-fault test-generation run.
+#[derive(Debug, Clone)]
+pub struct TransitionResult {
+    /// Circuit name.
+    pub circuit: String,
+    /// Transition faults targeted (2 per net).
+    pub total_faults: usize,
+    /// Faults detected.
+    pub detected: usize,
+    /// The generated test set.
+    pub test_set: Vec<Vec<Logic>>,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl TransitionResult {
+    /// Detected / total.
+    pub fn fault_coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.total_faults as f64
+        }
+    }
+
+    /// Number of vectors generated.
+    pub fn vectors(&self) -> usize {
+        self.test_set.len()
+    }
+}
+
+/// GA-based transition-fault test generator.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gatest_core::transition::TransitionTestGenerator;
+/// use gatest_core::GatestConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27")?);
+/// let config = GatestConfig::for_circuit(&circuit).with_seed(1);
+/// let result = TransitionTestGenerator::new(circuit, config).run();
+/// assert!(result.fault_coverage() > 0.5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TransitionTestGenerator {
+    circuit: Arc<Circuit>,
+    sim: TransitionFaultSim,
+    config: GatestConfig,
+    rng: Rng,
+    seq_depth: u32,
+}
+
+impl TransitionTestGenerator {
+    /// Creates a generator over the full transition-fault universe, reusing
+    /// the stuck-at configuration's GA parameters and schedules.
+    pub fn new(circuit: Arc<Circuit>, config: GatestConfig) -> Self {
+        let sim = TransitionFaultSim::new(Arc::clone(&circuit));
+        let rng = Rng::new(config.seed);
+        let seq_depth = sequential_depth(&circuit);
+        TransitionTestGenerator {
+            circuit,
+            sim,
+            config,
+            rng,
+            seq_depth,
+        }
+    }
+
+    /// The simulator (to inspect per-fault status after a run).
+    pub fn sim(&self) -> &TransitionFaultSim {
+        &self.sim
+    }
+
+    /// Runs the flow: evolved single vectors until the progress limit, then
+    /// evolved sequences over the configured length schedule.
+    pub fn run(&mut self) -> TransitionResult {
+        let start = Instant::now();
+        let pis = self.circuit.num_inputs();
+        let nffs = self.circuit.num_dffs();
+        let nfaults = self.sim.total_faults().max(1);
+        let progress_limit = self.config.progress_limit(self.seq_depth);
+        let mut test_set: Vec<Vec<Logic>> = Vec::new();
+        let mut noncontributing = 0usize;
+
+        let fitness = |reports: &[TransitionStepReport]| -> f64 {
+            let detected: usize = reports.iter().map(|r| r.detected()).sum();
+            let launched: u64 = reports.iter().map(|r| r.launched).sum();
+            let pairs: u64 = reports.iter().map(|r| r.ff_effect_pairs).sum();
+            let len = reports.len().max(1) as f64;
+            detected as f64
+                + launched as f64 / (2.0 * nfaults as f64 * len)
+                + pairs as f64 / (nfaults as f64 * nffs.max(1) as f64 * len)
+        };
+
+        // Single vectors.
+        while test_set.len() < self.config.max_vectors
+            && self.sim.detected_count() < self.sim.total_faults()
+        {
+            let ga = GaEngine::new(GaConfig {
+                population_size: self.config.vector_population,
+                generations: self.config.generations,
+                selection: self.config.selection,
+                crossover: self.config.crossover,
+                mutation_rate: self.config.vector_mutation,
+                ..GaConfig::default()
+            });
+            let cp = self.sim.checkpoint();
+            let sim = &mut self.sim;
+            let mut run_rng = self.rng.fork();
+            let best = ga.run(pis, &mut run_rng, |chrom| {
+                sim.restore(&cp);
+                let v = decode(chrom, pis, 0);
+                fitness(&[sim.step(&v)])
+            });
+            self.sim.restore(&cp);
+            let v = decode(&best.best.chromosome, pis, 0);
+            let report = self.sim.step(&v);
+            test_set.push(v);
+            if report.detected() == 0 {
+                noncontributing += 1;
+                if noncontributing > progress_limit {
+                    break;
+                }
+            } else {
+                noncontributing = 0;
+            }
+        }
+
+        // Sequences.
+        for len in self.config.sequence_lengths(self.seq_depth) {
+            let mut failures = 0usize;
+            while failures < self.config.max_sequence_failures
+                && self.sim.detected_count() < self.sim.total_faults()
+                && test_set.len() + len <= self.config.max_vectors
+            {
+                let ga = GaEngine::new(GaConfig {
+                    population_size: self.config.sequence_population,
+                    generations: self.config.generations,
+                    selection: self.config.selection,
+                    crossover: self.config.crossover,
+                    mutation_rate: self.config.sequence_mutation,
+                    ..GaConfig::default()
+                });
+                let cp = self.sim.checkpoint();
+                let sim = &mut self.sim;
+                let mut run_rng = self.rng.fork();
+                let best = ga.run(len * pis, &mut run_rng, |chrom| {
+                    sim.restore(&cp);
+                    let reports: Vec<TransitionStepReport> =
+                        (0..len).map(|f| sim.step(&decode(chrom, pis, f))).collect();
+                    fitness(&reports)
+                });
+                self.sim.restore(&cp);
+                let mut detected = 0usize;
+                let mut seq = Vec::with_capacity(len);
+                for f in 0..len {
+                    let v = decode(&best.best.chromosome, pis, f);
+                    detected += self.sim.step(&v).detected();
+                    seq.push(v);
+                }
+                if detected > 0 {
+                    test_set.extend(seq);
+                    failures = 0;
+                } else {
+                    self.sim.restore(&cp);
+                    failures += 1;
+                }
+            }
+        }
+
+        TransitionResult {
+            circuit: self.circuit.name().to_string(),
+            total_faults: self.sim.total_faults(),
+            detected: self.sim.detected_count(),
+            test_set,
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+fn decode(chrom: &Chromosome, pis: usize, frame: usize) -> Vec<Logic> {
+    (0..pis)
+        .map(|i| Logic::from_bool(chrom.bit(frame * pis + i)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatest_sim::transition::TransitionFaultSim;
+
+    #[test]
+    fn covers_most_transition_faults_on_s27() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let config = GatestConfig::for_circuit(&circuit).with_seed(2);
+        let result = TransitionTestGenerator::new(Arc::clone(&circuit), config).run();
+        assert!(
+            result.fault_coverage() > 0.6,
+            "coverage {:.2}",
+            result.fault_coverage()
+        );
+        // Transition coverage trails stuck-at coverage (two-pattern tests
+        // are strictly harder), and cannot exceed 100%.
+        assert!(result.detected <= result.total_faults);
+    }
+
+    #[test]
+    fn test_set_replays_to_same_transition_coverage() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let config = GatestConfig::for_circuit(&circuit).with_seed(4);
+        let result = TransitionTestGenerator::new(Arc::clone(&circuit), config).run();
+        let mut sim = TransitionFaultSim::new(circuit);
+        for v in &result.test_set {
+            sim.step(v);
+        }
+        assert_eq!(sim.detected_count(), result.detected);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let run = || {
+            let config = GatestConfig::for_circuit(&circuit).with_seed(9);
+            TransitionTestGenerator::new(Arc::clone(&circuit), config).run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.test_set, b.test_set);
+        assert_eq!(a.detected, b.detected);
+    }
+
+    #[test]
+    fn respects_vector_cap() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let mut config = GatestConfig::for_circuit(&circuit).with_seed(3);
+        config.max_vectors = 40;
+        let result = TransitionTestGenerator::new(circuit, config).run();
+        assert!(result.vectors() <= 40);
+    }
+
+    #[test]
+    fn ga_beats_random_on_transition_faults() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let mut config = GatestConfig::for_circuit(&circuit).with_seed(6);
+        config.max_vectors = 300;
+        let result = TransitionTestGenerator::new(Arc::clone(&circuit), config).run();
+
+        let mut sim = TransitionFaultSim::new(circuit);
+        let mut rng = Rng::new(6);
+        for _ in 0..result.vectors() {
+            let v: Vec<Logic> = (0..3).map(|_| Logic::from_bool(rng.coin())).collect();
+            sim.step(&v);
+        }
+        assert!(
+            result.detected >= sim.detected_count(),
+            "GA {} vs random {}",
+            result.detected,
+            sim.detected_count()
+        );
+    }
+}

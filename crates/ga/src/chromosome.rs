@@ -1,0 +1,164 @@
+//! Chromosomes and alphabet codings.
+//!
+//! GATEST encodes candidate tests as bit strings. For a test *sequence* the
+//! paper studies two codings:
+//!
+//! * **binary** — the vectors of a sequence are packed into one bit string
+//!   and the genetic operators work bit by bit;
+//! * **nonbinary** — each possible vector is one character of a 2^L-ary
+//!   alphabet; operators work on whole vectors (crossover only at vector
+//!   boundaries, mutation replaces a whole vector).
+//!
+//! Both are represented here as a bit vector plus a [`Coding`] that tells
+//! the operators the character granularity.
+
+use crate::rng::Rng;
+
+/// Alphabet coding of a chromosome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coding {
+    /// Operators act on individual bits.
+    Binary,
+    /// Operators act on whole characters of `bits_per_char` bits (one test
+    /// vector per character in GATEST).
+    Nonbinary {
+        /// Character width in bits; crossover cuts and mutation units both
+        /// align to multiples of this.
+        bits_per_char: usize,
+    },
+}
+
+impl Coding {
+    /// The operator granularity in bits (1 for binary).
+    #[inline]
+    pub fn granularity(self) -> usize {
+        match self {
+            Coding::Binary => 1,
+            Coding::Nonbinary { bits_per_char } => bits_per_char.max(1),
+        }
+    }
+}
+
+/// A fixed-length bit-string individual.
+///
+/// # Example
+///
+/// ```
+/// use gatest_ga::{Chromosome, Rng};
+///
+/// let mut rng = Rng::new(1);
+/// let c = Chromosome::random(16, &mut rng);
+/// assert_eq!(c.len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chromosome {
+    bits: Vec<bool>,
+}
+
+impl Chromosome {
+    /// A chromosome from explicit bits.
+    pub fn from_bits(bits: Vec<bool>) -> Self {
+        Chromosome { bits }
+    }
+
+    /// A uniformly random chromosome of `len` bits.
+    pub fn random(len: usize, rng: &mut Rng) -> Self {
+        Chromosome {
+            bits: (0..len).map(|_| rng.coin()).collect(),
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// `true` if the chromosome has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The bits as a slice.
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Mutable access to the bits.
+    pub fn bits_mut(&mut self) -> &mut [bool] {
+        &mut self.bits
+    }
+
+    /// The bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn bit(&self, i: usize) -> bool {
+        self.bits[i]
+    }
+
+    /// Hamming distance to another chromosome of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming(&self, other: &Chromosome) -> usize {
+        assert_eq!(self.len(), other.len());
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Iterates over the characters (bit chunks) under `coding`.
+    pub fn chars(&self, coding: Coding) -> impl Iterator<Item = &[bool]> {
+        self.bits.chunks(coding.granularity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_has_requested_length() {
+        let mut rng = Rng::new(2);
+        for len in [0, 1, 7, 64, 129] {
+            assert_eq!(Chromosome::random(len, &mut rng).len(), len);
+        }
+    }
+
+    #[test]
+    fn random_is_roughly_balanced() {
+        let mut rng = Rng::new(3);
+        let c = Chromosome::random(10_000, &mut rng);
+        let ones = c.bits().iter().filter(|&&b| b).count();
+        assert!((4500..5500).contains(&ones), "got {ones}");
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = Chromosome::from_bits(vec![true, false, true, true]);
+        let b = Chromosome::from_bits(vec![true, true, true, false]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn coding_granularity() {
+        assert_eq!(Coding::Binary.granularity(), 1);
+        assert_eq!(Coding::Nonbinary { bits_per_char: 5 }.granularity(), 5);
+    }
+
+    #[test]
+    fn chars_chunk_by_granularity() {
+        let c = Chromosome::from_bits(vec![true; 12]);
+        let chunks: Vec<_> = c.chars(Coding::Nonbinary { bits_per_char: 4 }).collect();
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|ch| ch.len() == 4));
+        let bits: Vec<_> = c.chars(Coding::Binary).collect();
+        assert_eq!(bits.len(), 12);
+    }
+}

@@ -1,0 +1,209 @@
+//! Crossover operators.
+//!
+//! One-point, two-point, and uniform crossover, all granularity-aware: with
+//! a nonbinary coding cut points and swap decisions align to character
+//! (test-vector) boundaries, as §III-A of the paper requires.
+
+use crate::chromosome::{Chromosome, Coding};
+use crate::rng::Rng;
+
+/// The crossover schemes studied in the paper (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrossoverScheme {
+    /// Single cut point.
+    OnePoint,
+    /// Two cut points; the middle segment is exchanged.
+    TwoPoint,
+    /// Each position exchanged with probability 1/2; the paper's best
+    /// performer and the default.
+    #[default]
+    Uniform,
+}
+
+impl CrossoverScheme {
+    /// All schemes, in Table 3 order.
+    pub const ALL: [CrossoverScheme; 3] = [
+        CrossoverScheme::OnePoint,
+        CrossoverScheme::TwoPoint,
+        CrossoverScheme::Uniform,
+    ];
+
+    /// Short display name used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrossoverScheme::OnePoint => "1-pt",
+            CrossoverScheme::TwoPoint => "2-pt",
+            CrossoverScheme::Uniform => "unif",
+        }
+    }
+
+    /// Crosses two parents, producing two children.
+    ///
+    /// Cut points fall on multiples of `coding.granularity()`; with fewer
+    /// than two characters the children are clones of the parents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parents have different lengths.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gatest_ga::{Chromosome, Coding, CrossoverScheme, Rng};
+    ///
+    /// let a = Chromosome::from_bits(vec![true; 8]);
+    /// let b = Chromosome::from_bits(vec![false; 8]);
+    /// let mut rng = Rng::new(3);
+    /// let (c, d) = CrossoverScheme::OnePoint.cross(&a, &b, Coding::Binary, &mut rng);
+    /// assert_eq!(c.hamming(&d), 8, "children are complementary");
+    /// ```
+    pub fn cross(
+        self,
+        a: &Chromosome,
+        b: &Chromosome,
+        coding: Coding,
+        rng: &mut Rng,
+    ) -> (Chromosome, Chromosome) {
+        assert_eq!(a.len(), b.len(), "parents must have equal length");
+        let g = coding.granularity();
+        let chars = a.len() / g.max(1);
+        let mut x = a.bits().to_vec();
+        let mut y = b.bits().to_vec();
+        if chars >= 2 {
+            match self {
+                CrossoverScheme::OnePoint => {
+                    // Cut between characters 1..chars-1.
+                    let cut = (1 + rng.below(chars - 1)) * g;
+                    swap_range(&mut x, &mut y, cut, a.len());
+                }
+                CrossoverScheme::TwoPoint => {
+                    let c1 = 1 + rng.below(chars - 1);
+                    let c2 = 1 + rng.below(chars - 1);
+                    let (lo, hi) = (c1.min(c2), c1.max(c2));
+                    swap_range(&mut x, &mut y, lo * g, hi * g);
+                }
+                CrossoverScheme::Uniform => {
+                    for c in 0..chars {
+                        if rng.coin() {
+                            swap_range(&mut x, &mut y, c * g, (c + 1) * g);
+                        }
+                    }
+                    // Trailing partial character (length not a multiple of
+                    // g) is treated as one more unit.
+                    if !a.len().is_multiple_of(g) && rng.coin() {
+                        swap_range(&mut x, &mut y, chars * g, a.len());
+                    }
+                }
+            }
+        }
+        (Chromosome::from_bits(x), Chromosome::from_bits(y))
+    }
+}
+
+fn swap_range(x: &mut [bool], y: &mut [bool], lo: usize, hi: usize) {
+    for i in lo..hi {
+        std::mem::swap(&mut x[i], &mut y[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parents(len: usize) -> (Chromosome, Chromosome) {
+        (
+            Chromosome::from_bits(vec![true; len]),
+            Chromosome::from_bits(vec![false; len]),
+        )
+    }
+
+    /// Every child position must come from one of the parents at the same
+    /// position — with all-1s and all-0s parents this is always true, so we
+    /// check complementarity instead: child1[i] != child2[i] everywhere.
+    fn assert_complementary(c: &Chromosome, d: &Chromosome) {
+        assert_eq!(c.hamming(d), c.len());
+    }
+
+    #[test]
+    fn children_preserve_parental_material() {
+        let (a, b) = parents(32);
+        let mut rng = Rng::new(1);
+        for scheme in CrossoverScheme::ALL {
+            for _ in 0..20 {
+                let (c, d) = scheme.cross(&a, &b, Coding::Binary, &mut rng);
+                assert_complementary(&c, &d);
+            }
+        }
+    }
+
+    #[test]
+    fn one_point_produces_single_boundary() {
+        let (a, b) = parents(16);
+        let mut rng = Rng::new(2);
+        for _ in 0..20 {
+            let (c, _) = CrossoverScheme::OnePoint.cross(&a, &b, Coding::Binary, &mut rng);
+            let transitions = c.bits().windows(2).filter(|w| w[0] != w[1]).count();
+            assert_eq!(transitions, 1, "exactly one crossover boundary");
+        }
+    }
+
+    #[test]
+    fn two_point_produces_at_most_two_boundaries() {
+        let (a, b) = parents(16);
+        let mut rng = Rng::new(3);
+        for _ in 0..50 {
+            let (c, _) = CrossoverScheme::TwoPoint.cross(&a, &b, Coding::Binary, &mut rng);
+            let transitions = c.bits().windows(2).filter(|w| w[0] != w[1]).count();
+            assert!(transitions <= 2, "got {transitions}");
+        }
+    }
+
+    #[test]
+    fn uniform_mixes_thoroughly() {
+        let (a, b) = parents(256);
+        let mut rng = Rng::new(4);
+        let (c, _) = CrossoverScheme::Uniform.cross(&a, &b, Coding::Binary, &mut rng);
+        let ones = c.bits().iter().filter(|&&v| v).count();
+        assert!((80..176).contains(&ones), "got {ones}");
+    }
+
+    #[test]
+    fn nonbinary_cuts_respect_vector_boundaries() {
+        let coding = Coding::Nonbinary { bits_per_char: 4 };
+        let (a, b) = parents(16);
+        let mut rng = Rng::new(5);
+        for scheme in CrossoverScheme::ALL {
+            for _ in 0..30 {
+                let (c, _) = scheme.cross(&a, &b, coding, &mut rng);
+                // Within each 4-bit character all bits agree (came whole
+                // from one parent).
+                for chunk in c.bits().chunks(4) {
+                    assert!(
+                        chunk.iter().all(|&v| v) || chunk.iter().all(|&v| !v),
+                        "{}: character split across parents",
+                        scheme.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_character_chromosomes_pass_through() {
+        let coding = Coding::Nonbinary { bits_per_char: 8 };
+        let (a, b) = parents(8);
+        let mut rng = Rng::new(6);
+        let (c, d) = CrossoverScheme::OnePoint.cross(&a, &b, coding, &mut rng);
+        assert_eq!(c, a);
+        assert_eq!(d, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn rejects_mismatched_parents() {
+        let a = Chromosome::from_bits(vec![true; 4]);
+        let b = Chromosome::from_bits(vec![false; 5]);
+        let mut rng = Rng::new(7);
+        CrossoverScheme::Uniform.cross(&a, &b, Coding::Binary, &mut rng);
+    }
+}

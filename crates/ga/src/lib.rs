@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! Genetic algorithm framework for the GATEST reproduction.
+//!
+//! A small, deterministic GA toolkit with exactly the knobs the paper
+//! studies:
+//!
+//! * [`Chromosome`] bit strings under a binary or nonbinary [`Coding`]
+//!   (§III-A alphabet size);
+//! * four [`SelectionScheme`]s and three [`CrossoverScheme`]s (Table 3);
+//! * granularity-aware [`mutation`] (Table 4);
+//! * overlapping populations via a generation gap (§III-C, Table 7);
+//! * a pinned [`Rng`] (xoshiro256\*\*) so every run is reproducible from a
+//!   seed, forever.
+//!
+//! # Example
+//!
+//! ```
+//! use gatest_ga::{GaConfig, GaEngine, Rng};
+//!
+//! // Maximize the number of set bits in a 24-bit string.
+//! let engine = GaEngine::new(GaConfig::default());
+//! let mut rng = Rng::new(42);
+//! let result = engine.run(24, &mut rng, |c| {
+//!     c.bits().iter().filter(|&&b| b).count() as f64
+//! });
+//! assert!(result.best.fitness > 12.0);
+//! ```
+
+pub mod chromosome;
+pub mod crossover;
+pub mod engine;
+pub mod mutation;
+pub mod rng;
+pub mod selection;
+
+pub use chromosome::{Chromosome, Coding};
+pub use crossover::CrossoverScheme;
+pub use engine::{Evaluated, GaConfig, GaEngine, GaResult};
+pub use rng::Rng;
+pub use selection::SelectionScheme;

@@ -1,0 +1,128 @@
+//! Mutation operators.
+//!
+//! Binary coding flips individual bits with the mutation probability;
+//! nonbinary coding replaces whole characters (test vectors) with freshly
+//! random ones, per §III-A of the paper.
+
+use crate::chromosome::{Chromosome, Coding};
+use crate::rng::Rng;
+
+/// Mutates `chrom` in place and returns the number of mutation events
+/// (bit flips or character replacements).
+///
+/// # Example
+///
+/// ```
+/// use gatest_ga::{mutation::mutate, Chromosome, Coding, Rng};
+///
+/// let mut rng = Rng::new(1);
+/// let mut c = Chromosome::from_bits(vec![false; 64]);
+/// mutate(&mut c, 1.0, Coding::Binary, &mut rng);
+/// assert!(c.bits().iter().all(|&b| b), "rate 1.0 flips every bit");
+/// ```
+pub fn mutate(chrom: &mut Chromosome, rate: f64, coding: Coding, rng: &mut Rng) -> usize {
+    let mut events = 0;
+    match coding {
+        Coding::Binary => {
+            for bit in chrom.bits_mut() {
+                if rng.chance(rate) {
+                    *bit = !*bit;
+                    events += 1;
+                }
+            }
+        }
+        Coding::Nonbinary { bits_per_char } => {
+            let g = bits_per_char.max(1);
+            let len = chrom.len();
+            let mut start = 0;
+            while start < len {
+                let end = (start + g).min(len);
+                if rng.chance(rate) {
+                    events += 1;
+                    for bit in &mut chrom.bits_mut()[start..end] {
+                        *bit = rng.coin();
+                    }
+                }
+                start = end;
+            }
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_changes_nothing() {
+        let mut rng = Rng::new(1);
+        let mut c = Chromosome::random(128, &mut rng);
+        let before = c.clone();
+        let events = mutate(&mut c, 0.0, Coding::Binary, &mut rng);
+        assert_eq!(events, 0);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn rate_one_flips_everything_binary() {
+        let mut rng = Rng::new(2);
+        let mut c = Chromosome::from_bits(vec![true; 50]);
+        let events = mutate(&mut c, 1.0, Coding::Binary, &mut rng);
+        assert_eq!(events, 50);
+        assert!(c.bits().iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn binary_rate_statistics() {
+        let mut rng = Rng::new(3);
+        let mut total = 0;
+        for _ in 0..100 {
+            let mut c = Chromosome::from_bits(vec![false; 64]);
+            total += mutate(&mut c, 1.0 / 16.0, Coding::Binary, &mut rng);
+        }
+        // Expected 100 * 64 / 16 = 400 events.
+        assert!((300..500).contains(&total), "got {total}");
+    }
+
+    #[test]
+    fn nonbinary_replaces_whole_characters() {
+        let mut rng = Rng::new(4);
+        let coding = Coding::Nonbinary { bits_per_char: 8 };
+        let mut changed_partially = 0;
+        for _ in 0..200 {
+            let mut c = Chromosome::from_bits(vec![true; 32]);
+            mutate(&mut c, 0.5, coding, &mut rng);
+            for chunk in c.bits().chunks(8) {
+                let ones = chunk.iter().filter(|&&b| b).count();
+                // An untouched character stays all-ones; a replaced one is
+                // random. Seeing e.g. 7 ones is possible for a replaced
+                // character, so just count statistics: replaced characters
+                // with 1..=7 ones prove whole-character randomization.
+                if ones != 8 && ones != 0 {
+                    changed_partially += 1;
+                }
+            }
+        }
+        assert!(changed_partially > 0, "replacement draws random characters");
+    }
+
+    #[test]
+    fn nonbinary_event_count_is_per_character() {
+        let mut rng = Rng::new(5);
+        let coding = Coding::Nonbinary { bits_per_char: 4 };
+        let mut c = Chromosome::from_bits(vec![true; 16]);
+        let events = mutate(&mut c, 1.0, coding, &mut rng);
+        assert_eq!(events, 4, "four characters, all mutated");
+    }
+
+    #[test]
+    fn partial_trailing_character_is_mutated() {
+        let mut rng = Rng::new(6);
+        let coding = Coding::Nonbinary { bits_per_char: 8 };
+        // 10 bits: one full character and a 2-bit tail.
+        let mut c = Chromosome::from_bits(vec![true; 10]);
+        let events = mutate(&mut c, 1.0, coding, &mut rng);
+        assert_eq!(events, 2);
+    }
+}

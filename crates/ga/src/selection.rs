@@ -1,0 +1,321 @@
+//! Parent selection schemes.
+//!
+//! The paper compares four: roulette wheel, stochastic universal, and binary
+//! tournament with and without replacement; tournament without replacement
+//! won. All schemes here select `n` parent indices from a fitness vector.
+
+use crate::rng::Rng;
+
+/// The selection schemes studied in the paper (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionScheme {
+    /// Fitness-proportionate selection by independent wheel spins.
+    RouletteWheel,
+    /// Baker's stochastic universal sampling: one spin, `n` equidistant
+    /// markers — a low-variance version of the roulette wheel.
+    StochasticUniversal,
+    /// Binary tournament where losers (and winners) are not returned to the
+    /// pool until everyone has competed; the paper's best performer and the
+    /// default.
+    #[default]
+    TournamentWithoutReplacement,
+    /// Binary tournament drawing both competitors uniformly with
+    /// replacement.
+    TournamentWithReplacement,
+    /// Linear ranking (Whitley's GENITOR-style rank-based allocation,
+    /// the paper's reference \[15\]): selection probability is linear in
+    /// rank with pressure 2.0 (the best individual gets twice the average
+    /// share, the worst gets none). Not part of the paper's Table 3 sweep,
+    /// so not in [`SelectionScheme::ALL`].
+    LinearRanking,
+}
+
+impl SelectionScheme {
+    /// All schemes, in Table 3 order.
+    pub const ALL: [SelectionScheme; 4] = [
+        SelectionScheme::RouletteWheel,
+        SelectionScheme::StochasticUniversal,
+        SelectionScheme::TournamentWithoutReplacement,
+        SelectionScheme::TournamentWithReplacement,
+    ];
+
+    /// Short display name used in experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SelectionScheme::RouletteWheel => "roulette",
+            SelectionScheme::StochasticUniversal => "stoch-universal",
+            SelectionScheme::TournamentWithoutReplacement => "tourn-no-repl",
+            SelectionScheme::TournamentWithReplacement => "tourn-repl",
+            SelectionScheme::LinearRanking => "linear-rank",
+        }
+    }
+
+    /// Selects `n` parent indices given per-individual fitness.
+    ///
+    /// Fitness values must be non-negative. If every fitness is zero the
+    /// proportionate schemes fall back to uniform selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fitness` is empty or `n == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gatest_ga::{Rng, SelectionScheme};
+    ///
+    /// let fitness = [0.1, 5.0, 0.2, 4.0];
+    /// let mut rng = Rng::new(1);
+    /// let parents =
+    ///     SelectionScheme::TournamentWithoutReplacement.select(&fitness, 4, &mut rng);
+    /// assert_eq!(parents.len(), 4);
+    /// ```
+    pub fn select(self, fitness: &[f64], n: usize, rng: &mut Rng) -> Vec<usize> {
+        assert!(
+            !fitness.is_empty(),
+            "cannot select from an empty population"
+        );
+        assert!(n > 0, "must select at least one parent");
+        match self {
+            SelectionScheme::RouletteWheel => roulette(fitness, n, rng),
+            SelectionScheme::StochasticUniversal => stochastic_universal(fitness, n, rng),
+            SelectionScheme::TournamentWithoutReplacement => {
+                tournament_no_replacement(fitness, n, rng)
+            }
+            SelectionScheme::TournamentWithReplacement => tournament_replacement(fitness, n, rng),
+            SelectionScheme::LinearRanking => linear_ranking(fitness, n, rng),
+        }
+    }
+}
+
+fn cumulative(fitness: &[f64]) -> (Vec<f64>, f64) {
+    let mut cum = Vec::with_capacity(fitness.len());
+    let mut total = 0.0;
+    for &f in fitness {
+        debug_assert!(f >= 0.0, "negative fitness breaks proportionate selection");
+        total += f.max(0.0);
+        cum.push(total);
+    }
+    (cum, total)
+}
+
+fn spin(cum: &[f64], point: f64) -> usize {
+    match cum.binary_search_by(|probe| {
+        probe
+            .partial_cmp(&point)
+            .unwrap_or(std::cmp::Ordering::Less)
+    }) {
+        Ok(i) => (i + 1).min(cum.len() - 1),
+        Err(i) => i.min(cum.len() - 1),
+    }
+}
+
+fn roulette(fitness: &[f64], n: usize, rng: &mut Rng) -> Vec<usize> {
+    let (cum, total) = cumulative(fitness);
+    (0..n)
+        .map(|_| {
+            if total <= 0.0 {
+                rng.below(fitness.len())
+            } else {
+                spin(&cum, rng.f64() * total)
+            }
+        })
+        .collect()
+}
+
+fn stochastic_universal(fitness: &[f64], n: usize, rng: &mut Rng) -> Vec<usize> {
+    let (cum, total) = cumulative(fitness);
+    if total <= 0.0 {
+        return (0..n).map(|_| rng.below(fitness.len())).collect();
+    }
+    let stride = total / n as f64;
+    let start = rng.f64() * stride;
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        out.push(spin(&cum, start + stride * k as f64));
+    }
+    // A single spin produces sorted picks; shuffle so pairing is unbiased.
+    rng.shuffle(&mut out);
+    out
+}
+
+fn tournament_no_replacement(fitness: &[f64], n: usize, rng: &mut Rng) -> Vec<usize> {
+    let len = fitness.len();
+    let mut out = Vec::with_capacity(n);
+    let mut pool: Vec<usize> = Vec::new();
+    while out.len() < n {
+        if pool.len() < 2 {
+            pool = (0..len).collect();
+            rng.shuffle(&mut pool);
+        }
+        let a = pool.pop().expect("pool refilled above");
+        let b = pool.pop().expect("pool holds at least two");
+        out.push(if fitness[a] >= fitness[b] { a } else { b });
+    }
+    out
+}
+
+fn tournament_replacement(fitness: &[f64], n: usize, rng: &mut Rng) -> Vec<usize> {
+    let len = fitness.len();
+    (0..n)
+        .map(|_| {
+            let a = rng.below(len);
+            let b = rng.below(len);
+            if fitness[a] >= fitness[b] {
+                a
+            } else {
+                b
+            }
+        })
+        .collect()
+}
+
+/// Linear ranking with pressure 2.0: rank weights 0, 1, ..., len-1 (worst
+/// to best), sampled proportionally. Rank-based selection is insensitive to
+/// the fitness scale, which is its point.
+fn linear_ranking(fitness: &[f64], n: usize, rng: &mut Rng) -> Vec<usize> {
+    let len = fitness.len();
+    if len == 1 {
+        return vec![0; n];
+    }
+    let mut order: Vec<usize> = (0..len).collect();
+    order.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
+    // order[r] has rank r (0 = worst); weight = r.
+    let weights: Vec<f64> = (0..len).map(|r| r as f64).collect();
+    let (cum, total) = cumulative(&weights);
+    (0..n)
+        .map(|_| {
+            if total <= 0.0 {
+                rng.below(len)
+            } else {
+                order[spin(&cum, rng.f64() * total)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn selection_counts(scheme: SelectionScheme, fitness: &[f64], rounds: usize) -> Vec<usize> {
+        let mut rng = Rng::new(42);
+        let mut counts = vec![0usize; fitness.len()];
+        for _ in 0..rounds {
+            for i in scheme.select(fitness, fitness.len(), &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        counts
+    }
+
+    #[test]
+    fn all_schemes_prefer_fitter_individuals() {
+        let fitness = [1.0, 10.0, 1.0, 1.0];
+        for scheme in SelectionScheme::ALL {
+            let counts = selection_counts(scheme, &fitness, 500);
+            let best = counts[1];
+            for (i, &c) in counts.iter().enumerate() {
+                if i != 1 {
+                    assert!(
+                        best > c,
+                        "{}: fittest selected {best} <= {c} for {i}",
+                        scheme.label()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roulette_matches_proportions() {
+        let fitness = [1.0, 3.0];
+        let counts = selection_counts(SelectionScheme::RouletteWheel, &fitness, 4000);
+        let frac = counts[1] as f64 / (counts[0] + counts[1]) as f64;
+        assert!((0.70..0.80).contains(&frac), "got {frac}");
+    }
+
+    #[test]
+    fn sus_has_lower_variance_than_roulette() {
+        // With equal fitness, SUS must select every individual exactly once
+        // per spin of N markers; roulette will not.
+        let fitness = [1.0; 8];
+        let mut rng = Rng::new(5);
+        let picks = SelectionScheme::StochasticUniversal.select(&fitness, 8, &mut rng);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sus_copies_proportional_to_fitness() {
+        // An individual with half the total fitness gets floor/ceil(N/2)
+        // copies from a single spin.
+        let fitness = [1.0, 1.0, 2.0];
+        let mut rng = Rng::new(6);
+        for _ in 0..50 {
+            let picks = SelectionScheme::StochasticUniversal.select(&fitness, 8, &mut rng);
+            let copies = picks.iter().filter(|&&i| i == 2).count();
+            assert!((3..=5).contains(&copies), "got {copies}");
+        }
+    }
+
+    #[test]
+    fn tournament_no_replacement_gives_everyone_a_chance() {
+        // In one pass over the shuffled pool, every individual appears in
+        // exactly one tournament, so the best individual always wins its
+        // tournament and the worst never gets selected... over a full pass
+        // of N/2 winners.
+        let fitness = [5.0, 1.0, 4.0, 2.0];
+        let mut rng = Rng::new(7);
+        let picks = SelectionScheme::TournamentWithoutReplacement.select(&fitness, 2, &mut rng);
+        assert_eq!(picks.len(), 2);
+        // The worst individual (index 1) can never beat anyone.
+        assert!(!picks.contains(&1));
+    }
+
+    #[test]
+    fn zero_fitness_falls_back_to_uniform() {
+        let fitness = [0.0; 6];
+        for scheme in SelectionScheme::ALL {
+            let counts = selection_counts(scheme, &fitness, 300);
+            assert!(counts.iter().all(|&c| c > 0), "{}", scheme.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            SelectionScheme::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn linear_ranking_is_scale_invariant() {
+        // Multiplying every fitness by 1000 must not change the selection
+        // distribution (same seed -> same picks).
+        let fitness: Vec<f64> = vec![0.1, 0.9, 0.5, 0.3];
+        let scaled: Vec<f64> = fitness.iter().map(|f| f * 1000.0).collect();
+        let a = SelectionScheme::LinearRanking.select(&fitness, 16, &mut Rng::new(3));
+        let b = SelectionScheme::LinearRanking.select(&scaled, 16, &mut Rng::new(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn linear_ranking_never_picks_the_worst() {
+        let fitness = [5.0, 0.0, 3.0, 4.0];
+        let picks = SelectionScheme::LinearRanking.select(&fitness, 200, &mut Rng::new(9));
+        assert!(!picks.contains(&1), "rank weight 0 means never selected");
+        // And prefers the best.
+        let best = picks.iter().filter(|&&i| i == 0).count();
+        let mid = picks.iter().filter(|&&i| i == 2).count();
+        assert!(best > mid);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn rejects_empty_population() {
+        let mut rng = Rng::new(1);
+        SelectionScheme::RouletteWheel.select(&[], 1, &mut rng);
+    }
+}

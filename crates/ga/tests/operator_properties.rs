@@ -1,0 +1,111 @@
+//! Property-based tests for the GA operators.
+
+use proptest::prelude::*;
+
+use gatest_ga::{mutation::mutate, Chromosome, Coding, CrossoverScheme, Rng, SelectionScheme};
+
+fn bits(len: usize) -> impl Strategy<Value = Vec<bool>> {
+    proptest::collection::vec(any::<bool>(), len..=len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Crossover children are position-wise recombinations: at every bit,
+    /// child1 and child2 hold the two parent bits in some order.
+    #[test]
+    fn crossover_preserves_columns(
+        a in bits(48),
+        b in bits(48),
+        seed in any::<u64>(),
+        scheme_idx in 0usize..3,
+        char_bits in 1usize..9,
+    ) {
+        let scheme = CrossoverScheme::ALL[scheme_idx];
+        let pa = Chromosome::from_bits(a.clone());
+        let pb = Chromosome::from_bits(b.clone());
+        for coding in [Coding::Binary, Coding::Nonbinary { bits_per_char: char_bits }] {
+            let mut rng = Rng::new(seed);
+            let (c, d) = scheme.cross(&pa, &pb, coding, &mut rng);
+            prop_assert_eq!(c.len(), 48);
+            prop_assert_eq!(d.len(), 48);
+            for i in 0..48 {
+                let parents = [a[i], b[i]];
+                let children = [c.bit(i), d.bit(i)];
+                prop_assert!(
+                    (children[0] == parents[0] && children[1] == parents[1])
+                        || (children[0] == parents[1] && children[1] == parents[0]),
+                    "column {i} lost parental material"
+                );
+            }
+        }
+    }
+
+    /// Nonbinary crossover never splits a character across parents.
+    #[test]
+    fn nonbinary_crossover_respects_boundaries(
+        seed in any::<u64>(),
+        scheme_idx in 0usize..3,
+        chars in 2usize..8,
+        char_bits in 2usize..8,
+    ) {
+        let scheme = CrossoverScheme::ALL[scheme_idx];
+        let len = chars * char_bits;
+        let pa = Chromosome::from_bits(vec![true; len]);
+        let pb = Chromosome::from_bits(vec![false; len]);
+        let mut rng = Rng::new(seed);
+        let coding = Coding::Nonbinary { bits_per_char: char_bits };
+        let (c, _) = scheme.cross(&pa, &pb, coding, &mut rng);
+        for chunk in c.bits().chunks(char_bits) {
+            prop_assert!(
+                chunk.iter().all(|&v| v) || chunk.iter().all(|&v| !v),
+                "character split across parents"
+            );
+        }
+    }
+
+    /// Mutation at rate 0 is the identity; at rate 1 (binary) it is the
+    /// complement.
+    #[test]
+    fn mutation_extremes(v in bits(40), seed in any::<u64>()) {
+        let mut rng = Rng::new(seed);
+        let mut c = Chromosome::from_bits(v.clone());
+        mutate(&mut c, 0.0, Coding::Binary, &mut rng);
+        prop_assert_eq!(c.bits(), &v[..]);
+        mutate(&mut c, 1.0, Coding::Binary, &mut rng);
+        let complement: Vec<bool> = v.iter().map(|&b| !b).collect();
+        prop_assert_eq!(c.bits(), &complement[..]);
+    }
+
+    /// Every selection scheme returns exactly `n` in-range parents.
+    #[test]
+    fn selection_returns_valid_indices(
+        fitness in proptest::collection::vec(0.0f64..100.0, 2..40),
+        n in 1usize..50,
+        seed in any::<u64>(),
+        scheme_idx in 0usize..4,
+    ) {
+        let scheme = SelectionScheme::ALL[scheme_idx];
+        let mut rng = Rng::new(seed);
+        let picks = scheme.select(&fitness, n, &mut rng);
+        prop_assert_eq!(picks.len(), n);
+        for p in picks {
+            prop_assert!(p < fitness.len());
+        }
+    }
+
+    /// Selection never picks a strictly-worst individual under tournament
+    /// without replacement when n is small enough for one pass.
+    #[test]
+    fn tournament_no_replacement_avoids_unique_worst(
+        seed in any::<u64>(),
+        len in 4usize..16,
+    ) {
+        let mut fitness: Vec<f64> = (0..len).map(|i| 10.0 + i as f64).collect();
+        fitness[0] = 0.0; // unique worst
+        let mut rng = Rng::new(seed);
+        let picks = SelectionScheme::TournamentWithoutReplacement
+            .select(&fitness, len / 2, &mut rng);
+        prop_assert!(!picks.contains(&0));
+    }
+}

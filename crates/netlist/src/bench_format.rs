@@ -1,0 +1,375 @@
+//! Parser and writer for the ISCAS89 `.bench` netlist format.
+//!
+//! The format, introduced with the ISCAS85/ISCAS89 benchmark distributions,
+//! looks like:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G5 = DFF(G10)
+//! G10 = NAND(G0, G5)
+//! G17 = NOT(G10)
+//! ```
+//!
+//! Nets may be referenced before they are defined; the parser resolves
+//! forward references. Gate names are case-insensitive.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::builder::{BuildCircuitError, CircuitBuilder};
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Error from [`parse_bench`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBenchError {
+    /// A line could not be parsed; carries the 1-based line number and text.
+    Syntax {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The offending line's text.
+        text: String,
+    },
+    /// An unknown gate function name; carries the line number and the name.
+    UnknownGate {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized function name.
+        name: String,
+    },
+    /// The netlist parsed but failed structural validation.
+    Build(BuildCircuitError),
+}
+
+impl fmt::Display for ParseBenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBenchError::Syntax { line, text } => {
+                write!(f, "syntax error at line {line}: `{text}`")
+            }
+            ParseBenchError::UnknownGate { line, name } => {
+                write!(f, "unknown gate function `{name}` at line {line}")
+            }
+            ParseBenchError::Build(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for ParseBenchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseBenchError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildCircuitError> for ParseBenchError {
+    fn from(e: BuildCircuitError) -> Self {
+        ParseBenchError::Build(e)
+    }
+}
+
+/// Parses an ISCAS89 `.bench` netlist from a string.
+///
+/// `name` becomes the circuit's name (the format itself carries no name).
+///
+/// # Errors
+///
+/// Returns [`ParseBenchError`] on malformed lines, unknown gate functions, or
+/// structurally invalid netlists (combinational loops, bad arity, ...).
+///
+/// # Example
+///
+/// ```
+/// use gatest_netlist::parse_bench;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = "
+///     INPUT(a)
+///     OUTPUT(y)
+///     q = DFF(y)
+///     y = NAND(a, q)
+/// ";
+/// let circuit = parse_bench("tiny", src)?;
+/// assert_eq!(circuit.num_dffs(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_bench(name: &str, source: &str) -> Result<Circuit, ParseBenchError> {
+    let mut builder = CircuitBuilder::new(name);
+
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() {
+            continue;
+        }
+
+        let syntax = || ParseBenchError::Syntax {
+            line,
+            text: raw.trim().to_string(),
+        };
+
+        if let Some(rest) = strip_directive(text, "INPUT") {
+            builder.input(rest.map_err(|_| syntax())?);
+            continue;
+        }
+        if let Some(rest) = strip_directive(text, "OUTPUT") {
+            builder.output_by_name(rest.map_err(|_| syntax())?);
+            continue;
+        }
+
+        // `dst = FUNC(src, src, ...)`
+        let (dst, rhs) = text.split_once('=').ok_or_else(syntax)?;
+        let dst = dst.trim();
+        let rhs = rhs.trim();
+        if !is_ident(dst) {
+            return Err(syntax());
+        }
+        let open = rhs.find('(').ok_or_else(syntax)?;
+        if !rhs.ends_with(')') {
+            return Err(syntax());
+        }
+        let func = rhs[..open].trim();
+        let kind = GateKind::from_bench_name(func).ok_or(ParseBenchError::UnknownGate {
+            line,
+            name: func.to_string(),
+        })?;
+        if kind == GateKind::Input {
+            return Err(syntax());
+        }
+        let args = &rhs[open + 1..rhs.len() - 1];
+        let mut fanin = Vec::new();
+        for arg in args.split(',') {
+            let arg = arg.trim();
+            if arg.is_empty() {
+                if args.trim().is_empty() && kind.arity().0 == 0 {
+                    break; // e.g. CONST0()
+                }
+                return Err(syntax());
+            }
+            if !is_ident(arg) {
+                return Err(syntax());
+            }
+            fanin.push(builder.forward_ref(arg));
+        }
+        builder.gate(kind, dst, &fanin);
+    }
+
+    Ok(builder.finish()?)
+}
+
+/// `.bench` identifiers: non-empty, no whitespace, none of the structural
+/// characters `( ) , = #`.
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| !c.is_whitespace() && !matches!(c, '(' | ')' | ',' | '=' | '#' | ':'))
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// If `text` is `KEYWORD(arg)`, returns `Some(Ok(arg))`; if it starts with the
+/// keyword but is malformed, returns `Some(Err(()))`; otherwise `None`.
+fn strip_directive<'a>(text: &'a str, keyword: &str) -> Option<Result<&'a str, ()>> {
+    let rest = text
+        .strip_prefix(keyword)
+        .or_else(|| text.strip_prefix(&keyword.to_lowercase()))?;
+    let rest = rest.trim_start();
+    if !rest.starts_with('(') || !rest.ends_with(')') {
+        return Some(Err(()));
+    }
+    let arg = rest[1..rest.len() - 1].trim();
+    if arg.is_empty() || arg.contains(',') {
+        return Some(Err(()));
+    }
+    Some(Ok(arg))
+}
+
+/// Serializes a circuit back to `.bench` text.
+///
+/// The output round-trips through [`parse_bench`]: parsing the result yields
+/// a circuit with identical structure (same nets, kinds, fanins, and port
+/// lists).
+///
+/// # Example
+///
+/// ```
+/// use gatest_netlist::{parse_bench, write_bench};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = gatest_netlist::benchmarks::iscas89("s27")?;
+/// let text = write_bench(&c);
+/// let back = parse_bench("s27", &text)?;
+/// assert_eq!(back.num_gates(), c.num_gates());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", circuit.name()));
+    out.push_str(&format!(
+        "# {} inputs, {} outputs, {} D-type flipflops, {} gates\n",
+        circuit.num_inputs(),
+        circuit.num_outputs(),
+        circuit.num_dffs(),
+        circuit.stats().combinational_gates,
+    ));
+    for &pi in circuit.inputs() {
+        out.push_str(&format!("INPUT({})\n", circuit.net_name(pi)));
+    }
+    for &po in circuit.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", circuit.net_name(po)));
+    }
+    out.push('\n');
+    for id in circuit.net_ids() {
+        let kind = circuit.kind(id);
+        if kind == GateKind::Input {
+            continue;
+        }
+        let fanin: Vec<&str> = circuit
+            .fanin(id)
+            .iter()
+            .map(|&n| circuit.net_name(n))
+            .collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            circuit.net_name(id),
+            kind.bench_name(),
+            fanin.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "
+        # a tiny sequential circuit
+        INPUT(a)
+        INPUT(b)
+        OUTPUT(y)
+        q = DFF(d)
+        d = XOR(a, q)
+        y = NAND(b, q)  # trailing comment
+    ";
+
+    #[test]
+    fn parses_tiny_netlist() {
+        let c = parse_bench("tiny", TINY).unwrap();
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_dffs(), 1);
+        assert_eq!(c.num_gates(), 5);
+        let d = c.find_net("d").unwrap();
+        assert_eq!(c.kind(d), GateKind::Xor);
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        // `q = DFF(d)` references `d` before its definition.
+        let c = parse_bench("tiny", TINY).unwrap();
+        let q = c.find_net("q").unwrap();
+        let d = c.find_net("d").unwrap();
+        assert_eq!(c.fanin(q), &[d]);
+    }
+
+    #[test]
+    fn rejects_syntax_errors_with_line_numbers() {
+        let err = parse_bench("bad", "INPUT(a)\ny := NOT(a)\n").unwrap_err();
+        match err {
+            ParseBenchError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_gate() {
+        let err = parse_bench("bad", "INPUT(a)\ny = FROB(a)\n").unwrap_err();
+        match err {
+            ParseBenchError::UnknownGate { line, name } => {
+                assert_eq!(line, 2);
+                assert_eq!(name, "FROB");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_directive() {
+        assert!(parse_bench("bad", "INPUT a\n").is_err());
+        assert!(parse_bench("bad", "INPUT()\n").is_err());
+        assert!(parse_bench("bad", "INPUT(a, b)\n").is_err());
+    }
+
+    #[test]
+    fn rejects_defining_input_via_assignment() {
+        assert!(parse_bench("bad", "a = INPUT(b)\n").is_err());
+    }
+
+    #[test]
+    fn case_insensitive_gate_names() {
+        let c = parse_bench("ci", "INPUT(a)\nOUTPUT(y)\ny = nand(a, a)\n").unwrap();
+        let y = c.find_net("y").unwrap();
+        assert_eq!(c.kind(y), GateKind::Nand);
+    }
+
+    #[test]
+    fn write_then_parse_round_trips_structure() {
+        let c = parse_bench("tiny", TINY).unwrap();
+        let text = write_bench(&c);
+        let back = parse_bench("tiny", &text).unwrap();
+        assert_eq!(back.num_gates(), c.num_gates());
+        assert_eq!(back.num_inputs(), c.num_inputs());
+        assert_eq!(back.num_outputs(), c.num_outputs());
+        assert_eq!(back.num_dffs(), c.num_dffs());
+        for id in c.net_ids() {
+            let other = back.find_net(c.net_name(id)).expect("net preserved");
+            assert_eq!(back.kind(other), c.kind(id));
+            let fanin_a: Vec<&str> = c.fanin(id).iter().map(|&n| c.net_name(n)).collect();
+            let fanin_b: Vec<&str> = back
+                .fanin(other)
+                .iter()
+                .map(|&n| back.net_name(n))
+                .collect();
+            assert_eq!(fanin_a, fanin_b);
+        }
+    }
+
+    #[test]
+    fn propagates_build_errors() {
+        // Combinational loop: y = NOT(y) indirectly.
+        let src = "INPUT(a)\nOUTPUT(y)\ny = AND(a, z)\nz = NOT(y)\n";
+        assert!(matches!(
+            parse_bench("loop", src).unwrap_err(),
+            ParseBenchError::Build(BuildCircuitError::CombinationalLoop(_))
+        ));
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        let src = "INPUT(a)\nOUTPUT(y)\nk = CONST1()\ny = AND(a, k)\n";
+        let c = parse_bench("consts", src).unwrap();
+        let k = c.find_net("k").unwrap();
+        assert_eq!(c.kind(k), GateKind::Const1);
+        let text = write_bench(&c);
+        let back = parse_bench("consts", &text).unwrap();
+        assert_eq!(back.kind(back.find_net("k").unwrap()), GateKind::Const1);
+    }
+
+    #[test]
+    fn blank_lines_and_comments_ignored() {
+        let c = parse_bench("c", "\n\n# hi\nINPUT(a)\n   \nOUTPUT(a)\n").unwrap();
+        assert_eq!(c.num_gates(), 1);
+    }
+}

@@ -1,0 +1,383 @@
+//! Incremental circuit construction with validation.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::gate::{GateKind, NetId};
+
+/// Error produced when [`CircuitBuilder::finish`] rejects a malformed netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildCircuitError {
+    /// A gate's fanin count is outside the arity range of its kind.
+    BadArity {
+        /// The offending net's name.
+        net: String,
+        /// The gate kind.
+        kind: GateKind,
+        /// The fanin count supplied.
+        got: usize,
+    },
+    /// Two nets were declared with the same name.
+    DuplicateName(String),
+    /// A primary output references a net that was never defined.
+    UndefinedOutput(String),
+    /// The circuit has no primary inputs.
+    NoInputs,
+    /// A cycle exists through combinational gates only (no flip-flop on it).
+    CombinationalLoop(String),
+}
+
+impl fmt::Display for BuildCircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildCircuitError::BadArity { net, kind, got } => {
+                write!(
+                    f,
+                    "gate `{net}` of kind {kind} has invalid fanin count {got}"
+                )
+            }
+            BuildCircuitError::DuplicateName(n) => write!(f, "duplicate net name `{n}`"),
+            BuildCircuitError::UndefinedOutput(n) => {
+                write!(f, "primary output references undefined net `{n}`")
+            }
+            BuildCircuitError::NoInputs => write!(f, "circuit has no primary inputs"),
+            BuildCircuitError::CombinationalLoop(n) => {
+                write!(f, "combinational loop through net `{n}`")
+            }
+        }
+    }
+}
+
+impl Error for BuildCircuitError {}
+
+/// Builds a [`Circuit`] net by net.
+///
+/// Nets may be created in any order as long as fanins are created before the
+/// gates that read them (use [`CircuitBuilder::forward_ref`] for netlists,
+/// like `.bench` files, that reference nets before defining them).
+///
+/// # Example
+///
+/// ```
+/// use gatest_netlist::{CircuitBuilder, GateKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CircuitBuilder::new("latch");
+/// let d = b.input("d");
+/// let q = b.gate(GateKind::Dff, "q", &[d]);
+/// b.output(q);
+/// let circuit = b.finish()?;
+/// assert_eq!(circuit.name(), "latch");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CircuitBuilder {
+    name: String,
+    kinds: Vec<Option<GateKind>>,
+    names: Vec<String>,
+    fanins: Vec<Vec<NetId>>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    output_names: Vec<String>,
+    by_name: HashMap<String, NetId>,
+    duplicate: Option<String>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder for a circuit called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            kinds: Vec::new(),
+            names: Vec::new(),
+            fanins: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            output_names: Vec::new(),
+            by_name: HashMap::new(),
+            duplicate: None,
+        }
+    }
+
+    fn alloc(&mut self, name: &str) -> NetId {
+        if let Some(&id) = self.by_name.get(name) {
+            // Forward reference being resolved, or a duplicate definition.
+            if self.kinds[id.index()].is_some() && self.duplicate.is_none() {
+                self.duplicate = Some(name.to_string());
+            }
+            return id;
+        }
+        let id = NetId::new(self.kinds.len());
+        self.kinds.push(None);
+        self.names.push(name.to_string());
+        self.fanins.push(Vec::new());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Declares (or resolves later) a net by name without defining its gate.
+    ///
+    /// Useful when translating formats that allow use-before-definition.
+    pub fn forward_ref(&mut self, name: &str) -> NetId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = NetId::new(self.kinds.len());
+        self.kinds.push(None);
+        self.names.push(name.to_string());
+        self.fanins.push(Vec::new());
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Defines a primary input net and returns its id.
+    pub fn input(&mut self, name: &str) -> NetId {
+        let id = self.alloc(name);
+        self.kinds[id.index()] = Some(GateKind::Input);
+        self.inputs.push(id);
+        id
+    }
+
+    /// Defines a gate of `kind` named `name` with the given fanins.
+    pub fn gate(&mut self, kind: GateKind, name: &str, fanin: &[NetId]) -> NetId {
+        let id = self.alloc(name);
+        self.kinds[id.index()] = Some(kind);
+        self.fanins[id.index()] = fanin.to_vec();
+        id
+    }
+
+    /// Marks an existing net as a primary output.
+    pub fn output(&mut self, net: NetId) {
+        self.outputs.push(net);
+        self.output_names.push(self.names[net.index()].clone());
+    }
+
+    /// Marks a net as primary output by name (may be a forward reference).
+    pub fn output_by_name(&mut self, name: &str) {
+        let id = self.forward_ref(name);
+        self.outputs.push(id);
+        self.output_names.push(name.to_string());
+    }
+
+    /// Number of nets allocated so far.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Returns `true` if no nets have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Validates and freezes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildCircuitError`] if any net is undefined, duplicated, has
+    /// invalid arity, the circuit has no inputs, or a combinational loop
+    /// exists.
+    pub fn finish(self) -> Result<Circuit, BuildCircuitError> {
+        if let Some(name) = self.duplicate {
+            return Err(BuildCircuitError::DuplicateName(name));
+        }
+        if self.inputs.is_empty() {
+            return Err(BuildCircuitError::NoInputs);
+        }
+
+        let mut kinds = Vec::with_capacity(self.kinds.len());
+        for (i, k) in self.kinds.iter().enumerate() {
+            match k {
+                Some(kind) => kinds.push(*kind),
+                None => {
+                    return Err(BuildCircuitError::UndefinedOutput(self.names[i].clone()));
+                }
+            }
+        }
+
+        for (i, kind) in kinds.iter().enumerate() {
+            let (min, max) = kind.arity();
+            let got = self.fanins[i].len();
+            if got < min || got > max {
+                return Err(BuildCircuitError::BadArity {
+                    net: self.names[i].clone(),
+                    kind: *kind,
+                    got,
+                });
+            }
+        }
+
+        // Combinational loop detection: DFS over combinational edges only
+        // (flip-flop outputs break cycles).
+        let n = kinds.len();
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+        let mut stack: Vec<(usize, usize)> = Vec::new();
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            stack.push((start, 0));
+            state[start] = 1;
+            while let Some(&mut (node, ref mut edge)) = stack.last_mut() {
+                if kinds[node].is_sequential() || *edge >= self.fanins[node].len() {
+                    state[node] = 2;
+                    stack.pop();
+                    continue;
+                }
+                let next = self.fanins[node][*edge].index();
+                *edge += 1;
+                match state[next] {
+                    0 => {
+                        state[next] = 1;
+                        stack.push((next, 0));
+                    }
+                    1 => {
+                        return Err(BuildCircuitError::CombinationalLoop(
+                            self.names[next].clone(),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        let dffs: Vec<NetId> = kinds
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.is_sequential())
+            .map(|(i, _)| NetId::new(i))
+            .collect();
+
+        Ok(Circuit::from_parts(
+            self.name,
+            kinds,
+            self.names,
+            &self.fanins,
+            self.inputs,
+            self.outputs,
+            dffs,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_minimal_circuit() {
+        let mut b = CircuitBuilder::new("min");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Not, "y", &[a]);
+        b.output(y);
+        let c = b.finish().unwrap();
+        assert_eq!(c.num_gates(), 2);
+        assert_eq!(c.outputs(), &[y]);
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = CircuitBuilder::new("dup");
+        let a = b.input("a");
+        b.gate(GateKind::Not, "y", &[a]);
+        b.gate(GateKind::Buf, "y", &[a]);
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildCircuitError::DuplicateName("y".into())
+        );
+    }
+
+    #[test]
+    fn rejects_undefined_forward_refs() {
+        let mut b = CircuitBuilder::new("undef");
+        b.input("a");
+        b.output_by_name("ghost");
+        assert_eq!(
+            b.finish().unwrap_err(),
+            BuildCircuitError::UndefinedOutput("ghost".into())
+        );
+    }
+
+    #[test]
+    fn rejects_no_inputs() {
+        let b = CircuitBuilder::new("empty");
+        assert_eq!(b.finish().unwrap_err(), BuildCircuitError::NoInputs);
+    }
+
+    #[test]
+    fn rejects_bad_arity() {
+        let mut b = CircuitBuilder::new("arity");
+        let a = b.input("a");
+        let x = b.input("x");
+        b.gate(GateKind::Not, "y", &[a, x]);
+        match b.finish().unwrap_err() {
+            BuildCircuitError::BadArity { net, kind, got } => {
+                assert_eq!(net, "y");
+                assert_eq!(kind, GateKind::Not);
+                assert_eq!(got, 2);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_combinational_loop() {
+        let mut b = CircuitBuilder::new("loop");
+        let a = b.input("a");
+        let fwd = b.forward_ref("y");
+        let g = b.gate(GateKind::And, "g", &[a, fwd]);
+        b.gate(GateKind::Not, "y", &[g]);
+        b.output(g);
+        assert!(matches!(
+            b.finish().unwrap_err(),
+            BuildCircuitError::CombinationalLoop(_)
+        ));
+    }
+
+    #[test]
+    fn allows_sequential_loop() {
+        // A feedback loop through a flip-flop is legal (that's what makes a
+        // sequential circuit sequential).
+        let mut b = CircuitBuilder::new("seqloop");
+        let a = b.input("a");
+        let q = b.forward_ref("q");
+        let g = b.gate(GateKind::Xor, "g", &[a, q]);
+        b.gate(GateKind::Dff, "q", &[g]);
+        b.output(g);
+        let c = b.finish().unwrap();
+        assert_eq!(c.num_dffs(), 1);
+    }
+
+    #[test]
+    fn forward_refs_resolve_to_same_net() {
+        let mut b = CircuitBuilder::new("fwd");
+        let fwd = b.forward_ref("later");
+        let a = b.input("a");
+        let later = b.gate(GateKind::Buf, "later", &[a]);
+        assert_eq!(fwd, later);
+        b.output(later);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_stack() {
+        // The loop check is iterative; a 100k-deep inverter chain must pass.
+        let mut b = CircuitBuilder::new("deep");
+        let mut prev = b.input("a");
+        for i in 0..100_000 {
+            prev = b.gate(GateKind::Not, &format!("n{i}"), &[prev]);
+        }
+        b.output(prev);
+        let c = b.finish().unwrap();
+        assert_eq!(c.num_gates(), 100_001);
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_prose() {
+        let err = BuildCircuitError::NoInputs.to_string();
+        assert!(err.starts_with("circuit has no"));
+        assert!(!err.ends_with('.'));
+    }
+}

@@ -1,0 +1,432 @@
+//! The validated, immutable gate-level circuit representation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::gate::{GateKind, NetId};
+
+/// A validated gate-level sequential circuit.
+///
+/// Gates are stored in a flat arena indexed by [`NetId`]; every gate drives
+/// exactly one net. Fanin and fanout adjacency is stored CSR-style (one flat
+/// edge array plus per-gate offsets) so simulators can traverse the netlist
+/// without pointer chasing.
+///
+/// Construct circuits with [`CircuitBuilder`](crate::builder::CircuitBuilder)
+/// or by parsing a `.bench` file with
+/// [`parse_bench`](crate::bench_format::parse_bench).
+///
+/// # Example
+///
+/// ```
+/// use gatest_netlist::{CircuitBuilder, GateKind};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = CircuitBuilder::new("toy");
+/// let a = b.input("a");
+/// let q = b.gate(GateKind::Dff, "q", &[a]);
+/// let y = b.gate(GateKind::Nand, "y", &[a, q]);
+/// b.output(y);
+/// let circuit = b.finish()?;
+/// assert_eq!(circuit.num_gates(), 3);
+/// assert_eq!(circuit.num_dffs(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    name: String,
+    kinds: Vec<GateKind>,
+    names: Vec<String>,
+    fanin_edges: Vec<NetId>,
+    fanin_offsets: Vec<u32>,
+    fanout_edges: Vec<NetId>,
+    fanout_offsets: Vec<u32>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    dffs: Vec<NetId>,
+    name_index: HashMap<String, NetId>,
+}
+
+impl Circuit {
+    /// Assembles a circuit from parts. Used by the builder after validation;
+    /// not public because it can create inconsistent circuits.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        name: String,
+        kinds: Vec<GateKind>,
+        names: Vec<String>,
+        fanins: &[Vec<NetId>],
+        inputs: Vec<NetId>,
+        outputs: Vec<NetId>,
+        dffs: Vec<NetId>,
+    ) -> Self {
+        let n = kinds.len();
+        debug_assert_eq!(names.len(), n);
+        debug_assert_eq!(fanins.len(), n);
+
+        let mut fanin_offsets = Vec::with_capacity(n + 1);
+        let mut fanin_edges = Vec::new();
+        fanin_offsets.push(0u32);
+        for fin in fanins {
+            fanin_edges.extend_from_slice(fin);
+            fanin_offsets.push(fanin_edges.len() as u32);
+        }
+
+        // Build fanout CSR by counting then filling.
+        let mut counts = vec![0u32; n];
+        for &src in &fanin_edges {
+            counts[src.index()] += 1;
+        }
+        let mut fanout_offsets = Vec::with_capacity(n + 1);
+        fanout_offsets.push(0u32);
+        for g in 0..n {
+            fanout_offsets.push(fanout_offsets[g] + counts[g]);
+        }
+        let mut cursor: Vec<u32> = fanout_offsets[..n].to_vec();
+        let mut fanout_edges = vec![NetId::new(0); fanin_edges.len()];
+        for (gate, fin) in fanins.iter().enumerate() {
+            for &src in fin {
+                let slot = cursor[src.index()];
+                fanout_edges[slot as usize] = NetId::new(gate);
+                cursor[src.index()] += 1;
+            }
+        }
+
+        let name_index = names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), NetId::new(i)))
+            .collect();
+
+        Circuit {
+            name,
+            kinds,
+            names,
+            fanin_edges,
+            fanin_offsets,
+            fanout_edges,
+            fanout_offsets,
+            inputs,
+            outputs,
+            dffs,
+            name_index,
+        }
+    }
+
+    /// The circuit's name (e.g. `"s27"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total number of gates (= nets), including primary inputs and flip-flops.
+    pub fn num_gates(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of D flip-flops.
+    pub fn num_dffs(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// The primary input nets, in declaration order.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The primary output nets, in declaration order.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// The flip-flop output nets, in declaration order.
+    pub fn dffs(&self) -> &[NetId] {
+        &self.dffs
+    }
+
+    /// The gate kind driving net `id`.
+    #[inline]
+    pub fn kind(&self, id: NetId) -> GateKind {
+        self.kinds[id.index()]
+    }
+
+    /// The name of net `id`.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks up a net by name.
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.name_index.get(name).copied()
+    }
+
+    /// The fanin nets of gate `id` (empty for inputs and constants).
+    #[inline]
+    pub fn fanin(&self, id: NetId) -> &[NetId] {
+        let lo = self.fanin_offsets[id.index()] as usize;
+        let hi = self.fanin_offsets[id.index() + 1] as usize;
+        &self.fanin_edges[lo..hi]
+    }
+
+    /// The gates that net `id` fans out to.
+    #[inline]
+    pub fn fanout(&self, id: NetId) -> &[NetId] {
+        let lo = self.fanout_offsets[id.index()] as usize;
+        let hi = self.fanout_offsets[id.index() + 1] as usize;
+        &self.fanout_edges[lo..hi]
+    }
+
+    /// Iterates over all net ids, `0..num_gates()`.
+    pub fn net_ids(&self) -> impl Iterator<Item = NetId> + '_ {
+        (0..self.num_gates()).map(NetId::new)
+    }
+
+    /// Total number of fanin edges (a proxy for circuit size/wire count).
+    pub fn num_edges(&self) -> usize {
+        self.fanin_edges.len()
+    }
+
+    /// The transitive fanin cone of `net` within the current time frame:
+    /// every net on a purely combinational path into `net`, including `net`
+    /// itself and the cone's sources (inputs / flip-flop outputs /
+    /// constants). Flip-flops are frontier nodes — traversal does not cross
+    /// into their D inputs.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let c = gatest_netlist::benchmarks::iscas89("s27")?;
+    /// let po = c.outputs()[0];
+    /// let cone = c.fanin_cone(po);
+    /// assert!(cone.contains(&po));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn fanin_cone(&self, net: NetId) -> Vec<NetId> {
+        let mut seen = vec![false; self.num_gates()];
+        let mut stack = vec![net];
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            if seen[n.index()] {
+                continue;
+            }
+            seen[n.index()] = true;
+            out.push(n);
+            if n != net && self.kind(n).is_sequential() {
+                continue; // frame boundary
+            }
+            stack.extend(self.fanin(n).iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The transitive fanout cone of `net` within the current time frame:
+    /// every net a change on `net` can combinationally reach, including
+    /// `net`. Flip-flops are included as frontier nodes but not crossed.
+    pub fn fanout_cone(&self, net: NetId) -> Vec<NetId> {
+        let mut seen = vec![false; self.num_gates()];
+        let mut stack = vec![net];
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            if seen[n.index()] {
+                continue;
+            }
+            seen[n.index()] = true;
+            out.push(n);
+            if n != net && self.kind(n).is_sequential() {
+                continue; // frame boundary
+            }
+            stack.extend(self.fanout(n).iter().copied());
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Summary statistics for reporting.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let c = gatest_netlist::benchmarks::iscas89("s27")?;
+    /// let stats = c.stats();
+    /// assert_eq!(stats.dffs, 3);
+    /// assert!(stats.combinational_gates > 0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn stats(&self) -> CircuitStats {
+        let combinational = self.kinds.iter().filter(|k| k.is_combinational()).count();
+        CircuitStats {
+            name: self.name.clone(),
+            inputs: self.num_inputs(),
+            outputs: self.num_outputs(),
+            dffs: self.num_dffs(),
+            combinational_gates: combinational,
+            total_nets: self.num_gates(),
+            edges: self.num_edges(),
+        }
+    }
+}
+
+/// Summary statistics of a [`Circuit`], as printed in benchmark tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of D flip-flops.
+    pub dffs: usize,
+    /// Number of combinational logic gates.
+    pub combinational_gates: usize,
+    /// Total nets, including inputs, flip-flops, and constants.
+    pub total_nets: usize,
+    /// Total fanin edge count.
+    pub edges: usize,
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} PIs, {} POs, {} DFFs, {} gates, {} nets, {} edges",
+            self.name,
+            self.inputs,
+            self.outputs,
+            self.dffs,
+            self.combinational_gates,
+            self.total_nets,
+            self.edges
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    fn toy() -> Circuit {
+        let mut b = CircuitBuilder::new("toy");
+        let a = b.input("a");
+        let bnet = b.input("b");
+        let q = b.gate(GateKind::Dff, "q", &[a]);
+        let g = b.gate(GateKind::And, "g", &[bnet, q]);
+        let y = b.gate(GateKind::Not, "y", &[g]);
+        b.output(y);
+        b.finish().expect("toy circuit is valid")
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let c = toy();
+        assert_eq!(c.num_gates(), 5);
+        assert_eq!(c.num_inputs(), 2);
+        assert_eq!(c.num_outputs(), 1);
+        assert_eq!(c.num_dffs(), 1);
+        assert_eq!(c.num_edges(), 4);
+    }
+
+    #[test]
+    fn fanin_matches_construction() {
+        let c = toy();
+        let g = c.find_net("g").unwrap();
+        let names: Vec<&str> = c.fanin(g).iter().map(|&n| c.net_name(n)).collect();
+        assert_eq!(names, ["b", "q"]);
+    }
+
+    #[test]
+    fn fanout_is_inverse_of_fanin() {
+        let c = toy();
+        for gate in c.net_ids() {
+            for &src in c.fanin(gate) {
+                assert!(
+                    c.fanout(src).contains(&gate),
+                    "fanout of {src} must contain {gate}"
+                );
+            }
+            for &dst in c.fanout(gate) {
+                assert!(
+                    c.fanin(dst).contains(&gate),
+                    "fanin of {dst} must contain {gate}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn name_lookup() {
+        let c = toy();
+        let a = c.find_net("a").unwrap();
+        assert_eq!(c.net_name(a), "a");
+        assert_eq!(c.kind(a), GateKind::Input);
+        assert!(c.find_net("missing").is_none());
+    }
+
+    #[test]
+    fn stats_display_mentions_everything() {
+        let c = toy();
+        let s = c.stats().to_string();
+        assert!(s.contains("toy"));
+        assert!(s.contains("2 PIs"));
+        assert!(s.contains("1 DFFs"));
+    }
+
+    #[test]
+    fn fanin_cone_stops_at_flip_flops() {
+        let c = crate::benchmarks::iscas89("s27").unwrap();
+        let po = c.outputs()[0]; // G17 = NOT(G11)
+        let cone = c.fanin_cone(po);
+        let names: Vec<&str> = cone.iter().map(|&n| c.net_name(n)).collect();
+        assert!(names.contains(&"G17"));
+        assert!(names.contains(&"G11"));
+        // G11 = NOR(G5, G9): the flip-flop G5 is a frontier node...
+        assert!(names.contains(&"G5"));
+        // ...but its D input G10 is in the next frame, not this cone.
+        assert!(!names.contains(&"G10"));
+    }
+
+    #[test]
+    fn fanout_cone_reaches_outputs_and_state() {
+        let c = crate::benchmarks::iscas89("s27").unwrap();
+        let g11 = c.find_net("G11").unwrap();
+        let cone = c.fanout_cone(g11);
+        let names: Vec<&str> = cone.iter().map(|&n| c.net_name(n)).collect();
+        assert!(names.contains(&"G17"), "reaches the PO");
+        assert!(names.contains(&"G6"), "reaches the flip-flop frontier");
+        assert!(names.contains(&"G10"));
+    }
+
+    #[test]
+    fn cones_are_sorted_and_deduplicated() {
+        let c = crate::benchmarks::iscas89("s298").unwrap();
+        for &po in c.outputs() {
+            let cone = c.fanin_cone(po);
+            assert!(cone.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+        }
+    }
+
+    #[test]
+    fn edge_counts_balance() {
+        let c = toy();
+        let fanin_total: usize = c.net_ids().map(|g| c.fanin(g).len()).sum();
+        let fanout_total: usize = c.net_ids().map(|g| c.fanout(g).len()).sum();
+        assert_eq!(fanin_total, fanout_total);
+        assert_eq!(fanin_total, c.num_edges());
+    }
+}

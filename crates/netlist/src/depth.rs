@@ -1,0 +1,175 @@
+//! Structural sequential depth.
+//!
+//! The paper (following Niermann's HITEC report) defines the structural
+//! sequential depth as *"the minimum number of flip-flops in a path between
+//! the primary inputs and the furthest gate"*: for each gate, take the
+//! fewest flip-flops that any primary-input-to-gate path crosses; the
+//! circuit's depth is the maximum of that quantity over all gates.
+//!
+//! GATEST keys several heuristics off this number: the progress limit for
+//! individual-vector generation and the candidate test-sequence lengths.
+
+use std::collections::VecDeque;
+
+use crate::circuit::Circuit;
+use crate::gate::NetId;
+
+/// Per-gate sequential depth and the circuit-wide maximum.
+#[derive(Debug, Clone)]
+pub struct SequentialDepth {
+    dist: Vec<u32>,
+    max: u32,
+}
+
+/// Marker for gates unreachable from any primary input (e.g. logic fed only
+/// by constants).
+pub const UNREACHABLE: u32 = u32::MAX;
+
+impl SequentialDepth {
+    /// Computes sequential depth with a 0-1 breadth-first search: traversing
+    /// into a flip-flop costs 1 (one more flip-flop on the path), traversing
+    /// into a combinational gate costs 0.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.num_gates();
+        let mut dist = vec![UNREACHABLE; n];
+        let mut deque: VecDeque<NetId> = VecDeque::new();
+
+        for &pi in circuit.inputs() {
+            dist[pi.index()] = 0;
+            deque.push_back(pi);
+        }
+
+        while let Some(id) = deque.pop_front() {
+            let d = dist[id.index()];
+            for &out in circuit.fanout(id) {
+                let cost = u32::from(circuit.kind(out).is_sequential());
+                let cand = d + cost;
+                if cand < dist[out.index()] {
+                    dist[out.index()] = cand;
+                    if cost == 0 {
+                        deque.push_front(out);
+                    } else {
+                        deque.push_back(out);
+                    }
+                }
+            }
+        }
+
+        let max = dist
+            .iter()
+            .copied()
+            .filter(|&d| d != UNREACHABLE)
+            .max()
+            .unwrap_or(0);
+        SequentialDepth { dist, max }
+    }
+
+    /// The minimum number of flip-flops on any primary-input path to `id`,
+    /// or [`UNREACHABLE`] if no such path exists.
+    #[inline]
+    pub fn of(&self, id: NetId) -> u32 {
+        self.dist[id.index()]
+    }
+
+    /// The circuit's structural sequential depth.
+    pub fn max(&self) -> u32 {
+        self.max
+    }
+}
+
+/// Convenience: the structural sequential depth of `circuit`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = gatest_netlist::benchmarks::iscas89("s27")?;
+/// assert!(gatest_netlist::depth::sequential_depth(&c) >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn sequential_depth(circuit: &Circuit) -> u32 {
+    SequentialDepth::new(circuit).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn combinational_circuit_has_depth_zero() {
+        let mut b = CircuitBuilder::new("comb");
+        let a = b.input("a");
+        let x = b.input("x");
+        let g = b.gate(GateKind::And, "g", &[a, x]);
+        let y = b.gate(GateKind::Not, "y", &[g]);
+        b.output(y);
+        let c = b.finish().unwrap();
+        assert_eq!(sequential_depth(&c), 0);
+    }
+
+    #[test]
+    fn ff_chain_depth_counts_ffs() {
+        let mut b = CircuitBuilder::new("ffchain");
+        let a = b.input("a");
+        let q1 = b.gate(GateKind::Dff, "q1", &[a]);
+        let q2 = b.gate(GateKind::Dff, "q2", &[q1]);
+        let q3 = b.gate(GateKind::Dff, "q3", &[q2]);
+        let y = b.gate(GateKind::Not, "y", &[q3]);
+        b.output(y);
+        let c = b.finish().unwrap();
+        let sd = SequentialDepth::new(&c);
+        assert_eq!(sd.of(c.find_net("q1").unwrap()), 1);
+        assert_eq!(sd.of(c.find_net("q3").unwrap()), 3);
+        assert_eq!(sd.max(), 3);
+    }
+
+    #[test]
+    fn depth_takes_minimum_over_paths() {
+        // Gate fed both directly by a PI and through a flip-flop: min is 0.
+        let mut b = CircuitBuilder::new("bypass");
+        let a = b.input("a");
+        let q = b.gate(GateKind::Dff, "q", &[a]);
+        let g = b.gate(GateKind::Or, "g", &[a, q]);
+        b.output(g);
+        let c = b.finish().unwrap();
+        let sd = SequentialDepth::new(&c);
+        assert_eq!(sd.of(c.find_net("g").unwrap()), 0);
+        assert_eq!(sd.max(), 1); // q itself is 1 FF away
+    }
+
+    #[test]
+    fn feedback_loop_does_not_inflate_depth() {
+        // A counter-like feedback: depth is 1 even though paths can loop.
+        let mut b = CircuitBuilder::new("fb");
+        let a = b.input("a");
+        let q = b.forward_ref("q");
+        let g = b.gate(GateKind::Xor, "g", &[a, q]);
+        b.gate(GateKind::Dff, "q", &[g]);
+        b.output(g);
+        let c = b.finish().unwrap();
+        assert_eq!(sequential_depth(&c), 1);
+    }
+
+    #[test]
+    fn unreachable_gates_are_marked() {
+        let mut b = CircuitBuilder::new("unreach");
+        b.input("a");
+        let k = b.gate(GateKind::Const1, "k", &[]);
+        let y = b.gate(GateKind::Not, "y", &[k]);
+        b.output(y);
+        let c = b.finish().unwrap();
+        let sd = SequentialDepth::new(&c);
+        assert_eq!(sd.of(c.find_net("y").unwrap()), UNREACHABLE);
+        assert_eq!(sd.max(), 0);
+    }
+
+    #[test]
+    fn s27_depth_is_positive() {
+        let c = crate::benchmarks::iscas89("s27").unwrap();
+        let d = sequential_depth(&c);
+        assert!((1..=3).contains(&d), "s27 depth {d} out of expected range");
+    }
+}

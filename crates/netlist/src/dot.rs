@@ -1,0 +1,99 @@
+//! Graphviz DOT export for visual inspection of circuits.
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Renders `circuit` as a Graphviz digraph.
+///
+/// Primary inputs are house-shaped, primary outputs inverted-house-shaped,
+/// flip-flops are boxes, and combinational gates are ellipses labeled with
+/// their function. Pipe the output to `dot -Tsvg` for a schematic-ish view.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = gatest_netlist::benchmarks::iscas89("s27")?;
+/// let dot = gatest_netlist::dot::to_dot(&c);
+/// assert!(dot.starts_with("digraph"));
+/// assert!(dot.contains("G17"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_dot(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", circuit.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+
+    let outputs: std::collections::HashSet<_> = circuit.outputs().iter().copied().collect();
+    for id in circuit.net_ids() {
+        let name = circuit.net_name(id);
+        let kind = circuit.kind(id);
+        let (shape, label) = match kind {
+            GateKind::Input => ("house", name.to_string()),
+            GateKind::Dff => ("box", format!("{name}\\nDFF")),
+            GateKind::Const0 => ("plaintext", "0".to_string()),
+            GateKind::Const1 => ("plaintext", "1".to_string()),
+            other => ("ellipse", format!("{name}\\n{}", other.bench_name())),
+        };
+        let extra = if outputs.contains(&id) {
+            ", peripheries=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  \"{name}\" [shape={shape}, label=\"{label}\"{extra}];"
+        );
+    }
+    for id in circuit.net_ids() {
+        for &src in circuit.fanin(id) {
+            let style = if circuit.kind(id) == GateKind::Dff {
+                " [style=dashed]"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\"{style};",
+                circuit.net_name(src),
+                circuit.net_name(id)
+            );
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_contains_every_net_and_edge() {
+        let c = crate::benchmarks::iscas89("s27").unwrap();
+        let dot = to_dot(&c);
+        for id in c.net_ids() {
+            assert!(dot.contains(&format!("\"{}\"", c.net_name(id))));
+        }
+        let edges = dot.matches(" -> ").count();
+        assert_eq!(edges, c.num_edges());
+    }
+
+    #[test]
+    fn outputs_are_double_peripheried() {
+        let c = crate::benchmarks::iscas89("s27").unwrap();
+        let dot = to_dot(&c);
+        assert!(dot.contains("peripheries=2"));
+    }
+
+    #[test]
+    fn dff_edges_are_dashed() {
+        let c = crate::benchmarks::iscas89("s27").unwrap();
+        let dot = to_dot(&c);
+        assert!(dot.contains("style=dashed"));
+    }
+}

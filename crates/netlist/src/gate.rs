@@ -1,0 +1,258 @@
+//! Gate kinds and net identifiers.
+
+use std::fmt;
+
+/// Index of a net (equivalently, of the gate driving it) within a [`Circuit`].
+///
+/// Every gate drives exactly one net, so nets and gates share one identifier
+/// space. `NetId` is a dense `u32` index into the circuit's arenas.
+///
+/// [`Circuit`]: crate::circuit::Circuit
+///
+/// # Example
+///
+/// ```
+/// use gatest_netlist::NetId;
+///
+/// let id = NetId::new(3);
+/// assert_eq!(id.index(), 3);
+/// assert_eq!(format!("{id}"), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(u32);
+
+impl NetId {
+    /// Creates a `NetId` from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NetId(u32::try_from(index).expect("net index overflows u32"))
+    }
+
+    /// Returns the dense index of this net.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NetId> for usize {
+    fn from(id: NetId) -> usize {
+        id.index()
+    }
+}
+
+/// The logic function of a gate.
+///
+/// The set matches what the ISCAS89 `.bench` format can express: the basic
+/// gate library plus D flip-flops and constants. `Input` is the "function" of
+/// a primary-input net; it has no fanin.
+///
+/// # Example
+///
+/// ```
+/// use gatest_netlist::GateKind;
+///
+/// assert!(GateKind::Dff.is_sequential());
+/// assert!(GateKind::Nand.is_combinational());
+/// assert_eq!(GateKind::And.bench_name(), "AND");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Primary input (no fanin).
+    Input,
+    /// Logical AND of all fanins.
+    And,
+    /// Logical NAND of all fanins.
+    Nand,
+    /// Logical OR of all fanins.
+    Or,
+    /// Logical NOR of all fanins.
+    Nor,
+    /// Exclusive OR of all fanins.
+    Xor,
+    /// Exclusive NOR of all fanins.
+    Xnor,
+    /// Inverter (exactly one fanin).
+    Not,
+    /// Buffer (exactly one fanin).
+    Buf,
+    /// D flip-flop (exactly one fanin: the D input). Output is the state.
+    Dff,
+    /// Constant logic 0 (no fanin).
+    Const0,
+    /// Constant logic 1 (no fanin).
+    Const1,
+}
+
+impl GateKind {
+    /// All gate kinds, in a stable order.
+    pub const ALL: [GateKind; 12] = [
+        GateKind::Input,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Not,
+        GateKind::Buf,
+        GateKind::Dff,
+        GateKind::Const0,
+        GateKind::Const1,
+    ];
+
+    /// Returns `true` for the D flip-flop.
+    #[inline]
+    pub fn is_sequential(self) -> bool {
+        matches!(self, GateKind::Dff)
+    }
+
+    /// Returns `true` for ordinary logic gates (everything that is neither a
+    /// primary input, a flip-flop, nor a constant).
+    #[inline]
+    pub fn is_combinational(self) -> bool {
+        !matches!(
+            self,
+            GateKind::Input | GateKind::Dff | GateKind::Const0 | GateKind::Const1
+        )
+    }
+
+    /// Returns `true` if the gate takes no fanin (inputs and constants).
+    #[inline]
+    pub fn is_source(self) -> bool {
+        matches!(self, GateKind::Input | GateKind::Const0 | GateKind::Const1)
+    }
+
+    /// The valid fanin arity range `(min, max)` for this gate kind.
+    ///
+    /// `max` is `usize::MAX` for gates with unbounded fanin.
+    pub fn arity(self) -> (usize, usize) {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => (0, 0),
+            GateKind::Not | GateKind::Buf | GateKind::Dff => (1, 1),
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => (1, usize::MAX),
+            GateKind::Xor | GateKind::Xnor => (1, usize::MAX),
+        }
+    }
+
+    /// The gate's name in the `.bench` format (e.g. `"NAND"`, `"DFF"`).
+    pub fn bench_name(self) -> &'static str {
+        match self {
+            GateKind::Input => "INPUT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUF",
+            GateKind::Dff => "DFF",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+        }
+    }
+
+    /// Parses a `.bench` gate function name (case-insensitive). `BUFF` is
+    /// accepted as an alias for `BUF`, as emitted by some netlist tools.
+    pub fn from_bench_name(name: &str) -> Option<Self> {
+        let upper = name.to_ascii_uppercase();
+        Some(match upper.as_str() {
+            "INPUT" => GateKind::Input,
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            "NOT" | "INV" => GateKind::Not,
+            "BUF" | "BUFF" => GateKind::Buf,
+            "DFF" => GateKind::Dff,
+            "CONST0" | "GND" => GateKind::Const0,
+            "CONST1" | "VDD" => GateKind::Const1,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.bench_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_id_round_trips_index() {
+        for i in [0usize, 1, 17, 65_535] {
+            assert_eq!(NetId::new(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn net_id_display_and_conversion() {
+        let id = NetId::new(42);
+        assert_eq!(id.to_string(), "n42");
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn net_id_ordering_follows_index() {
+        assert!(NetId::new(1) < NetId::new(2));
+        assert_eq!(NetId::new(7), NetId::new(7));
+    }
+
+    #[test]
+    fn sequential_and_combinational_partition() {
+        for kind in GateKind::ALL {
+            let classes = [
+                kind.is_sequential(),
+                kind.is_combinational(),
+                kind.is_source(),
+            ];
+            assert_eq!(
+                classes.iter().filter(|&&c| c).count(),
+                1,
+                "{kind} must be in exactly one class"
+            );
+        }
+    }
+
+    #[test]
+    fn bench_names_round_trip() {
+        for kind in GateKind::ALL {
+            assert_eq!(GateKind::from_bench_name(kind.bench_name()), Some(kind));
+        }
+    }
+
+    #[test]
+    fn bench_name_aliases() {
+        assert_eq!(GateKind::from_bench_name("BUFF"), Some(GateKind::Buf));
+        assert_eq!(GateKind::from_bench_name("inv"), Some(GateKind::Not));
+        assert_eq!(GateKind::from_bench_name("nand"), Some(GateKind::Nand));
+        assert_eq!(GateKind::from_bench_name("bogus"), None);
+    }
+
+    #[test]
+    fn arity_bounds() {
+        assert_eq!(GateKind::Input.arity(), (0, 0));
+        assert_eq!(GateKind::Not.arity(), (1, 1));
+        assert_eq!(GateKind::Dff.arity(), (1, 1));
+        let (min, max) = GateKind::Nand.arity();
+        assert_eq!(min, 1);
+        assert_eq!(max, usize::MAX);
+    }
+}

@@ -1,0 +1,709 @@
+//! Deterministic synthetic sequential-circuit generation.
+//!
+//! The real ISCAS89 netlists are not redistributable, so the benchmark suite
+//! bundled with this reproduction generates, for each circuit in the paper's
+//! tables, a random sequential circuit *matched on the published profile*:
+//! number of primary inputs/outputs, number of flip-flops, approximate
+//! combinational gate count, and — crucially for GATEST, whose progress
+//! limits and sequence lengths are keyed off it — the exact structural
+//! sequential depth.
+//!
+//! # Construction
+//!
+//! Flip-flops are partitioned into *ranks* `1..=depth`. The D-input cone of a
+//! rank-1 flip-flop is a random combinational cone over primary inputs only;
+//! the cone of a rank-`r` flip-flop draws only on rank-`r-1` flip-flop
+//! outputs. By induction the minimum number of flip-flops on any
+//! primary-input path to a rank-`r` flip-flop is exactly `r`, so the deepest
+//! rank pins the circuit's sequential depth to the requested value. Primary
+//! output cones draw on all flip-flops and primary inputs. This reproduces
+//! the property that makes the ISCAS89 circuits hard for ATPG: detecting a
+//! fault deep in the rank structure requires *justifying a specific state*
+//! reachable only through multiple time frames.
+//!
+//! Generation is fully deterministic: the same [`CircuitProfile`] and seed
+//! always produce the identical netlist.
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Circuit;
+use crate::gate::{GateKind, NetId};
+
+/// Target shape for a synthetic circuit.
+///
+/// # Example
+///
+/// ```
+/// use gatest_netlist::{CircuitProfile, SyntheticGenerator};
+///
+/// let profile = CircuitProfile {
+///     name: "demo".into(),
+///     inputs: 4,
+///     outputs: 3,
+///     dffs: 6,
+///     gates: 60,
+///     seq_depth: 3,
+/// };
+/// let circuit = SyntheticGenerator::new(7).generate(&profile);
+/// assert_eq!(circuit.num_inputs(), 4);
+/// assert_eq!(gatest_netlist::depth::sequential_depth(&circuit), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitProfile {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs (must be ≥ 1).
+    pub inputs: usize,
+    /// Number of primary outputs (must be ≥ 1).
+    pub outputs: usize,
+    /// Number of D flip-flops.
+    pub dffs: usize,
+    /// Approximate number of combinational gates (the generator may add a
+    /// handful to guarantee connectivity).
+    pub gates: usize,
+    /// Structural sequential depth; must be ≤ `dffs` and is hit exactly
+    /// when `dffs > 0`.
+    pub seq_depth: u32,
+}
+
+/// Small, self-contained SplitMix64 generator: deterministic forever,
+/// independent of any external crate's algorithm choices.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..bound` (bound > 0).
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Deterministic generator of profile-matched synthetic circuits.
+#[derive(Debug, Clone)]
+pub struct SyntheticGenerator {
+    seed: u64,
+}
+
+impl SyntheticGenerator {
+    /// Creates a generator with the given seed. The same seed and profile
+    /// always produce byte-identical netlists.
+    pub fn new(seed: u64) -> Self {
+        SyntheticGenerator { seed }
+    }
+
+    /// Generates a circuit matching `profile`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is degenerate: zero inputs or outputs, or
+    /// `seq_depth > dffs`.
+    pub fn generate(&self, profile: &CircuitProfile) -> Circuit {
+        assert!(profile.inputs >= 1, "profile needs at least one input");
+        assert!(profile.outputs >= 1, "profile needs at least one output");
+        assert!(
+            profile.seq_depth as usize <= profile.dffs,
+            "sequential depth {} cannot exceed flip-flop count {}",
+            profile.seq_depth,
+            profile.dffs
+        );
+
+        let mut rng = SplitMix64::new(self.seed ^ hash_name(&profile.name));
+        let mut b = CircuitBuilder::new(profile.name.clone());
+
+        let pis: Vec<NetId> = (0..profile.inputs)
+            .map(|i| b.input(&format!("pi{i}")))
+            .collect();
+
+        // Assign flip-flops to ranks 1..=depth, each rank non-empty.
+        let depth = profile.seq_depth as usize;
+        let mut rank_of = vec![0usize; profile.dffs];
+        for (i, slot) in rank_of.iter_mut().enumerate().take(depth) {
+            *slot = i + 1;
+        }
+        for slot in rank_of.iter_mut().skip(depth) {
+            *slot = 1 + rng.below(depth.max(1));
+        }
+
+        let ffs: Vec<NetId> = (0..profile.dffs)
+            .map(|i| b.forward_ref(&format!("ff{i}")))
+            .collect();
+
+        let mut by_rank: Vec<Vec<NetId>> = vec![Vec::new(); depth + 1];
+        for (i, &r) in rank_of.iter().enumerate() {
+            by_rank[r].push(ffs[i]);
+        }
+        // Flip-flops whose rank is >= r, for enriching D-cone supports: a
+        // rank-r cone may read any flip-flop of rank >= r-1 without lowering
+        // the minimum flip-flop count on paths from the primary inputs.
+        let mut rank_at_least: Vec<Vec<NetId>> = vec![Vec::new(); depth + 2];
+        for r in (1..=depth).rev() {
+            let mut v = by_rank[r].clone();
+            v.extend_from_slice(&rank_at_least[r + 1]);
+            rank_at_least[r] = v;
+        }
+
+        // Gate budget. Backbone counter bits (one per rank) cost only 3-4
+        // gates, logic flip-flops get modest cones, and whatever remains of
+        // the target goes to the primary-output decoder cones — which is
+        // where the bulk of the logic sits in the gate-rich, flip-flop-poor
+        // benchmarks (s386, s820, s1488 are FSMs with wide output decoders).
+        let logic_ffs = profile.dffs.saturating_sub(depth);
+        let per_d_cone = (profile.gates / (logic_ffs + profile.outputs + 1).max(1)).clamp(4, 32);
+        // Gates created inside D cones, exposed to the output cones below:
+        // real circuits share next-state terms with their output decoders,
+        // which is what makes the state logic observable.
+        let mut internal: Vec<NetId> = Vec::new();
+
+        let mut gate_counter = 0usize;
+        let mut consumed: std::collections::HashSet<NetId> = std::collections::HashSet::new();
+
+        // D cones. Two flip-flop templates, mirroring how real sequential
+        // circuits are built:
+        //
+        // * One **backbone counter bit per rank**: `D = AND(XOR(q, s), s)`
+        //   (or the NAND/XNOR rest-1 dual), where `s` is the OR of up to
+        //   three rank-(r-1) signals at their non-rest polarity. `s == 0`
+        //   (all legs at rest) synchronously resets the bit; `s == 1` makes
+        //   it toggle. Backbone bits therefore both *initialize on a
+        //   zero-hold cascade* and *stay lively and balanced* under random
+        //   operation — they carry entropy down the rank chain the way a
+        //   ripple counter does.
+        // * **Logic flip-flops** for the rest: a random combinational cone
+        //   over rank >= r-1 signals, XORed with a shift source (the
+        //   rank-(r-1) backbone bit or the flip-flop itself), behind the
+        //   same reset gate. The XOR keeps cone toggles flowing; the reset
+        //   keeps them initializable.
+        //
+        // Reset legs must come from rank exactly r-1: during the
+        // initialization cascade those are the only signals guaranteed to
+        // be known already, and an X on any leg blocks the reset.
+        let mut rest_value = vec![false; profile.dffs];
+        // Polarizer cache: NOT gates over flip-flops with rest value 1.
+        let mut polarizer: std::collections::HashMap<NetId, NetId> =
+            std::collections::HashMap::new();
+        // Backbone bit of each rank (the first flip-flop assigned to it).
+        let mut backbone: Vec<Option<NetId>> = vec![None; depth + 1];
+        // Process flip-flops rank by rank so rest values and backbones of
+        // upstream ranks are fixed before they are used.
+        let mut order: Vec<usize> = (0..profile.dffs).collect();
+        order.sort_by_key(|&i| rank_of[i]);
+        for &i in &order {
+            let ff = ffs[i];
+            let r = rank_of[i];
+            let is_backbone = backbone[r].is_none();
+
+            // Reset legs: non-rest polarity of up to three rank-(r-1)
+            // signals (primary inputs for rank 1), always including the
+            // upstream backbone so the reset signal is lively.
+            let leg_pool: Vec<NetId> = if r == 1 {
+                pis.clone()
+            } else {
+                by_rank[r - 1].clone()
+            };
+            let mut anchors = vec![if r == 1 {
+                pis[rng.below(pis.len())]
+            } else {
+                backbone[r - 1].expect("upstream backbone exists")
+            }];
+            anchors.extend(sample_support(&mut rng, &leg_pool, 2.min(leg_pool.len())));
+            let mut legs: Vec<NetId> = Vec::new();
+            for &a in &anchors {
+                consumed.insert(a);
+                let rest = ffs
+                    .iter()
+                    .position(|&n| n == a)
+                    .map(|idx| rest_value[idx])
+                    .unwrap_or(false);
+                let leg = if rest {
+                    *polarizer.entry(a).or_insert_with(|| {
+                        let pname = format!("g{gate_counter}");
+                        gate_counter += 1;
+                        b.gate(GateKind::Not, &pname, &[a])
+                    })
+                } else {
+                    a
+                };
+                if !legs.contains(&leg) {
+                    legs.push(leg);
+                }
+            }
+            let reset_sig = if legs.len() == 1 {
+                legs[0]
+            } else {
+                let rname = format!("g{gate_counter}");
+                gate_counter += 1;
+                b.gate(GateKind::Or, &rname, &legs)
+            };
+
+            let rest = rng.below(2) == 1;
+            rest_value[i] = rest;
+            let d = if is_backbone {
+                backbone[r] = Some(ff);
+                // Counter bit: reset low -> rest value; reset high -> toggle.
+                let xname = format!("g{gate_counter}");
+                gate_counter += 1;
+                let (xkind, dkind) = if rest {
+                    (GateKind::Xnor, GateKind::Nand)
+                } else {
+                    (GateKind::Xor, GateKind::And)
+                };
+                let xterm = b.gate(xkind, &xname, &[ff, reset_sig]);
+                let dname = format!("g{gate_counter}");
+                gate_counter += 1;
+                b.gate(dkind, &dname, &[xterm, reset_sig])
+            } else {
+                // Logic flip-flop: random cone, XOR shift, reset gate.
+                let mut support: Vec<NetId> = Vec::new();
+                if r == 1 {
+                    let want_pis = (3 + per_d_cone / 8).min(pis.len());
+                    support.extend(sample_support(&mut rng, &pis, want_pis));
+                    if !ffs.is_empty() {
+                        let extra = (1 + rng.below(2)).min(ffs.len());
+                        support.extend(sample_support(&mut rng, &ffs, extra));
+                    }
+                } else {
+                    support.push(backbone[r - 1].expect("upstream backbone exists"));
+                    let eligible = &rank_at_least[r - 1];
+                    let want = (2 + rng.below(3) + per_d_cone / 8).min(eligible.len());
+                    support.extend(sample_support(&mut rng, eligible, want));
+                }
+                support.sort_unstable();
+                support.dedup();
+                consumed.extend(support.iter().copied());
+                let cone = build_cone(
+                    &mut b,
+                    &mut rng,
+                    &support,
+                    &support,
+                    per_d_cone,
+                    &mut gate_counter,
+                    &mut internal,
+                );
+                let shift_src = if r == 1 {
+                    pis[rng.below(pis.len())]
+                } else if rng.below(2) == 0 {
+                    ff
+                } else {
+                    backbone[r - 1].expect("upstream backbone exists")
+                };
+                consumed.insert(shift_src);
+                let xname = format!("g{gate_counter}");
+                gate_counter += 1;
+                let xterm = b.gate(GateKind::Xor, &xname, &[cone, shift_src]);
+                let dname = format!("g{gate_counter}");
+                gate_counter += 1;
+                // reset_sig == 0 forces this FF's rest value.
+                let dkind = if rest { GateKind::Nand } else { GateKind::And };
+                b.gate(dkind, &dname, &[xterm, reset_sig])
+            };
+            let name = format!("ff{i}");
+            let got = b.gate(GateKind::Dff, &name, &[d]);
+            debug_assert_eq!(got, ff);
+        }
+
+        // Output cones over everything, kept shallow and broad. Signals not
+        // yet read by anything are distributed round-robin so nothing
+        // dangles (the real circuits have no unobservable state).
+        let mut all: Vec<NetId> = pis.clone();
+        all.extend_from_slice(&ffs);
+        let mut unused: Vec<NetId> = all
+            .iter()
+            .copied()
+            .filter(|n| !consumed.contains(n))
+            .collect();
+        unused.reverse();
+        let mut po_created: Vec<NetId> = Vec::new();
+        let po_budget =
+            (profile.gates.saturating_sub(gate_counter) / profile.outputs.max(1)).max(3);
+        for o in 0..profile.outputs {
+            let ports = sample_support(&mut rng, &all, 6.min(all.len()).max(1));
+            let mut support = ports.clone();
+            // Tap next-state internals: this is what makes the deep state
+            // logic observable in the real circuits.
+            if !internal.is_empty() {
+                let taps = (4 + po_budget / 8).min(internal.len());
+                support.extend(sample_support(&mut rng, &internal, taps));
+            }
+            let share = unused.len().div_ceil(profile.outputs - o);
+            for _ in 0..share {
+                if let Some(n) = unused.pop() {
+                    support.push(n);
+                }
+            }
+            support.sort_unstable();
+            support.dedup();
+            consumed.extend(support.iter().copied());
+            let po = build_cone(
+                &mut b,
+                &mut rng,
+                &ports,
+                &support,
+                po_budget,
+                &mut gate_counter,
+                &mut po_created,
+            );
+            let name = format!("po{o}");
+            let poid = b.gate(GateKind::Buf, &name, &[po]);
+            b.output(poid);
+        }
+
+        b.finish()
+            .expect("synthetic construction cannot produce invalid netlists")
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, so each profile name gets an independent stream.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Picks `k` distinct elements of `all` (or all of them if `k >= all.len()`).
+fn sample_support(rng: &mut SplitMix64, all: &[NetId], k: usize) -> Vec<NetId> {
+    if k >= all.len() {
+        return all.to_vec();
+    }
+    let mut pool = all.to_vec();
+    let mut out = Vec::with_capacity(k);
+    for _ in 0..k {
+        let idx = rng.below(pool.len());
+        out.push(pool.swap_remove(idx));
+    }
+    out
+}
+
+/// Builds a combinational cone from *structured, fully testable blocks* and
+/// returns the cone's output net.
+///
+/// Purely random gate networks are a poor model of designed logic: they are
+/// riddled with redundant (untestable) faults and their testability swings
+/// wildly from instance to instance. Real circuits are compositions of
+/// designed blocks — parity trees, multiplexers, decoders — each of which
+/// is fully testable on its own. This builder does the same:
+///
+/// * **parity trees** over a handful of signals (every fault testable with
+///   a couple of patterns);
+/// * **4:1 multiplexer** cells whose select lines come from `select_pool`
+///   (primary inputs / flip-flop outputs — directly controllable), data
+///   lines from the general support;
+/// * **decoder rows** — single AND terms over polarized literals, sparse
+///   enough never to mask each other.
+///
+/// Block outputs are combined by an **XOR tree**, which is transparent: a
+/// fault effect at any block output always reaches the cone output. Cone
+/// testability therefore reduces to the *controllability of the support*,
+/// which is exactly the sequential state-justification problem the paper's
+/// test generator is built to solve.
+///
+/// Every support signal is consumed by at least one block (no dangling
+/// logic), and created gates are appended to `created` so callers can
+/// expose them to other cones.
+fn build_cone(
+    b: &mut CircuitBuilder,
+    rng: &mut SplitMix64,
+    select_pool: &[NetId],
+    support: &[NetId],
+    budget: usize,
+    counter: &mut usize,
+    created: &mut Vec<NetId>,
+) -> NetId {
+    debug_assert!(!support.is_empty());
+    debug_assert!(!select_pool.is_empty());
+
+    let made = std::cell::Cell::new(0usize);
+    let mut fresh = |b: &mut CircuitBuilder, kind: GateKind, fanin: &[NetId]| {
+        let kind = if fanin.len() == 1 && kind != GateKind::Not {
+            GateKind::Buf
+        } else {
+            kind
+        };
+        let name = format!("g{}", *counter);
+        *counter += 1;
+        let gate = b.gate(kind, &name, fanin);
+        created.push(gate);
+        made.set(made.get() + 1);
+        gate
+    };
+
+    // Round-robin source: consume every support signal before repeating.
+    let mut unconsumed: Vec<NetId> = support.to_vec();
+    let draw = |rng: &mut SplitMix64, unconsumed: &mut Vec<NetId>| -> NetId {
+        unconsumed
+            .pop()
+            .unwrap_or_else(|| support[rng.below(support.len())])
+    };
+
+    let mut inverters: std::collections::HashMap<NetId, NetId> = std::collections::HashMap::new();
+    let mut blocks: Vec<NetId> = Vec::new();
+
+    loop {
+        if made.get() >= budget && unconsumed.is_empty() && !blocks.is_empty() {
+            break;
+        }
+        match rng.below(4) {
+            // Parity tree over 2-5 signals.
+            0 | 1 => {
+                let m = 2 + rng.below(4);
+                let mut acc = draw(rng, &mut unconsumed);
+                for _ in 1..m {
+                    let next = draw(rng, &mut unconsumed);
+                    if next == acc {
+                        continue;
+                    }
+                    let kind = if rng.below(4) == 0 {
+                        GateKind::Xnor
+                    } else {
+                        GateKind::Xor
+                    };
+                    acc = fresh(b, kind, &[acc, next]);
+                }
+                blocks.push(acc);
+            }
+            // 4:1 multiplexer: 2 selects, 4 data lines.
+            2 => {
+                let s0 = select_pool[rng.below(select_pool.len())];
+                let s1 = select_pool[rng.below(select_pool.len())];
+                let n0 = *inverters
+                    .entry(s0)
+                    .or_insert_with(|| fresh(b, GateKind::Not, &[s0]));
+                let legs: [(NetId, NetId); 4] = if s0 == s1 {
+                    // Degenerate to a 2:1 mux when the picks collide.
+                    [(n0, n0), (s0, s0), (n0, n0), (s0, s0)]
+                } else {
+                    let n1 = *inverters
+                        .entry(s1)
+                        .or_insert_with(|| fresh(b, GateKind::Not, &[s1]));
+                    [(n0, n1), (s0, n1), (n0, s1), (s0, s1)]
+                };
+                let mut products = Vec::with_capacity(4);
+                for (a, c) in legs {
+                    let d = draw(rng, &mut unconsumed);
+                    let mut fanin = vec![d, a];
+                    if c != a {
+                        fanin.push(c);
+                    }
+                    fanin.dedup();
+                    products.push(fresh(b, GateKind::And, &fanin));
+                }
+                products.dedup();
+                blocks.push(fresh(b, GateKind::Or, &products));
+            }
+            // Sparse decoder row: AND of 2-3 polarized literals.
+            _ => {
+                let w = 2 + rng.below(2);
+                let mut fanin: Vec<NetId> = Vec::new();
+                let mut picked: Vec<NetId> = Vec::new();
+                for _ in 0..w {
+                    let sig = draw(rng, &mut unconsumed);
+                    if picked.contains(&sig) {
+                        continue;
+                    }
+                    picked.push(sig);
+                    let literal = if rng.below(2) == 0 {
+                        sig
+                    } else {
+                        *inverters
+                            .entry(sig)
+                            .or_insert_with(|| fresh(b, GateKind::Not, &[sig]))
+                    };
+                    fanin.push(literal);
+                }
+                if fanin.is_empty() {
+                    fanin.push(draw(rng, &mut unconsumed));
+                }
+                let kind = if rng.below(4) == 0 {
+                    GateKind::Nand
+                } else {
+                    GateKind::And
+                };
+                blocks.push(fresh(b, kind, &fanin));
+            }
+        }
+    }
+
+    // Transparent XOR-tree composition of the blocks.
+    let mut queue: std::collections::VecDeque<NetId> = blocks.into();
+    while queue.len() > 1 {
+        let a = queue.pop_front().expect("len checked");
+        let c = queue.pop_front().expect("len checked");
+        if a == c {
+            queue.push_back(a);
+            continue;
+        }
+        let kind = if rng.below(4) == 0 {
+            GateKind::Xnor
+        } else {
+            GateKind::Xor
+        };
+        queue.push_back(fresh(b, kind, &[a, c]));
+    }
+    queue.pop_front().expect("at least one block")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depth::sequential_depth;
+
+    fn demo_profile() -> CircuitProfile {
+        CircuitProfile {
+            name: "demo".into(),
+            inputs: 5,
+            outputs: 4,
+            dffs: 8,
+            gates: 100,
+            seq_depth: 4,
+        }
+    }
+
+    #[test]
+    fn matches_port_counts() {
+        let c = SyntheticGenerator::new(1).generate(&demo_profile());
+        assert_eq!(c.num_inputs(), 5);
+        assert_eq!(c.num_outputs(), 4);
+        assert_eq!(c.num_dffs(), 8);
+    }
+
+    #[test]
+    fn hits_requested_depth_exactly() {
+        for seed in 0..10 {
+            let c = SyntheticGenerator::new(seed).generate(&demo_profile());
+            assert_eq!(
+                sequential_depth(&c),
+                4,
+                "seed {seed} missed the target depth"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_count_near_target() {
+        let p = demo_profile();
+        let c = SyntheticGenerator::new(3).generate(&p);
+        let got = c.stats().combinational_gates;
+        // The builder may add merge gates and per-PO buffers.
+        assert!(
+            got >= p.gates / 2 && got <= p.gates * 2 + p.outputs + p.dffs,
+            "gate count {got} too far from target {}",
+            p.gates
+        );
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let p = demo_profile();
+        let a = SyntheticGenerator::new(42).generate(&p);
+        let b = SyntheticGenerator::new(42).generate(&p);
+        assert_eq!(
+            crate::bench_format::write_bench(&a),
+            crate::bench_format::write_bench(&b)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = demo_profile();
+        let a = SyntheticGenerator::new(1).generate(&p);
+        let b = SyntheticGenerator::new(2).generate(&p);
+        assert_ne!(
+            crate::bench_format::write_bench(&a),
+            crate::bench_format::write_bench(&b)
+        );
+    }
+
+    #[test]
+    fn every_input_is_used() {
+        let c = SyntheticGenerator::new(9).generate(&demo_profile());
+        for &pi in c.inputs() {
+            assert!(
+                !c.fanout(pi).is_empty(),
+                "primary input {} dangles",
+                c.net_name(pi)
+            );
+        }
+    }
+
+    #[test]
+    fn no_dangling_logic() {
+        // Every net must be consumed by some gate or be a primary output;
+        // dangling gates would carry untestable faults, which the real
+        // ISCAS89 circuits do not have.
+        for seed in 0..5 {
+            let c = SyntheticGenerator::new(seed).generate(&demo_profile());
+            for id in c.net_ids() {
+                assert!(
+                    !c.fanout(id).is_empty() || c.outputs().contains(&id),
+                    "seed {seed}: net {} dangles",
+                    c.net_name(id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_one_profile() {
+        let p = CircuitProfile {
+            name: "shallow".into(),
+            inputs: 3,
+            outputs: 2,
+            dffs: 4,
+            gates: 30,
+            seq_depth: 1,
+        };
+        let c = SyntheticGenerator::new(5).generate(&p);
+        assert_eq!(sequential_depth(&c), 1);
+    }
+
+    #[test]
+    fn zero_dff_profile_is_combinational() {
+        let p = CircuitProfile {
+            name: "comb".into(),
+            inputs: 4,
+            outputs: 2,
+            dffs: 0,
+            gates: 20,
+            seq_depth: 0,
+        };
+        let c = SyntheticGenerator::new(5).generate(&p);
+        assert_eq!(c.num_dffs(), 0);
+        assert_eq!(sequential_depth(&c), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn rejects_depth_exceeding_ffs() {
+        let p = CircuitProfile {
+            name: "bad".into(),
+            inputs: 1,
+            outputs: 1,
+            dffs: 2,
+            gates: 10,
+            seq_depth: 5,
+        };
+        SyntheticGenerator::new(0).generate(&p);
+    }
+
+    #[test]
+    fn round_trips_through_bench_format() {
+        let c = SyntheticGenerator::new(11).generate(&demo_profile());
+        let text = crate::bench_format::write_bench(&c);
+        let back = crate::bench_format::parse_bench("demo", &text).unwrap();
+        assert_eq!(back.num_gates(), c.num_gates());
+        assert_eq!(sequential_depth(&back), sequential_depth(&c));
+    }
+}

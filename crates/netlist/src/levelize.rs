@@ -1,0 +1,226 @@
+//! Combinational levelization.
+//!
+//! For event-driven simulation, gates are assigned *levels*: primary inputs,
+//! constants, and flip-flop outputs are level 0 (they are the combinational
+//! frontier at the start of a time frame); every other gate's level is one
+//! more than the maximum level of its fanins. Evaluating gates in level order
+//! guarantees each gate is evaluated after all of its fanins within a frame.
+
+use crate::circuit::Circuit;
+use crate::gate::NetId;
+
+/// Level assignment for a circuit, plus a level-ordered gate schedule.
+///
+/// # Example
+///
+/// ```
+/// use gatest_netlist::levelize::Levelization;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = gatest_netlist::benchmarks::iscas89("s27")?;
+/// let lev = Levelization::new(&c);
+/// for &gate in lev.schedule() {
+///     if c.kind(gate).is_sequential() {
+///         continue; // flip-flops latch between frames
+///     }
+///     for &src in c.fanin(gate) {
+///         assert!(lev.level(src) < lev.level(gate));
+///     }
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Levelization {
+    levels: Vec<u32>,
+    schedule: Vec<NetId>,
+    max_level: u32,
+}
+
+impl Levelization {
+    /// Computes levels for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains a combinational loop; [`Circuit`]
+    /// construction already rejects those, so this cannot happen for circuits
+    /// built through the public API.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.num_gates();
+        let mut levels = vec![u32::MAX; n];
+        let mut indegree = vec![0u32; n];
+        let mut queue: Vec<NetId> = Vec::with_capacity(n);
+
+        for id in circuit.net_ids() {
+            let kind = circuit.kind(id);
+            if kind.is_source() || kind.is_sequential() {
+                levels[id.index()] = 0;
+                queue.push(id);
+            } else {
+                indegree[id.index()] = circuit.fanin(id).len() as u32;
+            }
+        }
+
+        let mut schedule: Vec<NetId> = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            schedule.push(id);
+            for &out in circuit.fanout(id) {
+                let oi = out.index();
+                if circuit.kind(out).is_sequential() {
+                    continue; // flip-flops latch between frames; not scheduled
+                }
+                indegree[oi] -= 1;
+                let candidate = levels[id.index()] + 1;
+                if levels[oi] == u32::MAX || candidate > levels[oi] {
+                    // tentative max-of-fanins+1; final once indegree hits 0
+                    levels[oi] = candidate.max(if levels[oi] == u32::MAX {
+                        0
+                    } else {
+                        levels[oi]
+                    });
+                }
+                if indegree[oi] == 0 {
+                    queue.push(out);
+                }
+            }
+        }
+
+        // Flip-flops are *scheduled* at level 0 (their outputs are frame
+        // state), but they were pushed before their D fanins were levelized;
+        // they are not part of the combinational schedule after position 0.
+        assert!(
+            levels.iter().all(|&l| l != u32::MAX),
+            "combinational loop survived circuit validation"
+        );
+
+        let max_level = levels.iter().copied().max().unwrap_or(0);
+        Levelization {
+            levels,
+            schedule,
+            max_level,
+        }
+    }
+
+    /// The combinational level of net `id` (0 for PIs, constants, and FFs).
+    #[inline]
+    pub fn level(&self, id: NetId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// Gates in a valid evaluation order: every gate appears after all of its
+    /// non-sequential fanins. Includes sources and flip-flops (at the front).
+    pub fn schedule(&self) -> &[NetId] {
+        &self.schedule
+    }
+
+    /// The largest combinational level (the circuit's combinational depth).
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// Gates grouped by level, for wavefront-style evaluation.
+    pub fn by_level(&self) -> Vec<Vec<NetId>> {
+        let mut buckets = vec![Vec::new(); self.max_level as usize + 1];
+        for (i, &lvl) in self.levels.iter().enumerate() {
+            buckets[lvl as usize].push(NetId::new(i));
+        }
+        buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+    use crate::gate::GateKind;
+
+    fn chain() -> Circuit {
+        let mut b = CircuitBuilder::new("chain");
+        let a = b.input("a");
+        let g1 = b.gate(GateKind::Not, "g1", &[a]);
+        let g2 = b.gate(GateKind::Not, "g2", &[g1]);
+        let g3 = b.gate(GateKind::Not, "g3", &[g2]);
+        b.output(g3);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn chain_levels_increase() {
+        let c = chain();
+        let lev = Levelization::new(&c);
+        assert_eq!(lev.level(c.find_net("a").unwrap()), 0);
+        assert_eq!(lev.level(c.find_net("g1").unwrap()), 1);
+        assert_eq!(lev.level(c.find_net("g2").unwrap()), 2);
+        assert_eq!(lev.level(c.find_net("g3").unwrap()), 3);
+        assert_eq!(lev.max_level(), 3);
+    }
+
+    #[test]
+    fn dff_outputs_are_level_zero() {
+        let mut b = CircuitBuilder::new("seq");
+        let a = b.input("a");
+        let q = b.forward_ref("q");
+        let g = b.gate(GateKind::And, "g", &[a, q]);
+        b.gate(GateKind::Dff, "q", &[g]);
+        b.output(g);
+        let c = b.finish().unwrap();
+        let lev = Levelization::new(&c);
+        assert_eq!(lev.level(c.find_net("q").unwrap()), 0);
+        assert_eq!(lev.level(c.find_net("g").unwrap()), 1);
+    }
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        let c = chain();
+        let lev = Levelization::new(&c);
+        let pos: std::collections::HashMap<_, _> = lev
+            .schedule()
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i))
+            .collect();
+        for id in c.net_ids() {
+            if c.kind(id).is_sequential() {
+                continue;
+            }
+            for &src in c.fanin(id) {
+                assert!(pos[&src] < pos[&id], "{src} must precede {id}");
+            }
+        }
+        assert_eq!(lev.schedule().len(), c.num_gates());
+    }
+
+    #[test]
+    fn level_is_max_of_fanins_plus_one() {
+        // Diamond: level of reconvergence gate is max branch + 1.
+        let mut b = CircuitBuilder::new("diamond");
+        let a = b.input("a");
+        let short = b.gate(GateKind::Buf, "short", &[a]);
+        let l1 = b.gate(GateKind::Not, "l1", &[a]);
+        let l2 = b.gate(GateKind::Not, "l2", &[l1]);
+        let top = b.gate(GateKind::And, "top", &[short, l2]);
+        b.output(top);
+        let c = b.finish().unwrap();
+        let lev = Levelization::new(&c);
+        assert_eq!(lev.level(c.find_net("top").unwrap()), 3);
+    }
+
+    #[test]
+    fn by_level_partitions_all_gates() {
+        let c = chain();
+        let lev = Levelization::new(&c);
+        let total: usize = lev.by_level().iter().map(Vec::len).sum();
+        assert_eq!(total, c.num_gates());
+    }
+
+    #[test]
+    fn s27_levelizes() {
+        let c = crate::benchmarks::iscas89("s27").unwrap();
+        let lev = Levelization::new(&c);
+        assert!(lev.max_level() >= 2);
+        assert_eq!(lev.schedule().len(), c.num_gates());
+    }
+}

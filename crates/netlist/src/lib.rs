@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! Gate-level sequential netlist model for the GATEST reproduction.
+//!
+//! This crate provides everything upstream of simulation:
+//!
+//! * [`Circuit`] — an immutable, validated gate-level netlist with primary
+//!   inputs, primary outputs, and D flip-flops, stored in a flat arena with
+//!   CSR-style fanin/fanout adjacency for cache-friendly traversal.
+//! * [`CircuitBuilder`] — an ergonomic incremental constructor.
+//! * [`bench_format`] — a parser and writer for the ISCAS89 `.bench` netlist
+//!   format, so the real benchmark files drop in unchanged.
+//! * [`levelize`] — combinational levelization (flip-flop outputs treated as
+//!   pseudo primary inputs) and combinational-loop detection.
+//! * [`depth`] — the structural sequential depth metric used by the paper.
+//! * [`scoap`] — SCOAP testability measures (controllability/observability).
+//! * [`scan`] — the full-scan (design-for-test) transformation.
+//! * [`generate`] — a deterministic synthetic sequential-circuit generator.
+//! * [`benchmarks`] — the bundled benchmark suite: the genuine ISCAS89 `s27`
+//!   netlist plus profile-matched synthetic stand-ins for the circuits in the
+//!   paper's tables (see `DESIGN.md` for the substitution rationale).
+//!
+//! # Example
+//!
+//! ```
+//! use gatest_netlist::benchmarks;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = benchmarks::iscas89("s27")?;
+//! assert_eq!(circuit.num_inputs(), 4);
+//! assert_eq!(circuit.num_dffs(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bench_format;
+pub mod benchmarks;
+pub mod builder;
+pub mod circuit;
+pub mod depth;
+pub mod dot;
+pub mod gate;
+pub mod generate;
+pub mod levelize;
+pub mod scan;
+pub mod scoap;
+pub mod verilog;
+
+pub use bench_format::{parse_bench, write_bench, ParseBenchError};
+pub use builder::{BuildCircuitError, CircuitBuilder};
+pub use circuit::{Circuit, CircuitStats};
+pub use gate::{GateKind, NetId};
+pub use generate::{CircuitProfile, SyntheticGenerator};

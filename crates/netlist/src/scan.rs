@@ -1,0 +1,191 @@
+//! Full-scan transformation (design-for-test).
+//!
+//! The classic alternative to sequential ATPG: make every flip-flop
+//! directly controllable and observable by exposing it as a pseudo primary
+//! input and output. Test generation for the scanned circuit is a purely
+//! combinational problem — each "vector" sets the primary inputs *and* the
+//! complete state, and observes the primary outputs *and* the complete next
+//! state.
+//!
+//! This module performs the *model-level* transformation (the way ATPG
+//! tools see a scan design): flip-flops are replaced by pseudo-PI/PO
+//! pairs. It does not model the scan chain's shift cycles, which affect
+//! test application time but not testability.
+//!
+//! Comparing GATEST on the sequential circuit against plain combinational
+//! test generation on its scan version quantifies exactly what the paper's
+//! GA is working around: the cost of state justification and propagation.
+
+use crate::builder::CircuitBuilder;
+use crate::circuit::Circuit;
+use crate::gate::{GateKind, NetId};
+
+/// The scanned (combinational) version of a sequential circuit, with the
+/// bookkeeping to map between the two.
+#[derive(Debug, Clone)]
+pub struct ScanCircuit {
+    circuit: Circuit,
+    scan_inputs: Vec<NetId>,
+    scan_outputs: Vec<NetId>,
+}
+
+impl ScanCircuit {
+    /// The combinational circuit: original PIs followed by one pseudo-PI
+    /// per flip-flop; original POs followed by one pseudo-PO per flip-flop
+    /// (the D input it would have latched).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Pseudo primary inputs, one per original flip-flop, in flip-flop
+    /// order.
+    pub fn scan_inputs(&self) -> &[NetId] {
+        &self.scan_inputs
+    }
+
+    /// Pseudo primary outputs (the D inputs), one per original flip-flop.
+    pub fn scan_outputs(&self) -> &[NetId] {
+        &self.scan_outputs
+    }
+}
+
+/// Applies the full-scan transformation.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gatest_netlist::scan::full_scan;
+///
+/// let seq = gatest_netlist::benchmarks::iscas89("s27")?;
+/// let scanned = full_scan(&seq);
+/// assert_eq!(scanned.circuit().num_dffs(), 0);
+/// assert_eq!(
+///     scanned.circuit().num_inputs(),
+///     seq.num_inputs() + seq.num_dffs()
+/// );
+/// # Ok(())
+/// # }
+/// ```
+pub fn full_scan(circuit: &Circuit) -> ScanCircuit {
+    let mut b = CircuitBuilder::new(format!("{}_scan", circuit.name()));
+
+    // Original primary inputs keep their names.
+    for &pi in circuit.inputs() {
+        b.input(circuit.net_name(pi));
+    }
+    // Each flip-flop output becomes a pseudo primary input with the same
+    // net name, so all fanin references resolve unchanged.
+    let mut scan_inputs = Vec::with_capacity(circuit.num_dffs());
+    for &ff in circuit.dffs() {
+        scan_inputs.push(b.input(circuit.net_name(ff)));
+    }
+
+    // Copy every combinational gate verbatim.
+    for id in circuit.net_ids() {
+        let kind = circuit.kind(id);
+        if !kind.is_combinational() && !matches!(kind, GateKind::Const0 | GateKind::Const1) {
+            continue;
+        }
+        let fanin: Vec<NetId> = circuit
+            .fanin(id)
+            .iter()
+            .map(|&n| b.forward_ref(circuit.net_name(n)))
+            .collect();
+        b.gate(kind, circuit.net_name(id), &fanin);
+    }
+
+    // Original primary outputs.
+    for &po in circuit.outputs() {
+        b.output_by_name(circuit.net_name(po));
+    }
+    // Each flip-flop's D input becomes a pseudo primary output.
+    let mut scan_output_names = Vec::with_capacity(circuit.num_dffs());
+    for &ff in circuit.dffs() {
+        let d = circuit.fanin(ff)[0];
+        scan_output_names.push(circuit.net_name(d).to_string());
+        b.output_by_name(circuit.net_name(d));
+    }
+
+    let scanned = b
+        .finish()
+        .expect("scanning a valid circuit yields a valid circuit");
+    // Builder net ids are stable through finish(), so the pseudo-PI ids
+    // recorded above remain valid in the finished circuit.
+    let scan_inputs = scan_inputs.to_vec();
+    let scan_outputs = scan_output_names
+        .iter()
+        .map(|name| scanned.find_net(name).expect("pseudo-PO net exists"))
+        .collect();
+
+    ScanCircuit {
+        circuit: scanned,
+        scan_inputs,
+        scan_outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levelize::Levelization;
+
+    #[test]
+    fn scan_removes_all_state() {
+        let seq = crate::benchmarks::iscas89("s27").unwrap();
+        let scanned = full_scan(&seq);
+        let c = scanned.circuit();
+        assert_eq!(c.num_dffs(), 0);
+        assert_eq!(c.num_inputs(), 4 + 3);
+        assert_eq!(c.num_outputs(), 1 + 3);
+        assert_eq!(crate::depth::sequential_depth(c), 0);
+    }
+
+    #[test]
+    fn combinational_structure_is_preserved() {
+        let seq = crate::benchmarks::iscas89("s27").unwrap();
+        let scanned = full_scan(&seq);
+        let c = scanned.circuit();
+        // Same combinational gates, by name and kind.
+        for id in seq.net_ids() {
+            if !seq.kind(id).is_combinational() {
+                continue;
+            }
+            let copy = c.find_net(seq.net_name(id)).expect("gate preserved");
+            assert_eq!(c.kind(copy), seq.kind(id));
+            assert_eq!(c.fanin(copy).len(), seq.fanin(id).len());
+        }
+    }
+
+    #[test]
+    fn scan_ports_line_up_with_flip_flops() {
+        let seq = crate::benchmarks::iscas89("s298").unwrap();
+        let scanned = full_scan(&seq);
+        assert_eq!(scanned.scan_inputs().len(), seq.num_dffs());
+        assert_eq!(scanned.scan_outputs().len(), seq.num_dffs());
+        for (i, &si) in scanned.scan_inputs().iter().enumerate() {
+            assert_eq!(
+                scanned.circuit().net_name(si),
+                seq.net_name(seq.dffs()[i]),
+                "pseudo-PI {i} keeps the flip-flop's net name"
+            );
+        }
+    }
+
+    #[test]
+    fn scanned_circuit_levelizes_and_simulates() {
+        let seq = crate::benchmarks::iscas89("s386").unwrap();
+        let scanned = full_scan(&seq);
+        let lev = Levelization::new(scanned.circuit());
+        assert!(lev.max_level() > 0);
+    }
+
+    #[test]
+    fn scan_of_suite_circuits_is_valid() {
+        for name in ["s27", "s298", "s344", "s386", "s820"] {
+            let seq = crate::benchmarks::iscas89(name).unwrap();
+            let scanned = full_scan(&seq);
+            assert_eq!(scanned.circuit().num_dffs(), 0, "{name}");
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! SCOAP testability measures (Goldstein 1979), sequential variant.
+//!
+//! For every net, SCOAP estimates:
+//!
+//! * `cc0` / `cc1` — *controllability*: how many primary-input assignments
+//!   (and, through flip-flops, time frames) it takes to drive the net to 0
+//!   or 1;
+//! * `co` — *observability*: how much additional effort it takes to
+//!   propagate the net's value to a primary output.
+//!
+//! Deterministic ATPG engines (HITEC among them) use these numbers to steer
+//! backtrace toward the cheapest justification path; this crate's
+//! [`HitecAtpg`](../../gatest_baselines/hitec/struct.HitecAtpg.html)
+//! counterpart can be configured to do the same, and the experiment
+//! harness ablates the choice.
+//!
+//! The sequential variant charges crossing a flip-flop a fixed
+//! [`SEQUENTIAL_COST`] on top of the combinational measure, a common
+//! simplification of Goldstein's separate sequential counters.
+
+use crate::circuit::Circuit;
+use crate::gate::{GateKind, NetId};
+
+/// Cost added when controllability or observability crosses a flip-flop.
+pub const SEQUENTIAL_COST: u32 = 20;
+
+/// Saturation bound: measures are clamped here instead of overflowing on
+/// feedback loops.
+pub const INFINITY: u32 = 1_000_000;
+
+/// SCOAP controllability and observability for every net of a circuit.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use gatest_netlist::scoap::Scoap;
+///
+/// let circuit = gatest_netlist::benchmarks::iscas89("s27")?;
+/// let scoap = Scoap::new(&circuit);
+/// let pi = circuit.inputs()[0];
+/// assert_eq!(scoap.cc0(pi), 1);
+/// assert_eq!(scoap.cc1(pi), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scoap {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+impl Scoap {
+    /// Computes the measures with fixed-point iteration (the circuit's
+    /// flip-flop feedback makes a single topological pass insufficient).
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.num_gates();
+        let mut cc0 = vec![INFINITY; n];
+        let mut cc1 = vec![INFINITY; n];
+
+        for id in circuit.net_ids() {
+            match circuit.kind(id) {
+                GateKind::Input => {
+                    cc0[id.index()] = 1;
+                    cc1[id.index()] = 1;
+                }
+                GateKind::Const0 => {
+                    cc0[id.index()] = 0;
+                }
+                GateKind::Const1 => {
+                    cc1[id.index()] = 0;
+                }
+                _ => {}
+            }
+        }
+
+        // Controllability: iterate to a fixed point.
+        let mut changed = true;
+        let mut rounds = 0;
+        while changed && rounds < 4 * (circuit.num_dffs() + 2) {
+            changed = false;
+            rounds += 1;
+            for id in circuit.net_ids() {
+                let kind = circuit.kind(id);
+                let (new0, new1) = match kind {
+                    GateKind::Input | GateKind::Const0 | GateKind::Const1 => continue,
+                    GateKind::Dff => {
+                        let d = circuit.fanin(id)[0];
+                        (
+                            sat_add(cc0[d.index()], SEQUENTIAL_COST),
+                            sat_add(cc1[d.index()], SEQUENTIAL_COST),
+                        )
+                    }
+                    _ => gate_controllability(kind, circuit.fanin(id), &cc0, &cc1),
+                };
+                if new0 < cc0[id.index()] {
+                    cc0[id.index()] = new0;
+                    changed = true;
+                }
+                if new1 < cc1[id.index()] {
+                    cc1[id.index()] = new1;
+                    changed = true;
+                }
+            }
+        }
+
+        // Observability: primary outputs are free; propagate backwards.
+        let mut co = vec![INFINITY; n];
+        for &po in circuit.outputs() {
+            co[po.index()] = 0;
+        }
+        let mut changed = true;
+        let mut rounds = 0;
+        while changed && rounds < 4 * (circuit.num_dffs() + 2) {
+            changed = false;
+            rounds += 1;
+            // Reverse net order approximates reverse topological order.
+            for idx in (0..n).rev() {
+                let gate = NetId::new(idx);
+                let kind = circuit.kind(gate);
+                let gate_co = co[idx];
+                if gate_co == INFINITY {
+                    continue;
+                }
+                for (pin, &src) in circuit.fanin(gate).iter().enumerate() {
+                    let new = match kind {
+                        GateKind::Dff => sat_add(gate_co, SEQUENTIAL_COST),
+                        GateKind::Not | GateKind::Buf => sat_add(gate_co, 1),
+                        _ => {
+                            // Propagating through pin `pin` costs setting
+                            // every other input to its non-controlling
+                            // value.
+                            let mut cost = sat_add(gate_co, 1);
+                            for (other_pin, &other) in circuit.fanin(gate).iter().enumerate() {
+                                if other_pin == pin {
+                                    continue;
+                                }
+                                let side = match kind {
+                                    GateKind::And | GateKind::Nand => cc1[other.index()],
+                                    GateKind::Or | GateKind::Nor => cc0[other.index()],
+                                    // XOR-family: either value works; take
+                                    // the cheaper.
+                                    _ => cc0[other.index()].min(cc1[other.index()]),
+                                };
+                                cost = sat_add(cost, side);
+                            }
+                            cost
+                        }
+                    };
+                    if new < co[src.index()] {
+                        co[src.index()] = new;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        Scoap { cc0, cc1, co }
+    }
+
+    /// 0-controllability of `net`.
+    #[inline]
+    pub fn cc0(&self, net: NetId) -> u32 {
+        self.cc0[net.index()]
+    }
+
+    /// 1-controllability of `net`.
+    #[inline]
+    pub fn cc1(&self, net: NetId) -> u32 {
+        self.cc1[net.index()]
+    }
+
+    /// Controllability of `net` to a specific value.
+    #[inline]
+    pub fn cc(&self, net: NetId, value_one: bool) -> u32 {
+        if value_one {
+            self.cc1(net)
+        } else {
+            self.cc0(net)
+        }
+    }
+
+    /// Observability of `net`.
+    #[inline]
+    pub fn co(&self, net: NetId) -> u32 {
+        self.co[net.index()]
+    }
+
+    /// A combined per-net testability score (higher = harder), the usual
+    /// SCOAP triage metric: detecting `net` stuck-at-`v` needs the net
+    /// driven to `!v` and observed.
+    pub fn fault_difficulty(&self, net: NetId, stuck_at_one: bool) -> u32 {
+        sat_add(self.cc(net, !stuck_at_one), self.co(net))
+    }
+}
+
+fn sat_add(a: u32, b: u32) -> u32 {
+    a.saturating_add(b).min(INFINITY)
+}
+
+fn gate_controllability(kind: GateKind, fanin: &[NetId], cc0: &[u32], cc1: &[u32]) -> (u32, u32) {
+    let f0 = |n: NetId| cc0[n.index()];
+    let f1 = |n: NetId| cc1[n.index()];
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            // Output 1 (AND): all inputs 1. Output 0: cheapest single 0.
+            let all1 = fanin.iter().fold(1u32, |acc, &n| sat_add(acc, f1(n)));
+            let one0 = fanin
+                .iter()
+                .map(|&n| sat_add(f0(n), 1))
+                .min()
+                .unwrap_or(INFINITY);
+            if kind == GateKind::And {
+                (one0, all1)
+            } else {
+                (all1, one0)
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let all0 = fanin.iter().fold(1u32, |acc, &n| sat_add(acc, f0(n)));
+            let one1 = fanin
+                .iter()
+                .map(|&n| sat_add(f1(n), 1))
+                .min()
+                .unwrap_or(INFINITY);
+            if kind == GateKind::Or {
+                (all0, one1)
+            } else {
+                (one1, all0)
+            }
+        }
+        GateKind::Not => (sat_add(f1(fanin[0]), 1), sat_add(f0(fanin[0]), 1)),
+        GateKind::Buf => (sat_add(f0(fanin[0]), 1), sat_add(f1(fanin[0]), 1)),
+        GateKind::Xor | GateKind::Xnor => {
+            // Two-input approximation folded over the fanin: parity cost is
+            // the cheaper of the assignments achieving each output value.
+            let mut c0 = f0(fanin[0]);
+            let mut c1 = f1(fanin[0]);
+            for &n in &fanin[1..] {
+                let (n0, n1) = (f0(n), f1(n));
+                let even = sat_add(c0, n0).min(sat_add(c1, n1));
+                let odd = sat_add(c0, n1).min(sat_add(c1, n0));
+                c0 = even;
+                c1 = odd;
+            }
+            let (c0, c1) = (sat_add(c0, 1), sat_add(c1, 1));
+            if kind == GateKind::Xor {
+                (c0, c1)
+            } else {
+                (c1, c0)
+            }
+        }
+        GateKind::Input | GateKind::Dff | GateKind::Const0 | GateKind::Const1 => {
+            unreachable!("handled by the caller")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::CircuitBuilder;
+
+    #[test]
+    fn primary_inputs_cost_one() {
+        let c = crate::benchmarks::iscas89("s27").unwrap();
+        let s = Scoap::new(&c);
+        for &pi in c.inputs() {
+            assert_eq!(s.cc0(pi), 1);
+            assert_eq!(s.cc1(pi), 1);
+        }
+    }
+
+    #[test]
+    fn and_gate_measures() {
+        let mut b = CircuitBuilder::new("and");
+        let a = b.input("a");
+        let x = b.input("x");
+        let y = b.gate(GateKind::And, "y", &[a, x]);
+        b.output(y);
+        let c = b.finish().unwrap();
+        let s = Scoap::new(&c);
+        let y = c.find_net("y").unwrap();
+        assert_eq!(s.cc1(y), 3, "both inputs to 1, plus the gate");
+        assert_eq!(s.cc0(y), 2, "one input to 0, plus the gate");
+        assert_eq!(s.co(y), 0, "y is a primary output");
+        // Observing `a` requires x=1: co(a) = co(y) + cc1(x) + 1 = 2.
+        let a = c.find_net("a").unwrap();
+        assert_eq!(s.co(a), 2);
+    }
+
+    #[test]
+    fn flip_flops_add_sequential_cost() {
+        let mut b = CircuitBuilder::new("pipe");
+        let a = b.input("a");
+        let q = b.gate(GateKind::Dff, "q", &[a]);
+        let y = b.gate(GateKind::Buf, "y", &[q]);
+        b.output(y);
+        let c = b.finish().unwrap();
+        let s = Scoap::new(&c);
+        let q = c.find_net("q").unwrap();
+        assert_eq!(s.cc1(q), 1 + SEQUENTIAL_COST);
+        let a = c.find_net("a").unwrap();
+        assert_eq!(
+            s.co(a),
+            SEQUENTIAL_COST + 1,
+            "observe through the DFF and buf"
+        );
+    }
+
+    #[test]
+    fn deeper_state_is_harder_to_control() {
+        let c = crate::benchmarks::iscas89("s298").unwrap();
+        let s = Scoap::new(&c);
+        let sd = crate::depth::SequentialDepth::new(&c);
+        // Average controllability of depth>=6 flip-flops must exceed that
+        // of depth-1 flip-flops.
+        let avg = |min_d: u32, max_d: u32| {
+            let vals: Vec<u32> = c
+                .dffs()
+                .iter()
+                .filter(|&&ff| (min_d..=max_d).contains(&sd.of(ff)))
+                .map(|&ff| s.cc0(ff).min(s.cc1(ff)))
+                .collect();
+            vals.iter().sum::<u32>() as f64 / vals.len().max(1) as f64
+        };
+        assert!(
+            avg(6, 99) > avg(1, 1),
+            "deep {} vs shallow {}",
+            avg(6, 99),
+            avg(1, 1)
+        );
+    }
+
+    #[test]
+    fn feedback_loops_saturate_not_overflow() {
+        // q = DFF(XOR(q, a)): controllability through the loop stays finite
+        // or saturates at INFINITY, never panics.
+        let mut b = CircuitBuilder::new("loop");
+        let a = b.input("a");
+        let q = b.forward_ref("q");
+        let x = b.gate(GateKind::Xor, "x", &[a, q]);
+        b.gate(GateKind::Dff, "q", &[x]);
+        b.output(x);
+        let c = b.finish().unwrap();
+        let s = Scoap::new(&c);
+        let qn = c.find_net("q").unwrap();
+        assert!(s.cc0(qn) <= INFINITY);
+    }
+
+    #[test]
+    fn fault_difficulty_combines_both_axes() {
+        let c = crate::benchmarks::iscas89("s27").unwrap();
+        let s = Scoap::new(&c);
+        let pi = c.inputs()[0];
+        // Detecting pi stuck-at-1 needs pi=0 and observation.
+        assert_eq!(s.fault_difficulty(pi, true), s.cc0(pi) + s.co(pi));
+    }
+
+    #[test]
+    fn all_nets_of_suite_circuits_get_finite_controllability() {
+        for name in ["s27", "s298", "s386"] {
+            let c = crate::benchmarks::iscas89(name).unwrap();
+            let s = Scoap::new(&c);
+            for id in c.net_ids() {
+                assert!(
+                    s.cc0(id) < INFINITY || s.cc1(id) < INFINITY,
+                    "{name}: net {} completely uncontrollable",
+                    c.net_name(id)
+                );
+            }
+        }
+    }
+}

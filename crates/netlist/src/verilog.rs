@@ -1,0 +1,463 @@
+//! Structural Verilog netlist I/O (gate-primitive subset).
+//!
+//! Writes and reads the flat, structural Verilog that gate-level tools
+//! exchange: one module, `input`/`output`/`wire` declarations, Verilog gate
+//! primitives (`and`, `nand`, `or`, `nor`, `xor`, `xnor`, `not`, `buf`)
+//! with output-first port lists, and D flip-flops as instances of a `DFF`
+//! cell with positional `(Q, D)` ports:
+//!
+//! ```text
+//! module s27 (G0, G1, G2, G3, G17);
+//!   input G0, G1, G2, G3;
+//!   output G17;
+//!   wire G5, G6, ...;
+//!   DFF ff_G5 (G5, G10);
+//!   not g_G14 (G14, G0);
+//!   nand g_G9 (G9, G16, G15);
+//! endmodule
+//! ```
+//!
+//! The parser accepts exactly this subset (plus `//` and `/* */` comments
+//! and flexible whitespace) — enough to round-trip this crate's own output
+//! and to ingest similarly flat netlists from other tools.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::builder::{BuildCircuitError, CircuitBuilder};
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+
+/// Error from [`parse_verilog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseVerilogError {
+    /// Unexpected token or malformed statement.
+    Syntax {
+        /// Approximate statement index (1-based) of the offending text.
+        statement: usize,
+        /// What the parser saw.
+        found: String,
+    },
+    /// A gate primitive the subset does not support.
+    UnknownPrimitive(String),
+    /// Structural validation failed after parsing.
+    Build(BuildCircuitError),
+}
+
+impl fmt::Display for ParseVerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseVerilogError::Syntax { statement, found } => {
+                write!(f, "syntax error at statement {statement}: `{found}`")
+            }
+            ParseVerilogError::UnknownPrimitive(p) => {
+                write!(f, "unsupported primitive `{p}`")
+            }
+            ParseVerilogError::Build(e) => write!(f, "invalid netlist: {e}"),
+        }
+    }
+}
+
+impl Error for ParseVerilogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseVerilogError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildCircuitError> for ParseVerilogError {
+    fn from(e: BuildCircuitError) -> Self {
+        ParseVerilogError::Build(e)
+    }
+}
+
+fn primitive_name(kind: GateKind) -> Option<&'static str> {
+    Some(match kind {
+        GateKind::And => "and",
+        GateKind::Nand => "nand",
+        GateKind::Or => "or",
+        GateKind::Nor => "nor",
+        GateKind::Xor => "xor",
+        GateKind::Xnor => "xnor",
+        GateKind::Not => "not",
+        GateKind::Buf => "buf",
+        _ => None?,
+    })
+}
+
+fn primitive_kind(name: &str) -> Option<GateKind> {
+    Some(match name {
+        "and" => GateKind::And,
+        "nand" => GateKind::Nand,
+        "or" => GateKind::Or,
+        "nor" => GateKind::Nor,
+        "xor" => GateKind::Xor,
+        "xnor" => GateKind::Xnor,
+        "not" => GateKind::Not,
+        "buf" => GateKind::Buf,
+        _ => None?,
+    })
+}
+
+/// Serializes `circuit` as a structural Verilog module.
+///
+/// Output round-trips through [`parse_verilog`].
+///
+/// # Example
+///
+/// ```
+/// use gatest_netlist::verilog::{parse_verilog, write_verilog};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let c = gatest_netlist::benchmarks::iscas89("s27")?;
+/// let text = write_verilog(&c);
+/// let back = parse_verilog(&text)?;
+/// assert_eq!(back.num_dffs(), c.num_dffs());
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_verilog(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let ports: Vec<String> = circuit
+        .inputs()
+        .iter()
+        .chain(circuit.outputs())
+        .map(|&n| circuit.net_name(n).to_string())
+        .collect();
+    let _ = writeln!(out, "// generated from {}", circuit.name());
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        circuit.name(),
+        dedup(&ports).join(", ")
+    );
+
+    let inputs: Vec<&str> = circuit
+        .inputs()
+        .iter()
+        .map(|&n| circuit.net_name(n))
+        .collect();
+    let _ = writeln!(out, "  input {};", inputs.join(", "));
+    let outputs: Vec<String> = circuit
+        .outputs()
+        .iter()
+        .map(|&n| circuit.net_name(n).to_string())
+        .collect();
+    let _ = writeln!(out, "  output {};", dedup(&outputs).join(", "));
+
+    let port_set: std::collections::HashSet<&str> = inputs
+        .iter()
+        .copied()
+        .chain(outputs.iter().map(|s| s.as_str()))
+        .collect();
+    let wires: Vec<&str> = circuit
+        .net_ids()
+        .filter(|&id| circuit.kind(id) != GateKind::Input)
+        .map(|id| circuit.net_name(id))
+        .filter(|n| !port_set.contains(n))
+        .collect();
+    if !wires.is_empty() {
+        let _ = writeln!(out, "  wire {};", wires.join(", "));
+    }
+    let _ = writeln!(out);
+
+    for id in circuit.net_ids() {
+        let kind = circuit.kind(id);
+        let name = circuit.net_name(id);
+        match kind {
+            GateKind::Input => {}
+            GateKind::Dff => {
+                let d = circuit.net_name(circuit.fanin(id)[0]);
+                let _ = writeln!(out, "  DFF ff_{name} ({name}, {d});");
+            }
+            GateKind::Const0 => {
+                let _ = writeln!(out, "  supply0 {name};");
+            }
+            GateKind::Const1 => {
+                let _ = writeln!(out, "  supply1 {name};");
+            }
+            _ => {
+                let prim = primitive_name(kind).expect("combinational kinds map to primitives");
+                let fanin: Vec<&str> = circuit
+                    .fanin(id)
+                    .iter()
+                    .map(|&n| circuit.net_name(n))
+                    .collect();
+                let _ = writeln!(out, "  {prim} g_{name} ({name}, {});", fanin.join(", "));
+            }
+        }
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+fn dedup(items: &[String]) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    items
+        .iter()
+        .filter(|s| seen.insert(s.as_str()))
+        .cloned()
+        .collect()
+}
+
+/// Parses the structural Verilog subset written by [`write_verilog`].
+///
+/// # Errors
+///
+/// Returns [`ParseVerilogError`] for syntax outside the subset, unknown
+/// primitives, or structurally invalid netlists.
+pub fn parse_verilog(source: &str) -> Result<Circuit, ParseVerilogError> {
+    // Strip comments.
+    let mut text = String::with_capacity(source.len());
+    let mut rest = source;
+    while let Some(pos) = rest.find("/*") {
+        text.push_str(&rest[..pos]);
+        match rest[pos..].find("*/") {
+            Some(end) => rest = &rest[pos + end + 2..],
+            None => {
+                rest = "";
+                break;
+            }
+        }
+    }
+    text.push_str(rest);
+    let text: String = text
+        .lines()
+        .map(|l| l.split("//").next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    let mut builder: Option<CircuitBuilder> = None;
+    let mut outputs: Vec<String> = Vec::new();
+    let mut ended = false;
+
+    for (idx, stmt) in text
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .enumerate()
+    {
+        let statement = idx + 1;
+        let syntax = |found: &str| ParseVerilogError::Syntax {
+            statement,
+            found: found.chars().take(60).collect(),
+        };
+
+        // `endmodule` may trail the final statement after splitting on ';'.
+        let stmt = match stmt.strip_suffix("endmodule") {
+            Some(s) => {
+                ended = true;
+                let s = s.trim();
+                if s.is_empty() {
+                    continue;
+                }
+                s
+            }
+            None => stmt,
+        };
+
+        let mut tokens = stmt.split_whitespace();
+        let keyword = tokens.next().ok_or_else(|| syntax(stmt))?;
+        match keyword {
+            "module" => {
+                let rest: String = tokens.collect::<Vec<_>>().join(" ");
+                let name = rest.split('(').next().unwrap_or("").trim();
+                if name.is_empty() {
+                    return Err(syntax(stmt));
+                }
+                builder = Some(CircuitBuilder::new(name));
+            }
+            "input" => {
+                let b = builder.as_mut().ok_or_else(|| syntax(stmt))?;
+                for name in list_names(stmt, "input") {
+                    b.input(&name);
+                }
+            }
+            "output" => {
+                builder.as_mut().ok_or_else(|| syntax(stmt))?;
+                outputs.extend(list_names(stmt, "output"));
+            }
+            "wire" => {} // declarations carry no structure
+            "supply0" | "supply1" => {
+                let b = builder.as_mut().ok_or_else(|| syntax(stmt))?;
+                let kind = if keyword == "supply0" {
+                    GateKind::Const0
+                } else {
+                    GateKind::Const1
+                };
+                for name in list_names(stmt, keyword) {
+                    b.gate(kind, &name, &[]);
+                }
+            }
+            "DFF" | "dff" => {
+                let b = builder.as_mut().ok_or_else(|| syntax(stmt))?;
+                let (_, ports) = instance_ports(stmt).ok_or_else(|| syntax(stmt))?;
+                if ports.len() != 2 {
+                    return Err(syntax(stmt));
+                }
+                let d = b.forward_ref(&ports[1]);
+                b.gate(GateKind::Dff, &ports[0], &[d]);
+            }
+            prim => {
+                let kind = primitive_kind(prim)
+                    .ok_or_else(|| ParseVerilogError::UnknownPrimitive(prim.to_string()))?;
+                let b = builder.as_mut().ok_or_else(|| syntax(stmt))?;
+                let (_, ports) = instance_ports(stmt).ok_or_else(|| syntax(stmt))?;
+                if ports.len() < 2 {
+                    return Err(syntax(stmt));
+                }
+                let fanin: Vec<_> = ports[1..].iter().map(|p| b.forward_ref(p)).collect();
+                b.gate(kind, &ports[0], &fanin);
+            }
+        }
+    }
+
+    let mut builder = builder.ok_or(ParseVerilogError::Syntax {
+        statement: 0,
+        found: "missing module header".into(),
+    })?;
+    if !ended {
+        return Err(ParseVerilogError::Syntax {
+            statement: 0,
+            found: "missing endmodule".into(),
+        });
+    }
+    for po in outputs {
+        builder.output_by_name(&po);
+    }
+    Ok(builder.finish()?)
+}
+
+/// Extracts the comma-separated names after `keyword` in a declaration.
+fn list_names(stmt: &str, keyword: &str) -> Vec<String> {
+    stmt.trim_start()
+        .strip_prefix(keyword)
+        .unwrap_or("")
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Parses `prim inst_name (out, in, in)` into the instance name and ports.
+fn instance_ports(stmt: &str) -> Option<(String, Vec<String>)> {
+    let open = stmt.find('(')?;
+    let close = stmt.rfind(')')?;
+    let head: Vec<&str> = stmt[..open].split_whitespace().collect();
+    let inst = head.get(1).copied().unwrap_or("").to_string();
+    let ports: Vec<String> = stmt[open + 1..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    Some((inst, ports))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s27_round_trips() {
+        let c = crate::benchmarks::iscas89("s27").unwrap();
+        let text = write_verilog(&c);
+        assert!(text.contains("module s27"));
+        assert!(text.contains("DFF ff_G5 (G5, G10);"));
+        let back = parse_verilog(&text).unwrap();
+        assert_eq!(back.num_gates(), c.num_gates());
+        assert_eq!(back.num_inputs(), c.num_inputs());
+        assert_eq!(back.num_outputs(), c.num_outputs());
+        assert_eq!(back.num_dffs(), c.num_dffs());
+        for id in c.net_ids() {
+            let other = back.find_net(c.net_name(id)).expect("net preserved");
+            assert_eq!(back.kind(other), c.kind(id), "{}", c.net_name(id));
+        }
+    }
+
+    #[test]
+    fn synthetic_circuits_round_trip() {
+        for name in ["s298", "s386"] {
+            let c = crate::benchmarks::iscas89(name).unwrap();
+            let back = parse_verilog(&write_verilog(&c)).unwrap();
+            assert_eq!(back.num_gates(), c.num_gates(), "{name}");
+            assert_eq!(
+                crate::depth::sequential_depth(&back),
+                crate::depth::sequential_depth(&c),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_tolerated() {
+        let src = "
+            // header comment
+            module tiny (a, /* inline */ y);
+              input a;
+              output y;
+              /* block
+                 comment */
+              not g_y (y, a);
+            endmodule
+        ";
+        let c = parse_verilog(src).unwrap();
+        assert_eq!(c.num_gates(), 2);
+    }
+
+    #[test]
+    fn rejects_unknown_primitive() {
+        let src = "module m (a, y); input a; output y; frobnicate g (y, a); endmodule";
+        assert!(matches!(
+            parse_verilog(src).unwrap_err(),
+            ParseVerilogError::UnknownPrimitive(p) if p == "frobnicate"
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_module() {
+        assert!(parse_verilog("input a;").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_endmodule() {
+        let src = "module m (a, y); input a; output y; buf g (y, a);";
+        assert!(matches!(
+            parse_verilog(src).unwrap_err(),
+            ParseVerilogError::Syntax { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_dff() {
+        let src = "module m (a, y); input a; output y; DFF f (y); endmodule";
+        assert!(parse_verilog(src).is_err());
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        use crate::builder::CircuitBuilder;
+        let mut b = CircuitBuilder::new("consts");
+        let a = b.input("a");
+        let k = b.gate(GateKind::Const1, "k", &[]);
+        let y = b.gate(GateKind::And, "y", &[a, k]);
+        b.output(y);
+        let c = b.finish().unwrap();
+        let back = parse_verilog(&write_verilog(&c)).unwrap();
+        assert_eq!(back.kind(back.find_net("k").unwrap()), GateKind::Const1);
+    }
+
+    #[test]
+    fn bench_and_verilog_agree() {
+        // The same circuit through both formats simulates identically.
+        use std::sync::Arc;
+        let c = crate::benchmarks::iscas89("s27").unwrap();
+        let via_bench =
+            crate::bench_format::parse_bench("s27", &crate::bench_format::write_bench(&c)).unwrap();
+        let via_verilog = parse_verilog(&write_verilog(&c)).unwrap();
+        assert_eq!(via_bench.num_gates(), via_verilog.num_gates());
+        let _ = Arc::new(via_verilog);
+    }
+}

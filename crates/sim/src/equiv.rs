@@ -1,0 +1,182 @@
+//! Random-simulation equivalence smoke-checking between two circuits.
+//!
+//! After a netlist transformation (format round-trip, scan insertion
+//! undone, manual edits) you want confidence the function is unchanged.
+//! Exhaustive sequential equivalence checking is out of scope for this
+//! crate; simulating both machines in lock-step under many random input
+//! sequences is the standard cheap filter — any mismatch is a proven
+//! difference, and the witness sequence is returned for debugging.
+
+use std::sync::Arc;
+
+use gatest_netlist::Circuit;
+
+use crate::good_sim::GoodSim;
+use crate::value::Logic;
+
+/// A proven behavioural difference between two circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The input sequence exposing the difference.
+    pub sequence: Vec<Vec<Logic>>,
+    /// Frame at which the outputs first diverged.
+    pub frame: usize,
+    /// Output values of the first circuit at that frame.
+    pub left_outputs: Vec<Logic>,
+    /// Output values of the second circuit at that frame.
+    pub right_outputs: Vec<Logic>,
+}
+
+/// Why two circuits cannot even be compared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceMismatchError {
+    /// Human-readable description of the mismatch.
+    pub message: String,
+}
+
+impl std::fmt::Display for InterfaceMismatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "interface mismatch: {}", self.message)
+    }
+}
+
+impl std::error::Error for InterfaceMismatchError {}
+
+/// Simulates both circuits in lock-step under `runs` random sequences of
+/// `frames` vectors each and reports the first output divergence found
+/// (`Ok(None)` means no difference was observed — *not* a proof of
+/// equivalence).
+///
+/// # Errors
+///
+/// Returns [`InterfaceMismatchError`] if the circuits differ in input or
+/// output count.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gatest_sim::equiv::random_equivalence;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let a = Arc::new(gatest_netlist::benchmarks::iscas89("s27")?);
+/// let text = gatest_netlist::write_bench(&a);
+/// let b = Arc::new(gatest_netlist::parse_bench("s27", &text)?);
+/// assert!(random_equivalence(&a, &b, 16, 8, 1)?.is_none());
+/// # Ok(())
+/// # }
+/// ```
+pub fn random_equivalence(
+    left: &Arc<Circuit>,
+    right: &Arc<Circuit>,
+    frames: usize,
+    runs: usize,
+    seed: u64,
+) -> Result<Option<Counterexample>, InterfaceMismatchError> {
+    if left.num_inputs() != right.num_inputs() {
+        return Err(InterfaceMismatchError {
+            message: format!(
+                "{} inputs vs {} inputs",
+                left.num_inputs(),
+                right.num_inputs()
+            ),
+        });
+    }
+    if left.num_outputs() != right.num_outputs() {
+        return Err(InterfaceMismatchError {
+            message: format!(
+                "{} outputs vs {} outputs",
+                left.num_outputs(),
+                right.num_outputs()
+            ),
+        });
+    }
+
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut coin = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state & 1 == 1
+    };
+
+    for _ in 0..runs {
+        let mut a = GoodSim::new(Arc::clone(left));
+        let mut b = GoodSim::new(Arc::clone(right));
+        let mut sequence: Vec<Vec<Logic>> = Vec::with_capacity(frames);
+        for frame in 0..frames {
+            let vector: Vec<Logic> = (0..left.num_inputs())
+                .map(|_| Logic::from_bool(coin()))
+                .collect();
+            a.apply(&vector);
+            b.apply(&vector);
+            sequence.push(vector);
+            let left_outputs = a.output_values();
+            let right_outputs = b.output_values();
+            if left_outputs != right_outputs {
+                return Ok(Some(Counterexample {
+                    sequence,
+                    frame,
+                    left_outputs,
+                    right_outputs,
+                }));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatest_netlist::{CircuitBuilder, GateKind};
+
+    fn s27() -> Arc<Circuit> {
+        Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap())
+    }
+
+    #[test]
+    fn identical_circuits_show_no_difference() {
+        let a = s27();
+        let b = s27();
+        assert_eq!(random_equivalence(&a, &b, 32, 4, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn format_round_trips_are_equivalent() {
+        let a = s27();
+        let via_verilog = Arc::new(
+            gatest_netlist::verilog::parse_verilog(&gatest_netlist::verilog::write_verilog(&a))
+                .unwrap(),
+        );
+        assert_eq!(
+            random_equivalence(&a, &via_verilog, 32, 4, 2).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn a_mutated_gate_is_caught_with_a_witness() {
+        // Same circuit but one NOR turned into OR: behaviourally different.
+        let a = s27();
+        let text = gatest_netlist::write_bench(&a);
+        let broken = text.replace("G11 = NOR(G5, G9)", "G11 = OR(G5, G9)");
+        let b = Arc::new(gatest_netlist::parse_bench("s27_broken", &broken).unwrap());
+        let cex = random_equivalence(&a, &b, 32, 8, 3)
+            .unwrap()
+            .expect("the mutation must be caught");
+        assert_eq!(cex.sequence.len(), cex.frame + 1);
+        assert_ne!(cex.left_outputs, cex.right_outputs);
+    }
+
+    #[test]
+    fn interface_mismatch_is_an_error() {
+        let a = s27();
+        let mut builder = CircuitBuilder::new("other");
+        let x = builder.input("x");
+        let y = builder.gate(GateKind::Not, "y", &[x]);
+        builder.output(y);
+        let b = Arc::new(builder.finish().unwrap());
+        assert!(random_equivalence(&a, &b, 4, 1, 1).is_err());
+    }
+}

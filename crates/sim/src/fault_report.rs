@@ -1,0 +1,203 @@
+//! Textual fault reports: the per-fault detection status of a grading run,
+//! in a line format that survives a round trip and diffs cleanly — the
+//! hand-off artifact between a test-generation campaign and the next tool
+//! in a flow (a second ATPG pass, diagnosis, coverage sign-off).
+//!
+//! ```text
+//! # circuit s27: 25/26 detected
+//! G0/SA1        detected 3
+//! G8.in0/SA0    undetected
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use gatest_netlist::Circuit;
+
+use crate::fault::{Fault, FaultSite, FaultStatus};
+use crate::fsim::FaultSim;
+use crate::value::Logic;
+
+/// Error from [`parse_fault_report`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultReportError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseFaultReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault report line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseFaultReportError {}
+
+/// Serializes a simulator's per-fault status as a report.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gatest_sim::fault_report::write_fault_report;
+/// use gatest_sim::{FaultSim, Logic};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27")?);
+/// let mut sim = FaultSim::new(Arc::clone(&circuit));
+/// sim.step(&[Logic::One, Logic::One, Logic::Zero, Logic::Zero]);
+/// let report = write_fault_report(&circuit, &sim);
+/// assert!(report.contains("detected"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_fault_report(circuit: &Circuit, sim: &FaultSim) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# circuit {}: {}/{} detected",
+        circuit.name(),
+        sim.detected_count(),
+        sim.fault_list().len()
+    );
+    for (id, fault) in sim.fault_list().iter() {
+        let name = fault.display(circuit).to_string();
+        match sim.status(id) {
+            FaultStatus::Detected { vector } => {
+                let _ = writeln!(out, "{name:<28} detected {vector}");
+            }
+            FaultStatus::Undetected => {
+                let _ = writeln!(out, "{name:<28} undetected");
+            }
+        }
+    }
+    out
+}
+
+/// Parses a report written by [`write_fault_report`] back into
+/// `(fault, status)` pairs, resolving net names against `circuit`.
+///
+/// # Errors
+///
+/// Returns [`ParseFaultReportError`] on malformed lines or unknown nets.
+pub fn parse_fault_report(
+    circuit: &Circuit,
+    text: &str,
+) -> Result<Vec<(Fault, FaultStatus)>, ParseFaultReportError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let err = |message: String| ParseFaultReportError { line, message };
+
+        let mut parts = trimmed.split_whitespace();
+        let name = parts.next().ok_or_else(|| err("empty line".into()))?;
+        let status_word = parts.next().ok_or_else(|| err("missing status".into()))?;
+        let status = match status_word {
+            "undetected" => FaultStatus::Undetected,
+            "detected" => {
+                let vector = parts
+                    .next()
+                    .ok_or_else(|| err("`detected` needs a vector index".into()))?
+                    .parse()
+                    .map_err(|_| err("bad vector index".into()))?;
+                FaultStatus::Detected { vector }
+            }
+            other => return Err(err(format!("unknown status `{other}`"))),
+        };
+
+        // `NET/SA0` or `NET.inPIN/SA1`.
+        let (site_str, sa) = name
+            .rsplit_once('/')
+            .ok_or_else(|| err(format!("`{name}` is not NET/SAx")))?;
+        let stuck = match sa {
+            "SA0" => Logic::Zero,
+            "SA1" => Logic::One,
+            other => return Err(err(format!("unknown polarity `{other}`"))),
+        };
+        let site = match site_str.rsplit_once(".in") {
+            Some((gate_name, pin_str)) if pin_str.chars().all(|c| c.is_ascii_digit()) => {
+                let gate = circuit
+                    .find_net(gate_name)
+                    .ok_or_else(|| err(format!("unknown net `{gate_name}`")))?;
+                let pin = pin_str.parse().map_err(|_| err("bad pin number".into()))?;
+                FaultSite::Branch { gate, pin }
+            }
+            _ => {
+                let net = circuit
+                    .find_net(site_str)
+                    .ok_or_else(|| err(format!("unknown net `{site_str}`")))?;
+                FaultSite::Stem(net)
+            }
+        };
+        out.push((Fault { site, stuck }, status));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn graded_sim() -> (Arc<Circuit>, FaultSim) {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let mut sim = FaultSim::new(Arc::clone(&circuit));
+        let mut rng = crate::transition::tests_support::Rng::new(4);
+        for _ in 0..24 {
+            let v: Vec<Logic> = (0..4).map(|_| Logic::from_bool(rng.coin())).collect();
+            sim.step(&v);
+        }
+        (circuit, sim)
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let (circuit, sim) = graded_sim();
+        let text = write_fault_report(&circuit, &sim);
+        let parsed = parse_fault_report(&circuit, &text).unwrap();
+        assert_eq!(parsed.len(), sim.fault_list().len());
+        for ((fault, status), (id, original)) in parsed.iter().zip(sim.fault_list().iter()) {
+            assert_eq!(*fault, original);
+            assert_eq!(*status, sim.status(id));
+        }
+    }
+
+    #[test]
+    fn header_summarizes_coverage() {
+        let (circuit, sim) = graded_sim();
+        let text = write_fault_report(&circuit, &sim);
+        assert!(text.starts_with(&format!(
+            "# circuit s27: {}/{} detected",
+            sim.detected_count(),
+            sim.fault_list().len()
+        )));
+    }
+
+    #[test]
+    fn rejects_unknown_nets_and_garbage() {
+        let circuit = gatest_netlist::benchmarks::iscas89("s27").unwrap();
+        assert!(parse_fault_report(&circuit, "GHOST/SA0 undetected\n").is_err());
+        assert!(parse_fault_report(&circuit, "G0/SA2 undetected\n").is_err());
+        assert!(parse_fault_report(&circuit, "G0/SA0 maybe\n").is_err());
+        assert!(parse_fault_report(&circuit, "G0/SA0 detected\n").is_err());
+        let e = parse_fault_report(&circuit, "# fine\nnonsense\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn branch_faults_round_trip() {
+        let circuit = gatest_netlist::benchmarks::iscas89("s27").unwrap();
+        let text = "G8.in0/SA1 detected 7\n";
+        let parsed = parse_fault_report(&circuit, text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert!(matches!(parsed[0].0.site, FaultSite::Branch { pin: 0, .. }));
+        assert_eq!(parsed[0].1, FaultStatus::Detected { vector: 7 });
+    }
+}

@@ -1,0 +1,943 @@
+//! PROOFS-style sequential fault simulator.
+//!
+//! Follows the published structure of PROOFS (Niermann, Cheng, Patel, 1992):
+//!
+//! * **single-fault propagation**: each undetected fault is simulated as an
+//!   independent faulty machine, but up to 64 faults are packed into the bit
+//!   slots of a [`Pv64`] word and propagated together;
+//! * **event-driven, levelized evaluation**: only gates in the fanout cone of
+//!   a difference are re-evaluated, in level order;
+//! * **fault dropping**: faults detected at a primary output are removed
+//!   from the active list;
+//! * **sparse faulty state**: each fault stores only the flip-flops in which
+//!   its faulty machine differs from the good machine.
+//!
+//! On top of the PROOFS core, this implementation adds the paper's §IV
+//! modifications for use inside a GA fitness function:
+//!
+//! * [`FaultSim::checkpoint`] / [`FaultSim::restore`] save and restore the
+//!   good state, the faulty states, and fault detection status so candidate
+//!   tests can be evaluated without committing them;
+//! * per-step counts of faulty-circuit events and of fault effects
+//!   propagated to flip-flops, which the phase-2/3/4 fitness functions use.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gatest_netlist::{Circuit, NetId};
+
+use crate::eval::eval_packed;
+use crate::fault::{FaultId, FaultList, FaultSite, FaultStatus};
+use crate::good_sim::{GoodSim, GoodSimState, GoodStepReport};
+use crate::value::{Logic, Pv64};
+
+/// Statistics from simulating one vector over the active fault list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Faults first detected by this vector.
+    pub newly_detected: Vec<FaultId>,
+    /// Per-output detection syndrome for this vector: `(fault, po index)`
+    /// pairs, one for every primary output at which a newly simulated
+    /// difference appeared. Fault dictionaries and diagnosis build on this.
+    pub po_detections: Vec<(FaultId, u16)>,
+    /// Fault effects latched into flip-flops by this vector, counted as
+    /// (fault, flip-flop) pairs.
+    pub ff_effect_pairs: u64,
+    /// Number of distinct faults with at least one effect at a flip-flop.
+    pub ff_effect_faults: u64,
+    /// Good-circuit events (net value changes) this frame.
+    pub good_events: u64,
+    /// Faulty-circuit events, summed over all simulated faulty machines.
+    pub faulty_events: u64,
+    /// Good-circuit frame statistics (flip-flops set/changed).
+    pub good: GoodStepReport,
+}
+
+impl StepReport {
+    /// Number of faults newly detected by this vector.
+    pub fn detected(&self) -> usize {
+        self.newly_detected.len()
+    }
+}
+
+/// A saved simulator state: good machine, faulty machines, fault status.
+///
+/// Produced by [`FaultSim::checkpoint`]; the paper's §IV describes exactly
+/// this mechanism ("store and restore the good and faulty circuit states and
+/// the fault detection status before and after each \[candidate\] test").
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    good: GoodSimState,
+    status: Vec<FaultStatus>,
+    active: Vec<FaultId>,
+    faulty_ff: Vec<Vec<(u32, Logic)>>,
+    vectors_applied: u32,
+}
+
+/// The sequential fault simulator.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gatest_sim::{FaultSim, Logic};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27")?);
+/// let mut sim = FaultSim::new(circuit);
+/// let total = sim.fault_list().len();
+/// let r = sim.step(&[Logic::One, Logic::One, Logic::Zero, Logic::Zero]);
+/// assert!(r.detected() > 0, "the first vector detects something");
+/// assert!(sim.remaining() < total);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSim {
+    circuit: Arc<Circuit>,
+    good: GoodSim,
+    faults: FaultList,
+    status: Vec<FaultStatus>,
+    active: Vec<FaultId>,
+    /// Sparse faulty flip-flop state per fault: (dff index, faulty value)
+    /// wherever the faulty machine differs from the good machine.
+    faulty_ff: Vec<Vec<(u32, Logic)>>,
+    vectors_applied: u32,
+
+    // --- scratch, reused across steps ---
+    fval: Vec<Pv64>,
+    fstamp: Vec<u32>,
+    stamp: u32,
+    queued: Vec<u32>,
+    buckets: Vec<Vec<NetId>>,
+}
+
+impl FaultSim {
+    /// Creates a simulator over the equivalence-collapsed fault list.
+    pub fn new(circuit: Arc<Circuit>) -> Self {
+        let faults = FaultList::collapsed(&circuit);
+        Self::with_faults(circuit, faults)
+    }
+
+    /// Creates a simulator over a caller-supplied fault list.
+    pub fn with_faults(circuit: Arc<Circuit>, faults: FaultList) -> Self {
+        let good = GoodSim::new(Arc::clone(&circuit));
+        let n = circuit.num_gates();
+        let nfaults = faults.len();
+        let max_level = good.levelization().max_level() as usize;
+        FaultSim {
+            circuit,
+            good,
+            status: vec![FaultStatus::Undetected; nfaults],
+            active: (0..nfaults as u32).map(FaultId).collect(),
+            faulty_ff: vec![Vec::new(); nfaults],
+            vectors_applied: 0,
+            faults,
+            fval: vec![Pv64::ALL_X; n],
+            fstamp: vec![0; n],
+            stamp: 0,
+            queued: vec![0; n],
+            buckets: vec![Vec::new(); max_level + 1],
+        }
+    }
+
+    /// The circuit under simulation.
+    pub fn circuit(&self) -> &Arc<Circuit> {
+        &self.circuit
+    }
+
+    /// The fault list being targeted.
+    pub fn fault_list(&self) -> &FaultList {
+        &self.faults
+    }
+
+    /// The embedded good-machine simulator (read-only view).
+    pub fn good(&self) -> &GoodSim {
+        &self.good
+    }
+
+    /// Status of fault `id`.
+    pub fn status(&self, id: FaultId) -> FaultStatus {
+        self.status[id.index()]
+    }
+
+    /// Number of detected faults so far.
+    pub fn detected_count(&self) -> usize {
+        self.faults.len() - self.active.len()
+    }
+
+    /// Number of still-undetected faults.
+    pub fn remaining(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The undetected faults, in fault-id order.
+    pub fn active_faults(&self) -> &[FaultId] {
+        &self.active
+    }
+
+    /// Number of vectors committed with [`FaultSim::step`] so far.
+    pub fn vectors_applied(&self) -> u32 {
+        self.vectors_applied
+    }
+
+    /// Applies one vector, simulating **all** undetected faults, dropping
+    /// any that are detected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vector.len() != circuit.num_inputs()`.
+    pub fn step(&mut self, vector: &[Logic]) -> StepReport {
+        let targets = self.active.clone();
+        self.step_with(vector, &targets, true)
+    }
+
+    /// Applies one vector simulating only `sample` (a subset of the active
+    /// faults); detected sample faults are still dropped. Faults outside the
+    /// sample keep their (now stale) faulty state — the paper accepts this
+    /// approximation to cut fitness-evaluation cost, because candidate
+    /// evaluation happens between a checkpoint/restore pair and the winning
+    /// test is re-simulated with the full list when committed.
+    pub fn step_sampled(&mut self, vector: &[Logic], sample: &[FaultId]) -> StepReport {
+        self.step_with(vector, sample, true)
+    }
+
+    /// Applies one vector to the good machine only (no fault propagation).
+    /// Used for the phase-1 (initialization) fitness, which needs only
+    /// flip-flop statistics.
+    pub fn step_good_only(&mut self, vector: &[Logic]) -> GoodStepReport {
+        self.vectors_applied += 1;
+        self.good.apply(vector)
+    }
+
+    fn step_with(&mut self, vector: &[Logic], targets: &[FaultId], drop: bool) -> StepReport {
+        let good_report = self.good.apply(vector);
+        self.vectors_applied += 1;
+
+        let mut report = StepReport {
+            good_events: good_report.events,
+            good: good_report,
+            ..StepReport::default()
+        };
+
+        let mut detected: Vec<FaultId> = Vec::new();
+        for group in targets.chunks(64) {
+            self.simulate_group(group, &mut report, &mut detected);
+        }
+
+        if drop && !detected.is_empty() {
+            detected.sort_unstable();
+            detected.dedup();
+            for &f in &detected {
+                self.status[f.index()] = FaultStatus::Detected {
+                    vector: self.vectors_applied - 1,
+                };
+                self.faulty_ff[f.index()].clear();
+            }
+            self.active
+                .retain(|f| matches!(self.status[f.index()], FaultStatus::Undetected));
+        }
+        report.newly_detected = detected;
+        report
+    }
+
+    /// Simulates one group of ≤64 faults against the already-advanced good
+    /// machine.
+    fn simulate_group(
+        &mut self,
+        group: &[FaultId],
+        report: &mut StepReport,
+        detected: &mut Vec<FaultId>,
+    ) {
+        let circuit = Arc::clone(&self.circuit);
+        self.stamp = self.stamp.wrapping_add(2);
+        let stamp = self.stamp;
+
+        // Per-group forcing tables.
+        let mut stem_force: HashMap<NetId, Vec<(u32, Logic)>> = HashMap::new();
+        let mut branch_force: HashMap<NetId, Vec<(u16, u32, Logic)>> = HashMap::new();
+
+        for (slot, &fid) in group.iter().enumerate() {
+            let slot = slot as u32;
+            let fault = self.faults.get(fid);
+            match fault.site {
+                FaultSite::Stem(net) => {
+                    stem_force.entry(net).or_default().push((slot, fault.stuck));
+                }
+                FaultSite::Branch { gate, pin } => {
+                    branch_force
+                        .entry(gate)
+                        .or_default()
+                        .push((pin, slot, fault.stuck));
+                }
+            }
+        }
+
+        // Seed faulty flip-flop state differences.
+        for (slot, &fid) in group.iter().enumerate() {
+            let diffs = std::mem::take(&mut self.faulty_ff[fid.index()]);
+            for &(dff_idx, v) in &diffs {
+                let ff = circuit.dffs()[dff_idx as usize];
+                let word = self.effective(ff);
+                let mut w = word;
+                w.set(slot as u32, v);
+                if w != word {
+                    self.fval[ff.index()] = w;
+                    self.fstamp[ff.index()] = stamp;
+                    self.schedule_fanout(&circuit, ff, stamp);
+                }
+            }
+            self.faulty_ff[fid.index()] = diffs;
+        }
+
+        // Seed stem-fault injections (including faults on PIs and FF outputs,
+        // which are never re-evaluated by the combinational sweep).
+        for (&net, forces) in &stem_force {
+            let word = self.effective(net);
+            let mut w = word;
+            for &(slot, stuck) in forces {
+                w.set(slot, stuck);
+            }
+            if w != word {
+                self.fval[net.index()] = w;
+                self.fstamp[net.index()] = stamp;
+                self.schedule_fanout(&circuit, net, stamp);
+            } else {
+                // Fault value equals the good value this frame; still record
+                // the forced word so later reads see the forcing.
+                self.fval[net.index()] = w;
+                self.fstamp[net.index()] = stamp;
+            }
+        }
+
+        // Seed gates with branch faults: their effective input differs even
+        // though no net changed.
+        for &gate in branch_force.keys() {
+            if circuit.kind(gate).is_combinational() {
+                self.schedule(gate, stamp);
+            }
+        }
+
+        // Event-driven, levelized propagation.
+        let lev = self.good.levelization().clone();
+        for level in 1..self.buckets.len() {
+            let gates = std::mem::take(&mut self.buckets[level]);
+            for gate in gates {
+                self.queued[gate.index()] = 0;
+                let kind = circuit.kind(gate);
+                debug_assert!(kind.is_combinational());
+                let mut fanin_words: Vec<Pv64> = Vec::with_capacity(circuit.fanin(gate).len());
+                for &src in circuit.fanin(gate) {
+                    fanin_words.push(self.effective(src));
+                }
+                if let Some(forces) = branch_force.get(&gate) {
+                    for &(pin, slot, stuck) in forces {
+                        fanin_words[pin as usize].set(slot, stuck);
+                    }
+                }
+                let mut out = eval_packed(kind, &fanin_words);
+                if let Some(forces) = stem_force.get(&gate) {
+                    for &(slot, stuck) in forces {
+                        out.set(slot, stuck);
+                    }
+                }
+                let old = self.effective(gate);
+                if out != old {
+                    report.faulty_events += u64::from(out.any_diff(old).count_ones());
+                    self.fval[gate.index()] = out;
+                    self.fstamp[gate.index()] = stamp;
+                    self.schedule_fanout(&circuit, gate, stamp);
+                } else {
+                    let _ = lev; // keep the clone alive for clarity
+                }
+            }
+        }
+
+        // Detection at primary outputs: strict binary difference. The
+        // per-output masks double as the diagnosis syndrome.
+        let mut detected_mask = 0u64;
+        for (po_idx, &po) in circuit.outputs().iter().enumerate() {
+            let goodw = Pv64::broadcast(self.good.value(po));
+            let faultyw = self.effective(po);
+            let mask = faultyw.binary_diff(goodw);
+            detected_mask |= mask;
+            let mut m = mask;
+            while m != 0 {
+                let slot = m.trailing_zeros();
+                report
+                    .po_detections
+                    .push((group[slot as usize], po_idx as u16));
+                m &= m - 1;
+            }
+        }
+        let mut m = detected_mask;
+        while m != 0 {
+            let slot = m.trailing_zeros();
+            detected.push(group[slot as usize]);
+            m &= m - 1;
+        }
+
+        // Fault effects at flip-flops: compare faulty D values against the
+        // good next state, and record the new sparse faulty state.
+        let mut new_state: Vec<Vec<(u32, Logic)>> = vec![Vec::new(); group.len()];
+        for (dff_idx, &ff) in circuit.dffs().iter().enumerate() {
+            let d = circuit.fanin(ff)[0];
+            let mut faultyw = self.effective(d);
+            if let Some(forces) = branch_force.get(&ff) {
+                for &(pin, slot, stuck) in forces {
+                    debug_assert_eq!(pin, 0);
+                    faultyw.set(slot, stuck);
+                }
+            }
+            let goodw = Pv64::broadcast(self.good.next_state_of(dff_idx));
+            let mut diff = faultyw.any_diff(goodw);
+            while diff != 0 {
+                let slot = diff.trailing_zeros();
+                new_state[slot as usize].push((dff_idx as u32, faultyw.get(slot)));
+                diff &= diff - 1;
+            }
+        }
+        for (slot, &fid) in group.iter().enumerate() {
+            let effects = new_state[slot].len() as u64;
+            if effects > 0 {
+                report.ff_effect_pairs += effects;
+                report.ff_effect_faults += 1;
+            }
+            self.faulty_ff[fid.index()] = std::mem::take(&mut new_state[slot]);
+        }
+    }
+
+    /// The faulty word of `net` for the current group, defaulting to the
+    /// broadcast good value if the net has not diverged.
+    #[inline]
+    fn effective(&self, net: NetId) -> Pv64 {
+        if self.fstamp[net.index()] == self.stamp {
+            self.fval[net.index()]
+        } else {
+            Pv64::broadcast(self.good.value(net))
+        }
+    }
+
+    fn schedule_fanout(&mut self, circuit: &Circuit, net: NetId, stamp: u32) {
+        for &out in circuit.fanout(net) {
+            if circuit.kind(out).is_combinational() {
+                self.schedule(out, stamp);
+            }
+        }
+    }
+
+    #[inline]
+    fn schedule(&mut self, gate: NetId, stamp: u32) {
+        if self.queued[gate.index()] != stamp {
+            self.queued[gate.index()] = stamp;
+            let level = self.good.levelization().level(gate) as usize;
+            debug_assert!(level >= 1, "combinational gates are level >= 1");
+            self.buckets[level].push(gate);
+        }
+    }
+
+    /// Saves the complete simulator state (good machine, faulty machines,
+    /// fault status) for later [`FaultSim::restore`].
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            good: self.good.snapshot(),
+            status: self.status.clone(),
+            active: self.active.clone(),
+            faulty_ff: self.faulty_ff.clone(),
+            vectors_applied: self.vectors_applied,
+        }
+    }
+
+    /// Restores a checkpoint taken from this simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint came from a simulator over a different
+    /// circuit or fault list.
+    pub fn restore(&mut self, cp: &Checkpoint) {
+        assert_eq!(cp.status.len(), self.status.len());
+        self.good.restore(&cp.good);
+        self.status.copy_from_slice(&cp.status);
+        self.active.clear();
+        self.active.extend_from_slice(&cp.active);
+        self.faulty_ff.clone_from(&cp.faulty_ff);
+        self.vectors_applied = cp.vectors_applied;
+    }
+
+    /// Resets everything: all faults undetected, all state X.
+    pub fn reset(&mut self) {
+        self.good.reset();
+        self.status.fill(FaultStatus::Undetected);
+        self.active = (0..self.faults.len() as u32).map(FaultId).collect();
+        for d in &mut self.faulty_ff {
+            d.clear();
+        }
+        self.vectors_applied = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatest_netlist::{CircuitBuilder, GateKind};
+    use Logic::{One, Zero};
+
+    fn s27() -> Arc<Circuit> {
+        Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap())
+    }
+
+    /// Brute-force reference: simulate good and single-fault circuits
+    /// independently with the scalar simulator, forcing the fault site.
+    pub(super) fn reference_detects(
+        circuit: &Arc<Circuit>,
+        fault: crate::fault::Fault,
+        sequence: &[Vec<Logic>],
+    ) -> bool {
+        use crate::eval::eval_scalar;
+        let lev = gatest_netlist::levelize::Levelization::new(circuit);
+        let mut gvals = vec![Logic::X; circuit.num_gates()];
+        let mut fvals = vec![Logic::X; circuit.num_gates()];
+        let mut gstate = vec![Logic::X; circuit.num_dffs()];
+        let mut fstate = vec![Logic::X; circuit.num_dffs()];
+        for vec in sequence {
+            for (vals, state) in [(&mut gvals, &gstate), (&mut fvals, &fstate)] {
+                for (i, &ff) in circuit.dffs().iter().enumerate() {
+                    vals[ff.index()] = state[i];
+                }
+                for (i, &pi) in circuit.inputs().iter().enumerate() {
+                    vals[pi.index()] = vec[i];
+                }
+            }
+            // Apply stem fault at sources for the faulty machine.
+            if let FaultSite::Stem(net) = fault.site {
+                if !circuit.kind(net).is_combinational() {
+                    fvals[net.index()] = fault.stuck;
+                }
+            }
+            for &gate in lev.schedule() {
+                let kind = circuit.kind(gate);
+                if !kind.is_combinational() {
+                    continue;
+                }
+                let gf: Vec<Logic> = circuit
+                    .fanin(gate)
+                    .iter()
+                    .map(|&n| gvals[n.index()])
+                    .collect();
+                gvals[gate.index()] = eval_scalar(kind, &gf);
+                let mut ff: Vec<Logic> = circuit
+                    .fanin(gate)
+                    .iter()
+                    .map(|&n| fvals[n.index()])
+                    .collect();
+                if let FaultSite::Branch { gate: fg, pin } = fault.site {
+                    if fg == gate {
+                        ff[pin as usize] = fault.stuck;
+                    }
+                }
+                let mut out = eval_scalar(kind, &ff);
+                if fault.site == FaultSite::Stem(gate) {
+                    out = fault.stuck;
+                }
+                fvals[gate.index()] = out;
+            }
+            for &po in circuit.outputs() {
+                let g = gvals[po.index()];
+                let f = fvals[po.index()];
+                if g.is_known() && f.is_known() && g != f {
+                    return true;
+                }
+            }
+            for (i, &ff) in circuit.dffs().iter().enumerate() {
+                gstate[i] = gvals[circuit.fanin(ff)[0].index()];
+                let d = circuit.fanin(ff)[0];
+                let mut fv = fvals[d.index()];
+                if let FaultSite::Branch { gate: fg, pin } = fault.site {
+                    if fg == ff {
+                        debug_assert_eq!(pin, 0);
+                        fv = fault.stuck;
+                    }
+                }
+                if fault.site == FaultSite::Stem(ff) {
+                    // Output stuck: state is whatever, output forced anyway.
+                }
+                fstate[i] = fv;
+            }
+        }
+        false
+    }
+
+    /// Deterministic pseudo-random vector sequence.
+    fn prng_sequence(pis: usize, len: usize, seed: u64) -> Vec<Vec<Logic>> {
+        let mut s = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut out = Vec::new();
+        for _ in 0..len {
+            let mut v = Vec::with_capacity(pis);
+            for _ in 0..pis {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                v.push(Logic::from_bool(s & 1 == 1));
+            }
+            out.push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn agrees_with_scalar_reference_on_s27() {
+        let circuit = s27();
+        let faults = FaultList::collapsed(&circuit);
+        let seq = prng_sequence(4, 24, 7);
+
+        let mut sim = FaultSim::with_faults(Arc::clone(&circuit), faults.clone());
+        let mut detected_fast = vec![false; faults.len()];
+        for v in &seq {
+            for f in sim.step(v).newly_detected {
+                detected_fast[f.index()] = true;
+            }
+        }
+        for (id, fault) in faults.iter() {
+            let expect = reference_detects(&circuit, fault, &seq);
+            assert_eq!(
+                detected_fast[id.index()],
+                expect,
+                "fault {} mismatch",
+                fault.display(&circuit)
+            );
+        }
+    }
+
+    #[test]
+    fn random_vectors_detect_most_s27_faults() {
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        let total = sim.fault_list().len();
+        for v in prng_sequence(4, 64, 3) {
+            sim.step(&v);
+        }
+        let coverage = sim.detected_count() as f64 / total as f64;
+        assert!(
+            coverage > 0.85,
+            "expected high coverage on s27, got {coverage:.2}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_is_exact() {
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        for v in prng_sequence(4, 5, 11) {
+            sim.step(&v);
+        }
+        let cp = sim.checkpoint();
+        let probe = prng_sequence(4, 3, 12);
+        let mut first: Vec<StepReport> = Vec::new();
+        for v in &probe {
+            first.push(sim.step(v));
+        }
+        sim.restore(&cp);
+        let mut second: Vec<StepReport> = Vec::new();
+        for v in &probe {
+            second.push(sim.step(v));
+        }
+        assert_eq!(first, second, "restore must make steps repeatable");
+    }
+
+    #[test]
+    fn sampled_step_detects_subset() {
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        let sample: Vec<FaultId> = sim.active_faults().iter().copied().take(5).collect();
+        let before = sim.remaining();
+        let r = sim.step_sampled(&[One, One, Zero, Zero], &sample);
+        assert!(r.detected() <= 5);
+        assert_eq!(sim.remaining(), before - r.detected());
+    }
+
+    #[test]
+    fn step_good_only_advances_state() {
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        let r = sim.step_good_only(&[One, One, Zero, Zero]);
+        assert_eq!(r.ffs_set, 3);
+        assert_eq!(sim.remaining(), sim.fault_list().len());
+    }
+
+    #[test]
+    fn detected_faults_stay_dropped() {
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        let r1 = sim.step(&[One, One, Zero, Zero]);
+        let d1 = r1.detected();
+        assert!(d1 > 0);
+        // Same vector again: the dropped faults must not be re-reported.
+        let r2 = sim.step(&[One, One, Zero, Zero]);
+        for f in &r2.newly_detected {
+            assert!(!r1.newly_detected.contains(f));
+        }
+    }
+
+    #[test]
+    fn ff_effects_precede_detection() {
+        // A fault effect must be latched into the flip-flop one frame before
+        // it can reach the output of this circuit.
+        let mut b = CircuitBuilder::new("pipeline");
+        let a = b.input("a");
+        let g = b.gate(GateKind::Not, "g", &[a]);
+        let q = b.gate(GateKind::Dff, "q", &[g]);
+        let y = b.gate(GateKind::Buf, "y", &[q]);
+        b.output(y);
+        let circuit = Arc::new(b.finish().unwrap());
+        let mut sim = FaultSim::new(circuit);
+
+        let r1 = sim.step(&[One]); // good: g = 0
+        assert_eq!(r1.detected(), 0, "nothing reaches the PO in frame one");
+        assert!(r1.ff_effect_pairs > 0, "effects must latch into q");
+        let r2 = sim.step(&[One]);
+        assert!(r2.detected() > 0, "latched effects appear at the PO");
+    }
+
+    #[test]
+    fn stuck_pi_fault_detected_when_driven_opposite() {
+        let mut b = CircuitBuilder::new("wire");
+        let a = b.input("a");
+        let y = b.gate(GateKind::Buf, "y", &[a]);
+        b.output(y);
+        let circuit = Arc::new(b.finish().unwrap());
+        let mut sim = FaultSim::new(Arc::clone(&circuit));
+        let r = sim.step(&[One]);
+        // a/SA0 (and its equivalent class) must be caught; a/SA1 must not.
+        assert_eq!(r.detected(), 1);
+        let f = sim.fault_list().get(r.newly_detected[0]);
+        assert_eq!(f.stuck, Zero);
+    }
+
+    #[test]
+    fn faulty_events_counted() {
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        let r = sim.step(&[One, One, Zero, Zero]);
+        assert!(r.faulty_events > 0);
+        assert!(r.good_events > 0);
+    }
+
+    #[test]
+    fn reset_restores_everything() {
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        for v in prng_sequence(4, 8, 2) {
+            sim.step(&v);
+        }
+        assert!(sim.detected_count() > 0);
+        sim.reset();
+        assert_eq!(sim.detected_count(), 0);
+        assert_eq!(sim.vectors_applied(), 0);
+        assert_eq!(sim.remaining(), sim.fault_list().len());
+    }
+
+    #[test]
+    fn more_than_64_faults_use_multiple_groups() {
+        // s27's lists are under 64 faults; use the synthetic s298 stand-in
+        // (hundreds of faults) to force multi-group processing.
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let faults = FaultList::full(&circuit);
+        assert!(faults.len() > 64);
+        let mut sim = FaultSim::with_faults(Arc::clone(&circuit), faults);
+        // Zero-hold first: the synthetic circuits need a directed
+        // initialization sequence before random patterns detect much.
+        let depth = gatest_netlist::depth::sequential_depth(&circuit) as usize;
+        for _ in 0..depth + 2 {
+            sim.step(&vec![Logic::Zero; circuit.num_inputs()]);
+        }
+        for v in prng_sequence(circuit.num_inputs(), 256, 5) {
+            sim.step(&v);
+        }
+        let coverage = sim.detected_count() as f64 / sim.fault_list().len() as f64;
+        assert!(coverage > 0.35, "got {coverage}");
+    }
+
+    #[test]
+    fn step_good_only_matches_full_step_good_stats() {
+        // The good-machine statistics must be identical whether or not
+        // faults are simulated alongside.
+        let circuit = s27();
+        let mut a = FaultSim::new(Arc::clone(&circuit));
+        let mut b = FaultSim::new(Arc::clone(&circuit));
+        for v in prng_sequence(4, 16, 21) {
+            let ra = a.step(&v);
+            let rb = b.step_good_only(&v);
+            assert_eq!(ra.good, rb);
+        }
+    }
+
+    #[test]
+    fn po_syndromes_cover_every_detection() {
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        for v in prng_sequence(4, 32, 13) {
+            let r = sim.step(&v);
+            // Every newly detected fault appears in the per-output syndrome
+            // list (at least once), and vice versa.
+            let from_pos: std::collections::HashSet<_> =
+                r.po_detections.iter().map(|&(f, _)| f).collect();
+            let newly: std::collections::HashSet<_> = r.newly_detected.iter().copied().collect();
+            assert_eq!(from_pos, newly);
+        }
+    }
+
+    #[test]
+    fn constant_gates_simulate_correctly() {
+        use gatest_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("consts");
+        let a = b.input("a");
+        let one = b.gate(GateKind::Const1, "one", &[]);
+        let y = b.gate(GateKind::And, "y", &[a, one]);
+        b.output(y);
+        let circuit = Arc::new(b.finish().unwrap());
+        let mut sim = FaultSim::new(Arc::clone(&circuit));
+        // y follows a; one/SA0 is detectable (y=0 while a=1), one/SA1 is
+        // untestable (already 1).
+        let r = sim.step(&[One]);
+        assert!(r.detected() >= 1);
+        for _ in 0..8 {
+            sim.step(&[One]);
+            sim.step(&[Zero]);
+        }
+        let survivors: Vec<_> = sim
+            .active_faults()
+            .iter()
+            .map(|&id| sim.fault_list().get(id).display(&circuit).to_string())
+            .collect();
+        assert!(
+            survivors.iter().all(|s| s.contains("SA1")),
+            "only stuck-at-1 faults on constant-1 paths survive: {survivors:?}"
+        );
+    }
+
+    #[test]
+    fn output_directly_on_input_is_handled() {
+        use gatest_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("passthrough");
+        let a = b.input("a");
+        b.output(a);
+        let q = b.gate(GateKind::Dff, "q", &[a]);
+        let y = b.gate(GateKind::Buf, "y", &[q]);
+        b.output(y);
+        let circuit = Arc::new(b.finish().unwrap());
+        let mut sim = FaultSim::new(circuit);
+        sim.step(&[One]);
+        sim.step(&[Zero]);
+        sim.step(&[One]);
+        assert_eq!(
+            sim.remaining(),
+            0,
+            "a two-net passthrough is fully testable"
+        );
+    }
+
+    #[test]
+    fn collapsed_and_full_lists_agree_on_coverage_fraction() {
+        // Equivalent faults are detected together, so coverage of collapsed
+        // and full lists should be close under the same vectors.
+        let circuit = s27();
+        let seq = prng_sequence(4, 48, 9);
+        let mut a = FaultSim::with_faults(Arc::clone(&circuit), FaultList::collapsed(&circuit));
+        let mut b = FaultSim::with_faults(Arc::clone(&circuit), FaultList::full(&circuit));
+        for v in &seq {
+            a.step(v);
+            b.step(v);
+        }
+        let ca = a.detected_count() as f64 / a.fault_list().len() as f64;
+        let cb = b.detected_count() as f64 / b.fault_list().len() as f64;
+        assert!(
+            (ca - cb).abs() < 0.15,
+            "coverage gap too large: {ca} vs {cb}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod synthetic_suite_tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn random_vector(s: &mut u64, pis: usize) -> Vec<Logic> {
+        let mut v = Vec::with_capacity(pis);
+        for _ in 0..pis {
+            *s ^= *s << 13;
+            *s ^= *s >> 7;
+            *s ^= *s << 17;
+            v.push(Logic::from_bool(*s & 1 == 1));
+        }
+        v
+    }
+
+    #[test]
+    fn s298_agrees_with_scalar_reference() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let faults = crate::fault::FaultList::collapsed(&circuit);
+        let mut s = 999u64;
+        let seq: Vec<Vec<Logic>> = (0..48)
+            .map(|_| random_vector(&mut s, circuit.num_inputs()))
+            .collect();
+        let mut sim = FaultSim::with_faults(Arc::clone(&circuit), faults.clone());
+        let mut fast = vec![false; faults.len()];
+        for v in &seq {
+            for f in sim.step(v).newly_detected {
+                fast[f.index()] = true;
+            }
+        }
+        for (id, fault) in faults.iter() {
+            let expect = super::tests::reference_detects(&circuit, fault, &seq);
+            assert_eq!(
+                fast[id.index()],
+                expect,
+                "fault {} mismatch",
+                fault.display(&circuit)
+            );
+        }
+    }
+
+    #[test]
+    fn s298_initializes_under_zero_hold_and_stays_binary() {
+        // The synthetic circuits are built so that holding the inputs at 0
+        // fully initializes the machine within `depth` frames, and X never
+        // re-enters the state afterwards.
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let depth = gatest_netlist::depth::sequential_depth(&circuit) as usize;
+        let mut sim = GoodSim::new(Arc::clone(&circuit));
+        let zeros = vec![Logic::Zero; circuit.num_inputs()];
+        for _ in 0..depth {
+            sim.apply(&zeros);
+        }
+        assert_eq!(sim.known_next_state(), circuit.num_dffs());
+        let mut s = 77u64;
+        for _ in 0..256 {
+            let v = random_vector(&mut s, circuit.num_inputs());
+            sim.apply(&v);
+            assert_eq!(sim.known_next_state(), circuit.num_dffs());
+        }
+    }
+
+    #[test]
+    fn s298_random_coverage_leaves_a_hard_tail() {
+        // Random patterns detect a solid fraction quickly but leave deep
+        // faults undetected — the regime the GA is designed for.
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let mut sim = FaultSim::new(Arc::clone(&circuit));
+        // Zero-hold initialization, then random patterns.
+        let depth = gatest_netlist::depth::sequential_depth(&circuit) as usize;
+        for _ in 0..depth + 2 {
+            sim.step(&vec![Logic::Zero; circuit.num_inputs()]);
+        }
+        let mut s = 12345u64;
+        for _ in 0..512 {
+            let v = random_vector(&mut s, circuit.num_inputs());
+            sim.step(&v);
+        }
+        let coverage = sim.detected_count() as f64 / sim.fault_list().len() as f64;
+        assert!(coverage > 0.30, "random coverage too low: {coverage:.3}");
+        assert!(coverage < 0.95, "no hard tail left: {coverage:.3}");
+    }
+}

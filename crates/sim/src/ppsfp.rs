@@ -1,0 +1,395 @@
+//! PPSFP — parallel-pattern single-fault propagation for combinational
+//! circuits (Waicukauski et al.), the classic dual of PROOFS:
+//!
+//! * PROOFS packs **64 faults** against one pattern (what sequential
+//!   circuits force on you, since patterns are order-dependent);
+//! * PPSFP packs **64 patterns** against one fault (what combinational —
+//!   e.g. full-scan — circuits allow, since patterns are independent).
+//!
+//! The good machine is simulated once per 64-pattern block; each fault is
+//! then propagated event-driven from its injection site through the block,
+//! with early exit once every pattern in the block has either detected the
+//! fault or provably cannot.
+//!
+//! Use this to grade test sets on [`full_scan`](gatest_netlist::scan)
+//! circuits; apply [`FaultSim`](crate::fsim::FaultSim) for sequential ones.
+
+use std::sync::Arc;
+
+use gatest_netlist::levelize::Levelization;
+use gatest_netlist::{Circuit, NetId};
+
+use crate::eval::eval_packed;
+use crate::fault::{FaultList, FaultSite};
+use crate::value::{Logic, Pv64};
+
+/// Error for circuits PPSFP cannot handle (sequential ones).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequentialCircuitError {
+    /// Flip-flops in the offending circuit.
+    pub flip_flops: usize,
+}
+
+impl std::fmt::Display for SequentialCircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PPSFP handles combinational circuits only; this one has {} flip-flops \
+             (scan it first, or use FaultSim)",
+            self.flip_flops
+        )
+    }
+}
+
+impl std::error::Error for SequentialCircuitError {}
+
+/// Result of grading a pattern set.
+#[derive(Debug, Clone)]
+pub struct PpsfpResult {
+    /// Per-fault detection: index of the first detecting pattern, if any.
+    pub first_detection: Vec<Option<u32>>,
+    /// Number of detected faults.
+    pub detected: usize,
+    /// Total faults graded.
+    pub total: usize,
+}
+
+impl PpsfpResult {
+    /// Detected / total.
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.detected as f64 / self.total as f64
+        }
+    }
+}
+
+/// The parallel-pattern fault grader.
+#[derive(Debug)]
+pub struct Ppsfp {
+    circuit: Arc<Circuit>,
+    lev: Levelization,
+    faults: FaultList,
+}
+
+impl Ppsfp {
+    /// Creates a grader over the collapsed fault list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SequentialCircuitError`] if the circuit has flip-flops.
+    pub fn new(circuit: Arc<Circuit>) -> Result<Self, SequentialCircuitError> {
+        let faults = FaultList::collapsed(&circuit);
+        Self::with_faults(circuit, faults)
+    }
+
+    /// Creates a grader over a caller-supplied fault list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SequentialCircuitError`] if the circuit has flip-flops.
+    pub fn with_faults(
+        circuit: Arc<Circuit>,
+        faults: FaultList,
+    ) -> Result<Self, SequentialCircuitError> {
+        if circuit.num_dffs() > 0 {
+            return Err(SequentialCircuitError {
+                flip_flops: circuit.num_dffs(),
+            });
+        }
+        let lev = Levelization::new(&circuit);
+        Ok(Ppsfp {
+            circuit,
+            lev,
+            faults,
+        })
+    }
+
+    /// The fault list being graded.
+    pub fn fault_list(&self) -> &FaultList {
+        &self.faults
+    }
+
+    /// Grades `patterns` (each one assignment of the primary inputs),
+    /// 64 at a time, against every fault.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pattern's length differs from the input count.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use std::sync::Arc;
+    /// use gatest_netlist::scan::full_scan;
+    /// use gatest_sim::ppsfp::Ppsfp;
+    /// use gatest_sim::Logic;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let seq = gatest_netlist::benchmarks::iscas89("s27")?;
+    /// let comb = Arc::new(full_scan(&seq).circuit().clone());
+    /// let grader = Ppsfp::new(Arc::clone(&comb))?;
+    /// let patterns: Vec<Vec<Logic>> = (0..64)
+    ///     .map(|i| (0..comb.num_inputs())
+    ///         .map(|b| Logic::from_bool((i >> (b % 7)) & 1 == 1))
+    ///         .collect())
+    ///     .collect();
+    /// let result = grader.grade(&patterns);
+    /// assert!(result.coverage() > 0.5);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn grade(&self, patterns: &[Vec<Logic>]) -> PpsfpResult {
+        let n = self.circuit.num_gates();
+        let mut first_detection: Vec<Option<u32>> = vec![None; self.faults.len()];
+
+        let mut good = vec![Pv64::ALL_X; n];
+        let mut fval = vec![Pv64::ALL_X; n];
+        let mut fstamp = vec![0u32; n];
+        let mut stamp = 0u32;
+        let mut queued = vec![0u32; n];
+        let mut buckets: Vec<Vec<NetId>> = vec![Vec::new(); self.lev.max_level() as usize + 1];
+
+        for (block_idx, block) in patterns.chunks(64).enumerate() {
+            // Good simulation of the whole block at once.
+            for (i, &pi) in self.circuit.inputs().iter().enumerate() {
+                let mut w = Pv64::ALL_X;
+                for (slot, pattern) in block.iter().enumerate() {
+                    assert_eq!(
+                        pattern.len(),
+                        self.circuit.num_inputs(),
+                        "pattern length must match the input count"
+                    );
+                    w.set(slot as u32, pattern[i]);
+                }
+                good[pi.index()] = w;
+            }
+            for &gate in self.lev.schedule() {
+                let kind = self.circuit.kind(gate);
+                if kind == gatest_netlist::GateKind::Const0 {
+                    good[gate.index()] = Pv64::ALL_ZERO;
+                    continue;
+                }
+                if kind == gatest_netlist::GateKind::Const1 {
+                    good[gate.index()] = Pv64::ALL_ONE;
+                    continue;
+                }
+                if !kind.is_combinational() {
+                    continue;
+                }
+                let fanin: Vec<Pv64> = self
+                    .circuit
+                    .fanin(gate)
+                    .iter()
+                    .map(|&s| good[s.index()])
+                    .collect();
+                good[gate.index()] = eval_packed(kind, &fanin);
+            }
+            let block_mask = if block.len() == 64 {
+                !0u64
+            } else {
+                (1u64 << block.len()) - 1
+            };
+
+            // One event-driven pass per still-undetected fault.
+            for (fid, fault) in self.faults.iter() {
+                if first_detection[fid.index()].is_some() {
+                    continue;
+                }
+                stamp = stamp.wrapping_add(2);
+                let forced = Pv64::broadcast(fault.stuck);
+
+                // Inject.
+                match fault.site {
+                    FaultSite::Stem(net) => {
+                        fval[net.index()] = forced;
+                        fstamp[net.index()] = stamp;
+                        if forced.any_diff(good[net.index()]) & block_mask != 0 {
+                            for &out in self.circuit.fanout(net) {
+                                schedule(&self.lev, &mut buckets, &mut queued, stamp, out);
+                            }
+                        }
+                    }
+                    FaultSite::Branch { gate, .. } => {
+                        schedule(&self.lev, &mut buckets, &mut queued, stamp, gate);
+                    }
+                }
+
+                // Propagate.
+                for level in 1..buckets.len() {
+                    let gates = std::mem::take(&mut buckets[level]);
+                    for gate in gates {
+                        queued[gate.index()] = 0;
+                        let kind = self.circuit.kind(gate);
+                        let mut fanin: Vec<Pv64> =
+                            Vec::with_capacity(self.circuit.fanin(gate).len());
+                        for (pin, &s) in self.circuit.fanin(gate).iter().enumerate() {
+                            let mut w = if fstamp[s.index()] == stamp {
+                                fval[s.index()]
+                            } else {
+                                good[s.index()]
+                            };
+                            if let FaultSite::Branch { gate: fg, pin: fp } = fault.site {
+                                if fg == gate && fp as usize == pin {
+                                    w = forced;
+                                }
+                            }
+                            fanin.push(w);
+                        }
+                        let mut out = eval_packed(kind, &fanin);
+                        if fault.site == FaultSite::Stem(gate) {
+                            out = forced;
+                        }
+                        let old = if fstamp[gate.index()] == stamp {
+                            fval[gate.index()]
+                        } else {
+                            good[gate.index()]
+                        };
+                        if out != old {
+                            fval[gate.index()] = out;
+                            fstamp[gate.index()] = stamp;
+                            for &next in self.circuit.fanout(gate) {
+                                schedule(&self.lev, &mut buckets, &mut queued, stamp, next);
+                            }
+                        }
+                    }
+                }
+
+                // Detect.
+                let mut det = 0u64;
+                for &po in self.circuit.outputs() {
+                    let f = if fstamp[po.index()] == stamp {
+                        fval[po.index()]
+                    } else {
+                        good[po.index()]
+                    };
+                    det |= f.binary_diff(good[po.index()]);
+                }
+                det &= block_mask;
+                if det != 0 {
+                    let slot = det.trailing_zeros();
+                    first_detection[fid.index()] = Some((block_idx * 64) as u32 + slot);
+                }
+            }
+        }
+
+        let detected = first_detection.iter().filter(|d| d.is_some()).count();
+        PpsfpResult {
+            detected,
+            total: self.faults.len(),
+            first_detection,
+        }
+    }
+}
+
+fn schedule(
+    lev: &Levelization,
+    buckets: &mut [Vec<NetId>],
+    queued: &mut [u32],
+    stamp: u32,
+    gate: NetId,
+) {
+    if queued[gate.index()] != stamp {
+        queued[gate.index()] = stamp;
+        buckets[lev.level(gate) as usize].push(gate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatest_netlist::scan::full_scan;
+
+    fn scanned(name: &str) -> Arc<Circuit> {
+        let seq = gatest_netlist::benchmarks::iscas89(name).unwrap();
+        Arc::new(full_scan(&seq).circuit().clone())
+    }
+
+    fn random_patterns(pis: usize, count: usize, seed: u64) -> Vec<Vec<Logic>> {
+        let mut rng = crate::transition::tests_support::Rng::new(seed);
+        (0..count)
+            .map(|_| (0..pis).map(|_| Logic::from_bool(rng.coin())).collect())
+            .collect()
+    }
+
+    #[test]
+    fn rejects_sequential_circuits() {
+        let seq = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        assert!(Ppsfp::new(seq).is_err());
+    }
+
+    #[test]
+    fn agrees_with_faultsim_on_scanned_s27() {
+        // For a combinational circuit, FaultSim (64 faults × 1 pattern) and
+        // PPSFP (1 fault × 64 patterns) must detect exactly the same fault
+        // set under the same patterns.
+        let comb = scanned("s27");
+        let patterns = random_patterns(comb.num_inputs(), 96, 3);
+
+        let grader = Ppsfp::new(Arc::clone(&comb)).unwrap();
+        let result = grader.grade(&patterns);
+
+        let mut reference = crate::fsim::FaultSim::new(Arc::clone(&comb));
+        for p in &patterns {
+            reference.step(p);
+        }
+        assert_eq!(result.detected, reference.detected_count());
+        for (id, _) in grader.fault_list().iter() {
+            let ppsfp_hit = result.first_detection[id.index()].is_some();
+            let ref_hit = matches!(
+                reference.status(id),
+                crate::fault::FaultStatus::Detected { .. }
+            );
+            assert_eq!(ppsfp_hit, ref_hit, "fault {id:?}");
+        }
+    }
+
+    #[test]
+    fn first_detection_indices_agree_with_faultsim() {
+        let comb = scanned("s27");
+        let patterns = random_patterns(comb.num_inputs(), 80, 7);
+        let grader = Ppsfp::new(Arc::clone(&comb)).unwrap();
+        let result = grader.grade(&patterns);
+
+        let mut reference = crate::fsim::FaultSim::new(Arc::clone(&comb));
+        for p in &patterns {
+            reference.step(p);
+        }
+        for (id, _) in grader.fault_list().iter() {
+            if let crate::fault::FaultStatus::Detected { vector } = reference.status(id) {
+                assert_eq!(
+                    result.first_detection[id.index()],
+                    Some(vector),
+                    "fault {id:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_final_block_is_masked() {
+        // 70 patterns = one full block + 6; slots 6..64 of the second block
+        // must not produce phantom detections.
+        let comb = scanned("s386");
+        let patterns = random_patterns(comb.num_inputs(), 70, 11);
+        let grader = Ppsfp::new(Arc::clone(&comb)).unwrap();
+        let result = grader.grade(&patterns);
+        for d in result.first_detection.iter().flatten() {
+            assert!((*d as usize) < patterns.len());
+        }
+    }
+
+    #[test]
+    fn scanned_circuits_reach_high_coverage_fast() {
+        let comb = scanned("s298");
+        let patterns = random_patterns(comb.num_inputs(), 256, 5);
+        let grader = Ppsfp::new(Arc::clone(&comb)).unwrap();
+        let result = grader.grade(&patterns);
+        assert!(
+            result.coverage() > 0.85,
+            "scan makes everything easy: {:.2}",
+            result.coverage()
+        );
+    }
+}

@@ -1,0 +1,312 @@
+//! Exhaustive state-space analysis for small sequential circuits.
+//!
+//! Sequential ATPG difficulty is, at bottom, a reachability question: a
+//! fault is testable only if some reachable state activates it and some
+//! continuation propagates it. For circuits with a handful of flip-flops
+//! this can be settled exactly by breadth-first search over the binary
+//! state space — the analysis behind statements like "state S is
+//! unreachable, therefore fault F is sequentially untestable".
+//!
+//! The module also computes **synchronizing sequences**: input sequences
+//! that drive the machine from the all-X state to one fully known state,
+//! regardless of the initial state — what GATEST's phase 1 searches for
+//! stochastically.
+//!
+//! Complexity is exponential in flip-flop count (3^FFs states in the
+//! X-aware search), so entry points enforce a flip-flop limit.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use gatest_netlist::Circuit;
+
+use crate::good_sim::GoodSim;
+use crate::value::Logic;
+
+/// Upper bound on flip-flop count for exhaustive analysis.
+pub const MAX_FFS: usize = 16;
+
+/// Error for circuits too large to analyze exhaustively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TooManyFlipFlopsError {
+    /// Flip-flops in the offending circuit.
+    pub flip_flops: usize,
+}
+
+impl std::fmt::Display for TooManyFlipFlopsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "exhaustive state analysis is limited to {MAX_FFS} flip-flops, circuit has {}",
+            self.flip_flops
+        )
+    }
+}
+
+impl std::error::Error for TooManyFlipFlopsError {}
+
+/// Result of exhaustive reachability analysis from the all-X power-up state.
+#[derive(Debug, Clone)]
+pub struct StateSpace {
+    num_ffs: usize,
+    /// Ternary states reachable from power-up (each `Vec<Logic>` of FF
+    /// values), with the BFS depth at which each was first reached.
+    reachable: HashMap<Vec<Logic>, u32>,
+}
+
+impl StateSpace {
+    /// Explores every state reachable from the all-X power-up state under
+    /// all possible binary input vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TooManyFlipFlopsError`] if the circuit has more than
+    /// [`MAX_FFS`] flip-flops. Circuits with more than 20 primary inputs
+    /// are also rejected (2^PIs successor computations per state).
+    pub fn explore(circuit: &Arc<Circuit>) -> Result<Self, TooManyFlipFlopsError> {
+        let nffs = circuit.num_dffs();
+        if nffs > MAX_FFS || circuit.num_inputs() > 20 {
+            return Err(TooManyFlipFlopsError { flip_flops: nffs });
+        }
+        let pis = circuit.num_inputs();
+        let sim = GoodSim::new(Arc::clone(circuit));
+
+        let mut reachable: HashMap<Vec<Logic>, u32> = HashMap::new();
+        let mut queue: VecDeque<(GoodSimState, u32)> = VecDeque::new();
+
+        let start = sim.snapshot();
+        reachable.insert(sim.state(), 0);
+        queue.push_back((start, 0));
+
+        let mut scratch = sim;
+        while let Some((snap, depth)) = queue.pop_front() {
+            for input in 0..(1u32 << pis) {
+                scratch.restore(&snap);
+                let vector = decode_input(input, pis);
+                scratch.apply(&vector);
+                // The state after latching is the *next* frame's state.
+                let next: Vec<Logic> = (0..nffs).map(|i| scratch.next_state_of(i)).collect();
+                if !reachable.contains_key(&next) {
+                    reachable.insert(next.clone(), depth + 1);
+                    // Prepare a snapshot *after* latching: apply any vector
+                    // then roll one more frame? Simpler: snapshot the
+                    // simulator state now — `apply` already latched the
+                    // previous state and computed `next_state`, so the next
+                    // `apply` continues correctly.
+                    queue.push_back((scratch.snapshot(), depth + 1));
+                }
+            }
+        }
+
+        Ok(StateSpace {
+            num_ffs: nffs,
+            reachable,
+        })
+    }
+
+    /// Number of distinct (ternary) states reached, including partial-X
+    /// transients.
+    pub fn reachable_states(&self) -> usize {
+        self.reachable.len()
+    }
+
+    /// Number of *fully specified* (no X) reachable states.
+    pub fn reachable_binary_states(&self) -> usize {
+        self.reachable
+            .keys()
+            .filter(|s| s.iter().all(|v| v.is_known()))
+            .count()
+    }
+
+    /// Whether `state` (a full assignment of flip-flop values) is reachable
+    /// from power-up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len()` differs from the circuit's flip-flop count.
+    pub fn is_reachable(&self, state: &[Logic]) -> bool {
+        assert_eq!(state.len(), self.num_ffs);
+        self.reachable.contains_key(state)
+    }
+
+    /// The BFS depth (frames from power-up) at which `state` was first
+    /// reached, if ever.
+    pub fn depth_of(&self, state: &[Logic]) -> Option<u32> {
+        self.reachable.get(state).copied()
+    }
+
+    /// The fraction of the 2^FFs binary state space that is reachable.
+    pub fn binary_coverage(&self) -> f64 {
+        if self.num_ffs >= 64 {
+            return 0.0;
+        }
+        self.reachable_binary_states() as f64 / (1u64 << self.num_ffs) as f64
+    }
+}
+
+/// Finds a synchronizing sequence: inputs that drive the machine from the
+/// all-X state to a fully known state. Returns `None` if no such sequence
+/// of at most `max_len` frames exists (under three-valued simulation, which
+/// is pessimistic but safe).
+///
+/// # Errors
+///
+/// Returns [`TooManyFlipFlopsError`] for circuits beyond the exhaustive
+/// limits.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use gatest_sim::state_space::synchronizing_sequence;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27")?);
+/// let seq = synchronizing_sequence(&circuit, 8)?.expect("s27 synchronizes");
+/// assert!(!seq.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn synchronizing_sequence(
+    circuit: &Arc<Circuit>,
+    max_len: usize,
+) -> Result<Option<Vec<Vec<Logic>>>, TooManyFlipFlopsError> {
+    let nffs = circuit.num_dffs();
+    if nffs > MAX_FFS || circuit.num_inputs() > 20 {
+        return Err(TooManyFlipFlopsError { flip_flops: nffs });
+    }
+    let pis = circuit.num_inputs();
+    let sim = GoodSim::new(Arc::clone(circuit));
+
+    // BFS over ternary states, tracking the path.
+    let mut seen: HashMap<Vec<Logic>, (Vec<Logic>, u32)> = HashMap::new(); // state -> (parent key.., )
+    let mut parents: HashMap<Vec<Logic>, (Vec<Logic>, u32)> = HashMap::new();
+    let mut queue: VecDeque<(GoodSimState, Vec<Logic>, usize)> = VecDeque::new();
+    queue.push_back((sim.snapshot(), sim.state(), 0));
+    seen.insert(sim.state(), (sim.state(), 0));
+
+    let mut scratch = sim;
+    while let Some((snap, state_key, len)) = queue.pop_front() {
+        if state_key.iter().all(|v| v.is_known()) {
+            // Reconstruct the input path.
+            let mut path: Vec<u32> = Vec::new();
+            let mut cur = state_key.clone();
+            while let Some((parent, input)) = parents.get(&cur) {
+                path.push(*input);
+                cur = parent.clone();
+            }
+            path.reverse();
+            return Ok(Some(
+                path.into_iter().map(|i| decode_input(i, pis)).collect(),
+            ));
+        }
+        if len >= max_len {
+            continue;
+        }
+        for input in 0..(1u32 << pis) {
+            scratch.restore(&snap);
+            scratch.apply(&decode_input(input, pis));
+            let next: Vec<Logic> = (0..nffs).map(|i| scratch.next_state_of(i)).collect();
+            if !seen.contains_key(&next) {
+                seen.insert(next.clone(), (state_key.clone(), input));
+                parents.insert(next.clone(), (state_key.clone(), input));
+                queue.push_back((scratch.snapshot(), next, len + 1));
+            }
+        }
+    }
+    Ok(None)
+}
+
+use crate::good_sim::GoodSimState;
+
+fn decode_input(bits: u32, pis: usize) -> Vec<Logic> {
+    (0..pis)
+        .map(|i| Logic::from_bool(bits >> i & 1 == 1))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatest_netlist::{CircuitBuilder, GateKind};
+
+    fn toggle_ff() -> Arc<Circuit> {
+        // q' = NOT q when en=1 else q ... reachable states: {X, 0, 1}.
+        let mut b = CircuitBuilder::new("toggle");
+        let en = b.input("en");
+        let q = b.forward_ref("q");
+        let nq = b.gate(GateKind::Not, "nq", &[q]);
+        let hold = b.gate(GateKind::And, "hold", &[q, en]);
+        // d = en ? !q : 0  (reset to 0 when en=0, toggle-ish when en=1)
+        let d = b.gate(GateKind::And, "d", &[nq, en]);
+        b.gate(GateKind::Dff, "q", &[d]);
+        b.output(hold);
+        Arc::new(b.finish().unwrap())
+    }
+
+    #[test]
+    fn explores_small_machine() {
+        let c = toggle_ff();
+        let space = StateSpace::explore(&c).unwrap();
+        // X (power-up), 0, 1 all occur.
+        assert!(space.reachable_states() >= 2);
+        assert!(space.reachable_binary_states() >= 1);
+        assert!(space.binary_coverage() > 0.0);
+    }
+
+    #[test]
+    fn s27_reaches_every_binary_state_or_not() {
+        let c = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let space = StateSpace::explore(&c).unwrap();
+        // 3 flip-flops -> at most 8 binary states; the analysis tells us
+        // exactly how many are reachable from power-up.
+        let binary = space.reachable_binary_states();
+        assert!(binary >= 1 && binary <= 8, "got {binary}");
+        // The all-X power-up state is recorded at depth 0.
+        assert_eq!(space.depth_of(&[Logic::X, Logic::X, Logic::X]), Some(0));
+    }
+
+    #[test]
+    fn s27_has_a_synchronizing_sequence() {
+        let c = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let seq = synchronizing_sequence(&c, 8)
+            .unwrap()
+            .expect("synchronizes");
+        // Verify by simulation: applying the sequence from power-up leaves
+        // every flip-flop known.
+        let mut sim = GoodSim::new(Arc::clone(&c));
+        for v in &seq {
+            sim.apply(v);
+        }
+        assert_eq!(sim.known_next_state(), c.num_dffs());
+    }
+
+    #[test]
+    fn synchronizing_sequence_is_minimal_length() {
+        // BFS guarantees minimality; for s27 the sequence found must be at
+        // most the circuit's sequential depth + a small constant.
+        let c = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let seq = synchronizing_sequence(&c, 8).unwrap().unwrap();
+        assert!(seq.len() <= 3, "s27 synchronizes in {} frames", seq.len());
+    }
+
+    #[test]
+    fn unsynchronizable_machine_returns_none() {
+        // q' = q XOR a: from X, q stays X forever.
+        let mut b = CircuitBuilder::new("unsync");
+        let a = b.input("a");
+        let q = b.forward_ref("q");
+        let d = b.gate(GateKind::Xor, "d", &[a, q]);
+        b.gate(GateKind::Dff, "q", &[d]);
+        b.output(d);
+        let c = Arc::new(b.finish().unwrap());
+        assert_eq!(synchronizing_sequence(&c, 6).unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_oversized_circuits() {
+        let c = Arc::new(gatest_netlist::benchmarks::iscas89("s1423").unwrap());
+        assert!(StateSpace::explore(&c).is_err());
+        assert!(synchronizing_sequence(&c, 4).is_err());
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the packed three-valued logic layer.
+
+use proptest::prelude::*;
+
+use gatest_netlist::GateKind;
+use gatest_sim::eval::{eval_packed, eval_scalar};
+use gatest_sim::{Logic, Pv64};
+
+fn arb_logic() -> impl Strategy<Value = Logic> {
+    prop_oneof![Just(Logic::Zero), Just(Logic::One), Just(Logic::X)]
+}
+
+fn arb_word() -> impl Strategy<Value = Vec<Logic>> {
+    proptest::collection::vec(arb_logic(), 64)
+}
+
+fn pack(values: &[Logic]) -> Pv64 {
+    let mut w = Pv64::ALL_X;
+    for (i, &v) in values.iter().enumerate() {
+        w.set(i as u32, v);
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Packing and unpacking are inverse for every slot pattern.
+    #[test]
+    fn pack_round_trips(values in arb_word()) {
+        let w = pack(&values);
+        prop_assert!(w.is_valid());
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(w.get(i as u32), v);
+        }
+    }
+
+    /// Every packed gate evaluation agrees with the scalar evaluation in
+    /// every slot, for arbitrary mixed-value words and arities 1-4.
+    #[test]
+    fn packed_eval_matches_scalar(
+        inputs in proptest::collection::vec(arb_word(), 1..5),
+        kind_idx in 0usize..8,
+    ) {
+        let kinds = [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Not,
+            GateKind::Buf,
+        ];
+        let kind = kinds[kind_idx];
+        let arity = match kind {
+            GateKind::Not | GateKind::Buf => 1,
+            _ => inputs.len(),
+        };
+        let words: Vec<Pv64> = inputs.iter().take(arity).map(|v| pack(v)).collect();
+        let packed = eval_packed(kind, &words);
+        prop_assert!(packed.is_valid());
+        for slot in 0..64u32 {
+            let scalar_in: Vec<Logic> = inputs
+                .iter()
+                .take(arity)
+                .map(|v| v[slot as usize])
+                .collect();
+            prop_assert_eq!(
+                packed.get(slot),
+                eval_scalar(kind, &scalar_in),
+                "{:?} slot {}", kind, slot
+            );
+        }
+    }
+
+    /// binary_diff is symmetric, implied by any_diff, and zero on equal
+    /// words.
+    #[test]
+    fn diff_mask_properties(a in arb_word(), b in arb_word()) {
+        let wa = pack(&a);
+        let wb = pack(&b);
+        prop_assert_eq!(wa.binary_diff(wb), wb.binary_diff(wa));
+        prop_assert_eq!(wa.binary_diff(wb) & !wa.any_diff(wb), 0);
+        prop_assert_eq!(wa.any_diff(wa), 0);
+        // Per-slot agreement with the scalar definition.
+        for slot in 0..64u32 {
+            let (x, y) = (a[slot as usize], b[slot as usize]);
+            let strict = x.is_known() && y.is_known() && x != y;
+            prop_assert_eq!(wa.binary_diff(wb) >> slot & 1 == 1, strict);
+            prop_assert_eq!(wa.any_diff(wb) >> slot & 1 == 1, x != y);
+        }
+    }
+
+    /// force() touches exactly the masked slots.
+    #[test]
+    fn force_is_surgical(values in arb_word(), mask in any::<u64>(), v in arb_logic()) {
+        let w = pack(&values);
+        let forced = w.force(mask, v);
+        prop_assert!(forced.is_valid());
+        for slot in 0..64u32 {
+            if mask >> slot & 1 == 1 {
+                prop_assert_eq!(forced.get(slot), v);
+            } else {
+                prop_assert_eq!(forced.get(slot), w.get(slot));
+            }
+        }
+    }
+
+    /// De Morgan in three-valued logic: !(a & b) == (!a | !b), packed.
+    #[test]
+    fn de_morgan_holds(a in arb_word(), b in arb_word()) {
+        let wa = pack(&a);
+        let wb = pack(&b);
+        prop_assert_eq!(wa.and(wb).not(), wa.not().or(wb.not()));
+        prop_assert_eq!(wa.or(wb).not(), wa.not().and(wb.not()));
+    }
+}

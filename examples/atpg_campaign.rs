@@ -1,0 +1,95 @@
+//! A full ATPG campaign: run GATEST, the HITEC-like deterministic baseline,
+//! the CRIS-like GA, and random patterns over a suite of circuits, printing
+//! a Table 2-style comparison and writing the GA test sets to disk.
+//!
+//! ```text
+//! cargo run --release --example atpg_campaign [-- circuit ...]
+//! ```
+//!
+//! Test sets are written to `target/test_sets/<circuit>.tests` (one vector
+//! per line, `0`/`1` per primary input).
+
+use std::error::Error;
+use std::sync::Arc;
+
+use gatest_baselines::cris::{CrisAtpg, CrisConfig};
+use gatest_baselines::hitec::{HitecAtpg, HitecConfig};
+use gatest_baselines::random::RandomAtpg;
+use gatest_core::report::{format_duration, test_set_to_string};
+use gatest_core::{FaultSample, GatestConfig, TestGenerator};
+use gatest_netlist::benchmarks;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut circuits: Vec<String> = std::env::args().skip(1).collect();
+    if circuits.is_empty() {
+        circuits = vec!["s27".into(), "s298".into(), "s386".into()];
+    }
+    let out_dir = std::path::Path::new("target/test_sets");
+    std::fs::create_dir_all(out_dir)?;
+
+    println!(
+        "{:<8} {:<8} {:>7} {:>7} {:>7} {:>9}",
+        "circuit", "method", "faults", "det", "vec", "time"
+    );
+    for name in &circuits {
+        let circuit = Arc::new(benchmarks::iscas89(name)?);
+
+        // GATEST (fault sampling keeps the campaign quick; use
+        // FaultSample::Full for maximum coverage).
+        let mut config = GatestConfig::for_circuit(&circuit).with_seed(1);
+        config.fault_sample = FaultSample::Count(100);
+        let ga = TestGenerator::new(Arc::clone(&circuit), config).run();
+        println!(
+            "{:<8} {:<8} {:>7} {:>7} {:>7} {:>9}",
+            name,
+            "gatest",
+            ga.total_faults,
+            ga.detected,
+            ga.vectors(),
+            format_duration(ga.elapsed)
+        );
+        std::fs::write(
+            out_dir.join(format!("{name}.tests")),
+            test_set_to_string(&ga.test_set),
+        )?;
+
+        // HITEC-like deterministic ATPG.
+        let hitec = HitecAtpg::new(Arc::clone(&circuit), HitecConfig::default()).run();
+        println!(
+            "{:<8} {:<8} {:>7} {:>7} {:>7} {:>9}",
+            name,
+            "hitec",
+            hitec.total_faults,
+            hitec.detected,
+            hitec.vectors(),
+            format_duration(hitec.elapsed)
+        );
+
+        // CRIS-like logic-simulation GA.
+        let cris = CrisAtpg::new(Arc::clone(&circuit), CrisConfig::default()).run();
+        println!(
+            "{:<8} {:<8} {:>7} {:>7} {:>7} {:>9}",
+            name,
+            "cris",
+            cris.total_faults,
+            cris.detected,
+            cris.vectors(),
+            format_duration(cris.elapsed)
+        );
+
+        // Random patterns with the same vector budget as GATEST.
+        let random = RandomAtpg::new(Arc::clone(&circuit), 1).run(ga.vectors());
+        println!(
+            "{:<8} {:<8} {:>7} {:>7} {:>7} {:>9}",
+            name,
+            "random",
+            random.total_faults,
+            random.detected,
+            random.vectors(),
+            format_duration(random.elapsed)
+        );
+        println!();
+    }
+    println!("GA test sets written to {}", out_dir.display());
+    Ok(())
+}

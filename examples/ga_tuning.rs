@@ -1,0 +1,85 @@
+//! GA parameter tuning on one circuit: sweep the selection and crossover
+//! schemes (the paper's Table 3 axes) plus the mutation rate (Table 4) and
+//! print the fault-coverage landscape — a miniature of the experiment
+//! harness for interactive exploration.
+//!
+//! ```text
+//! cargo run --release --example ga_tuning [circuit] [runs]
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use gatest_core::{FaultSample, GatestConfig, TestGenerator};
+use gatest_ga::{CrossoverScheme, SelectionScheme};
+use gatest_netlist::benchmarks;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let circuit_name = args.next().unwrap_or_else(|| "s298".to_string());
+    let runs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+
+    let circuit = Arc::new(benchmarks::iscas89(&circuit_name)?);
+    println!(
+        "{} — mean faults detected over {runs} run(s)\n",
+        circuit.stats()
+    );
+
+    let mean_detected = |tweak: &dyn Fn(&mut GatestConfig)| -> f64 {
+        let mut sum = 0usize;
+        for run in 0..runs {
+            let mut config = GatestConfig::for_circuit(&circuit);
+            config.fault_sample = FaultSample::Count(100);
+            config.seed = 0x5eed + run as u64;
+            tweak(&mut config);
+            sum += TestGenerator::new(Arc::clone(&circuit), config)
+                .run()
+                .detected;
+        }
+        sum as f64 / runs as f64
+    };
+
+    // Table 3 landscape: selection × crossover.
+    print!("{:<18}", "");
+    for crossover in CrossoverScheme::ALL {
+        print!("{:>8}", crossover.label());
+    }
+    println!();
+    let mut best = (f64::MIN, "", "");
+    for selection in SelectionScheme::ALL {
+        print!("{:<18}", selection.label());
+        for crossover in CrossoverScheme::ALL {
+            let detected = mean_detected(&|c: &mut GatestConfig| {
+                c.selection = selection;
+                c.crossover = crossover;
+            });
+            if detected > best.0 {
+                best = (detected, selection.label(), crossover.label());
+            }
+            print!("{detected:>8.1}");
+        }
+        println!();
+    }
+    println!(
+        "\nbest combination: {} + {} ({:.1} faults)",
+        best.1, best.2, best.0
+    );
+    println!("(the paper found tournament-without-replacement + uniform best overall)\n");
+
+    // Table 4 slice: sequence-generation mutation rate.
+    print!("{:<18}", "mutation rate");
+    for denom in [16, 32, 64, 128, 256] {
+        print!("{:>8}", format!("1/{denom}"));
+    }
+    println!();
+    print!("{:<18}", "detected");
+    for denom in [16u32, 32, 64, 128, 256] {
+        let detected = mean_detected(&|c: &mut GatestConfig| {
+            c.sequence_mutation = 1.0 / denom as f64;
+        });
+        print!("{detected:>8.1}");
+    }
+    println!();
+    println!("(the paper found mutation a much weaker knob than selection/crossover)");
+    Ok(())
+}

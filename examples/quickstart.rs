@@ -1,0 +1,62 @@
+//! Quickstart: generate tests for one benchmark circuit and print a report.
+//!
+//! ```text
+//! cargo run --release --example quickstart [circuit] [seed]
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use gatest_core::{report, GatestConfig, TestGenerator};
+use gatest_netlist::benchmarks;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let circuit_name = args.next().unwrap_or_else(|| "s298".to_string());
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    // Load a bundled benchmark (or parse your own with
+    // `gatest_netlist::parse_bench`).
+    let circuit = Arc::new(benchmarks::iscas89(&circuit_name)?);
+    println!("{}", circuit.stats());
+    println!(
+        "sequential depth: {}",
+        gatest_netlist::depth::sequential_depth(&circuit)
+    );
+
+    // The paper's configuration for this circuit (Table 1 GA parameters,
+    // progress limits, sequence-length schedule).
+    let config = GatestConfig::for_circuit(&circuit).with_seed(seed);
+    let mut generator = TestGenerator::new(Arc::clone(&circuit), config);
+    let result = generator.run();
+
+    println!();
+    println!("{}", report::table_header());
+    println!("{}", report::table_row(&result));
+    println!();
+    println!(
+        "phase breakdown: init={} vectors, detect={}, stalled={}, sequences={}",
+        result.phase_vectors[0],
+        result.phase_vectors[1],
+        result.phase_vectors[2],
+        result.phase_vectors[3],
+    );
+    println!(
+        "{} GA fitness evaluations, {} sequence attempts",
+        result.ga_evaluations, result.sequence_attempts
+    );
+
+    // The test set replays exactly: grade it with a fresh fault simulator.
+    let mut sim = gatest_sim::FaultSim::new(circuit);
+    for v in &result.test_set {
+        sim.step(v);
+    }
+    assert_eq!(sim.detected_count(), result.detected);
+    println!(
+        "replayed test set confirms {}/{} faults detected ({:.1}% coverage)",
+        sim.detected_count(),
+        result.total_faults,
+        100.0 * result.fault_coverage()
+    );
+    Ok(())
+}

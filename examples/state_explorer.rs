@@ -1,0 +1,93 @@
+//! Exhaustive state-space analysis of a small sequential circuit: reachable
+//! states, synchronizing sequence, testability estimates — and a Graphviz
+//! dump of the netlist for visual inspection.
+//!
+//! ```text
+//! cargo run --release --example state_explorer [circuit] [--dot out.dot]
+//! ```
+
+use std::error::Error;
+use std::sync::Arc;
+
+use gatest_netlist::benchmarks;
+use gatest_sim::state_space::{synchronizing_sequence, StateSpace};
+use gatest_sim::{FaultSim, GoodSim, Logic};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1).peekable();
+    let circuit_name = match args.peek() {
+        Some(a) if !a.starts_with("--") => args.next().unwrap(),
+        _ => "s27".to_string(),
+    };
+    let mut dot_path = None;
+    while let Some(arg) = args.next() {
+        if arg == "--dot" {
+            dot_path = args.next();
+        }
+    }
+
+    let circuit = Arc::new(benchmarks::iscas89(&circuit_name)?);
+    println!("{}", circuit.stats());
+    println!(
+        "sequential depth: {}",
+        gatest_netlist::depth::sequential_depth(&circuit)
+    );
+
+    if let Some(path) = dot_path {
+        std::fs::write(&path, gatest_netlist::dot::to_dot(&circuit))?;
+        println!("wrote Graphviz netlist to {path}");
+    }
+
+    // Exhaustive reachability (small circuits only).
+    match StateSpace::explore(&circuit) {
+        Ok(space) => {
+            println!(
+                "\nreachable states from power-up: {} ternary, {} fully binary \
+                 ({:.1}% of the 2^{} binary space)",
+                space.reachable_states(),
+                space.reachable_binary_states(),
+                100.0 * space.binary_coverage(),
+                circuit.num_dffs()
+            );
+        }
+        Err(e) => println!("\nstate space: {e}"),
+    }
+
+    // Synchronizing sequence (what GATEST's phase 1 searches for).
+    match synchronizing_sequence(&circuit, 16) {
+        Ok(Some(seq)) => {
+            println!("synchronizing sequence of {} frame(s) found:", seq.len());
+            for (i, v) in seq.iter().enumerate() {
+                let bits: String = v.iter().map(|x| x.to_string()).collect();
+                println!("  frame {i}: {bits}");
+            }
+            // Verify and continue into a quick fault-coverage probe.
+            let mut good = GoodSim::new(Arc::clone(&circuit));
+            for v in &seq {
+                good.apply(v);
+            }
+            assert_eq!(good.known_next_state(), circuit.num_dffs());
+            println!("verified: machine fully initialized after the sequence");
+
+            let mut sim = FaultSim::new(Arc::clone(&circuit));
+            for v in &seq {
+                sim.step(v);
+            }
+            let mut rng = gatest_ga::Rng::new(7);
+            for _ in 0..256 {
+                let v: Vec<Logic> = (0..circuit.num_inputs())
+                    .map(|_| Logic::from_bool(rng.coin()))
+                    .collect();
+                sim.step(&v);
+            }
+            println!(
+                "synchronize-then-random coverage: {}/{} faults",
+                sim.detected_count(),
+                sim.fault_list().len()
+            );
+        }
+        Ok(None) => println!("no synchronizing sequence within 16 frames (3-valued analysis)"),
+        Err(e) => println!("synchronizing sequence: {e}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Splice experiment-harness outputs into EXPERIMENTS.md.
+
+Usage: fill_experiments.py MAIN STUDY LADDER BIG
+where MAIN/STUDY/LADDER/BIG are text files captured from the
+`experiments` harness (and `big_run`). Each placeholder comment in
+EXPERIMENTS.md (e.g. `<!-- TABLE2 -->`) is replaced by the corresponding
+section of the captured output, wrapped in a code fence.
+"""
+
+import re
+import sys
+
+
+def sections(text):
+    """Split harness output into titled blocks."""
+    out = {}
+    current = None
+    buf = []
+    for line in text.splitlines():
+        if line.startswith(("Table ", "Figure ", "GA vs CRIS", "Simulation-based")):
+            if current:
+                out[current] = "\n".join(buf).rstrip()
+            current = line.split(":")[0].strip()
+            buf = [line]
+        elif current:
+            buf.append(line)
+    if current:
+        out[current] = "\n".join(buf).rstrip()
+    return out
+
+
+def main():
+    main_txt = open(sys.argv[1]).read()
+    study_txt = open(sys.argv[2]).read()
+    ladder_txt = open(sys.argv[3]).read()
+    big_txt = open(sys.argv[4]).read() if len(sys.argv) > 4 else ""
+
+    blocks = {}
+    blocks.update(sections(main_txt))
+    blocks.update(sections(study_txt))
+    blocks.update(sections(ladder_txt))
+
+    mapping = {
+        "TABLE2": "Table 2",
+        "TABLE3": "Table 3",
+        "TABLE4": "Table 4",
+        "TABLE5": "Table 5",
+        "TABLE6": "Table 6",
+        "TABLE7": "Table 7",
+        "FIGURE1": "Figure 1",
+        "FIGURE2": "Figure 2",
+        "CRIS": "GA vs CRIS",
+        "LADDER": "Simulation-based",
+    }
+
+    md = open("EXPERIMENTS.md").read()
+    for tag, title in mapping.items():
+        body = blocks.get(title)
+        if body is None:
+            print(f"warning: no harness section for {tag}", file=sys.stderr)
+            continue
+        md = md.replace(f"<!-- {tag} -->", f"```text\n{body}\n```")
+
+    big = "\n".join(
+        l for l in big_txt.splitlines() if l.strip() and not l.startswith("EXIT")
+    )
+    if big:
+        md = md.replace("<!-- BIG -->", f"```text\n{big}\n```")
+
+    open("EXPERIMENTS.md", "w").write(md)
+    leftover = re.findall(r"<!-- [A-Z0-9]+ -->", md)
+    print("filled; leftover placeholders:", leftover)
+
+
+if __name__ == "__main__":
+    main()

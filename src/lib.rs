@@ -1,0 +1,25 @@
+//! Umbrella crate for the GATEST reproduction: re-exports every workspace
+//! crate and hosts the runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`).
+//!
+//! Start with [`core::TestGenerator`] (the paper's contribution) and
+//! [`netlist::benchmarks`] (the bundled circuit suite):
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gatest_repro::core::{GatestConfig, TestGenerator};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let circuit = Arc::new(gatest_repro::netlist::benchmarks::iscas89("s27")?);
+//! let config = GatestConfig::for_circuit(&circuit).with_seed(1);
+//! let result = TestGenerator::new(circuit, config).run();
+//! assert!(result.fault_coverage() > 0.8);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use gatest_baselines as baselines;
+pub use gatest_core as core;
+pub use gatest_ga as ga;
+pub use gatest_netlist as netlist;
+pub use gatest_sim as sim;

@@ -1,0 +1,102 @@
+//! Cross-baseline integration tests: the relative ordering the paper
+//! reports must hold on the bundled suite.
+
+use std::sync::Arc;
+
+use gatest_baselines::cris::{CrisAtpg, CrisConfig};
+use gatest_baselines::hitec::{HitecAtpg, HitecConfig};
+use gatest_baselines::random::{BestOfRandomAtpg, RandomAtpg};
+use gatest_core::{FaultSample, GatestConfig, TestGenerator};
+use gatest_netlist::benchmarks;
+use gatest_sim::FaultSim;
+
+fn gatest_run(name: &str, seed: u64) -> gatest_core::TestGenResult {
+    let circuit = Arc::new(benchmarks::iscas89(name).expect("bundled circuit"));
+    let mut config = GatestConfig::for_circuit(&circuit).with_seed(seed);
+    config.fault_sample = FaultSample::Count(100);
+    TestGenerator::new(circuit, config).run()
+}
+
+#[test]
+fn hitec_tests_verify_against_independent_fault_simulation() {
+    let circuit = Arc::new(benchmarks::iscas89("s386").expect("bundled circuit"));
+    let result = HitecAtpg::new(Arc::clone(&circuit), HitecConfig::default()).run();
+    let mut sim = FaultSim::new(circuit);
+    for v in &result.test_set {
+        sim.step(v);
+    }
+    assert_eq!(sim.detected_count(), result.detected);
+    assert!(result.fault_coverage() > 0.5, "{}", result.fault_coverage());
+}
+
+#[test]
+fn gatest_and_hitec_land_close_on_s386() {
+    // Table 2 shape: comparable coverage between the GA and the
+    // deterministic generator on mid-size circuits.
+    let ga = gatest_run("s386", 3);
+    let circuit = Arc::new(benchmarks::iscas89("s386").expect("bundled circuit"));
+    let hitec = HitecAtpg::new(circuit, HitecConfig::default()).run();
+    let gap = (ga.fault_coverage() - hitec.fault_coverage()).abs();
+    assert!(
+        gap < 0.15,
+        "GA {:.2} vs HITEC {:.2}",
+        ga.fault_coverage(),
+        hitec.fault_coverage()
+    );
+}
+
+#[test]
+fn gatest_beats_cris_coverage() {
+    // §V: GATEST's fault-simulation fitness beat CRIS's logic-simulation
+    // fitness on 17 of 18 circuits.
+    let ga = gatest_run("s298", 3);
+    let circuit = Arc::new(benchmarks::iscas89("s298").expect("bundled circuit"));
+    let cris = CrisAtpg::new(circuit, CrisConfig::default()).run();
+    assert!(
+        ga.detected >= cris.detected,
+        "GA {} vs CRIS {}",
+        ga.detected,
+        cris.detected
+    );
+}
+
+#[test]
+fn gatest_test_sets_are_much_shorter_than_cris() {
+    // §V: "Test set length was one-third that of CRIS".
+    let ga = gatest_run("s386", 5);
+    let circuit = Arc::new(benchmarks::iscas89("s386").expect("bundled circuit"));
+    let cris = CrisAtpg::new(circuit, CrisConfig::default()).run();
+    assert!(
+        ga.vectors() * 2 < cris.vectors().max(1) * 3,
+        "GA {} vectors vs CRIS {}",
+        ga.vectors(),
+        cris.vectors()
+    );
+}
+
+#[test]
+fn best_of_random_sits_between_random_and_gatest() {
+    let circuit = Arc::new(benchmarks::iscas89("s344").expect("bundled circuit"));
+    let budget = 150;
+    let plain = RandomAtpg::new(Arc::clone(&circuit), 7).run(budget);
+    let guided = BestOfRandomAtpg::new(Arc::clone(&circuit), 7, 8).run(budget, budget);
+    assert!(
+        guided.detected >= plain.detected,
+        "guided {} vs plain {}",
+        guided.detected,
+        plain.detected
+    );
+}
+
+#[test]
+fn all_baselines_expose_consistent_accounting() {
+    let circuit = Arc::new(benchmarks::iscas89("s27").expect("bundled circuit"));
+    let hitec = HitecAtpg::new(Arc::clone(&circuit), HitecConfig::default()).run();
+    assert!(hitec.detected + hitec.untestable + hitec.aborted <= hitec.total_faults);
+    let cris = CrisAtpg::new(Arc::clone(&circuit), CrisConfig::default()).run();
+    assert!(cris.detected <= cris.total_faults);
+    let random = RandomAtpg::new(circuit, 1).run(64);
+    assert!(random.detected <= random.total_faults);
+    assert_eq!(hitec.total_faults, cris.total_faults);
+    assert_eq!(cris.total_faults, random.total_faults);
+}

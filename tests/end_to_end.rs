@@ -1,0 +1,107 @@
+//! End-to-end integration tests: the full GATEST flow across all crates.
+
+use std::sync::Arc;
+
+use gatest_core::{report, FaultSample, GatestConfig, TestGenerator};
+use gatest_netlist::benchmarks;
+use gatest_sim::{FaultSim, Logic};
+
+#[test]
+fn s27_full_flow_reaches_full_coverage() {
+    let circuit = Arc::new(benchmarks::iscas89("s27").expect("bundled circuit"));
+    let config = GatestConfig::for_circuit(&circuit).with_seed(3);
+    let result = TestGenerator::new(Arc::clone(&circuit), config).run();
+    assert_eq!(
+        result.detected, result.total_faults,
+        "s27 is fully testable and easy"
+    );
+    assert!(result.vectors() < 100, "the test set should be compact");
+}
+
+#[test]
+fn s298_flow_beats_equal_budget_random() {
+    let circuit = Arc::new(benchmarks::iscas89("s298").expect("bundled circuit"));
+    let mut config = GatestConfig::for_circuit(&circuit).with_seed(5);
+    config.fault_sample = FaultSample::Count(100);
+    let result = TestGenerator::new(Arc::clone(&circuit), config).run();
+
+    // Unguided random with the same number of vectors, from the same reset
+    // state (all X).
+    let mut sim = FaultSim::new(Arc::clone(&circuit));
+    let mut rng = gatest_ga::Rng::new(5);
+    for _ in 0..result.vectors() {
+        let v: Vec<Logic> = (0..circuit.num_inputs())
+            .map(|_| Logic::from_bool(rng.coin()))
+            .collect();
+        sim.step(&v);
+    }
+    assert!(
+        result.detected > sim.detected_count(),
+        "GA {} vs random {}",
+        result.detected,
+        sim.detected_count()
+    );
+    assert!(result.fault_coverage() > 0.5);
+}
+
+#[test]
+fn test_sets_replay_identically_across_simulator_instances() {
+    let circuit = Arc::new(benchmarks::iscas89("s344").expect("bundled circuit"));
+    let mut config = GatestConfig::for_circuit(&circuit).with_seed(7);
+    config.fault_sample = FaultSample::Count(50);
+    let result = TestGenerator::new(Arc::clone(&circuit), config).run();
+
+    // Serialize the test set, parse it back, grade it fresh.
+    let text = report::test_set_to_string(&result.test_set);
+    let parsed = report::test_set_from_string(&text).expect("own format parses");
+    assert_eq!(parsed, result.test_set);
+
+    let mut sim = FaultSim::new(circuit);
+    for v in &parsed {
+        sim.step(v);
+    }
+    assert_eq!(sim.detected_count(), result.detected);
+}
+
+#[test]
+fn runs_are_deterministic_per_seed_and_differ_across_seeds() {
+    let circuit = Arc::new(benchmarks::iscas89("s386").expect("bundled circuit"));
+    let run = |seed: u64| {
+        let mut config = GatestConfig::for_circuit(&circuit).with_seed(seed);
+        config.fault_sample = FaultSample::Count(50);
+        TestGenerator::new(Arc::clone(&circuit), config).run()
+    };
+    let a = run(11);
+    let b = run(11);
+    let c = run(12);
+    assert_eq!(a.test_set, b.test_set);
+    assert_eq!(a.detected, b.detected);
+    assert!(a.test_set != c.test_set || a.detected != c.detected);
+}
+
+#[test]
+fn real_bench_file_can_be_dropped_in() {
+    // Round-trip a bundled circuit through the .bench format and run the
+    // generator on the re-parsed copy: what a user with the real ISCAS89
+    // files would do.
+    let original = benchmarks::iscas89("s27").expect("bundled circuit");
+    let text = gatest_netlist::write_bench(&original);
+    let reparsed = Arc::new(gatest_netlist::parse_bench("s27", &text).expect("round trip"));
+    let config = GatestConfig::for_circuit(&reparsed).with_seed(1);
+    let result = TestGenerator::new(reparsed, config).run();
+    assert_eq!(result.detected, result.total_faults);
+}
+
+#[test]
+fn sequence_phase_contributes_on_deep_circuits() {
+    // On a circuit with a meaningful hard tail the sequence phase should at
+    // least run attempts (and usually add vectors).
+    let circuit = Arc::new(benchmarks::iscas89("s298").expect("bundled circuit"));
+    let mut config = GatestConfig::for_circuit(&circuit).with_seed(9);
+    config.fault_sample = FaultSample::Count(100);
+    let result = TestGenerator::new(circuit, config).run();
+    assert!(
+        result.sequence_attempts > 0,
+        "s298's tail forces sequence generation"
+    );
+}

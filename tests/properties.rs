@@ -1,0 +1,157 @@
+//! Property-based integration tests over randomly generated circuits.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use gatest_netlist::{parse_bench, write_bench, CircuitProfile, SyntheticGenerator};
+use gatest_sim::{FaultList, FaultSim, GoodSim, Logic};
+
+fn arbitrary_profile() -> impl Strategy<Value = (CircuitProfile, u64)> {
+    (
+        1usize..6,  // inputs
+        1usize..5,  // outputs
+        0usize..8,  // dffs
+        5usize..40, // gates
+        any::<u64>(),
+    )
+        .prop_map(|(inputs, outputs, dffs, gates, seed)| {
+            let seq_depth = if dffs == 0 {
+                0
+            } else {
+                1 + (seed as u32 % dffs as u32)
+            };
+            (
+                CircuitProfile {
+                    name: format!("prop_{inputs}_{outputs}_{dffs}_{gates}"),
+                    inputs,
+                    outputs,
+                    dffs,
+                    gates,
+                    seq_depth,
+                },
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated circuits always hit their requested port counts and depth.
+    #[test]
+    fn generator_meets_profile((profile, seed) in arbitrary_profile()) {
+        let circuit = SyntheticGenerator::new(seed).generate(&profile);
+        prop_assert_eq!(circuit.num_inputs(), profile.inputs);
+        prop_assert_eq!(circuit.num_outputs(), profile.outputs);
+        prop_assert_eq!(circuit.num_dffs(), profile.dffs);
+        prop_assert_eq!(
+            gatest_netlist::depth::sequential_depth(&circuit),
+            profile.seq_depth
+        );
+    }
+
+    /// The .bench writer/parser round-trips any generated circuit.
+    #[test]
+    fn bench_format_round_trips((profile, seed) in arbitrary_profile()) {
+        let circuit = SyntheticGenerator::new(seed).generate(&profile);
+        let text = write_bench(&circuit);
+        let back = parse_bench(circuit.name(), &text).expect("own output parses");
+        prop_assert_eq!(back.num_gates(), circuit.num_gates());
+        for id in circuit.net_ids() {
+            let other = back.find_net(circuit.net_name(id)).expect("net preserved");
+            prop_assert_eq!(back.kind(other), circuit.kind(id));
+        }
+        // And the round-tripped circuit simulates identically.
+        let mut a = GoodSim::new(Arc::new(circuit));
+        let mut b = GoodSim::new(Arc::new(back));
+        let mut rng = gatest_ga::Rng::new(seed);
+        for _ in 0..8 {
+            let v: Vec<Logic> = (0..profile.inputs)
+                .map(|_| Logic::from_bool(rng.coin()))
+                .collect();
+            prop_assert_eq!(a.apply(&v), b.apply(&v));
+            prop_assert_eq!(a.output_values(), b.output_values());
+        }
+    }
+
+    /// Checkpoint/restore makes fault simulation exactly repeatable on any
+    /// generated circuit.
+    #[test]
+    fn checkpoint_restore_is_exact_everywhere((profile, seed) in arbitrary_profile()) {
+        let circuit = Arc::new(SyntheticGenerator::new(seed).generate(&profile));
+        let mut sim = FaultSim::new(Arc::clone(&circuit));
+        let mut rng = gatest_ga::Rng::new(seed ^ 0xabc);
+        let vector = |rng: &mut gatest_ga::Rng| -> Vec<Logic> {
+            (0..profile.inputs).map(|_| Logic::from_bool(rng.coin())).collect()
+        };
+        for _ in 0..4 {
+            let v = vector(&mut rng);
+            sim.step(&v);
+        }
+        let cp = sim.checkpoint();
+        let probe: Vec<Vec<Logic>> = (0..3).map(|_| vector(&mut rng)).collect();
+        let first: Vec<_> = probe.iter().map(|v| sim.step(v)).collect();
+        sim.restore(&cp);
+        let second: Vec<_> = probe.iter().map(|v| sim.step(v)).collect();
+        prop_assert_eq!(first, second);
+    }
+
+    /// Fault dropping is permanent: a fault never reappears in the active
+    /// list after detection, across any vector sequence.
+    #[test]
+    fn detected_faults_stay_detected((profile, seed) in arbitrary_profile()) {
+        let circuit = Arc::new(SyntheticGenerator::new(seed).generate(&profile));
+        let mut sim = FaultSim::new(Arc::clone(&circuit));
+        let mut rng = gatest_ga::Rng::new(seed ^ 0x123);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..12 {
+            let v: Vec<Logic> = (0..profile.inputs)
+                .map(|_| Logic::from_bool(rng.coin()))
+                .collect();
+            for f in sim.step(&v).newly_detected {
+                prop_assert!(seen.insert(f), "fault {f:?} detected twice");
+            }
+            for f in &seen {
+                prop_assert!(!sim.active_faults().contains(f));
+            }
+        }
+        prop_assert_eq!(sim.detected_count(), seen.len());
+    }
+
+    /// Structural Verilog round-trips any generated circuit with identical
+    /// simulation behaviour.
+    #[test]
+    fn verilog_round_trips((profile, seed) in arbitrary_profile()) {
+        let circuit = SyntheticGenerator::new(seed).generate(&profile);
+        let text = gatest_netlist::verilog::write_verilog(&circuit);
+        let back = gatest_netlist::verilog::parse_verilog(&text).expect("own output parses");
+        prop_assert_eq!(back.num_gates(), circuit.num_gates());
+        let mut a = GoodSim::new(Arc::new(circuit));
+        let mut b = GoodSim::new(Arc::new(back));
+        let mut rng = gatest_ga::Rng::new(seed ^ 0x77);
+        for _ in 0..6 {
+            let v: Vec<Logic> = (0..profile.inputs)
+                .map(|_| Logic::from_bool(rng.coin()))
+                .collect();
+            prop_assert_eq!(a.apply(&v), b.apply(&v));
+            prop_assert_eq!(a.output_values(), b.output_values());
+        }
+    }
+
+    /// Collapsed lists are never larger than full lists, and every
+    /// collapsed representative exists in the full universe.
+    #[test]
+    fn collapsing_is_sound((profile, seed) in arbitrary_profile()) {
+        let circuit = SyntheticGenerator::new(seed).generate(&profile);
+        let full = FaultList::full(&circuit);
+        let collapsed = FaultList::collapsed(&circuit);
+        prop_assert!(collapsed.len() <= full.len());
+        prop_assert!(!collapsed.is_empty());
+        let universe: std::collections::HashSet<_> =
+            full.iter().map(|(_, f)| f).collect();
+        for (_, f) in collapsed.iter() {
+            prop_assert!(universe.contains(&f));
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Cross-validation of the packed transition-fault simulator against an
+//! independent scalar implementation of the gross-delay model.
+
+use std::sync::Arc;
+
+use gatest_netlist::benchmarks;
+use gatest_netlist::levelize::Levelization;
+use gatest_netlist::Circuit;
+use gatest_sim::eval::eval_scalar;
+use gatest_sim::transition::{transition_universe, TransitionFault, TransitionFaultSim};
+use gatest_sim::Logic;
+
+/// Scalar reference: simulate the good machine and one faulty machine side
+/// by side. The faulty machine forces the fault net to its old value in
+/// every frame where the *good* machine launches the slow transition
+/// (`good[t-1] = old`, `good[t] = new`), and otherwise evaluates normally
+/// from its own (possibly diverged) state.
+fn reference_detects(
+    circuit: &Arc<Circuit>,
+    fault: TransitionFault,
+    sequence: &[Vec<Logic>],
+) -> bool {
+    let lev = Levelization::new(circuit);
+    let n = circuit.num_gates();
+    let mut gvals = vec![Logic::X; n];
+    let mut fvals = vec![Logic::X; n];
+    let mut gstate = vec![Logic::X; circuit.num_dffs()];
+    let mut fstate = vec![Logic::X; circuit.num_dffs()];
+    let mut prev_good = vec![Logic::X; n];
+
+    for vec in sequence {
+        prev_good.copy_from_slice(&gvals);
+        for (i, &ff) in circuit.dffs().iter().enumerate() {
+            gvals[ff.index()] = gstate[i];
+            fvals[ff.index()] = fstate[i];
+        }
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            gvals[pi.index()] = vec[i];
+            fvals[pi.index()] = vec[i];
+        }
+        // Evaluate the good machine first, frame-complete, so the launch
+        // condition can compare prev/current good values of the fault net.
+        for &gate in lev.schedule() {
+            let kind = circuit.kind(gate);
+            if !kind.is_combinational() {
+                continue;
+            }
+            let fanin: Vec<Logic> = circuit
+                .fanin(gate)
+                .iter()
+                .map(|&s| gvals[s.index()])
+                .collect();
+            gvals[gate.index()] = eval_scalar(kind, &fanin);
+        }
+        let launched = prev_good[fault.net.index()] == fault.slow.old_value()
+            && gvals[fault.net.index()] == fault.slow.new_value();
+
+        // Faulty machine: sources (PIs/FFs) already set; force the fault
+        // net if it is a source and launched, then evaluate.
+        if launched && !circuit.kind(fault.net).is_combinational() {
+            fvals[fault.net.index()] = fault.slow.old_value();
+        }
+        for &gate in lev.schedule() {
+            let kind = circuit.kind(gate);
+            if !kind.is_combinational() {
+                continue;
+            }
+            let fanin: Vec<Logic> = circuit
+                .fanin(gate)
+                .iter()
+                .map(|&s| fvals[s.index()])
+                .collect();
+            let mut out = eval_scalar(kind, &fanin);
+            if launched && gate == fault.net {
+                out = fault.slow.old_value();
+            }
+            fvals[gate.index()] = out;
+        }
+
+        for &po in circuit.outputs() {
+            let g = gvals[po.index()];
+            let f = fvals[po.index()];
+            if g.is_known() && f.is_known() && g != f {
+                return true;
+            }
+        }
+        for (i, &ff) in circuit.dffs().iter().enumerate() {
+            let d = circuit.fanin(ff)[0];
+            gstate[i] = gvals[d.index()];
+            fstate[i] = fvals[d.index()];
+        }
+    }
+    false
+}
+
+fn random_sequence(pis: usize, len: usize, seed: u64) -> Vec<Vec<Logic>> {
+    let mut rng = gatest_ga::Rng::new(seed);
+    (0..len)
+        .map(|_| (0..pis).map(|_| Logic::from_bool(rng.coin())).collect())
+        .collect()
+}
+
+fn cross_validate(name: &str, vectors: usize, seed: u64) {
+    let circuit = Arc::new(benchmarks::iscas89(name).expect("bundled circuit"));
+    let faults = transition_universe(&circuit);
+    let mut sequence = vec![vec![Logic::Zero; circuit.num_inputs()]; 4];
+    sequence.extend(random_sequence(circuit.num_inputs(), vectors, seed));
+
+    let mut sim = TransitionFaultSim::with_faults(Arc::clone(&circuit), faults.clone());
+    let mut fast = vec![false; faults.len()];
+    for v in &sequence {
+        for f in sim.step(v).newly_detected {
+            fast[f.index()] = true;
+        }
+    }
+
+    for (idx, &fault) in faults.iter().enumerate() {
+        let expect = reference_detects(&circuit, fault, &sequence);
+        assert_eq!(
+            fast[idx],
+            expect,
+            "{name}: transition fault {} disagrees with the reference",
+            fault.display(&circuit)
+        );
+    }
+}
+
+#[test]
+fn s27_transition_sim_matches_reference() {
+    cross_validate("s27", 32, 1);
+}
+
+#[test]
+fn s298_transition_sim_matches_reference() {
+    cross_validate("s298", 16, 2);
+}
+
+#[test]
+fn s386_transition_sim_matches_reference() {
+    cross_validate("s386", 12, 3);
+}
