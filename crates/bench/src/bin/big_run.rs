@@ -1,5 +1,6 @@
 //! One-shot GA run on a large suite circuit, for the EXPERIMENTS.md big-
-//! circuit data points.
+//! circuit data points. Reports live progress on stderr and finishes with
+//! the extended telemetry table.
 //!
 //! ```text
 //! big_run [circuit] [sample] [workers]
@@ -7,6 +8,8 @@
 
 use std::sync::Arc;
 
+use gatest_core::report::telemetry_table;
+use gatest_core::telemetry::ProgressReporter;
 use gatest_core::{FaultSample, GatestConfig, TestGenerator};
 
 fn main() {
@@ -26,7 +29,9 @@ fn main() {
         .with_workers(workers);
     cfg.fault_sample = FaultSample::Count(sample);
     let t0 = std::time::Instant::now();
-    let r = TestGenerator::new(Arc::clone(&c), cfg).run();
+    let r = TestGenerator::new(Arc::clone(&c), cfg)
+        .with_observer(Arc::new(ProgressReporter::new()))
+        .run();
     println!(
         "{}: det={}/{} ({:.1}%) vec={} phases={:?} t={:.0}s",
         name,
@@ -37,4 +42,5 @@ fn main() {
         r.phase_vectors,
         t0.elapsed().as_secs_f64()
     );
+    println!("{}", telemetry_table(&r));
 }

@@ -5,7 +5,8 @@ use std::sync::Arc;
 
 use gatest_baselines::hitec::{BacktraceGuide, HitecAtpg, HitecConfig};
 use gatest_core::report::{
-    coverage_curve, format_duration, sparkline, test_set_from_string, test_set_to_string,
+    coverage_curve, format_duration, sparkline, telemetry_table, test_set_from_string,
+    test_set_to_string,
 };
 use gatest_core::{compact_test_set, FaultSample, GatestConfig, TestGenerator};
 use gatest_netlist::depth::sequential_depth;
@@ -13,9 +14,11 @@ use gatest_netlist::scoap::Scoap;
 use gatest_sim::dictionary::FaultDictionary;
 use gatest_sim::transition::TransitionFaultSim;
 use gatest_sim::{FaultSim, Logic};
+use gatest_telemetry::json::{parse_json, Json};
+use gatest_telemetry::{JsonlTraceWriter, MultiObserver, ProgressReporter};
 
 use crate::load_circuit;
-use crate::opts::Opts;
+use crate::opts::{Opts, UsageError};
 
 /// Writes `text` to `--out` if given, else stdout.
 fn emit(opts: &Opts, text: &str) -> Result<(), Box<dyn Error>> {
@@ -50,19 +53,37 @@ pub fn atpg(opts: &Opts) -> Result<(), Box<dyn Error>> {
     } else {
         FaultSample::Count(sample)
     };
-    let result = TestGenerator::new(Arc::clone(&circuit), config).run();
-    eprintln!(
-        "{}: {}/{} faults ({:.1}%), {} vectors, {} — phases {:?}",
-        result.circuit,
-        result.detected,
-        result.total_faults,
-        100.0 * result.fault_coverage(),
-        result.vectors(),
-        format_duration(result.elapsed),
-        result.phase_vectors,
-    );
-    let curve = coverage_curve(&circuit, &result.test_set);
-    eprintln!("coverage {}", sparkline(&curve, result.total_faults));
+    let mut generator = TestGenerator::new(Arc::clone(&circuit), config);
+    let mut observers = MultiObserver::default();
+    if let Some(path) = opts.get("trace-out") {
+        let writer = JsonlTraceWriter::create(path)
+            .map_err(|e| format!("cannot open trace file `{path}`: {e}"))?;
+        observers.push(Arc::new(writer));
+    }
+    if opts.has("progress") {
+        observers.push(Arc::new(ProgressReporter::new()));
+    }
+    if !observers.is_empty() {
+        generator = generator.with_observer(Arc::new(observers));
+    }
+    let result = generator.run();
+    if !opts.has("quiet") {
+        eprintln!(
+            "{}: {}/{} faults ({:.1}%), {} vectors, {} — phases {:?}",
+            result.circuit,
+            result.detected,
+            result.total_faults,
+            100.0 * result.fault_coverage(),
+            result.vectors(),
+            format_duration(result.elapsed),
+            result.phase_vectors,
+        );
+        let curve = coverage_curve(&circuit, &result.test_set);
+        eprintln!("coverage {}", sparkline(&curve, result.total_faults));
+    }
+    if opts.has("verbose") {
+        eprintln!("{}", telemetry_table(&result));
+    }
     emit(opts, &test_set_to_string(&result.test_set))
 }
 
@@ -185,7 +206,7 @@ pub fn stats(opts: &Opts) -> Result<(), Box<dyn Error>> {
             )
         })
         .collect();
-    hardest.sort_by(|a, b| b.0.cmp(&a.0));
+    hardest.sort_by_key(|&(difficulty, _)| std::cmp::Reverse(difficulty));
     let names: Vec<String> = hardest
         .iter()
         .take(8)
@@ -246,4 +267,164 @@ pub fn hitec(opts: &Opts) -> Result<(), Box<dyn Error>> {
         result.aborted,
     );
     emit(opts, &test_set_to_string(&result.test_set))
+}
+
+/// `gatest trace` — operate on JSONL run traces (`summarize <file>`).
+pub fn trace(opts: &Opts) -> Result<(), Box<dyn Error>> {
+    match opts.positional().first().map(String::as_str) {
+        Some("summarize") => {}
+        Some(other) => {
+            return Err(UsageError::boxed(format!(
+                "unknown trace action `{other}` (expected `summarize`)"
+            )))
+        }
+        None => {
+            return Err(UsageError::boxed(
+                "usage: gatest trace summarize <trace.jsonl>",
+            ))
+        }
+    }
+    let path = opts
+        .positional()
+        .get(1)
+        .ok_or_else(|| UsageError::boxed("missing trace file (gatest trace summarize <file>)"))?;
+    let text = std::fs::read_to_string(path)?;
+    println!("{}", summarize_trace(&text)?);
+    Ok(())
+}
+
+/// Reduces a JSONL trace to per-phase totals (GA generations, fitness
+/// evaluations, committed vectors, detections) plus the run header/footer.
+pub fn summarize_trace(text: &str) -> Result<String, Box<dyn Error>> {
+    use std::fmt::Write as _;
+
+    #[derive(Default)]
+    struct PhaseTotals {
+        entered: u64,
+        generations: u64,
+        evaluations: u64,
+        vectors: u64,
+        detected: u64,
+    }
+
+    let mut phases: [PhaseTotals; 4] = Default::default();
+    let mut events = 0u64;
+    let mut fault_events = 0u64;
+    let mut header = String::new();
+    let mut footer = String::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let j = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events += 1;
+        let kind = j
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing event tag", lineno + 1))?;
+        let phase = j.get("phase").and_then(Json::as_u64);
+        let field = |name: &str| j.get(name).and_then(Json::as_u64).unwrap_or(0);
+        let totals = phase
+            .filter(|p| (1..=4).contains(p))
+            .map(|p| (p - 1) as usize);
+        match (kind, totals) {
+            ("run_started", _) => {
+                header = format!(
+                    "run: {} seed {} ({} faults)",
+                    j.get("circuit").and_then(Json::as_str).unwrap_or("?"),
+                    field("seed"),
+                    field("total_faults"),
+                );
+            }
+            ("phase_entered", Some(p)) => phases[p].entered += 1,
+            ("ga_generation", Some(p)) => {
+                phases[p].generations += 1;
+                phases[p].evaluations += field("evaluations");
+            }
+            ("vector_committed", Some(p)) => {
+                phases[p].vectors += 1;
+                phases[p].detected += field("detected_new");
+            }
+            ("fault_detected", _) => fault_events += 1,
+            ("run_finished", _) => {
+                footer = format!(
+                    "finished: {}/{} detected, {} vectors, {} GA evaluations, {:.2}s",
+                    field("detected"),
+                    field("total_faults"),
+                    field("vectors"),
+                    field("ga_evaluations"),
+                    j.get("elapsed_secs").and_then(Json::as_f64).unwrap_or(0.0),
+                );
+            }
+            _ => {}
+        }
+    }
+    if events == 0 {
+        return Err("trace is empty".into());
+    }
+    let mut out = String::new();
+    if !header.is_empty() {
+        let _ = writeln!(out, "{header}");
+    }
+    let _ = writeln!(
+        out,
+        "{:<22} {:>7} {:>6} {:>8} {:>8} {:>9}",
+        "phase", "entered", "gens", "evals", "vectors", "detected"
+    );
+    const NAMES: [&str; 4] = [
+        "1 initialization",
+        "2 vector generation",
+        "3 stalled (activity)",
+        "4 sequences",
+    ];
+    for (name, t) in NAMES.iter().zip(phases.iter()) {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>7} {:>6} {:>8} {:>8} {:>9}",
+            name, t.entered, t.generations, t.evaluations, t.vectors, t.detected
+        );
+    }
+    let _ = write!(out, "{events} events ({fault_events} fault detections)");
+    if !footer.is_empty() {
+        let _ = write!(out, "\n{footer}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_trace_totals_per_phase() {
+        let trace = "\
+{\"event\":\"run_started\",\"circuit\":\"s27\",\"total_faults\":26,\"seed\":1}
+{\"event\":\"phase_entered\",\"phase\":1,\"vectors\":0}
+{\"event\":\"ga_generation\",\"phase\":1,\"generation\":0,\"best\":1,\"mean\":0.5,\"evaluations\":8}
+{\"event\":\"ga_generation\",\"phase\":1,\"generation\":1,\"best\":2,\"mean\":1,\"evaluations\":8}
+{\"event\":\"vector_committed\",\"phase\":1,\"vectors\":1,\"detected_new\":4,\"detected_total\":4,\"coverage\":0.15}
+{\"event\":\"phase_entered\",\"phase\":2,\"vectors\":1}
+{\"event\":\"vector_committed\",\"phase\":2,\"vectors\":2,\"detected_new\":3,\"detected_total\":7,\"coverage\":0.27}
+{\"event\":\"fault_detected\",\"fault\":3,\"site\":\"G10 SA1\",\"vector\":1}
+{\"event\":\"run_finished\",\"detected\":7,\"total_faults\":26,\"vectors\":2,\"ga_evaluations\":16,\"elapsed_secs\":0.5}
+";
+        let summary = summarize_trace(trace).unwrap();
+        assert!(summary.contains("run: s27 seed 1 (26 faults)"));
+        let phase1 = summary
+            .lines()
+            .find(|l| l.starts_with("1 initialization"))
+            .unwrap();
+        let cols: Vec<&str> = phase1.split_whitespace().collect();
+        // name(2 words), entered, gens, evals, vectors, detected
+        assert_eq!(&cols[2..], ["1", "2", "16", "1", "4"]);
+        assert!(summary.contains("9 events (1 fault detections)"));
+        assert!(summary.contains("finished: 7/26 detected, 2 vectors, 16 GA evaluations, 0.50s"));
+    }
+
+    #[test]
+    fn summarize_trace_rejects_malformed_lines() {
+        let err = summarize_trace("{\"event\":\"run_started\"}\nnot json\n").unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(summarize_trace("").is_err(), "empty trace is an error");
+    }
 }

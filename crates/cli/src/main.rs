@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! gatest atpg     <circuit> [--seed N] [--sample N] [--workers N] [--out tests.txt]
+//!                 [--trace-out trace.jsonl] [--progress] [-v|--verbose] [-q|--quiet]
 //! gatest grade    <circuit> --tests tests.txt [--transition]
 //! gatest compact  <circuit> --tests tests.txt [--out compacted.txt]
 //! gatest diagnose <circuit> --tests tests.txt --observe V:PO[,V:PO...]
@@ -9,10 +10,15 @@
 //! gatest scan     <circuit> [--out scanned.bench]
 //! gatest convert  <circuit> --to bench|verilog|dot [--out file]
 //! gatest hitec    <circuit> [--scoap]
+//! gatest trace    summarize <trace.jsonl>
 //! ```
 //!
 //! `<circuit>` is either a bundled benchmark name (`s27`, `s298`, ...) or a
 //! path to a `.bench` / `.v` netlist.
+//!
+//! Exit codes follow convention: `0` on success, `1` on runtime errors
+//! (unreadable files, failed runs), `2` on usage errors (unknown commands or
+//! flags, missing arguments).
 
 use std::error::Error;
 use std::process::ExitCode;
@@ -23,7 +29,7 @@ use gatest_netlist::Circuit;
 mod commands;
 mod opts;
 
-use opts::Opts;
+use opts::{Opts, UsageError};
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -36,7 +42,11 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("gatest {command}: {e}");
-            ExitCode::FAILURE
+            if e.downcast_ref::<UsageError>().is_some() {
+                ExitCode::from(2)
+            } else {
+                ExitCode::FAILURE
+            }
         }
     }
 }
@@ -59,9 +69,16 @@ fn usage() -> String {
         ("scan", "emit the full-scan version of a circuit"),
         ("convert", "convert between bench/verilog/dot formats"),
         ("hitec", "run the deterministic (PODEM) baseline"),
+        (
+            "trace",
+            "summarize a JSONL run trace (trace summarize <file>)",
+        ),
     ] {
         s.push_str(&format!("  {cmd:<9} {desc}\n"));
     }
+    s.push_str("\nobservability (atpg): --trace-out FILE writes a JSONL event trace,\n");
+    s.push_str("--progress prints live stderr updates, -v adds a telemetry table,\n");
+    s.push_str("-q suppresses the summary\n");
     s.push_str("\nrun `gatest <command> --help` style flags are listed in the module docs;\n");
     s.push_str("circuits are bundled names (s27, s298, ...) or .bench/.v file paths\n");
     s
@@ -78,7 +95,10 @@ fn run(command: &str, args: Vec<String>) -> Result<(), Box<dyn Error>> {
         "scan" => commands::scan(&opts),
         "convert" => commands::convert(&opts),
         "hitec" => commands::hitec(&opts),
-        other => Err(format!("unknown command `{other}` (try --help)").into()),
+        "trace" => commands::trace(&opts),
+        other => Err(UsageError::boxed(format!(
+            "unknown command `{other}` (try --help)"
+        ))),
     }
 }
 

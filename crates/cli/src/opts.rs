@@ -2,30 +2,61 @@
 
 use std::collections::HashMap;
 use std::error::Error;
+use std::fmt;
 
-/// Parsed command-line: one positional circuit spec plus `--flag [value]`
-/// pairs.
+/// A command-line usage error (bad flags, missing arguments).
+///
+/// Distinguished from runtime errors so `main` can exit with status 2 (the
+/// conventional "usage" code) instead of 1.
+#[derive(Debug)]
+pub struct UsageError(pub String);
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl Error for UsageError {}
+
+impl UsageError {
+    /// Boxes a usage error from any message.
+    pub fn boxed(msg: impl Into<String>) -> Box<dyn Error> {
+        Box::new(UsageError(msg.into()))
+    }
+}
+
+/// Parsed command-line: positional arguments plus `--flag [value]` pairs.
 #[derive(Debug, Default)]
 pub struct Opts {
     positional: Vec<String>,
     flags: HashMap<String, String>,
 }
 
+/// Short-flag aliases expanded during parsing.
+const SHORT_ALIASES: [(&str, &str); 2] = [("-v", "verbose"), ("-q", "quiet")];
+
 impl Opts {
     /// Parses `args` (everything after the subcommand).
     ///
     /// Flags may be boolean (`--scoap`) or valued (`--seed 7`); a flag is
-    /// treated as boolean when the next token is another flag or absent.
+    /// treated as boolean when the next token is another flag (anything
+    /// starting with `-`) or absent. The short flags `-v` (verbose) and
+    /// `-q` (quiet) expand to their long forms.
     pub fn parse(args: Vec<String>) -> Result<Opts, Box<dyn Error>> {
         let mut opts = Opts::default();
         let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
-            if let Some(name) = arg.strip_prefix("--") {
+            if let Some((_, long)) = SHORT_ALIASES.iter().find(|(short, _)| *short == arg) {
+                opts.flags.insert(long.to_string(), String::from("true"));
+            } else if let Some(name) = arg.strip_prefix("--") {
                 let value = match iter.peek() {
-                    Some(next) if !next.starts_with("--") => iter.next().expect("peeked"),
+                    Some(next) if !next.starts_with('-') => iter.next().expect("peeked"),
                     _ => String::from("true"),
                 };
                 opts.flags.insert(name.to_string(), value);
+            } else if arg.starts_with('-') && arg.len() > 1 {
+                return Err(UsageError::boxed(format!("unknown flag `{arg}`")));
             } else {
                 opts.positional.push(arg);
             }
@@ -38,7 +69,12 @@ impl Opts {
         self.positional
             .first()
             .map(String::as_str)
-            .ok_or_else(|| "missing circuit argument".into())
+            .ok_or_else(|| UsageError::boxed("missing circuit argument"))
+    }
+
+    /// All positional arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
     }
 
     /// A string flag.
@@ -49,7 +85,7 @@ impl Opts {
     /// A required string flag.
     pub fn require(&self, name: &str) -> Result<&str, Box<dyn Error>> {
         self.get(name)
-            .ok_or_else(|| format!("missing required flag --{name}").into())
+            .ok_or_else(|| UsageError::boxed(format!("missing required flag --{name}")))
     }
 
     /// A parsed numeric flag with a default.
@@ -58,7 +94,7 @@ impl Opts {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("--{name} expects a number, got `{v}`").into()),
+                .map_err(|_| UsageError::boxed(format!("--{name} expects a number, got `{v}`"))),
         }
     }
 
@@ -95,13 +131,15 @@ mod tests {
     #[test]
     fn missing_circuit_errors() {
         let o = parse(&["--seed", "1"]);
-        assert!(o.circuit().is_err());
+        let err = o.circuit().unwrap_err();
+        assert!(err.downcast_ref::<UsageError>().is_some());
     }
 
     #[test]
     fn bad_number_errors() {
         let o = parse(&["s27", "--seed", "banana"]);
-        assert!(o.num("seed", 0u64).is_err());
+        let err = o.num("seed", 0u64).unwrap_err();
+        assert!(err.downcast_ref::<UsageError>().is_some());
     }
 
     #[test]
@@ -112,5 +150,28 @@ mod tests {
         let o = parse(&["s27", "--scoap"]);
         assert!(o.has("scoap"));
         assert_eq!(o.circuit().unwrap(), "s27");
+    }
+
+    #[test]
+    fn short_flags_expand() {
+        let o = parse(&["s27", "--progress", "-v", "-q"]);
+        assert!(
+            o.has("progress"),
+            "-v after --progress must not be its value"
+        );
+        assert!(o.has("verbose"));
+        assert!(o.has("quiet"));
+    }
+
+    #[test]
+    fn unknown_short_flag_is_a_usage_error() {
+        let err = Opts::parse(vec![String::from("-z")]).unwrap_err();
+        assert!(err.downcast_ref::<UsageError>().is_some());
+    }
+
+    #[test]
+    fn positionals_are_ordered() {
+        let o = parse(&["summarize", "trace.jsonl"]);
+        assert_eq!(o.positional(), ["summarize", "trace.jsonl"]);
     }
 }

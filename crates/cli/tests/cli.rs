@@ -112,3 +112,85 @@ fn missing_flag_is_reported() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--tests"));
 }
+
+#[test]
+fn usage_errors_exit_with_code_2() {
+    // Missing circuit argument, unknown command, unknown flag: all usage.
+    for args in [
+        &["atpg"][..],
+        &["frobnicate", "s27"][..],
+        &["atpg", "s27", "-z"][..],
+        &["trace", "s27"][..],
+    ] {
+        let out = gatest(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+    }
+}
+
+#[test]
+fn runtime_errors_exit_with_code_1() {
+    // An unreadable circuit file is a runtime failure, not a usage one.
+    let out = gatest(&["stats", "/nonexistent/missing.bench"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("reading it failed"));
+}
+
+#[test]
+fn trace_out_emits_all_event_kinds_and_summarizes() {
+    let dir = std::env::temp_dir().join("gatest_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("s27.trace.jsonl");
+    let out = gatest(&[
+        "atpg",
+        "s27",
+        "--seed",
+        "3",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--progress",
+        "-q",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // -q suppressed the summary; --progress still reports on stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("phases ["), "-q must suppress the summary");
+    assert!(
+        stderr.contains("[gatest]"),
+        "progress lines expected: {stderr}"
+    );
+
+    let text = std::fs::read_to_string(&trace).unwrap();
+    for kind in [
+        "run_started",
+        "phase_entered",
+        "ga_generation",
+        "vector_committed",
+        "fault_detected",
+        "run_finished",
+    ] {
+        assert!(
+            text.contains(&format!("\"event\":\"{kind}\"")),
+            "trace missing {kind}"
+        );
+    }
+
+    let out = gatest(&["trace", "summarize", trace.to_str().unwrap()]);
+    assert!(out.status.success());
+    let summary = String::from_utf8_lossy(&out.stdout);
+    assert!(summary.contains("run: s27 seed 3"), "{summary}");
+    assert!(summary.contains("finished: "), "{summary}");
+}
+
+#[test]
+fn verbose_prints_telemetry_table() {
+    let out = gatest(&["atpg", "s27", "--seed", "3", "-v", "--out", "/dev/null"]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for needle in ["2 vector generation", "ga generations", "evals/sec"] {
+        assert!(stderr.contains(needle), "missing `{needle}`:\n{stderr}");
+    }
+}

@@ -120,6 +120,7 @@ mod tests {
             ff_effect_faults: pairs.min(1),
             good_events: good_ev,
             faulty_events: faulty_ev,
+            gate_evals: 0,
             good: GoodStepReport::default(),
         }
     }

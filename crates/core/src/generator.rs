@@ -4,10 +4,11 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use gatest_ga::{Chromosome, Coding, GaConfig, GaEngine, Rng};
+use gatest_ga::{Chromosome, Coding, GaConfig, GaEngine, GenerationStats, Rng};
 use gatest_netlist::depth::sequential_depth;
 use gatest_netlist::Circuit;
-use gatest_sim::{FaultId, FaultList, FaultSim, Logic};
+use gatest_sim::{FaultId, FaultList, FaultSim, Logic, StepReport};
+use gatest_telemetry::{NullObserver, RunEvent, RunObserver, SimCounters, TelemetrySnapshot};
 
 use crate::config::{FaultSample, GatestConfig};
 use crate::fitness::{phase1, phase2, phase3, phase4, FitnessScale, Phase};
@@ -35,6 +36,9 @@ pub struct TestGenResult {
     /// The phase (1-4) each committed vector was generated in, in test-set
     /// order — the observable trace of Figure 2's phase machine.
     pub phase_trace: Vec<u8>,
+    /// Final telemetry: per-phase wall-clock time, GA generations, and the
+    /// simulator hot-path counters accumulated over the run.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl TestGenResult {
@@ -70,13 +74,33 @@ impl TestGenResult {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct TestGenerator {
     circuit: Arc<Circuit>,
     sim: FaultSim,
     config: GatestConfig,
     rng: Rng,
     seq_depth: u32,
+    observer: Arc<dyn RunObserver>,
+    counters: Arc<SimCounters>,
+}
+
+impl std::fmt::Debug for TestGenerator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TestGenerator")
+            .field("circuit", &self.circuit)
+            .field("sim", &self.sim)
+            .field("config", &self.config)
+            .field("rng", &self.rng)
+            .field("seq_depth", &self.seq_depth)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Per-run telemetry accumulators threaded through the phase machine.
+#[derive(Default)]
+struct RunTelemetry {
+    phase_time: [Duration; 4],
+    ga_generations: u64,
 }
 
 impl TestGenerator {
@@ -92,16 +116,34 @@ impl TestGenerator {
         Self::from_parts(circuit, sim, config)
     }
 
-    fn from_parts(circuit: Arc<Circuit>, sim: FaultSim, config: GatestConfig) -> Self {
+    fn from_parts(circuit: Arc<Circuit>, mut sim: FaultSim, config: GatestConfig) -> Self {
         let rng = Rng::new(config.seed);
         let seq_depth = sequential_depth(&circuit);
+        let counters = Arc::new(SimCounters::new());
+        sim.set_counters(Some(Arc::clone(&counters)));
         TestGenerator {
             circuit,
             sim,
             config,
             rng,
             seq_depth,
+            observer: Arc::new(NullObserver),
+            counters,
         }
+    }
+
+    /// Attaches an observer receiving [`RunEvent`]s as the run unfolds.
+    ///
+    /// The default is [`NullObserver`]; observers cannot influence the run,
+    /// so observed and unobserved runs produce identical test sets.
+    pub fn with_observer(mut self, observer: Arc<dyn RunObserver>) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// The shared simulator hot-path counters for this generator.
+    pub fn telemetry_counters(&self) -> &Arc<SimCounters> {
+        &self.counters
     }
 
     /// The fault simulator (e.g. to inspect per-fault status after a run).
@@ -119,17 +161,26 @@ impl TestGenerator {
     /// length until four consecutive attempts fail at the longest length.
     pub fn run(&mut self) -> TestGenResult {
         let start = Instant::now();
+        self.counters.reset();
+        self.observer.on_event(&RunEvent::RunStarted {
+            circuit: self.circuit.name().to_string(),
+            total_faults: self.sim.fault_list().len(),
+            seed: self.config.seed,
+        });
+
         let mut test_set: Vec<Vec<Logic>> = Vec::new();
         let mut phase_vectors = [0usize; 4];
         let mut phase_trace: Vec<u8> = Vec::new();
         let mut ga_evaluations = 0usize;
         let mut sequence_attempts = 0usize;
+        let mut telem = RunTelemetry::default();
 
         self.generate_vectors(
             &mut test_set,
             &mut phase_vectors,
             &mut phase_trace,
             &mut ga_evaluations,
+            &mut telem,
         );
         self.generate_sequences(
             &mut test_set,
@@ -137,19 +188,36 @@ impl TestGenerator {
             &mut phase_trace,
             &mut ga_evaluations,
             &mut sequence_attempts,
+            &mut telem,
         );
 
-        TestGenResult {
+        let snapshot = TelemetrySnapshot {
+            phase_time: telem.phase_time,
+            ga_generations: telem.ga_generations,
+            counters: self.counters.snapshot(),
+        };
+        let elapsed = start.elapsed();
+        let result = TestGenResult {
             circuit: self.circuit.name().to_string(),
             total_faults: self.sim.fault_list().len(),
             detected: self.sim.detected_count(),
             test_set,
-            elapsed: start.elapsed(),
+            elapsed,
             phase_vectors,
             ga_evaluations,
             sequence_attempts,
             phase_trace,
-        }
+            telemetry: snapshot.clone(),
+        };
+        self.observer.on_event(&RunEvent::RunFinished {
+            detected: result.detected,
+            total_faults: result.total_faults,
+            vectors: result.vectors(),
+            ga_evaluations: result.ga_evaluations,
+            elapsed_secs: elapsed.as_secs_f64(),
+            snapshot,
+        });
+        result
     }
 
     /// Phases 1–3 (Figure 2): evolve one vector at a time.
@@ -159,6 +227,7 @@ impl TestGenerator {
         phase_vectors: &mut [usize; 4],
         phase_trace: &mut Vec<u8>,
         ga_evaluations: &mut usize,
+        telem: &mut RunTelemetry,
     ) {
         let progress_limit = self.config.progress_limit(self.seq_depth);
         let nffs = self.circuit.num_dffs();
@@ -172,8 +241,22 @@ impl TestGenerator {
         let mut noncontributing = 0usize;
         let mut best_known_ffs = 0usize;
         let mut init_stall = 0usize;
+        let mut emitted_phase: Option<u8> = None;
+        let mut phase_started = Instant::now();
 
-        while test_set.len() < self.config.max_vectors && self.sim.remaining() > 0 {
+        'vectors: while test_set.len() < self.config.max_vectors && self.sim.remaining() > 0 {
+            let phase_no = phase.number();
+            if emitted_phase != Some(phase_no) {
+                if let Some(prev) = emitted_phase {
+                    telem.phase_time[prev as usize - 1] += phase_started.elapsed();
+                    phase_started = Instant::now();
+                }
+                emitted_phase = Some(phase_no);
+                self.observer.on_event(&RunEvent::PhaseEntered {
+                    phase: phase_no,
+                    vectors: test_set.len(),
+                });
+            }
             let sample = self.draw_sample();
             let scale = FitnessScale {
                 faults: sample.len(),
@@ -223,14 +306,34 @@ impl TestGenerator {
             while initial.len() < self.config.vector_population {
                 initial.push(Chromosome::random(pis, &mut run_rng));
             }
+            let observer = Arc::clone(&self.observer);
+            let gen_count = &mut telem.ga_generations;
+            let mut observe = |s: &GenerationStats| {
+                *gen_count += 1;
+                observer.on_event(&RunEvent::GaGenerationEvaluated {
+                    phase: phase_no,
+                    generation: s.generation,
+                    best: s.best,
+                    mean: s.mean,
+                    evaluations: s.evaluations,
+                });
+            };
             let result = if workers == 1 {
                 let sim = &mut self.sim;
-                ga.run_seeded(initial, &mut run_rng, |chrom| evaluate_one(sim, chrom))
+                ga.run_seeded_batched_observed(
+                    initial,
+                    &mut run_rng,
+                    |batch| batch.iter().map(|c| evaluate_one(sim, c)).collect(),
+                    &mut observe,
+                )
             } else {
                 let base = &self.sim;
-                ga.run_seeded_batched(initial, &mut run_rng, |batch| {
-                    evaluate_parallel(base, workers, batch, &evaluate_one)
-                })
+                ga.run_seeded_batched_observed(
+                    initial,
+                    &mut run_rng,
+                    |batch| evaluate_parallel(base, workers, batch, &evaluate_one),
+                    &mut observe,
+                )
             };
             *ga_evaluations += result.evaluations;
 
@@ -239,10 +342,11 @@ impl TestGenerator {
             self.sim.restore(&cp);
             let vector = decode_vector(&result.best.chromosome, pis);
             let report = if phase == Phase::Initialization {
-                self.sim.step(&vector);
+                let first = self.sim.step(&vector);
                 test_set.push(vector.clone());
                 phase_vectors[0] += 1;
                 phase_trace.push(1);
+                self.emit_commit(1, test_set.len(), self.sim.detected_count(), &first);
                 self.sim.step(&vector)
             } else {
                 self.sim.step(&vector)
@@ -250,6 +354,12 @@ impl TestGenerator {
             test_set.push(vector);
             phase_vectors[phase.number() as usize - 1] += 1;
             phase_trace.push(phase.number());
+            self.emit_commit(
+                phase.number(),
+                test_set.len(),
+                self.sim.detected_count(),
+                &report,
+            );
 
             match phase {
                 Phase::Initialization => {
@@ -280,12 +390,40 @@ impl TestGenerator {
                     } else {
                         noncontributing += 1;
                         if noncontributing > progress_limit {
-                            return; // progress limit exhausted: on to sequences
+                            break 'vectors; // progress limit exhausted: on to sequences
                         }
                     }
                 }
                 Phase::SequenceGeneration => unreachable!("not in sequence phase"),
             }
+        }
+        if let Some(prev) = emitted_phase {
+            telem.phase_time[prev as usize - 1] += phase_started.elapsed();
+        }
+    }
+
+    /// Emits the `VectorCommitted` event for one committed frame, plus one
+    /// `FaultDetected` event per fault the frame newly detected.
+    fn emit_commit(&self, phase: u8, vectors: usize, detected_total: usize, report: &StepReport) {
+        let total = self.sim.fault_list().len();
+        self.observer.on_event(&RunEvent::VectorCommitted {
+            phase,
+            vectors,
+            detected_new: report.detected(),
+            detected_total,
+            coverage: if total > 0 {
+                detected_total as f64 / total as f64
+            } else {
+                0.0
+            },
+        });
+        for &fid in &report.newly_detected {
+            let fault = self.sim.fault_list().get(fid);
+            self.observer.on_event(&RunEvent::FaultDetected {
+                fault: fid.index() as u32,
+                site: fault.display(&self.circuit).to_string(),
+                vector: vectors - 1,
+            });
         }
     }
 
@@ -298,9 +436,12 @@ impl TestGenerator {
         phase_trace: &mut Vec<u8>,
         ga_evaluations: &mut usize,
         sequence_attempts: &mut usize,
+        telem: &mut RunTelemetry,
     ) {
         let nffs = self.circuit.num_dffs();
         let pis = self.circuit.num_inputs();
+        let mut entered = false;
+        let phase_started = Instant::now();
 
         for len in self.config.sequence_lengths(self.seq_depth) {
             let mut failures = 0usize;
@@ -308,6 +449,13 @@ impl TestGenerator {
                 && self.sim.remaining() > 0
                 && test_set.len() + len <= self.config.max_vectors
             {
+                if !entered {
+                    entered = true;
+                    self.observer.on_event(&RunEvent::PhaseEntered {
+                        phase: 4,
+                        vectors: test_set.len(),
+                    });
+                }
                 let sample = self.draw_sample();
                 let scale = FitnessScale {
                     faults: sample.len(),
@@ -328,14 +476,37 @@ impl TestGenerator {
                     }
                     phase4(&reports, scale)
                 };
+                let observer = Arc::clone(&self.observer);
+                let gen_count = &mut telem.ga_generations;
+                let mut observe = |s: &GenerationStats| {
+                    *gen_count += 1;
+                    observer.on_event(&RunEvent::GaGenerationEvaluated {
+                        phase: 4,
+                        generation: s.generation,
+                        best: s.best,
+                        mean: s.mean,
+                        evaluations: s.evaluations,
+                    });
+                };
+                let initial: Vec<Chromosome> = (0..self.config.sequence_population)
+                    .map(|_| Chromosome::random(len * pis, &mut run_rng))
+                    .collect();
                 let result = if workers == 1 {
                     let sim = &mut self.sim;
-                    ga.run(len * pis, &mut run_rng, |chrom| evaluate_one(sim, chrom))
+                    ga.run_seeded_batched_observed(
+                        initial,
+                        &mut run_rng,
+                        |batch| batch.iter().map(|c| evaluate_one(sim, c)).collect(),
+                        &mut observe,
+                    )
                 } else {
                     let base = &self.sim;
-                    ga.run_batched(len * pis, &mut run_rng, |batch| {
-                        evaluate_parallel(base, workers, batch, &evaluate_one)
-                    })
+                    ga.run_seeded_batched_observed(
+                        initial,
+                        &mut run_rng,
+                        |batch| evaluate_parallel(base, workers, batch, &evaluate_one),
+                        &mut observe,
+                    )
                 };
                 *ga_evaluations += result.evaluations;
                 *sequence_attempts += 1;
@@ -344,14 +515,22 @@ impl TestGenerator {
                 self.sim.restore(&cp);
                 let mut detected = 0usize;
                 let mut seq = Vec::with_capacity(len);
+                let mut reports = Vec::with_capacity(len);
                 for frame in 0..len {
                     let v = decode_frame(&result.best.chromosome, pis, frame);
-                    detected += self.sim.step(&v).detected();
+                    let report = self.sim.step(&v);
+                    detected += report.detected();
+                    reports.push(report);
                     seq.push(v);
                 }
                 if detected > 0 {
                     phase_vectors[3] += seq.len();
                     phase_trace.extend(std::iter::repeat_n(4u8, seq.len()));
+                    let mut running = self.sim.detected_count() - detected;
+                    for (offset, report) in reports.iter().enumerate() {
+                        running += report.detected();
+                        self.emit_commit(4, test_set.len() + offset + 1, running, report);
+                    }
                     test_set.extend(seq);
                     failures = 0;
                 } else {
@@ -359,6 +538,9 @@ impl TestGenerator {
                     failures += 1;
                 }
             }
+        }
+        if entered {
+            telem.phase_time[3] += phase_started.elapsed();
         }
     }
 

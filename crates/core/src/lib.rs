@@ -50,5 +50,6 @@ pub mod transition;
 pub use compact::{compact_test_set, CompactionStats};
 pub use config::{table1_parameters, FaultSample, GatestConfig};
 pub use fitness::{FitnessScale, Phase};
+pub use gatest_telemetry as telemetry;
 pub use generator::{TestGenResult, TestGenerator};
 pub use transition::{TransitionResult, TransitionTestGenerator};

@@ -54,6 +54,49 @@ pub fn table_header() -> String {
     )
 }
 
+/// Formats the extended telemetry of a run as a small aligned table: one
+/// line per phase with its wall-clock share, then the derived simulator
+/// rates (GA evaluations/second, simulator events per step, gate
+/// evaluations, checkpoint restores).
+pub fn telemetry_table(result: &TestGenResult) -> String {
+    let t = &result.telemetry;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<22} {:>10} {:>7}", "phase", "time", "share");
+    let phased = t.phased_time().as_secs_f64();
+    const NAMES: [&str; 4] = [
+        "1 initialization",
+        "2 vector generation",
+        "3 stalled (activity)",
+        "4 sequences",
+    ];
+    for (name, d) in NAMES.iter().zip(t.phase_time.iter()) {
+        let share = if phased > 0.0 {
+            100.0 * d.as_secs_f64() / phased
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10} {:>6.1}%",
+            name,
+            format_duration(*d),
+            share
+        );
+    }
+    let evals_per_sec = t.evals_per_sec(result.ga_evaluations, result.elapsed);
+    let _ = writeln!(out, "{:<22} {:>10}", "ga generations", t.ga_generations);
+    let _ = writeln!(out, "{:<22} {:>10.0}", "evals/sec", evals_per_sec);
+    let _ = writeln!(out, "{:<22} {:>10.1}", "events/step", t.events_per_step());
+    let _ = writeln!(out, "{:<22} {:>10}", "gate evals", t.counters.gate_evals);
+    let _ = writeln!(out, "{:<22} {:>10}", "sim steps", t.counters.total_steps());
+    let _ = write!(
+        out,
+        "{:<22} {:>10}",
+        "restores", t.counters.checkpoint_restores
+    );
+    out
+}
+
 /// Serializes a test set as one line of `0`/`1` per vector (the usual
 /// exchange format for sequential test sets).
 pub fn test_set_to_string(test_set: &[Vec<Logic>]) -> String {
@@ -212,11 +255,106 @@ mod tests {
         assert_eq!(sparkline(&[], 10), "(empty)");
     }
 
+    fn sample_result() -> TestGenResult {
+        use gatest_telemetry::{CounterSnapshot, TelemetrySnapshot};
+        TestGenResult {
+            circuit: String::from("s27"),
+            total_faults: 26,
+            detected: 25,
+            test_set: vec![vec![Logic::One; 4]; 9],
+            elapsed: Duration::from_millis(500),
+            phase_vectors: [2, 5, 1, 1],
+            ga_evaluations: 640,
+            sequence_attempts: 2,
+            phase_trace: vec![1, 1, 2, 2, 2, 2, 2, 3, 4],
+            telemetry: TelemetrySnapshot {
+                phase_time: [
+                    Duration::from_millis(50),
+                    Duration::from_millis(300),
+                    Duration::from_millis(50),
+                    Duration::from_millis(100),
+                ],
+                ga_generations: 81,
+                counters: CounterSnapshot {
+                    step_calls: 700,
+                    good_only_calls: 160,
+                    gate_evals: 14_000,
+                    good_events: 3_200,
+                    faulty_events: 9_100,
+                    checkpoint_restores: 649,
+                },
+            },
+        }
+    }
+
     #[test]
     fn header_and_row_align() {
-        // Same number of columns; widths close enough for terminal tables.
+        // Every column boundary in the header lines up with the row: both
+        // are produced by fixed-width format strings, so the space-separated
+        // field count and total prefix widths must match.
         let header = table_header();
+        let row = table_row(&sample_result());
         assert!(header.contains("circuit"));
         assert!(header.contains("cov"));
+        assert_eq!(
+            header.split_whitespace().count(),
+            row.split_whitespace().count(),
+            "header and row must have the same number of columns"
+        );
+        // Fixed-width formatting: successive column *end* offsets agree.
+        let ends = |s: &str| -> Vec<usize> {
+            let mut out = Vec::new();
+            let mut in_field = false;
+            for (i, c) in s.char_indices() {
+                if c != ' ' {
+                    in_field = true;
+                } else if in_field {
+                    out.push(i);
+                    in_field = false;
+                }
+            }
+            out.push(s.chars().count());
+            out
+        };
+        // The right-aligned numeric columns (faults, det) must end at the
+        // same offsets; the first column is left-padded so its end position
+        // varies with the circuit name, and the coverage column's header
+        // width accounts for the trailing % sign.
+        assert_eq!(ends(&header)[1..3], ends(&row)[1..3]);
+    }
+
+    #[test]
+    fn telemetry_table_lists_phases_and_rates() {
+        let table = telemetry_table(&sample_result());
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("phase"));
+        for needle in [
+            "1 initialization",
+            "2 vector generation",
+            "3 stalled",
+            "4 sequences",
+            "ga generations",
+            "evals/sec",
+            "events/step",
+            "gate evals",
+            "restores",
+        ] {
+            assert!(table.contains(needle), "missing `{needle}`:\n{table}");
+        }
+        // Shares sum to ~100%.
+        assert!(table.contains("60.0%"), "phase 2 is 300/500 ms:\n{table}");
+        // evals/sec = 640 / 0.5s = 1280.
+        assert!(table.contains("1280"), "{table}");
+        // Alignment: the four phase rows all end their time column at the
+        // same offset.
+        let time_end = |line: &str| {
+            line.char_indices()
+                .take_while(|&(_, c)| c != '%')
+                .filter(|&(_, c)| c == 's')
+                .map(|(i, _)| i)
+                .last()
+        };
+        let offsets: Vec<_> = lines[1..5].iter().map(|l| time_end(l)).collect();
+        assert!(offsets.iter().all(|o| *o == offsets[0]), "{offsets:?}");
     }
 }

@@ -68,6 +68,24 @@ impl GaConfig {
     }
 }
 
+/// Per-generation statistics handed to the observer hook of
+/// [`GaEngine::run_seeded_batched_observed`].
+///
+/// The crate stays dependency-free, so this is a plain struct rather than a
+/// telemetry event; callers (the test generator) translate it into their own
+/// event types.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationStats {
+    /// Generation index within this GA invocation (0 = initial population).
+    pub generation: usize,
+    /// Best fitness in the current population.
+    pub best: f64,
+    /// Mean fitness of the current population.
+    pub mean: f64,
+    /// Fitness evaluations performed for this generation alone.
+    pub evaluations: usize,
+}
+
 /// A chromosome with its evaluated fitness.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Evaluated {
@@ -182,10 +200,33 @@ impl GaEngine {
         &self,
         initial: Vec<Chromosome>,
         rng: &mut Rng,
-        mut eval: F,
+        eval: F,
     ) -> GaResult
     where
         F: FnMut(&[Chromosome]) -> Vec<f64>,
+    {
+        self.run_seeded_batched_observed(initial, rng, eval, |_| {})
+    }
+
+    /// Like [`GaEngine::run_seeded_batched`], but calls `observe` with
+    /// [`GenerationStats`] after every generation is evaluated (including the
+    /// initial population, as generation 0). The observer cannot influence
+    /// the run, so observed and unobserved runs are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty, its chromosomes have unequal lengths,
+    /// or `eval` returns the wrong number of fitness values.
+    pub fn run_seeded_batched_observed<F, O>(
+        &self,
+        initial: Vec<Chromosome>,
+        rng: &mut Rng,
+        mut eval: F,
+        mut observe: O,
+    ) -> GaResult
+    where
+        F: FnMut(&[Chromosome]) -> Vec<f64>,
+        O: FnMut(&GenerationStats),
     {
         assert!(!initial.is_empty(), "initial population must not be empty");
         let len = initial[0].len();
@@ -219,8 +260,14 @@ impl GaEngine {
         let mut best_history = vec![best.fitness];
         let mut mean_history = vec![mean_fitness(&population)];
         let mut diversity_history = vec![diversity(&population)];
+        observe(&GenerationStats {
+            generation: 0,
+            best: best.fitness,
+            mean: mean_history[0],
+            evaluations,
+        });
 
-        for _ in 0..self.config.generations {
+        for generation in 0..self.config.generations {
             let g = self.config.offspring_per_generation().min(population.len());
             let fitness: Vec<f64> = population.iter().map(|e| e.fitness).collect();
             let parents = self.config.selection.select(&fitness, g.max(2), rng);
@@ -260,6 +307,7 @@ impl GaEngine {
                 "eval must score every chromosome"
             );
             evaluations += offspring.len();
+            let generation_evaluations = offspring.len();
             let children: Vec<Evaluated> = offspring
                 .into_iter()
                 .zip(scores)
@@ -305,12 +353,19 @@ impl GaEngine {
                 .iter()
                 .max_by(|a, b| a.fitness.total_cmp(&b.fitness))
                 .expect("population stays non-empty");
+            let gen_best_fitness = gen_best.fitness;
             if gen_best.fitness > best.fitness {
                 best = gen_best.clone();
             }
             best_history.push(best.fitness);
             mean_history.push(mean_fitness(&population));
             diversity_history.push(diversity(&population));
+            observe(&GenerationStats {
+                generation: generation + 1,
+                best: gen_best_fitness,
+                mean: *mean_history.last().expect("just pushed"),
+                evaluations: generation_evaluations,
+            });
         }
 
         GaResult {
@@ -518,6 +573,52 @@ mod tests {
         // (Checked indirectly: the elite path must not panic and must not
         // reduce the evaluation count below the no-elitism run.)
         assert!(result.evaluations > 0);
+    }
+
+    #[test]
+    fn observed_run_reports_every_generation_and_changes_nothing() {
+        let engine = GaEngine::new(GaConfig {
+            population_size: 10,
+            generations: 4,
+            ..GaConfig::default()
+        });
+        let initial = |rng: &mut Rng| -> Vec<Chromosome> {
+            (0..10).map(|_| Chromosome::random(16, rng)).collect()
+        };
+        let mut rng = Rng::new(33);
+        let pop = initial(&mut rng);
+        let plain = engine.run_seeded_batched(pop.clone(), &mut Rng::new(99), |batch| {
+            batch.iter().map(one_max).collect()
+        });
+
+        let mut stats: Vec<GenerationStats> = Vec::new();
+        let observed = engine.run_seeded_batched_observed(
+            pop,
+            &mut Rng::new(99),
+            |batch| batch.iter().map(one_max).collect(),
+            |s| stats.push(*s),
+        );
+
+        assert_eq!(plain, observed, "the observer must not perturb the run");
+        assert_eq!(stats.len(), observed.generations + 1);
+        assert_eq!(
+            stats.iter().map(|s| s.generation).collect::<Vec<_>>(),
+            (0..=observed.generations).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            stats.iter().map(|s| s.evaluations).sum::<usize>(),
+            observed.evaluations,
+            "per-generation deltas must sum to the total"
+        );
+        for (s, (b, m)) in stats.iter().zip(
+            observed
+                .best_history
+                .iter()
+                .zip(observed.mean_history.iter()),
+        ) {
+            assert!(s.best <= *b, "population best never exceeds best-so-far");
+            assert_eq!(s.mean, *m);
+        }
     }
 
     #[test]

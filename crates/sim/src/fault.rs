@@ -234,8 +234,7 @@ impl FaultList {
         let collapsed = Self::collapsed(circuit);
         // Identify dominated stem faults: (gate, !controlled_output) for
         // controlling-value gates with at least two inputs.
-        let mut dominated: std::collections::HashSet<Fault> =
-            std::collections::HashSet::new();
+        let mut dominated: std::collections::HashSet<Fault> = std::collections::HashSet::new();
         for gate in circuit.net_ids() {
             let kind = circuit.kind(gate);
             if circuit.fanin(gate).len() < 2 {
@@ -452,8 +451,7 @@ mod tests {
             let eq = FaultList::collapsed(&c);
             let dom = FaultList::dominance_collapsed(&c);
             assert!(dom.len() < eq.len(), "{name}");
-            let eq_set: std::collections::HashSet<_> =
-                eq.iter().map(|(_, f)| f).collect();
+            let eq_set: std::collections::HashSet<_> = eq.iter().map(|(_, f)| f).collect();
             for (_, f) in dom.iter() {
                 assert!(eq_set.contains(&f), "{name}: {f:?} not in equivalence list");
             }

@@ -25,6 +25,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use gatest_netlist::{Circuit, NetId};
+use gatest_telemetry::SimCounters;
 
 use crate::eval::eval_packed;
 use crate::fault::{FaultId, FaultList, FaultSite, FaultStatus};
@@ -49,6 +50,9 @@ pub struct StepReport {
     pub good_events: u64,
     /// Faulty-circuit events, summed over all simulated faulty machines.
     pub faulty_events: u64,
+    /// Gate evaluations this frame: every good-machine combinational gate
+    /// plus one per packed (≤64-fault) faulty re-evaluation.
+    pub gate_evals: u64,
     /// Good-circuit frame statistics (flip-flops set/changed).
     pub good: GoodStepReport,
 }
@@ -103,6 +107,11 @@ pub struct FaultSim {
     /// wherever the faulty machine differs from the good machine.
     faulty_ff: Vec<Vec<(u32, Logic)>>,
     vectors_applied: u32,
+    /// Optional shared telemetry counters; clones of this simulator (the
+    /// parallel fitness workers) aggregate into the same instance.
+    counters: Option<Arc<SimCounters>>,
+    /// Combinational gates evaluated by one good-machine frame.
+    comb_gates: u64,
 
     // --- scratch, reused across steps ---
     fval: Vec<Pv64>,
@@ -125,6 +134,10 @@ impl FaultSim {
         let n = circuit.num_gates();
         let nfaults = faults.len();
         let max_level = good.levelization().max_level() as usize;
+        let comb_gates = circuit
+            .net_ids()
+            .filter(|&id| circuit.kind(id).is_combinational())
+            .count() as u64;
         FaultSim {
             circuit,
             good,
@@ -132,6 +145,8 @@ impl FaultSim {
             active: (0..nfaults as u32).map(FaultId).collect(),
             faulty_ff: vec![Vec::new(); nfaults],
             vectors_applied: 0,
+            counters: None,
+            comb_gates,
             faults,
             fval: vec![Pv64::ALL_X; n],
             fstamp: vec![0; n],
@@ -181,6 +196,20 @@ impl FaultSim {
         self.vectors_applied
     }
 
+    /// Attaches (or detaches, with `None`) shared telemetry counters.
+    ///
+    /// Counters are recorded once per step with relaxed atomics, so the
+    /// hot-path cost is negligible; clones of this simulator keep reporting
+    /// into the same shared instance.
+    pub fn set_counters(&mut self, counters: Option<Arc<SimCounters>>) {
+        self.counters = counters;
+    }
+
+    /// The attached telemetry counters, if any.
+    pub fn counters(&self) -> Option<&Arc<SimCounters>> {
+        self.counters.as_ref()
+    }
+
     /// Applies one vector, simulating **all** undetected faults, dropping
     /// any that are detected.
     ///
@@ -207,7 +236,11 @@ impl FaultSim {
     /// flip-flop statistics.
     pub fn step_good_only(&mut self, vector: &[Logic]) -> GoodStepReport {
         self.vectors_applied += 1;
-        self.good.apply(vector)
+        let report = self.good.apply(vector);
+        if let Some(counters) = &self.counters {
+            counters.record_good_only(self.comb_gates, report.events);
+        }
+        report
     }
 
     fn step_with(&mut self, vector: &[Logic], targets: &[FaultId], drop: bool) -> StepReport {
@@ -216,6 +249,7 @@ impl FaultSim {
 
         let mut report = StepReport {
             good_events: good_report.events,
+            gate_evals: self.comb_gates,
             good: good_report,
             ..StepReport::default()
         };
@@ -223,6 +257,9 @@ impl FaultSim {
         let mut detected: Vec<FaultId> = Vec::new();
         for group in targets.chunks(64) {
             self.simulate_group(group, &mut report, &mut detected);
+        }
+        if let Some(counters) = &self.counters {
+            counters.record_step(report.gate_evals, report.good_events, report.faulty_events);
         }
 
         if drop && !detected.is_empty() {
@@ -324,6 +361,7 @@ impl FaultSim {
             let gates = std::mem::take(&mut self.buckets[level]);
             for gate in gates {
                 self.queued[gate.index()] = 0;
+                report.gate_evals += 1;
                 let kind = circuit.kind(gate);
                 debug_assert!(kind.is_combinational());
                 let mut fanin_words: Vec<Pv64> = Vec::with_capacity(circuit.fanin(gate).len());
@@ -456,6 +494,9 @@ impl FaultSim {
     /// circuit or fault list.
     pub fn restore(&mut self, cp: &Checkpoint) {
         assert_eq!(cp.status.len(), self.status.len());
+        if let Some(counters) = &self.counters {
+            counters.record_restore();
+        }
         self.good.restore(&cp.good);
         self.status.copy_from_slice(&cp.status);
         self.active.clear();
@@ -720,6 +761,51 @@ mod tests {
         let r = sim.step(&[One, One, Zero, Zero]);
         assert!(r.faulty_events > 0);
         assert!(r.good_events > 0);
+    }
+
+    #[test]
+    fn counters_accumulate_under_step_sampled() {
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        let counters = Arc::new(SimCounters::new());
+        sim.set_counters(Some(Arc::clone(&counters)));
+        assert!(sim.counters().is_some());
+
+        let sample: Vec<FaultId> = sim.active_faults().iter().copied().take(5).collect();
+        let cp = sim.checkpoint();
+        let mut expected_gate_evals = 0u64;
+        let mut expected_good = 0u64;
+        let mut expected_faulty = 0u64;
+        for v in prng_sequence(4, 6, 31) {
+            sim.restore(&cp);
+            let r = sim.step_sampled(&v, &sample);
+            expected_gate_evals += r.gate_evals;
+            expected_good += r.good_events;
+            expected_faulty += r.faulty_events;
+        }
+        let good_only = sim.step_good_only(&[One, Zero, One, Zero]);
+
+        let s = counters.snapshot();
+        assert_eq!(s.step_calls, 6);
+        assert_eq!(s.good_only_calls, 1);
+        assert_eq!(s.checkpoint_restores, 6);
+        assert_eq!(s.good_events, expected_good + good_only.events);
+        assert_eq!(s.faulty_events, expected_faulty);
+        // The good-only step adds exactly one full combinational sweep.
+        assert_eq!(s.gate_evals, expected_gate_evals + sim.comb_gates);
+
+        // Cloned simulators report into the same shared counters.
+        let mut clone = sim.clone();
+        clone.restore(&cp);
+        assert_eq!(counters.snapshot().checkpoint_restores, 7);
+
+        sim.set_counters(None);
+        sim.step_good_only(&[One, One, One, One]);
+        assert_eq!(
+            counters.snapshot().good_only_calls,
+            1,
+            "detached counters stop accumulating"
+        );
     }
 
     #[test]

@@ -261,7 +261,7 @@ mod tests {
         // 3 flip-flops -> at most 8 binary states; the analysis tells us
         // exactly how many are reachable from power-up.
         let binary = space.reachable_binary_states();
-        assert!(binary >= 1 && binary <= 8, "got {binary}");
+        assert!((1..=8).contains(&binary), "got {binary}");
         // The all-X power-up state is recorded at depth 0.
         assert_eq!(space.depth_of(&[Logic::X, Logic::X, Logic::X]), Some(0));
     }

@@ -1,0 +1,150 @@
+//! Lock-free counters sampled from the fault simulator's hot paths.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Accumulating counters for simulator activity.
+///
+/// All updates use relaxed atomics: the counters are monotone event tallies
+/// with no ordering relationship to any other memory, so relaxed ordering is
+/// sufficient and keeps the hot-path cost to a handful of uncontended
+/// `fetch_add`s per simulated *vector* (never per gate). The struct is
+/// shared via `Arc` between a [`FaultSim`](../../gatest_sim) and its clones,
+/// so parallel fitness workers aggregate into one place.
+#[derive(Debug, Default)]
+pub struct SimCounters {
+    /// Full or sampled fault-simulation steps (`step` / `step_sampled`).
+    pub step_calls: AtomicU64,
+    /// Good-machine-only steps (`step_good_only`).
+    pub good_only_calls: AtomicU64,
+    /// Packed faulty-gate evaluations plus good-machine gate evaluations.
+    pub gate_evals: AtomicU64,
+    /// Good-circuit events (net value changes).
+    pub good_events: AtomicU64,
+    /// Faulty-circuit events summed over all simulated faulty machines.
+    pub faulty_events: AtomicU64,
+    /// Checkpoint restores (one per candidate evaluation in the GA loop).
+    pub checkpoint_restores: AtomicU64,
+}
+
+impl SimCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        SimCounters::default()
+    }
+
+    /// Records one full/sampled fault-simulation step.
+    #[inline]
+    pub fn record_step(&self, gate_evals: u64, good_events: u64, faulty_events: u64) {
+        self.step_calls.fetch_add(1, Ordering::Relaxed);
+        self.gate_evals.fetch_add(gate_evals, Ordering::Relaxed);
+        self.good_events.fetch_add(good_events, Ordering::Relaxed);
+        self.faulty_events
+            .fetch_add(faulty_events, Ordering::Relaxed);
+    }
+
+    /// Records one good-machine-only step.
+    #[inline]
+    pub fn record_good_only(&self, gate_evals: u64, good_events: u64) {
+        self.good_only_calls.fetch_add(1, Ordering::Relaxed);
+        self.gate_evals.fetch_add(gate_evals, Ordering::Relaxed);
+        self.good_events.fetch_add(good_events, Ordering::Relaxed);
+    }
+
+    /// Records one checkpoint restore.
+    #[inline]
+    pub fn record_restore(&self) {
+        self.checkpoint_restores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain-integer copy of the current totals.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            step_calls: self.step_calls.load(Ordering::Relaxed),
+            good_only_calls: self.good_only_calls.load(Ordering::Relaxed),
+            gate_evals: self.gate_evals.load(Ordering::Relaxed),
+            good_events: self.good_events.load(Ordering::Relaxed),
+            faulty_events: self.faulty_events.load(Ordering::Relaxed),
+            checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.step_calls.store(0, Ordering::Relaxed);
+        self.good_only_calls.store(0, Ordering::Relaxed);
+        self.gate_evals.store(0, Ordering::Relaxed);
+        self.good_events.store(0, Ordering::Relaxed);
+        self.faulty_events.store(0, Ordering::Relaxed);
+        self.checkpoint_restores.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Plain-integer snapshot of [`SimCounters`], embeddable in results.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Full or sampled fault-simulation steps.
+    pub step_calls: u64,
+    /// Good-machine-only steps.
+    pub good_only_calls: u64,
+    /// Gate evaluations (faulty packed words + good machine).
+    pub gate_evals: u64,
+    /// Good-circuit events.
+    pub good_events: u64,
+    /// Faulty-circuit events.
+    pub faulty_events: u64,
+    /// Checkpoint restores.
+    pub checkpoint_restores: u64,
+}
+
+impl CounterSnapshot {
+    /// Total simulator step calls of any kind.
+    pub fn total_steps(&self) -> u64 {
+        self.step_calls + self.good_only_calls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let c = SimCounters::new();
+        c.record_step(100, 7, 30);
+        c.record_step(50, 3, 10);
+        c.record_good_only(20, 5);
+        c.record_restore();
+        let s = c.snapshot();
+        assert_eq!(s.step_calls, 2);
+        assert_eq!(s.good_only_calls, 1);
+        assert_eq!(s.gate_evals, 170);
+        assert_eq!(s.good_events, 15);
+        assert_eq!(s.faulty_events, 40);
+        assert_eq!(s.checkpoint_restores, 1);
+        assert_eq!(s.total_steps(), 3);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let c = std::sync::Arc::new(SimCounters::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_step(3, 1, 2);
+                        c.record_restore();
+                    }
+                });
+            }
+        });
+        let s = c.snapshot();
+        assert_eq!(s.step_calls, 4000);
+        assert_eq!(s.gate_evals, 12000);
+        assert_eq!(s.good_events, 4000);
+        assert_eq!(s.faulty_events, 8000);
+        assert_eq!(s.checkpoint_restores, 4000);
+    }
+}

@@ -1,0 +1,171 @@
+//! Throttled live progress lines on stderr.
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::event::RunEvent;
+use crate::RunObserver;
+
+/// Prints a one-line status to stderr as the run advances.
+///
+/// Lines are throttled to one per `interval` (default 250 ms) so tracing a
+/// fast run does not flood the terminal; phase transitions and the final
+/// summary always print. A typical line:
+///
+/// ```text
+/// [gatest] phase 2 | vectors 41 | detected 285/320 (89.1%) | 1523 evals/s
+/// ```
+pub struct ProgressReporter {
+    interval: Duration,
+    state: Mutex<ProgressState>,
+}
+
+struct ProgressState {
+    started: Instant,
+    last_print: Option<Instant>,
+    phase: u8,
+    vectors: usize,
+    detected: usize,
+    total_faults: usize,
+    evaluations: u64,
+}
+
+impl Default for ProgressReporter {
+    fn default() -> Self {
+        ProgressReporter::new()
+    }
+}
+
+impl ProgressReporter {
+    /// A reporter with the default 250 ms throttle.
+    pub fn new() -> Self {
+        ProgressReporter::with_interval(Duration::from_millis(250))
+    }
+
+    /// A reporter printing at most one line per `interval` (phase changes and
+    /// the final line are exempt).
+    pub fn with_interval(interval: Duration) -> Self {
+        ProgressReporter {
+            interval,
+            state: Mutex::new(ProgressState {
+                started: Instant::now(),
+                last_print: None,
+                phase: 0,
+                vectors: 0,
+                detected: 0,
+                total_faults: 0,
+                evaluations: 0,
+            }),
+        }
+    }
+
+    fn print_line(state: &mut ProgressState, now: Instant) {
+        let coverage = if state.total_faults > 0 {
+            100.0 * state.detected as f64 / state.total_faults as f64
+        } else {
+            0.0
+        };
+        let elapsed = now.duration_since(state.started).as_secs_f64();
+        let rate = if elapsed > 0.0 {
+            state.evaluations as f64 / elapsed
+        } else {
+            0.0
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(
+            err,
+            "[gatest] phase {} | vectors {} | detected {}/{} ({:.1}%) | {:.0} evals/s",
+            state.phase, state.vectors, state.detected, state.total_faults, coverage, rate
+        );
+        state.last_print = Some(now);
+    }
+}
+
+impl RunObserver for ProgressReporter {
+    fn on_event(&self, event: &RunEvent) {
+        let mut state = self.state.lock().expect("progress reporter poisoned");
+        let now = Instant::now();
+        let mut force = false;
+        match event {
+            RunEvent::RunStarted { total_faults, .. } => {
+                state.started = now;
+                state.total_faults = *total_faults;
+                return;
+            }
+            RunEvent::PhaseEntered { phase, vectors } => {
+                state.phase = *phase;
+                state.vectors = *vectors;
+                force = true;
+            }
+            RunEvent::GaGenerationEvaluated { evaluations, .. } => {
+                state.evaluations += *evaluations as u64;
+            }
+            RunEvent::VectorCommitted {
+                vectors,
+                detected_total,
+                ..
+            } => {
+                state.vectors = *vectors;
+                state.detected = *detected_total;
+            }
+            RunEvent::FaultDetected { .. } => return,
+            RunEvent::RunFinished {
+                detected, vectors, ..
+            } => {
+                state.detected = *detected;
+                state.vectors = *vectors;
+                force = true;
+            }
+        }
+        let due = match state.last_print {
+            None => true,
+            Some(last) => now.duration_since(last) >= self.interval,
+        };
+        if force || due {
+            Self::print_line(&mut state, now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_state_across_events() {
+        // Output goes to stderr; here we only exercise the state machine.
+        let reporter = ProgressReporter::with_interval(Duration::from_secs(3600));
+        reporter.on_event(&RunEvent::RunStarted {
+            circuit: "s27".into(),
+            total_faults: 26,
+            seed: 1,
+        });
+        reporter.on_event(&RunEvent::PhaseEntered {
+            phase: 2,
+            vectors: 0,
+        });
+        reporter.on_event(&RunEvent::GaGenerationEvaluated {
+            phase: 2,
+            generation: 0,
+            best: 1.0,
+            mean: 0.5,
+            evaluations: 32,
+        });
+        reporter.on_event(&RunEvent::VectorCommitted {
+            phase: 2,
+            vectors: 4,
+            detected_new: 2,
+            detected_total: 10,
+            coverage: 10.0 / 26.0,
+        });
+        let state = reporter.state.lock().unwrap();
+        assert_eq!(state.phase, 2);
+        assert_eq!(state.vectors, 4);
+        assert_eq!(state.detected, 10);
+        assert_eq!(state.total_faults, 26);
+        assert_eq!(state.evaluations, 32);
+        // The forced phase line printed despite the huge throttle interval.
+        assert!(state.last_print.is_some());
+    }
+}

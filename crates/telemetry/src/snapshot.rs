@@ -1,0 +1,85 @@
+//! The per-run telemetry aggregate embedded in test-generation results.
+
+use std::time::Duration;
+
+use crate::counters::CounterSnapshot;
+
+/// Final telemetry of one test-generation run.
+///
+/// Embedded in `TestGenResult` so reports and benches can print an extended
+/// stats table without re-running anything, and serialized into the
+/// `run_finished` JSONL trace event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// Wall-clock time spent while the phase machine was in each of the
+    /// paper's four phases (index 0 = phase 1).
+    pub phase_time: [Duration; 4],
+    /// GA generations evolved across all invocations (initial populations
+    /// included, matching `GaGenerationEvaluated` emission).
+    pub ga_generations: u64,
+    /// Simulator hot-path counter totals.
+    pub counters: CounterSnapshot,
+}
+
+impl TelemetrySnapshot {
+    /// Total time attributed to the four phases.
+    pub fn phased_time(&self) -> Duration {
+        self.phase_time.iter().sum()
+    }
+
+    /// Fitness evaluations per second, given the run's totals.
+    pub fn evals_per_sec(&self, ga_evaluations: usize, elapsed: Duration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs > 0.0 {
+            ga_evaluations as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean simulator events (good + faulty) per simulated step.
+    pub fn events_per_step(&self) -> f64 {
+        let steps = self.counters.total_steps();
+        if steps > 0 {
+            (self.counters.good_events + self.counters.faulty_events) as f64 / steps as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates_handle_zero_denominators() {
+        let snap = TelemetrySnapshot::default();
+        assert_eq!(snap.evals_per_sec(100, Duration::ZERO), 0.0);
+        assert_eq!(snap.events_per_step(), 0.0);
+        assert_eq!(snap.phased_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn derived_rates_compute() {
+        let snap = TelemetrySnapshot {
+            phase_time: [
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::ZERO,
+                Duration::from_millis(30),
+            ],
+            ga_generations: 9,
+            counters: CounterSnapshot {
+                step_calls: 8,
+                good_only_calls: 2,
+                good_events: 40,
+                faulty_events: 60,
+                ..CounterSnapshot::default()
+            },
+        };
+        assert_eq!(snap.phased_time(), Duration::from_millis(60));
+        assert_eq!(snap.evals_per_sec(50, Duration::from_secs(2)), 25.0);
+        assert_eq!(snap.events_per_step(), 10.0);
+    }
+}

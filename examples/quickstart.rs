@@ -7,6 +7,7 @@
 use std::error::Error;
 use std::sync::Arc;
 
+use gatest_core::telemetry::ProgressReporter;
 use gatest_core::{report, GatestConfig, TestGenerator};
 use gatest_netlist::benchmarks;
 
@@ -27,12 +28,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     // The paper's configuration for this circuit (Table 1 GA parameters,
     // progress limits, sequence-length schedule).
     let config = GatestConfig::for_circuit(&circuit).with_seed(seed);
-    let mut generator = TestGenerator::new(Arc::clone(&circuit), config);
+    // Attach an observer for live progress on stderr; `--trace-out` in the
+    // CLI (a `JsonlTraceWriter` here) would record the same event stream.
+    let mut generator = TestGenerator::new(Arc::clone(&circuit), config)
+        .with_observer(Arc::new(ProgressReporter::new()));
     let result = generator.run();
 
     println!();
     println!("{}", report::table_header());
     println!("{}", report::table_row(&result));
+    println!();
+    println!("{}", report::telemetry_table(&result));
     println!();
     println!(
         "phase breakdown: init={} vectors, detect={}, stalled={}, sequences={}",

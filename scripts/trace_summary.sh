@@ -1,0 +1,50 @@
+#!/bin/sh
+# Reduce a gatest JSONL trace (from `gatest atpg --trace-out FILE`) to
+# per-phase totals. Pure POSIX awk so it works without building anything;
+# `gatest trace summarize FILE` prints the same numbers with full JSON
+# parsing.
+set -eu
+
+if [ "$#" -ne 1 ] || [ ! -f "$1" ]; then
+    echo "usage: $0 <trace.jsonl>" >&2
+    exit 2
+fi
+
+awk '
+function field(name,   m) {
+    # Extract "name":value from the current line (numbers and plain strings).
+    if (match($0, "\"" name "\":\"[^\"]*\"")) {
+        m = substr($0, RSTART, RLENGTH)
+        sub("^\"" name "\":\"", "", m); sub("\"$", "", m)
+        return m
+    }
+    if (match($0, "\"" name "\":[-0-9.eE+]+")) {
+        m = substr($0, RSTART, RLENGTH)
+        sub("^\"" name "\":", "", m)
+        return m
+    }
+    return ""
+}
+/"event":"run_started"/ {
+    printf "run: %s seed %s (%s faults)\n", field("circuit"), field("seed"), field("total_faults")
+}
+/"event":"phase_entered"/        { entered[field("phase")]++ }
+/"event":"ga_generation"/        { p = field("phase"); gens[p]++; evals[p] += field("evaluations") }
+/"event":"vector_committed"/     { p = field("phase"); vecs[p]++; det[p] += field("detected_new") }
+/"event":"fault_detected"/       { faults++ }
+/"event":"run_finished"/ {
+    footer = sprintf("finished: %s/%s detected, %s vectors, %s GA evaluations, %ss",
+                     field("detected"), field("total_faults"), field("vectors"),
+                     field("ga_evaluations"), field("elapsed_secs"))
+}
+/"event":/ { events++ }
+END {
+    if (events == 0) { print "trace is empty" > "/dev/stderr"; exit 1 }
+    printf "%-22s %7s %6s %8s %8s %9s\n", "phase", "entered", "gens", "evals", "vectors", "detected"
+    split("1 initialization|2 vector generation|3 stalled (activity)|4 sequences", names, "|")
+    for (p = 1; p <= 4; p++)
+        printf "%-22s %7d %6d %8d %8d %9d\n", names[p], entered[p], gens[p], evals[p], vecs[p], det[p]
+    printf "%d events (%d fault detections)\n", events, faults
+    if (footer != "") print footer
+}
+' "$1"

@@ -1,0 +1,167 @@
+//! Integration tests of the telemetry event stream against the generator's
+//! own result: a full run's trace must tell the same story as
+//! `TestGenResult`.
+
+use std::sync::{Arc, Mutex};
+
+use gatest_core::{GatestConfig, TestGenerator};
+use gatest_netlist::benchmarks;
+use gatest_telemetry::{RunEvent, RunObserver};
+
+/// Records every event, in order.
+#[derive(Default)]
+struct Recorder(Mutex<Vec<RunEvent>>);
+
+impl RunObserver for Recorder {
+    fn on_event(&self, event: &RunEvent) {
+        self.0.lock().unwrap().push(event.clone());
+    }
+}
+
+#[test]
+fn s27_run_emits_a_consistent_event_stream() {
+    let circuit = Arc::new(benchmarks::iscas89("s27").expect("bundled circuit"));
+    let config = GatestConfig::for_circuit(&circuit).with_seed(3);
+    let recorder = Arc::new(Recorder::default());
+    let result = TestGenerator::new(Arc::clone(&circuit), config)
+        .with_observer(recorder.clone())
+        .run();
+    let events = recorder.0.lock().unwrap();
+
+    // Lifecycle: starts with run_started, ends with run_finished, and every
+    // one of the six kinds appears at least once.
+    assert!(matches!(events.first(), Some(RunEvent::RunStarted { .. })));
+    assert!(matches!(events.last(), Some(RunEvent::RunFinished { .. })));
+    for kind in RunEvent::KINDS {
+        assert!(
+            events.iter().any(|e| e.kind() == kind),
+            "no {kind} event in the stream"
+        );
+    }
+
+    // The phase_entered sequence is monotone in committed vectors and
+    // consistent with the result's phase trace: the phases of the committed
+    // vectors, run-length compressed, are exactly the phases entered
+    // (modulo a possibly commit-less trailing phase-4 entry).
+    let entered: Vec<(u8, usize)> = events
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::PhaseEntered { phase, vectors } => Some((*phase, *vectors)),
+            _ => None,
+        })
+        .collect();
+    assert!(!entered.is_empty());
+    assert_eq!(entered[0].0, 1, "runs start in phase 1 (initialization)");
+    assert!(
+        entered.windows(2).all(|w| w[0].1 <= w[1].1),
+        "committed-vector counts at phase entry must be monotone: {entered:?}"
+    );
+    let committed_phases: Vec<u8> = events
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::VectorCommitted { phase, .. } => Some(*phase),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        committed_phases, result.phase_trace,
+        "one vector_committed per committed frame, in phase-trace order"
+    );
+    let mut compressed: Vec<u8> = Vec::new();
+    for p in &committed_phases {
+        if compressed.last() != Some(p) {
+            compressed.push(*p);
+        }
+    }
+    let mut entered_phases: Vec<u8> = entered.iter().map(|(p, _)| *p).collect();
+    if entered_phases.last() == Some(&4) && compressed.last() != Some(&4) {
+        entered_phases.pop(); // phase 4 entered but no sequence succeeded
+    }
+    assert_eq!(
+        entered_phases, compressed,
+        "phase entries must match the compressed phase trace"
+    );
+
+    // Commit events between two phase entries all belong to the entered
+    // phase.
+    let mut current = 0u8;
+    for event in events.iter() {
+        match event {
+            RunEvent::PhaseEntered { phase, .. } => current = *phase,
+            RunEvent::VectorCommitted { phase, .. } => {
+                assert_eq!(*phase, current, "commit outside its entered phase")
+            }
+            _ => {}
+        }
+    }
+
+    // The final event repeats the printed result, snapshot included.
+    match events.last().expect("non-empty") {
+        RunEvent::RunFinished {
+            detected,
+            total_faults,
+            vectors,
+            ga_evaluations,
+            elapsed_secs,
+            snapshot,
+        } => {
+            assert_eq!(*detected, result.detected);
+            assert_eq!(*total_faults, result.total_faults);
+            assert_eq!(*vectors, result.vectors());
+            assert_eq!(*ga_evaluations, result.ga_evaluations);
+            assert!(*elapsed_secs >= 0.0);
+            assert_eq!(snapshot, &result.telemetry);
+        }
+        other => panic!("expected run_finished, got {other:?}"),
+    }
+
+    // Aggregates recomputed from the stream match the result's totals.
+    let generation_events = events
+        .iter()
+        .filter(|e| matches!(e, RunEvent::GaGenerationEvaluated { .. }))
+        .count() as u64;
+    assert_eq!(generation_events, result.telemetry.ga_generations);
+    let summed_evaluations: usize = events
+        .iter()
+        .filter_map(|e| match e {
+            RunEvent::GaGenerationEvaluated { evaluations, .. } => Some(*evaluations),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(
+        summed_evaluations, result.ga_evaluations,
+        "per-generation deltas must sum to the run's evaluation total"
+    );
+    let fault_events = events
+        .iter()
+        .filter(|e| matches!(e, RunEvent::FaultDetected { .. }))
+        .count();
+    assert_eq!(
+        fault_events, result.detected,
+        "one fault_detected per detected fault"
+    );
+    let last_total = events.iter().rev().find_map(|e| match e {
+        RunEvent::VectorCommitted { detected_total, .. } => Some(*detected_total),
+        _ => None,
+    });
+    assert_eq!(last_total, Some(result.detected));
+}
+
+#[test]
+fn observed_and_unobserved_runs_are_identical() {
+    let circuit = Arc::new(benchmarks::iscas89("s298").expect("bundled circuit"));
+    let mut config = GatestConfig::for_circuit(&circuit).with_seed(11);
+    config.fault_sample = gatest_core::FaultSample::Count(60);
+
+    let plain = TestGenerator::new(Arc::clone(&circuit), config.clone()).run();
+    let observed = TestGenerator::new(Arc::clone(&circuit), config)
+        .with_observer(Arc::new(Recorder::default()))
+        .run();
+    assert_eq!(
+        plain.test_set, observed.test_set,
+        "observers must not steer"
+    );
+    assert_eq!(plain.detected, observed.detected);
+    assert_eq!(plain.phase_trace, observed.phase_trace);
+    assert_eq!(plain.ga_evaluations, observed.ga_evaluations);
+}
