@@ -1,0 +1,101 @@
+//! Candidate-evaluation throughput microbenchmark.
+//!
+//! Measures the number the evaluation engine exists to improve: candidate
+//! fitness evaluations per second on s1423, at worker counts 1, 4, and 8.
+//! Candidates are phase-2 vectors scored against a 100-fault sample from a
+//! warmed mid-run simulator state — the same work the GA's inner loop does.
+//!
+//! Prints a JSON document to stdout; `scripts/bench_eval.sh` redirects it to
+//! `BENCH_eval.json` so the performance trajectory is tracked across PRs.
+//! Pass `--smoke` for a fast CI-sized run (same shape, fewer batches).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gatest_core::{evaluate_candidate, EvalContext, EvalJob, EvalPool, FitnessScale, Phase};
+use gatest_ga::{Chromosome, Rng};
+use gatest_netlist::benchmarks;
+use gatest_sim::{FaultSim, Logic};
+
+const CIRCUIT: &str = "s1423";
+const WORKERS: [usize; 3] = [1, 4, 8];
+const BATCH: usize = 64;
+const SAMPLE: usize = 100;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Full mode runs ~5 s per worker count so the rate is stable; smoke
+    // mode just proves the path end to end.
+    let batches = if smoke { 3 } else { 600 };
+
+    let circuit = Arc::new(benchmarks::iscas89(CIRCUIT).expect("bundled circuit"));
+    let pis = circuit.num_inputs();
+
+    // Warm the simulator into a representative mid-run state: some faults
+    // detected, faulty flip-flop divergence accumulated.
+    let mut sim = FaultSim::new(Arc::clone(&circuit));
+    let mut rng = Rng::new(1);
+    for _ in 0..20 {
+        let v: Vec<Logic> = (0..pis).map(|_| Logic::from_bool(rng.coin())).collect();
+        sim.step(&v);
+    }
+
+    let sample: Vec<_> = sim.active_faults().iter().copied().take(SAMPLE).collect();
+    let scale = FitnessScale {
+        faults: sample.len(),
+        flip_flops: circuit.num_dffs(),
+        nodes: circuit.num_gates(),
+    };
+    let ctx = Arc::new(EvalContext {
+        checkpoint: sim.checkpoint(),
+        job: EvalJob::Vector {
+            phase: Phase::VectorGeneration,
+            sample,
+            scale,
+            pis,
+        },
+    });
+
+    let mut chrom_rng = Rng::new(7);
+    let batch: Vec<Chromosome> = (0..BATCH)
+        .map(|_| Chromosome::random(pis, &mut chrom_rng))
+        .collect();
+
+    let mut rows = String::new();
+    let mut checksum = 0.0f64;
+    for (i, &workers) in WORKERS.iter().enumerate() {
+        let evals = batches * batch.len();
+        let start = Instant::now();
+        if workers == 1 {
+            let mut serial = sim.clone();
+            let mut scratch = Vec::new();
+            for _ in 0..batches {
+                for c in &batch {
+                    checksum += evaluate_candidate(&mut serial, &ctx, c, &mut scratch);
+                }
+            }
+        } else {
+            let pool = EvalPool::new(&sim, workers);
+            for _ in 0..batches {
+                checksum += pool.evaluate(&ctx, &batch).iter().sum::<f64>();
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"workers\": {workers}, \"evals\": {evals}, \"secs\": {secs:.4}, \"evals_per_sec\": {:.0}}}",
+            evals as f64 / secs
+        ));
+        eprintln!(
+            "workers {workers}: {evals} evals in {secs:.2}s = {:.0} evals/sec",
+            evals as f64 / secs
+        );
+    }
+
+    println!(
+        "{{\n  \"bench\": \"eval_throughput\",\n  \"circuit\": \"{CIRCUIT}\",\n  \"mode\": \"{}\",\n  \"batch\": {BATCH},\n  \"fault_sample\": {SAMPLE},\n  \"score_checksum\": {checksum:.6},\n  \"results\": [\n{rows}\n  ]\n}}",
+        if smoke { "smoke" } else { "full" }
+    );
+}

@@ -41,12 +41,34 @@ fn read_tests(opts: &Opts) -> Result<Vec<Vec<Logic>>, Box<dyn Error>> {
     Ok(test_set_from_string(&text).map_err(std::io::Error::other)?)
 }
 
+/// Parses `--workers` (alias `--threads`): a positive integer, or `0` /
+/// `auto` meaning all available cores. Defaults to 1 (serial).
+fn worker_count(opts: &Opts) -> Result<usize, Box<dyn Error>> {
+    let value = match (opts.get("workers"), opts.get("threads")) {
+        (Some(_), Some(_)) => {
+            return Err(UsageError::boxed(
+                "--workers and --threads are aliases; pass only one",
+            ))
+        }
+        (Some(v), None) | (None, Some(v)) => v,
+        (None, None) => return Ok(1),
+    };
+    if value == "auto" {
+        return Ok(0);
+    }
+    value.parse().map_err(|_| {
+        UsageError::boxed(format!(
+            "--workers expects a non-negative integer or `auto`, got `{value}`"
+        ))
+    })
+}
+
 /// `gatest atpg` — run the GA test generator.
 pub fn atpg(opts: &Opts) -> Result<(), Box<dyn Error>> {
     let circuit = load_circuit(opts.circuit()?)?;
     let mut config = GatestConfig::for_circuit(&circuit)
         .with_seed(opts.num("seed", 1u64)?)
-        .with_workers(opts.num("workers", 1usize)?);
+        .with_workers(worker_count(opts)?);
     let sample: usize = opts.num("sample", 100)?;
     config.fault_sample = if sample == 0 {
         FaultSample::Full

@@ -92,9 +92,11 @@ pub struct GatestConfig {
     pub max_vectors: usize,
     /// Worker threads for candidate fitness evaluation. `1` evaluates
     /// serially; larger values split each GA generation's offspring across
-    /// threads, each with its own fault-simulator clone. Results are
-    /// bit-identical for any worker count (the paper's conclusion points at
-    /// exactly this parallelism).
+    /// persistent pool workers, each owning its own fault-simulator clone.
+    /// `0` means auto-detect: use [`std::thread::available_parallelism`]
+    /// (see [`GatestConfig::resolved_workers`]). Results are bit-identical
+    /// for any worker count (the paper's conclusion points at exactly this
+    /// parallelism).
     pub parallel_workers: usize,
     /// Master random seed.
     pub seed: u64,
@@ -150,10 +152,24 @@ impl GatestConfig {
         self
     }
 
-    /// A new configuration with a different worker count.
+    /// A new configuration with a different worker count (`0` = auto-detect
+    /// at run time, see [`GatestConfig::resolved_workers`]).
     pub fn with_workers(mut self, workers: usize) -> Self {
-        self.parallel_workers = workers.max(1);
+        self.parallel_workers = workers;
         self
+    }
+
+    /// The effective worker count: `parallel_workers`, or the machine's
+    /// [`std::thread::available_parallelism`] when it is `0` (falling back
+    /// to 1 if the parallelism cannot be determined).
+    pub fn resolved_workers(&self) -> usize {
+        if self.parallel_workers == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.parallel_workers
+        }
     }
 
     /// The progress limit (in vectors) for a circuit of the given
@@ -220,6 +236,21 @@ mod tests {
         assert_eq!(cfg.sequence_lengths(8), vec![8, 16, 32]);
         // Tiny depths floor at 2 and deduplicate.
         assert_eq!(cfg.sequence_lengths(1), vec![2, 4]);
+    }
+
+    #[test]
+    fn zero_workers_resolves_to_available_parallelism() {
+        let cfg = GatestConfig::default().with_workers(0);
+        assert_eq!(cfg.parallel_workers, 0, "0 is preserved, not clamped");
+        let resolved = cfg.resolved_workers();
+        assert!(resolved >= 1);
+        if let Ok(n) = std::thread::available_parallelism() {
+            assert_eq!(resolved, n.get());
+        }
+        assert_eq!(
+            GatestConfig::default().with_workers(6).resolved_workers(),
+            6
+        );
     }
 
     #[test]

@@ -1,0 +1,435 @@
+//! The evaluation engine: one shared candidate-scoring path for serial and
+//! pooled fitness evaluation.
+//!
+//! The GA's runtime is dominated by candidate fitness evaluation, so this
+//! module owns that hot path end to end:
+//!
+//! * [`evaluate_candidate`] is the *single* scoring routine — restore the
+//!   simulator to the generation's checkpoint, decode the chromosome into a
+//!   reusable scratch buffer, run the phase-appropriate simulation, and
+//!   apply the phase's fitness function. Serial evaluation and every pool
+//!   worker call the same function, so pooled scores are bit-identical to
+//!   serial scores by construction.
+//! * [`EvalPool`] keeps a fixed set of worker threads alive for the whole
+//!   run, each owning one `FaultSim` clone. Work arrives over per-worker
+//!   channels as (checkpoint, job, chromosome-chunk) requests and scores
+//!   return over a shared reply channel, tagged with their batch offset so
+//!   results are reassembled in input order. This replaces the old
+//!   spawn-scoped-threads-per-batch scheme, which deep-cloned the entire
+//!   simulator (fault tables included) for every GA generation's batch.
+//! * [`EvalContext`] bundles what a candidate's score depends on besides
+//!   the chromosome itself: the simulator [`Checkpoint`] (cheap to clone —
+//!   copy-on-write `Arc` slices) and the [`EvalJob`] describing the phase,
+//!   fault sample, and fitness scale. One context is shared per GA
+//!   invocation via `Arc`.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use gatest_ga::Chromosome;
+use gatest_sim::{Checkpoint, FaultId, FaultSim, Logic};
+use gatest_telemetry::SimCounters;
+
+use crate::fitness::{phase1, phase2, phase3, phase4, FitnessScale, Phase};
+
+/// What to simulate and how to score it, for every candidate of one GA
+/// invocation.
+#[derive(Debug, Clone)]
+pub enum EvalJob {
+    /// Phases 1–3: a single vector per candidate.
+    Vector {
+        /// The phase whose fitness function scores the candidate.
+        phase: Phase,
+        /// Fault sample evaluated against (unused in phase 1).
+        sample: Vec<FaultId>,
+        /// Normalization constants for the fitness terms.
+        scale: FitnessScale,
+        /// Primary-input count (chromosome bits per frame).
+        pis: usize,
+    },
+    /// Phase 4: a multi-frame sequence per candidate.
+    Sequence {
+        /// Frames per candidate sequence.
+        frames: usize,
+        /// Fault sample evaluated against.
+        sample: Vec<FaultId>,
+        /// Normalization constants for the fitness terms.
+        scale: FitnessScale,
+        /// Primary-input count (chromosome bits per frame).
+        pis: usize,
+    },
+}
+
+/// Everything a candidate's score depends on besides its chromosome.
+#[derive(Debug, Clone)]
+pub struct EvalContext {
+    /// Simulator state every candidate evaluation starts from.
+    pub checkpoint: Checkpoint,
+    /// The simulation/scoring recipe.
+    pub job: EvalJob,
+}
+
+/// Decodes the first `pis` chromosome bits into `out` (cleared first).
+pub fn decode_vector_into(chrom: &Chromosome, pis: usize, out: &mut Vec<Logic>) {
+    out.clear();
+    out.extend((0..pis).map(|i| Logic::from_bool(chrom.bit(i))));
+}
+
+/// Decodes frame `frame` of a sequence chromosome into `out` (cleared
+/// first).
+pub fn decode_frame_into(chrom: &Chromosome, pis: usize, frame: usize, out: &mut Vec<Logic>) {
+    out.clear();
+    out.extend((0..pis).map(|i| Logic::from_bool(chrom.bit(frame * pis + i))));
+}
+
+/// Scores one candidate: restore to the context's checkpoint, simulate per
+/// the job, apply the phase's fitness function. `scratch` is a reusable
+/// decode buffer — passing the same buffer across calls avoids one `Vec`
+/// allocation per candidate per frame.
+///
+/// This is the only scoring routine in the crate: the serial path and every
+/// [`EvalPool`] worker call it, which is what makes pooled evaluation
+/// bit-identical to serial evaluation.
+pub fn evaluate_candidate(
+    sim: &mut FaultSim,
+    ctx: &EvalContext,
+    chrom: &Chromosome,
+    scratch: &mut Vec<Logic>,
+) -> f64 {
+    sim.restore(&ctx.checkpoint);
+    match &ctx.job {
+        EvalJob::Vector {
+            phase,
+            sample,
+            scale,
+            pis,
+        } => {
+            decode_vector_into(chrom, *pis, scratch);
+            match phase {
+                Phase::Initialization => {
+                    // Two-frame hold: with deep synchronous-reset
+                    // structures, the payoff of a good initialization
+                    // vector often appears one frame later (anchors must
+                    // reach their rest values before the next rank's reset
+                    // can fire), and a single-frame score plateaus. The
+                    // winning vector is committed for both frames.
+                    sim.step_good_only(scratch);
+                    phase1(&sim.step_good_only(scratch), *scale)
+                }
+                Phase::VectorGeneration => phase2(&sim.step_sampled(scratch, sample), *scale),
+                Phase::StalledVectorGeneration => {
+                    phase3(&sim.step_sampled(scratch, sample), *scale)
+                }
+                Phase::SequenceGeneration => unreachable!("sequences use EvalJob::Sequence"),
+            }
+        }
+        EvalJob::Sequence {
+            frames,
+            sample,
+            scale,
+            pis,
+        } => {
+            let mut reports = Vec::with_capacity(*frames);
+            for frame in 0..*frames {
+                decode_frame_into(chrom, *pis, frame, scratch);
+                reports.push(sim.step_sampled(scratch, sample));
+            }
+            phase4(&reports, *scale)
+        }
+    }
+}
+
+/// A chunk of candidates to score against a shared context.
+struct Request {
+    ctx: Arc<EvalContext>,
+    chunk: Vec<Chromosome>,
+    offset: usize,
+}
+
+/// Scores for one chunk, tagged with its position in the batch.
+struct Reply {
+    offset: usize,
+    scores: Vec<f64>,
+}
+
+struct Worker {
+    /// `Some` while the pool is live; taken on drop to hang up the channel.
+    tx: Option<Sender<Request>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// A persistent pool of fitness-evaluation workers.
+///
+/// Each worker thread owns one [`FaultSim`] clone for the pool's entire
+/// lifetime (sharing the base simulator's telemetry counters), so per-batch
+/// cost is two channel messages per worker instead of a full simulator
+/// deep-clone plus thread spawn. Batches are split into contiguous chunks
+/// exactly like the old scoped-thread scheme, and replies carry their batch
+/// offset, so [`EvalPool::evaluate`] returns scores in input order —
+/// bit-identical to serial evaluation.
+pub struct EvalPool {
+    workers: Vec<Worker>,
+    reply_rx: Receiver<Reply>,
+    counters: Option<Arc<SimCounters>>,
+}
+
+impl std::fmt::Debug for EvalPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalPool")
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EvalPool {
+    /// Spawns `workers` threads, each owning a clone of `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is 0.
+    pub fn new(base: &FaultSim, workers: usize) -> Self {
+        assert!(workers > 0, "a pool needs at least one worker");
+        let counters = base.counters().cloned();
+        let (reply_tx, reply_rx) = channel::<Reply>();
+        let workers = (0..workers)
+            .map(|_| {
+                let (tx, rx) = channel::<Request>();
+                let mut sim = base.clone();
+                let reply_tx = reply_tx.clone();
+                let counters = counters.clone();
+                let handle = std::thread::spawn(move || {
+                    let mut scratch: Vec<Logic> = Vec::new();
+                    loop {
+                        let wait = Instant::now();
+                        let Ok(req) = rx.recv() else { break };
+                        if let Some(c) = &counters {
+                            c.record_pool_idle(wait.elapsed().as_nanos() as u64);
+                        }
+                        let scores = req
+                            .chunk
+                            .iter()
+                            .map(|chrom| {
+                                evaluate_candidate(&mut sim, &req.ctx, chrom, &mut scratch)
+                            })
+                            .collect();
+                        if reply_tx
+                            .send(Reply {
+                                offset: req.offset,
+                                scores,
+                            })
+                            .is_err()
+                        {
+                            break; // pool dropped mid-reply
+                        }
+                    }
+                });
+                Worker {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        EvalPool {
+            workers,
+            reply_rx,
+            counters,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Scores a batch against a shared context, in input order.
+    ///
+    /// The batch is split into `min(workers, batch.len())` contiguous
+    /// chunks (the same split the old scoped-thread scheme used), one per
+    /// worker; replies are placed back by offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread has died.
+    pub fn evaluate(&self, ctx: &Arc<EvalContext>, batch: &[Chromosome]) -> Vec<f64> {
+        if batch.is_empty() {
+            return Vec::new();
+        }
+        let chunk = batch.len().div_ceil(self.workers.len().min(batch.len()));
+        let mut sent = 0usize;
+        for (i, piece) in batch.chunks(chunk).enumerate() {
+            let req = Request {
+                ctx: Arc::clone(ctx),
+                chunk: piece.to_vec(),
+                offset: i * chunk,
+            };
+            self.workers[i]
+                .tx
+                .as_ref()
+                .expect("pool is live")
+                .send(req)
+                .expect("pool worker died");
+            sent += 1;
+        }
+        if let Some(c) = &self.counters {
+            c.record_pool_tasks(sent as u64);
+        }
+        let mut scores = vec![0.0f64; batch.len()];
+        for _ in 0..sent {
+            let reply = self.reply_rx.recv().expect("pool worker died");
+            scores[reply.offset..reply.offset + reply.scores.len()].copy_from_slice(&reply.scores);
+        }
+        scores
+    }
+}
+
+impl Drop for EvalPool {
+    fn drop(&mut self) {
+        // Hang up every request channel, then join: recv() errors out and
+        // each worker loop exits.
+        for w in &mut self.workers {
+            w.tx.take();
+        }
+        for w in &mut self.workers {
+            if let Some(handle) = w.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gatest_ga::Rng;
+
+    fn warmed_sim() -> FaultSim {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let mut sim = FaultSim::new(circuit);
+        let mut rng = Rng::new(77);
+        for _ in 0..4 {
+            let v: Vec<Logic> = (0..3).map(|_| Logic::from_bool(rng.coin())).collect();
+            sim.step(&v);
+        }
+        sim
+    }
+
+    fn random_batch(bits: usize, n: usize, seed: u64) -> Vec<Chromosome> {
+        let mut rng = Rng::new(seed);
+        (0..n).map(|_| Chromosome::random(bits, &mut rng)).collect()
+    }
+
+    fn vector_ctx(sim: &FaultSim, phase: Phase) -> Arc<EvalContext> {
+        let sample = sim.active_faults().to_vec();
+        let scale = FitnessScale {
+            faults: sample.len(),
+            flip_flops: sim.good().circuit().num_dffs(),
+            nodes: sim.good().circuit().num_gates(),
+        };
+        Arc::new(EvalContext {
+            checkpoint: sim.checkpoint(),
+            job: EvalJob::Vector {
+                phase,
+                sample,
+                scale,
+                pis: sim.good().circuit().num_inputs(),
+            },
+        })
+    }
+
+    #[test]
+    fn pool_scores_match_serial_bit_for_bit() {
+        let sim = warmed_sim();
+        let batch = random_batch(3, 32, 5);
+        for phase in [
+            Phase::Initialization,
+            Phase::VectorGeneration,
+            Phase::StalledVectorGeneration,
+        ] {
+            let ctx = vector_ctx(&sim, phase);
+            let mut serial_sim = sim.clone();
+            let mut scratch = Vec::new();
+            let serial: Vec<f64> = batch
+                .iter()
+                .map(|c| evaluate_candidate(&mut serial_sim, &ctx, c, &mut scratch))
+                .collect();
+            for workers in [1, 2, 8] {
+                let pool = EvalPool::new(&sim, workers);
+                let pooled = pool.evaluate(&ctx, &batch);
+                assert!(
+                    serial
+                        .iter()
+                        .zip(&pooled)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{phase:?} workers={workers}: pooled scores must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_jobs_match_serial() {
+        let sim = warmed_sim();
+        let frames = 4;
+        let pis = sim.good().circuit().num_inputs();
+        let sample = sim.active_faults().to_vec();
+        let scale = FitnessScale {
+            faults: sample.len(),
+            flip_flops: sim.good().circuit().num_dffs(),
+            nodes: sim.good().circuit().num_gates(),
+        };
+        let ctx = Arc::new(EvalContext {
+            checkpoint: sim.checkpoint(),
+            job: EvalJob::Sequence {
+                frames,
+                sample,
+                scale,
+                pis,
+            },
+        });
+        let batch = random_batch(frames * pis, 17, 9);
+        let mut serial_sim = sim.clone();
+        let mut scratch = Vec::new();
+        let serial: Vec<f64> = batch
+            .iter()
+            .map(|c| evaluate_candidate(&mut serial_sim, &ctx, c, &mut scratch))
+            .collect();
+        let pool = EvalPool::new(&sim, 3);
+        let pooled = pool.evaluate(&ctx, &batch);
+        assert!(serial
+            .iter()
+            .zip(&pooled)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn pool_survives_many_batches_and_odd_sizes() {
+        let sim = warmed_sim();
+        let ctx = vector_ctx(&sim, Phase::VectorGeneration);
+        let pool = EvalPool::new(&sim, 4);
+        // Sizes below, at, and above the worker count, plus empty.
+        for n in [0usize, 1, 3, 4, 5, 64] {
+            let batch = random_batch(3, n, n as u64 + 100);
+            let scores = pool.evaluate(&ctx, &batch);
+            assert_eq!(scores.len(), n);
+        }
+    }
+
+    #[test]
+    fn decode_into_matches_per_bit_indexing() {
+        let mut rng = Rng::new(3);
+        let chrom = Chromosome::random(12, &mut rng);
+        let mut buf = Vec::new();
+        decode_vector_into(&chrom, 4, &mut buf);
+        assert_eq!(buf.len(), 4);
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, Logic::from_bool(chrom.bit(i)));
+        }
+        decode_frame_into(&chrom, 4, 2, &mut buf);
+        assert_eq!(buf.len(), 4);
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, Logic::from_bool(chrom.bit(8 + i)));
+        }
+    }
+}

@@ -7,11 +7,14 @@ use std::time::{Duration, Instant};
 use gatest_ga::{Chromosome, Coding, GaConfig, GaEngine, GenerationStats, Rng};
 use gatest_netlist::depth::sequential_depth;
 use gatest_netlist::Circuit;
-use gatest_sim::{FaultId, FaultList, FaultSim, Logic, StepReport};
+use gatest_sim::{FaultId, FaultList, FaultSim, GoodSim, Logic, PackedGoodSim, Pv64, StepReport};
 use gatest_telemetry::{NullObserver, RunEvent, RunObserver, SimCounters, TelemetrySnapshot};
 
 use crate::config::{FaultSample, GatestConfig};
-use crate::fitness::{phase1, phase2, phase3, phase4, FitnessScale, Phase};
+use crate::evalpool::{
+    decode_frame_into, decode_vector_into, evaluate_candidate, EvalContext, EvalJob, EvalPool,
+};
+use crate::fitness::{phase1, FitnessScale, Phase};
 
 /// Result of one GATEST run.
 #[derive(Debug, Clone)]
@@ -175,12 +178,19 @@ impl TestGenerator {
         let mut sequence_attempts = 0usize;
         let mut telem = RunTelemetry::default();
 
+        // The evaluation pool lives for the whole run: workers clone the
+        // simulator once here and adopt per-generation checkpoints through
+        // the shared EvalContext, instead of deep-cloning per batch.
+        let workers = self.config.resolved_workers();
+        let pool = (workers > 1).then(|| EvalPool::new(&self.sim, workers));
+
         self.generate_vectors(
             &mut test_set,
             &mut phase_vectors,
             &mut phase_trace,
             &mut ga_evaluations,
             &mut telem,
+            pool.as_ref(),
         );
         self.generate_sequences(
             &mut test_set,
@@ -189,7 +199,9 @@ impl TestGenerator {
             &mut ga_evaluations,
             &mut sequence_attempts,
             &mut telem,
+            pool.as_ref(),
         );
+        drop(pool);
 
         let snapshot = TelemetrySnapshot {
             phase_time: telem.phase_time,
@@ -228,10 +240,13 @@ impl TestGenerator {
         phase_trace: &mut Vec<u8>,
         ga_evaluations: &mut usize,
         telem: &mut RunTelemetry,
+        pool: Option<&EvalPool>,
     ) {
         let progress_limit = self.config.progress_limit(self.seq_depth);
         let nffs = self.circuit.num_dffs();
         let pis = self.circuit.num_inputs();
+        let mut scratch: Vec<Logic> = Vec::with_capacity(pis);
+        let mut packed = (nffs > 0).then(|| PackedGoodSim::new(Arc::clone(&self.circuit)));
 
         let mut phase = if nffs == 0 {
             Phase::VectorGeneration
@@ -265,29 +280,16 @@ impl TestGenerator {
             };
 
             let ga = GaEngine::new(self.vector_ga_config());
-            let cp = self.sim.checkpoint();
-            let workers = self.config.parallel_workers.max(1);
+            let ctx = Arc::new(EvalContext {
+                checkpoint: self.sim.checkpoint(),
+                job: EvalJob::Vector {
+                    phase,
+                    sample,
+                    scale,
+                    pis,
+                },
+            });
             let mut run_rng = self.rng.fork();
-            let evaluate_one = |sim: &mut FaultSim, chrom: &Chromosome| -> f64 {
-                sim.restore(&cp);
-                let v = decode_vector(chrom, pis);
-                match phase {
-                    Phase::Initialization => {
-                        // Candidates are scored over a two-frame hold: with
-                        // deep synchronous-reset structures, the payoff of
-                        // a good initialization vector often appears one
-                        // frame later (anchors must reach their rest values
-                        // before the next rank's reset can fire), and a
-                        // single-frame score plateaus. The winning vector
-                        // is committed for both frames.
-                        sim.step_good_only(&v);
-                        phase1(&sim.step_good_only(&v), scale)
-                    }
-                    Phase::VectorGeneration => phase2(&sim.step_sampled(&v, &sample), scale),
-                    Phase::StalledVectorGeneration => phase3(&sim.step_sampled(&v, &sample), scale),
-                    Phase::SequenceGeneration => unreachable!("not in sequence phase"),
-                }
-            };
             // Initial population: mostly random, seeded with the all-zero
             // and all-one vectors and the previously committed vector (the
             // paper: the initial population "may also be supplied by the
@@ -318,20 +320,41 @@ impl TestGenerator {
                     evaluations: s.evaluations,
                 });
             };
-            let result = if workers == 1 {
-                let sim = &mut self.sim;
+            let result = if phase == Phase::Initialization {
+                // Phase 1 needs no fault simulation, so score 64 candidates
+                // per packed good-machine pass. The generator's simulator is
+                // never touched here: it stays at the checkpoint state the
+                // packed simulator reseeds from each batch.
+                let packed = packed
+                    .as_mut()
+                    .expect("phase 1 only runs on circuits with flip-flops");
+                let good = self.sim.good();
+                let counters = &self.counters;
                 ga.run_seeded_batched_observed(
                     initial,
                     &mut run_rng,
-                    |batch| batch.iter().map(|c| evaluate_one(sim, c)).collect(),
+                    |batch| packed_phase1_scores(packed, good, counters, batch, pis, scale),
+                    &mut observe,
+                )
+            } else if let Some(pool) = pool {
+                ga.run_seeded_batched_observed(
+                    initial,
+                    &mut run_rng,
+                    |batch| pool.evaluate(&ctx, batch),
                     &mut observe,
                 )
             } else {
-                let base = &self.sim;
+                let sim = &mut self.sim;
+                let scratch = &mut scratch;
                 ga.run_seeded_batched_observed(
                     initial,
                     &mut run_rng,
-                    |batch| evaluate_parallel(base, workers, batch, &evaluate_one),
+                    |batch| {
+                        batch
+                            .iter()
+                            .map(|c| evaluate_candidate(sim, &ctx, c, scratch))
+                            .collect()
+                    },
                     &mut observe,
                 )
             };
@@ -339,7 +362,7 @@ impl TestGenerator {
 
             // Commit the best vector with a full-list simulation (twice in
             // phase 1, matching the two-frame evaluation above).
-            self.sim.restore(&cp);
+            self.sim.restore(&ctx.checkpoint);
             let vector = decode_vector(&result.best.chromosome, pis);
             let report = if phase == Phase::Initialization {
                 let first = self.sim.step(&vector);
@@ -429,6 +452,7 @@ impl TestGenerator {
 
     /// Phase 4: evolve whole sequences, reinitializing the GA population for
     /// every attempt, over the configured schedule of lengths.
+    #[allow(clippy::too_many_arguments)]
     fn generate_sequences(
         &mut self,
         test_set: &mut Vec<Vec<Logic>>,
@@ -437,9 +461,11 @@ impl TestGenerator {
         ga_evaluations: &mut usize,
         sequence_attempts: &mut usize,
         telem: &mut RunTelemetry,
+        pool: Option<&EvalPool>,
     ) {
         let nffs = self.circuit.num_dffs();
         let pis = self.circuit.num_inputs();
+        let mut scratch: Vec<Logic> = Vec::with_capacity(pis);
         let mut entered = false;
         let phase_started = Instant::now();
 
@@ -464,18 +490,16 @@ impl TestGenerator {
                 };
 
                 let ga = GaEngine::new(self.sequence_ga_config(pis));
-                let cp = self.sim.checkpoint();
-                let workers = self.config.parallel_workers.max(1);
+                let ctx = Arc::new(EvalContext {
+                    checkpoint: self.sim.checkpoint(),
+                    job: EvalJob::Sequence {
+                        frames: len,
+                        sample,
+                        scale,
+                        pis,
+                    },
+                });
                 let mut run_rng = self.rng.fork();
-                let evaluate_one = |sim: &mut FaultSim, chrom: &Chromosome| -> f64 {
-                    sim.restore(&cp);
-                    let mut reports = Vec::with_capacity(len);
-                    for frame in 0..len {
-                        let v = decode_frame(chrom, pis, frame);
-                        reports.push(sim.step_sampled(&v, &sample));
-                    }
-                    phase4(&reports, scale)
-                };
                 let observer = Arc::clone(&self.observer);
                 let gen_count = &mut telem.ga_generations;
                 let mut observe = |s: &GenerationStats| {
@@ -491,20 +515,25 @@ impl TestGenerator {
                 let initial: Vec<Chromosome> = (0..self.config.sequence_population)
                     .map(|_| Chromosome::random(len * pis, &mut run_rng))
                     .collect();
-                let result = if workers == 1 {
-                    let sim = &mut self.sim;
+                let result = if let Some(pool) = pool {
                     ga.run_seeded_batched_observed(
                         initial,
                         &mut run_rng,
-                        |batch| batch.iter().map(|c| evaluate_one(sim, c)).collect(),
+                        |batch| pool.evaluate(&ctx, batch),
                         &mut observe,
                     )
                 } else {
-                    let base = &self.sim;
+                    let sim = &mut self.sim;
+                    let scratch = &mut scratch;
                     ga.run_seeded_batched_observed(
                         initial,
                         &mut run_rng,
-                        |batch| evaluate_parallel(base, workers, batch, &evaluate_one),
+                        |batch| {
+                            batch
+                                .iter()
+                                .map(|c| evaluate_candidate(sim, &ctx, c, scratch))
+                                .collect()
+                        },
                         &mut observe,
                     )
                 };
@@ -512,7 +541,7 @@ impl TestGenerator {
                 *sequence_attempts += 1;
 
                 // Commit with full simulation only if it helps.
-                self.sim.restore(&cp);
+                self.sim.restore(&ctx.checkpoint);
                 let mut detected = 0usize;
                 let mut seq = Vec::with_capacity(len);
                 let mut reports = Vec::with_capacity(len);
@@ -534,7 +563,7 @@ impl TestGenerator {
                     test_set.extend(seq);
                     failures = 0;
                 } else {
-                    self.sim.restore(&cp);
+                    self.sim.restore(&ctx.checkpoint);
                     failures += 1;
                 }
             }
@@ -593,50 +622,50 @@ impl TestGenerator {
     }
 }
 
-/// Splits `batch` across `workers` scoped threads, each evaluating with its
-/// own clone of `base`. Scores come back in input order, so results are
-/// identical to serial evaluation.
-fn evaluate_parallel(
-    base: &FaultSim,
-    workers: usize,
+/// Scores a phase-1 batch with the 64-way packed good-machine simulator:
+/// ⌈batch/64⌉ two-frame passes instead of two serial good-machine steps per
+/// candidate. Bit-identical to the scalar path because `eval_packed` is
+/// slot-wise identical to `eval_scalar`, so `phase1` sees the same
+/// flip-flop statistics.
+fn packed_phase1_scores(
+    packed: &mut PackedGoodSim,
+    good: &GoodSim,
+    counters: &SimCounters,
     batch: &[Chromosome],
-    evaluate_one: &(dyn Fn(&mut FaultSim, &Chromosome) -> f64 + Sync),
+    pis: usize,
+    scale: FitnessScale,
 ) -> Vec<f64> {
-    if batch.is_empty() {
-        return Vec::new();
+    let mut scores = Vec::with_capacity(batch.len());
+    let mut pi_words = vec![Pv64::ALL_X; pis];
+    for chunk in batch.chunks(64) {
+        packed.seed_from(good);
+        pi_words.fill(Pv64::ALL_X);
+        for (slot, chrom) in chunk.iter().enumerate() {
+            for (i, word) in pi_words.iter_mut().enumerate() {
+                word.set(slot as u32, Logic::from_bool(chrom.bit(i)));
+            }
+        }
+        // Two-frame hold, matching the serial phase-1 evaluation.
+        packed.apply(&pi_words);
+        packed.apply(&pi_words);
+        counters.record_packed_phase1(2);
+        for report in packed.phase1_stats(chunk.len()) {
+            scores.push(phase1(&report, scale));
+        }
     }
-    let chunk = batch.len().div_ceil(workers.min(batch.len()));
-    let mut scores = vec![0.0f64; batch.len()];
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, (chunk_in, chunk_out)) in batch
-            .chunks(chunk)
-            .zip(scores.chunks_mut(chunk))
-            .enumerate()
-        {
-            let mut sim = base.clone();
-            handles.push(scope.spawn(move || {
-                for (c, out) in chunk_in.iter().zip(chunk_out.iter_mut()) {
-                    *out = evaluate_one(&mut sim, c);
-                }
-            }));
-            let _ = i;
-        }
-        for h in handles {
-            h.join().expect("fitness worker panicked");
-        }
-    });
     scores
 }
 
 fn decode_vector(chrom: &Chromosome, pis: usize) -> Vec<Logic> {
-    (0..pis).map(|i| Logic::from_bool(chrom.bit(i))).collect()
+    let mut out = Vec::with_capacity(pis);
+    decode_vector_into(chrom, pis, &mut out);
+    out
 }
 
 fn decode_frame(chrom: &Chromosome, pis: usize, frame: usize) -> Vec<Logic> {
-    (0..pis)
-        .map(|i| Logic::from_bool(chrom.bit(frame * pis + i)))
-        .collect()
+    let mut out = Vec::with_capacity(pis);
+    decode_frame_into(chrom, pis, frame, &mut out);
+    out
 }
 
 #[cfg(test)]
@@ -764,10 +793,15 @@ mod tests {
             TestGenerator::new(Arc::clone(&circuit), config).run()
         };
         let serial = run(1);
-        let parallel = run(4);
-        assert_eq!(serial.test_set, parallel.test_set);
-        assert_eq!(serial.detected, parallel.detected);
-        assert_eq!(serial.ga_evaluations, parallel.ga_evaluations);
+        for workers in [2, 4, 8] {
+            let pooled = run(workers);
+            assert_eq!(serial.test_set, pooled.test_set, "workers={workers}");
+            assert_eq!(serial.detected, pooled.detected, "workers={workers}");
+            assert_eq!(
+                serial.ga_evaluations, pooled.ga_evaluations,
+                "workers={workers}"
+            );
+        }
     }
 
     #[test]

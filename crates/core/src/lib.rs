@@ -42,6 +42,7 @@
 
 pub mod compact;
 pub mod config;
+pub mod evalpool;
 pub mod fitness;
 pub mod generator;
 pub mod report;
@@ -49,6 +50,7 @@ pub mod transition;
 
 pub use compact::{compact_test_set, CompactionStats};
 pub use config::{table1_parameters, FaultSample, GatestConfig};
+pub use evalpool::{evaluate_candidate, EvalContext, EvalJob, EvalPool};
 pub use fitness::{FitnessScale, Phase};
 pub use gatest_telemetry as telemetry;
 pub use generator::{TestGenResult, TestGenerator};

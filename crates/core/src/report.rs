@@ -89,10 +89,28 @@ pub fn telemetry_table(result: &TestGenResult) -> String {
     let _ = writeln!(out, "{:<22} {:>10.1}", "events/step", t.events_per_step());
     let _ = writeln!(out, "{:<22} {:>10}", "gate evals", t.counters.gate_evals);
     let _ = writeln!(out, "{:<22} {:>10}", "sim steps", t.counters.total_steps());
-    let _ = write!(
+    let _ = writeln!(
         out,
         "{:<22} {:>10}",
         "restores", t.counters.checkpoint_restores
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>9.1}M",
+        "restore MB avoided",
+        t.counters.restore_bytes_avoided as f64 / 1_000_000.0
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10}",
+        "packed p1 frames", t.counters.packed_phase1_frames
+    );
+    let _ = writeln!(out, "{:<22} {:>10}", "pool tasks", t.counters.pool_tasks);
+    let _ = write!(
+        out,
+        "{:<22} {:>9.2}s",
+        "pool idle",
+        t.counters.pool_idle_ns as f64 / 1e9
     );
     out
 }
@@ -282,6 +300,10 @@ mod tests {
                     good_events: 3_200,
                     faulty_events: 9_100,
                     checkpoint_restores: 649,
+                    restore_bytes_avoided: 2_600_000,
+                    packed_phase1_frames: 40,
+                    pool_tasks: 12,
+                    pool_idle_ns: 80_000_000,
                 },
             },
         }
@@ -338,6 +360,10 @@ mod tests {
             "events/step",
             "gate evals",
             "restores",
+            "restore MB avoided",
+            "packed p1 frames",
+            "pool tasks",
+            "pool idle",
         ] {
             assert!(table.contains(needle), "missing `{needle}`:\n{table}");
         }

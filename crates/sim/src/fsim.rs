@@ -17,7 +17,10 @@
 //!
 //! * [`FaultSim::checkpoint`] / [`FaultSim::restore`] save and restore the
 //!   good state, the faulty states, and fault detection status so candidate
-//!   tests can be evaluated without committing them;
+//!   tests can be evaluated without committing them — implemented
+//!   **copy-on-write**: checkpoints share the fault-state tables by `Arc`
+//!   pointer, so saving costs one good-machine copy and restoring re-shares
+//!   pointers instead of copying every fault's state back;
 //! * per-step counts of faulty-circuit events and of fault effects
 //!   propagated to flip-flops, which the phase-2/3/4 fitness functions use.
 
@@ -64,17 +67,33 @@ impl StepReport {
     }
 }
 
+/// Sparse faulty flip-flop state for one fault: `(dff index, faulty value)`
+/// wherever the faulty machine differs from the good machine. `Arc`-shared
+/// copy-on-write between the simulator and its checkpoints.
+type FaultyFfState = Arc<[(u32, Logic)]>;
+
 /// A saved simulator state: good machine, faulty machines, fault status.
 ///
 /// Produced by [`FaultSim::checkpoint`]; the paper's §IV describes exactly
 /// this mechanism ("store and restore the good and faulty circuit states and
 /// the fault detection status before and after each \[candidate\] test").
+///
+/// The faulty-machine state is shared **copy-on-write** with the simulator:
+/// taking a checkpoint clones three `Arc` pointers (plus the good-machine
+/// value arrays), not the per-fault payloads, and [`FaultSim::restore`]
+/// re-shares the same pointers instead of copying fault state back. The
+/// simulator only pays for a deep copy on first mutation after a
+/// checkpoint/restore, and then only for the outer pointer table plus the
+/// entries it actually rewrites.
 #[derive(Debug, Clone)]
 pub struct Checkpoint {
     good: GoodSimState,
-    status: Vec<FaultStatus>,
-    active: Vec<FaultId>,
-    faulty_ff: Vec<Vec<(u32, Logic)>>,
+    status: Arc<Vec<FaultStatus>>,
+    active: Arc<Vec<FaultId>>,
+    faulty_ff: Arc<Vec<FaultyFfState>>,
+    /// Total `(dff, value)` entries across `faulty_ff`, maintained so the
+    /// avoided-copy telemetry estimate is O(1).
+    ff_entries: usize,
     vectors_applied: u32,
 }
 
@@ -101,11 +120,18 @@ pub struct FaultSim {
     circuit: Arc<Circuit>,
     good: GoodSim,
     faults: FaultList,
-    status: Vec<FaultStatus>,
-    active: Vec<FaultId>,
-    /// Sparse faulty flip-flop state per fault: (dff index, faulty value)
-    /// wherever the faulty machine differs from the good machine.
-    faulty_ff: Vec<Vec<(u32, Logic)>>,
+    /// Detection status per fault. `Arc`-shared with checkpoints; mutated
+    /// through [`Arc::make_mut`] so shared checkpoints stay frozen.
+    status: Arc<Vec<FaultStatus>>,
+    /// Undetected faults, in fault-id order. `Arc`-shared like `status`.
+    active: Arc<Vec<FaultId>>,
+    /// Sparse faulty flip-flop state per fault. Both the outer table and
+    /// each per-fault slice are `Arc`-shared copy-on-write with checkpoints.
+    faulty_ff: Arc<Vec<FaultyFfState>>,
+    /// Total entries across `faulty_ff` (kept incrementally).
+    ff_entries: usize,
+    /// The shared empty slice, so clearing a fault's state allocates nothing.
+    empty_ff: Arc<[(u32, Logic)]>,
     vectors_applied: u32,
     /// Optional shared telemetry counters; clones of this simulator (the
     /// parallel fitness workers) aggregate into the same instance.
@@ -138,12 +164,15 @@ impl FaultSim {
             .net_ids()
             .filter(|&id| circuit.kind(id).is_combinational())
             .count() as u64;
+        let empty_ff: Arc<[(u32, Logic)]> = Arc::from(Vec::new());
         FaultSim {
             circuit,
             good,
-            status: vec![FaultStatus::Undetected; nfaults],
-            active: (0..nfaults as u32).map(FaultId).collect(),
-            faulty_ff: vec![Vec::new(); nfaults],
+            status: Arc::new(vec![FaultStatus::Undetected; nfaults]),
+            active: Arc::new((0..nfaults as u32).map(FaultId).collect()),
+            faulty_ff: Arc::new(vec![Arc::clone(&empty_ff); nfaults]),
+            ff_entries: 0,
+            empty_ff,
             vectors_applied: 0,
             counters: None,
             comb_gates,
@@ -217,7 +246,9 @@ impl FaultSim {
     ///
     /// Panics if `vector.len() != circuit.num_inputs()`.
     pub fn step(&mut self, vector: &[Logic]) -> StepReport {
-        let targets = self.active.clone();
+        // Cheap pointer clone: `step_with` mutates `self.active` through
+        // `Arc::make_mut`, which copies on write, so `targets` stays stable.
+        let targets = Arc::clone(&self.active);
         self.step_with(vector, &targets, true)
     }
 
@@ -265,14 +296,18 @@ impl FaultSim {
         if drop && !detected.is_empty() {
             detected.sort_unstable();
             detected.dedup();
+            let status = Arc::make_mut(&mut self.status);
+            let faulty_ff = Arc::make_mut(&mut self.faulty_ff);
             for &f in &detected {
-                self.status[f.index()] = FaultStatus::Detected {
+                status[f.index()] = FaultStatus::Detected {
                     vector: self.vectors_applied - 1,
                 };
-                self.faulty_ff[f.index()].clear();
+                self.ff_entries -= faulty_ff[f.index()].len();
+                faulty_ff[f.index()] = Arc::clone(&self.empty_ff);
             }
-            self.active
-                .retain(|f| matches!(self.status[f.index()], FaultStatus::Undetected));
+            let status = &self.status;
+            Arc::make_mut(&mut self.active)
+                .retain(|f| matches!(status[f.index()], FaultStatus::Undetected));
         }
         report.newly_detected = detected;
         report
@@ -310,10 +345,12 @@ impl FaultSim {
             }
         }
 
-        // Seed faulty flip-flop state differences.
+        // Seed faulty flip-flop state differences. Cloning the per-fault Arc
+        // (instead of the old take/put-back dance) keeps the borrow checker
+        // happy while the loop body mutates scratch state.
         for (slot, &fid) in group.iter().enumerate() {
-            let diffs = std::mem::take(&mut self.faulty_ff[fid.index()]);
-            for &(dff_idx, v) in &diffs {
+            let diffs = Arc::clone(&self.faulty_ff[fid.index()]);
+            for &(dff_idx, v) in diffs.iter() {
                 let ff = circuit.dffs()[dff_idx as usize];
                 let word = self.effective(ff);
                 let mut w = word;
@@ -324,7 +361,6 @@ impl FaultSim {
                     self.schedule_fanout(&circuit, ff, stamp);
                 }
             }
-            self.faulty_ff[fid.index()] = diffs;
         }
 
         // Seed stem-fault injections (including faults on PIs and FF outputs,
@@ -441,7 +477,18 @@ impl FaultSim {
                 report.ff_effect_pairs += effects;
                 report.ff_effect_faults += 1;
             }
-            self.faulty_ff[fid.index()] = std::mem::take(&mut new_state[slot]);
+            let idx = fid.index();
+            let old_len = self.faulty_ff[idx].len();
+            if old_len == 0 && new_state[slot].is_empty() {
+                continue; // keep sharing the empty slice: no write, no unshare
+            }
+            let entry: Arc<[(u32, Logic)]> = if new_state[slot].is_empty() {
+                Arc::clone(&self.empty_ff)
+            } else {
+                Arc::from(std::mem::take(&mut new_state[slot]))
+            };
+            self.ff_entries = self.ff_entries + entry.len() - old_len;
+            Arc::make_mut(&mut self.faulty_ff)[idx] = entry;
         }
     }
 
@@ -476,17 +523,32 @@ impl FaultSim {
 
     /// Saves the complete simulator state (good machine, faulty machines,
     /// fault status) for later [`FaultSim::restore`].
+    ///
+    /// Copy-on-write: the fault-state tables are shared by pointer, so this
+    /// copies only the good-machine value arrays — no per-fault payloads.
     pub fn checkpoint(&self) -> Checkpoint {
         Checkpoint {
             good: self.good.snapshot(),
-            status: self.status.clone(),
-            active: self.active.clone(),
-            faulty_ff: self.faulty_ff.clone(),
+            status: Arc::clone(&self.status),
+            active: Arc::clone(&self.active),
+            faulty_ff: Arc::clone(&self.faulty_ff),
+            ff_entries: self.ff_entries,
             vectors_applied: self.vectors_applied,
         }
     }
 
-    /// Restores a checkpoint taken from this simulator.
+    /// Restores a checkpoint taken from any simulator over the same circuit
+    /// and fault list (clones included, so pooled fitness workers can adopt
+    /// a checkpoint taken by the generator's own simulator).
+    ///
+    /// Copy-on-write: when the simulator's fault tables are shared (e.g.
+    /// right after a checkpoint), it re-adopts the checkpoint's tables by
+    /// pointer. When it owns its tables uniquely — the steady state of a
+    /// restore/evaluate loop, where each evaluation's first write un-shared
+    /// them — it copies *into* the existing allocations instead, skipping
+    /// faulty-FF entries that still alias the checkpoint's. Either way no
+    /// new table is allocated and the faulty-FF diff payloads are never
+    /// deep-copied.
     ///
     /// # Panics
     ///
@@ -495,24 +557,62 @@ impl FaultSim {
     pub fn restore(&mut self, cp: &Checkpoint) {
         assert_eq!(cp.status.len(), self.status.len());
         if let Some(counters) = &self.counters {
-            counters.record_restore();
+            counters.record_restore(Self::deep_restore_bytes(cp));
         }
         self.good.restore(&cp.good);
-        self.status.copy_from_slice(&cp.status);
-        self.active.clear();
-        self.active.extend_from_slice(&cp.active);
-        self.faulty_ff.clone_from(&cp.faulty_ff);
+        if !Arc::ptr_eq(&self.status, &cp.status) {
+            match Arc::get_mut(&mut self.status) {
+                Some(status) => status.copy_from_slice(&cp.status),
+                None => self.status = Arc::clone(&cp.status),
+            }
+        }
+        if !Arc::ptr_eq(&self.active, &cp.active) {
+            match Arc::get_mut(&mut self.active) {
+                Some(active) => {
+                    active.clear();
+                    active.extend_from_slice(&cp.active);
+                }
+                None => self.active = Arc::clone(&cp.active),
+            }
+        }
+        if !Arc::ptr_eq(&self.faulty_ff, &cp.faulty_ff) {
+            match Arc::get_mut(&mut self.faulty_ff) {
+                Some(table) => {
+                    for (mine, saved) in table.iter_mut().zip(cp.faulty_ff.iter()) {
+                        // Most entries still alias the checkpoint's slice;
+                        // the pointer test keeps the common case free of
+                        // refcount traffic.
+                        if !Arc::ptr_eq(mine, saved) {
+                            *mine = Arc::clone(saved);
+                        }
+                    }
+                }
+                None => self.faulty_ff = Arc::clone(&cp.faulty_ff),
+            }
+        }
+        self.ff_entries = cp.ff_entries;
         self.vectors_applied = cp.vectors_applied;
+    }
+
+    /// Estimated bytes a pre-CoW deep-copy restore would have moved for
+    /// this checkpoint: detection status, the active list, the per-fault
+    /// vector headers, and every sparse faulty-FF entry.
+    fn deep_restore_bytes(cp: &Checkpoint) -> u64 {
+        use std::mem::size_of;
+        (cp.status.len() * size_of::<FaultStatus>()
+            + cp.active.len() * size_of::<FaultId>()
+            + cp.faulty_ff.len() * size_of::<Vec<(u32, Logic)>>()
+            + cp.ff_entries * size_of::<(u32, Logic)>()) as u64
     }
 
     /// Resets everything: all faults undetected, all state X.
     pub fn reset(&mut self) {
+        let nfaults = self.faults.len();
         self.good.reset();
-        self.status.fill(FaultStatus::Undetected);
-        self.active = (0..self.faults.len() as u32).map(FaultId).collect();
-        for d in &mut self.faulty_ff {
-            d.clear();
-        }
+        self.status = Arc::new(vec![FaultStatus::Undetected; nfaults]);
+        self.active = Arc::new((0..nfaults as u32).map(FaultId).collect());
+        self.faulty_ff = Arc::new(vec![Arc::clone(&self.empty_ff); nfaults]);
+        self.ff_entries = 0;
         self.vectors_applied = 0;
     }
 }
@@ -686,6 +786,58 @@ mod tests {
     }
 
     #[test]
+    fn checkpoint_restores_across_clones() {
+        // A pooled fitness worker owns a clone of the generator's simulator
+        // and adopts checkpoints taken by the original: both must behave
+        // identically after restoring the same checkpoint.
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        for v in prng_sequence(4, 5, 17) {
+            sim.step(&v);
+        }
+        let cp = sim.checkpoint();
+        let mut clone = sim.clone();
+        // Diverge the clone before it adopts the checkpoint.
+        for v in prng_sequence(4, 4, 18) {
+            clone.step(&v);
+        }
+        clone.restore(&cp);
+        sim.restore(&cp);
+        for v in prng_sequence(4, 6, 19) {
+            assert_eq!(sim.step(&v), clone.step(&v));
+        }
+        assert_eq!(sim.detected_count(), clone.detected_count());
+    }
+
+    #[test]
+    fn cow_checkpoint_is_isolated_from_later_steps() {
+        // Mutating the simulator after a checkpoint must not leak into the
+        // checkpoint (the Arc-shared tables are copy-on-write).
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        for v in prng_sequence(4, 5, 23) {
+            sim.step(&v);
+        }
+        let cp = sim.checkpoint();
+        let detected_at_cp = sim.detected_count();
+        let probe = prng_sequence(4, 8, 24);
+        let mut first: Vec<StepReport> = Vec::new();
+        sim.restore(&cp);
+        for v in &probe {
+            first.push(sim.step(v));
+        }
+        // The detour above detected faults and rewrote faulty-FF state; the
+        // checkpoint must still describe the original moment exactly.
+        sim.restore(&cp);
+        assert_eq!(sim.detected_count(), detected_at_cp);
+        let mut second: Vec<StepReport> = Vec::new();
+        for v in &probe {
+            second.push(sim.step(v));
+        }
+        assert_eq!(first, second);
+    }
+
+    #[test]
     fn sampled_step_detects_subset() {
         let circuit = s27();
         let mut sim = FaultSim::new(circuit);
@@ -789,6 +941,10 @@ mod tests {
         assert_eq!(s.step_calls, 6);
         assert_eq!(s.good_only_calls, 1);
         assert_eq!(s.checkpoint_restores, 6);
+        assert!(
+            s.restore_bytes_avoided > 0,
+            "every restore reports the deep-copy bytes it skipped"
+        );
         assert_eq!(s.good_events, expected_good + good_only.events);
         assert_eq!(s.faulty_events, expected_faulty);
         // The good-only step adds exactly one full combinational sweep.

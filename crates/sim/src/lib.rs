@@ -57,6 +57,7 @@ pub mod fault;
 pub mod fault_report;
 pub mod fsim;
 pub mod good_sim;
+pub mod packed_good;
 pub mod ppsfp;
 pub mod state_space;
 pub mod transition;
@@ -67,6 +68,7 @@ pub use dictionary::{FaultDictionary, Syndrome};
 pub use fault::{Fault, FaultId, FaultList, FaultSite, FaultStatus};
 pub use fsim::{Checkpoint, FaultSim, StepReport};
 pub use good_sim::{GoodSim, GoodSimState, GoodStepReport};
+pub use packed_good::PackedGoodSim;
 pub use transition::{Slow, TransitionFault, TransitionFaultSim};
 pub use value::{Logic, Pv64};
 

@@ -24,6 +24,17 @@ pub struct SimCounters {
     pub faulty_events: AtomicU64,
     /// Checkpoint restores (one per candidate evaluation in the GA loop).
     pub checkpoint_restores: AtomicU64,
+    /// Estimated bytes the copy-on-write restores did *not* copy compared
+    /// to a deep-copy restore of the same checkpoints (fault status, active
+    /// list, and sparse faulty-FF state).
+    pub restore_bytes_avoided: AtomicU64,
+    /// 64-slot packed good-machine frames evaluated for phase-1 fitness.
+    pub packed_phase1_frames: AtomicU64,
+    /// Evaluation-batch chunks dispatched to persistent pool workers.
+    pub pool_tasks: AtomicU64,
+    /// Nanoseconds pool workers spent waiting for work (summed over
+    /// workers; compare against wall-clock × workers for utilization).
+    pub pool_idle_ns: AtomicU64,
 }
 
 impl SimCounters {
@@ -50,10 +61,31 @@ impl SimCounters {
         self.good_events.fetch_add(good_events, Ordering::Relaxed);
     }
 
-    /// Records one checkpoint restore.
+    /// Records one checkpoint restore and the deep-copy bytes it avoided.
     #[inline]
-    pub fn record_restore(&self) {
+    pub fn record_restore(&self, bytes_avoided: u64) {
         self.checkpoint_restores.fetch_add(1, Ordering::Relaxed);
+        self.restore_bytes_avoided
+            .fetch_add(bytes_avoided, Ordering::Relaxed);
+    }
+
+    /// Records packed good-machine frames evaluated for phase-1 fitness.
+    #[inline]
+    pub fn record_packed_phase1(&self, frames: u64) {
+        self.packed_phase1_frames
+            .fetch_add(frames, Ordering::Relaxed);
+    }
+
+    /// Records evaluation chunks dispatched to pool workers.
+    #[inline]
+    pub fn record_pool_tasks(&self, tasks: u64) {
+        self.pool_tasks.fetch_add(tasks, Ordering::Relaxed);
+    }
+
+    /// Records time a pool worker spent idle waiting for work.
+    #[inline]
+    pub fn record_pool_idle(&self, nanos: u64) {
+        self.pool_idle_ns.fetch_add(nanos, Ordering::Relaxed);
     }
 
     /// A plain-integer copy of the current totals.
@@ -65,6 +97,10 @@ impl SimCounters {
             good_events: self.good_events.load(Ordering::Relaxed),
             faulty_events: self.faulty_events.load(Ordering::Relaxed),
             checkpoint_restores: self.checkpoint_restores.load(Ordering::Relaxed),
+            restore_bytes_avoided: self.restore_bytes_avoided.load(Ordering::Relaxed),
+            packed_phase1_frames: self.packed_phase1_frames.load(Ordering::Relaxed),
+            pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
+            pool_idle_ns: self.pool_idle_ns.load(Ordering::Relaxed),
         }
     }
 
@@ -76,6 +112,10 @@ impl SimCounters {
         self.good_events.store(0, Ordering::Relaxed);
         self.faulty_events.store(0, Ordering::Relaxed);
         self.checkpoint_restores.store(0, Ordering::Relaxed);
+        self.restore_bytes_avoided.store(0, Ordering::Relaxed);
+        self.packed_phase1_frames.store(0, Ordering::Relaxed);
+        self.pool_tasks.store(0, Ordering::Relaxed);
+        self.pool_idle_ns.store(0, Ordering::Relaxed);
     }
 }
 
@@ -94,6 +134,14 @@ pub struct CounterSnapshot {
     pub faulty_events: u64,
     /// Checkpoint restores.
     pub checkpoint_restores: u64,
+    /// Estimated deep-copy bytes skipped by copy-on-write restores.
+    pub restore_bytes_avoided: u64,
+    /// 64-slot packed good-machine frames evaluated for phase-1 fitness.
+    pub packed_phase1_frames: u64,
+    /// Evaluation chunks dispatched to persistent pool workers.
+    pub pool_tasks: u64,
+    /// Nanoseconds pool workers spent waiting for work.
+    pub pool_idle_ns: u64,
 }
 
 impl CounterSnapshot {
@@ -113,7 +161,7 @@ mod tests {
         c.record_step(100, 7, 30);
         c.record_step(50, 3, 10);
         c.record_good_only(20, 5);
-        c.record_restore();
+        c.record_restore(4096);
         let s = c.snapshot();
         assert_eq!(s.step_calls, 2);
         assert_eq!(s.good_only_calls, 1);
@@ -121,7 +169,24 @@ mod tests {
         assert_eq!(s.good_events, 15);
         assert_eq!(s.faulty_events, 40);
         assert_eq!(s.checkpoint_restores, 1);
+        assert_eq!(s.restore_bytes_avoided, 4096);
         assert_eq!(s.total_steps(), 3);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn eval_engine_counters_accumulate() {
+        let c = SimCounters::new();
+        c.record_packed_phase1(2);
+        c.record_packed_phase1(2);
+        c.record_pool_tasks(8);
+        c.record_pool_idle(1_500);
+        c.record_pool_idle(500);
+        let s = c.snapshot();
+        assert_eq!(s.packed_phase1_frames, 4);
+        assert_eq!(s.pool_tasks, 8);
+        assert_eq!(s.pool_idle_ns, 2_000);
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
     }
@@ -135,7 +200,7 @@ mod tests {
                 scope.spawn(move || {
                     for _ in 0..1000 {
                         c.record_step(3, 1, 2);
-                        c.record_restore();
+                        c.record_restore(16);
                     }
                 });
             }
@@ -146,5 +211,6 @@ mod tests {
         assert_eq!(s.good_events, 4000);
         assert_eq!(s.faulty_events, 8000);
         assert_eq!(s.checkpoint_restores, 4000);
+        assert_eq!(s.restore_bytes_avoided, 64000);
     }
 }

@@ -101,14 +101,18 @@ fn snapshot_fields(snapshot: &TelemetrySnapshot) -> String {
     }
     let _ = write!(
         s,
-        "],\"ga_generations\":{},\"counters\":{{\"step_calls\":{},\"good_only_calls\":{},\"gate_evals\":{},\"good_events\":{},\"faulty_events\":{},\"checkpoint_restores\":{}}}",
+        "],\"ga_generations\":{},\"counters\":{{\"step_calls\":{},\"good_only_calls\":{},\"gate_evals\":{},\"good_events\":{},\"faulty_events\":{},\"checkpoint_restores\":{},\"restore_bytes_avoided\":{},\"packed_phase1_frames\":{},\"pool_tasks\":{},\"pool_idle_ns\":{}}}",
         snapshot.ga_generations,
         c.step_calls,
         c.good_only_calls,
         c.gate_evals,
         c.good_events,
         c.faulty_events,
-        c.checkpoint_restores
+        c.checkpoint_restores,
+        c.restore_bytes_avoided,
+        c.packed_phase1_frames,
+        c.pool_tasks,
+        c.pool_idle_ns
     );
     s
 }
@@ -422,6 +426,10 @@ mod tests {
                         good_events: 4_400,
                         faulty_events: 18_000,
                         checkpoint_restores: 640,
+                        restore_bytes_avoided: 5_242_880,
+                        packed_phase1_frames: 22,
+                        pool_tasks: 96,
+                        pool_idle_ns: 1_250_000,
                     },
                 },
             },
@@ -481,6 +489,19 @@ mod tests {
         assert_eq!(
             counters.get("checkpoint_restores").and_then(Json::as_u64),
             Some(640)
+        );
+        assert_eq!(
+            counters.get("restore_bytes_avoided").and_then(Json::as_u64),
+            Some(5_242_880)
+        );
+        assert_eq!(
+            counters.get("packed_phase1_frames").and_then(Json::as_u64),
+            Some(22)
+        );
+        assert_eq!(counters.get("pool_tasks").and_then(Json::as_u64), Some(96));
+        assert_eq!(
+            counters.get("pool_idle_ns").and_then(Json::as_u64),
+            Some(1_250_000)
         );
     }
 

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Measure candidate-evaluation throughput (the evaluation engine's headline
+# number) and record it in BENCH_eval.json so the performance trajectory is
+# tracked across PRs. Pass --smoke for a fast CI-sized run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode=""
+if [ "${1:-}" = "--smoke" ]; then
+    mode="--smoke"
+elif [ "$#" -gt 0 ]; then
+    echo "usage: $0 [--smoke]" >&2
+    exit 2
+fi
+
+cargo build --release -p gatest-bench --bin bench_eval
+target/release/bench_eval $mode > BENCH_eval.json
+echo "wrote BENCH_eval.json:" >&2
+cat BENCH_eval.json
