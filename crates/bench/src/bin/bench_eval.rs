@@ -61,6 +61,10 @@ fn main() {
         .map(|_| Chromosome::random(pis, &mut chrom_rng))
         .collect();
 
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
     let mut rows = String::new();
     let mut checksum = 0.0f64;
     for (i, &workers) in WORKERS.iter().enumerate() {
@@ -95,7 +99,7 @@ fn main() {
     }
 
     println!(
-        "{{\n  \"bench\": \"eval_throughput\",\n  \"circuit\": \"{CIRCUIT}\",\n  \"mode\": \"{}\",\n  \"batch\": {BATCH},\n  \"fault_sample\": {SAMPLE},\n  \"score_checksum\": {checksum:.6},\n  \"results\": [\n{rows}\n  ]\n}}",
+        "{{\n  \"bench\": \"eval_throughput\",\n  \"circuit\": \"{CIRCUIT}\",\n  \"mode\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"batch\": {BATCH},\n  \"fault_sample\": {SAMPLE},\n  \"score_checksum\": {checksum:.6},\n  \"results\": [\n{rows}\n  ]\n}}",
         if smoke { "smoke" } else { "full" }
     );
 }

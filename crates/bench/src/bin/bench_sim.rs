@@ -1,0 +1,158 @@
+//! Fault-simulation step-throughput microbenchmark.
+//!
+//! Measures the number the fault-group pool exists to improve: sequential
+//! fault-simulation vectors per second on s1423, at sim-thread counts 1, 2,
+//! 4, and 8. Every thread count replays the same random vector stream from
+//! the same warmed simulator state, and the run asserts that an identity
+//! checksum — step index × fault id over every newly detected fault, plus
+//! every step's faulty-event and flip-flop-effect counts — is bit-identical
+//! across all of them.
+//!
+//! Prints a JSON document to stdout; `scripts/bench_eval.sh` redirects it to
+//! `BENCH_sim.json` so the performance trajectory is tracked across PRs.
+//! Pass `--smoke` for a fast CI-sized run (same shape, fewer vectors).
+//! `--validate FILE` parses FILE as a `BENCH_sim` document and checks its
+//! shape, so CI can assert the smoke output is well-formed.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use gatest_ga::Rng;
+use gatest_netlist::benchmarks;
+use gatest_sim::{FaultSim, Logic};
+use gatest_telemetry::json::parse_json;
+
+const CIRCUIT: &str = "s1423";
+const SIM_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--validate") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_sim.json");
+        match validate(path) {
+            Ok(summary) => println!("{summary}"),
+            Err(e) => {
+                eprintln!("bench_sim --validate {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // Full mode applies enough vectors per thread count for a stable rate;
+    // smoke mode just proves the path (and the identity assert) end to end.
+    let vectors = if smoke { 30 } else { 1500 };
+
+    let circuit = Arc::new(benchmarks::iscas89(CIRCUIT).expect("bundled circuit"));
+    let pis = circuit.num_inputs();
+
+    // Warm the simulator into a representative mid-run state: easy faults
+    // dropped, faulty flip-flop divergence accumulated.
+    let mut base = FaultSim::new(Arc::clone(&circuit));
+    let mut rng = Rng::new(1);
+    for _ in 0..20 {
+        let v: Vec<Logic> = (0..pis).map(|_| Logic::from_bool(rng.coin())).collect();
+        base.step(&v);
+    }
+    let mut vec_rng = Rng::new(9);
+    let stream: Vec<Vec<Logic>> = (0..vectors)
+        .map(|_| (0..pis).map(|_| Logic::from_bool(vec_rng.coin())).collect())
+        .collect();
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut rows = String::new();
+    let mut checksum: Option<u64> = None;
+    for (i, &threads) in SIM_THREADS.iter().enumerate() {
+        let mut sim = base.clone();
+        sim.set_sim_threads(threads);
+        let mut events = 0u64;
+        let mut sum = 0u64;
+        let start = Instant::now();
+        for (n, v) in stream.iter().enumerate() {
+            let report = sim.step(v);
+            events += report.faulty_events;
+            sum = sum
+                .wrapping_add(report.faulty_events.wrapping_mul(n as u64 + 1))
+                .wrapping_add(report.ff_effect_pairs);
+            for f in &report.newly_detected {
+                sum = sum.wrapping_add((n as u64 + 1).wrapping_mul(f.index() as u64 + 1));
+            }
+        }
+        let secs = start.elapsed().as_secs_f64();
+        match checksum {
+            None => checksum = Some(sum),
+            Some(c) => assert_eq!(
+                c, sum,
+                "sim_threads {threads} diverged from the serial detection order"
+            ),
+        }
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"sim_threads\": {threads}, \"vectors\": {vectors}, \"secs\": {secs:.4}, \"vectors_per_sec\": {:.0}, \"fault_events_per_sec\": {:.0}}}",
+            vectors as f64 / secs,
+            events as f64 / secs
+        ));
+        eprintln!(
+            "sim_threads {threads}: {vectors} vectors in {secs:.2}s = {:.0} vectors/sec ({:.0} fault events/sec)",
+            vectors as f64 / secs,
+            events as f64 / secs
+        );
+    }
+
+    println!(
+        "{{\n  \"bench\": \"step_throughput\",\n  \"circuit\": \"{CIRCUIT}\",\n  \"mode\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"identity_checksum\": {},\n  \"results\": [\n{rows}\n  ]\n}}",
+        if smoke { "smoke" } else { "full" },
+        checksum.unwrap_or(0)
+    );
+}
+
+/// Parses `path` as a `BENCH_sim` document and checks every field the
+/// scaling-curve consumers rely on. Returns a one-line summary on success.
+fn validate(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = parse_json(&text)?;
+    let field = |key: &str| doc.get(key).ok_or_else(|| format!("missing `{key}`"));
+    let bench = field("bench")?.as_str().ok_or("`bench` is not a string")?;
+    if bench != "step_throughput" {
+        return Err(format!("`bench` is `{bench}`, expected `step_throughput`"));
+    }
+    field("circuit")?
+        .as_str()
+        .ok_or("`circuit` is not a string")?;
+    field("mode")?.as_str().ok_or("`mode` is not a string")?;
+    let cpus = field("host_cpus")?
+        .as_u64()
+        .ok_or("`host_cpus` is not an integer")?;
+    field("identity_checksum")?
+        .as_u64()
+        .ok_or("`identity_checksum` is not an integer")?;
+    let results = field("results")?
+        .as_array()
+        .ok_or("`results` is not an array")?;
+    if results.is_empty() {
+        return Err("`results` is empty".into());
+    }
+    for (i, row) in results.iter().enumerate() {
+        for key in [
+            "sim_threads",
+            "vectors",
+            "secs",
+            "vectors_per_sec",
+            "fault_events_per_sec",
+        ] {
+            row.get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("results[{i}] missing numeric `{key}`"))?;
+        }
+    }
+    Ok(format!(
+        "{path} ok: {} thread counts, host_cpus {cpus}",
+        results.len()
+    ))
+}

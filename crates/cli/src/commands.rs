@@ -63,12 +63,29 @@ fn worker_count(opts: &Opts) -> Result<usize, Box<dyn Error>> {
     })
 }
 
+/// Parses `--sim-threads`: a positive integer, or `0` / `auto` meaning all
+/// available cores. Defaults to 1 (serial fault-group simulation).
+fn sim_thread_count(opts: &Opts) -> Result<usize, Box<dyn Error>> {
+    let Some(value) = opts.get("sim-threads") else {
+        return Ok(1);
+    };
+    if value == "auto" {
+        return Ok(0);
+    }
+    value.parse().map_err(|_| {
+        UsageError::boxed(format!(
+            "--sim-threads expects a non-negative integer or `auto`, got `{value}`"
+        ))
+    })
+}
+
 /// `gatest atpg` — run the GA test generator.
 pub fn atpg(opts: &Opts) -> Result<(), Box<dyn Error>> {
     let circuit = load_circuit(opts.circuit()?)?;
     let mut config = GatestConfig::for_circuit(&circuit)
         .with_seed(opts.num("seed", 1u64)?)
-        .with_workers(worker_count(opts)?);
+        .with_workers(worker_count(opts)?)
+        .with_sim_threads(sim_thread_count(opts)?);
     let sample: usize = opts.num("sample", 100)?;
     config.fault_sample = if sample == 0 {
         FaultSample::Full

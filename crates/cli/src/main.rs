@@ -1,12 +1,15 @@
 //! `gatest` — the command-line front door to the GATEST suite.
 //!
 //! ```text
-//! gatest atpg     <circuit> [--seed N] [--sample N] [--workers N|auto] [--out tests.txt]
+//! gatest atpg     <circuit> [--seed N] [--sample N] [--workers N|auto]
+//!                 [--sim-threads N|auto] [--out tests.txt]
 //!                 [--trace-out trace.jsonl] [--progress] [-v|--verbose] [-q|--quiet]
 //!
-//! `--workers` (alias `--threads`) sets the fitness-evaluation pool size:
-//! a positive integer, or `0`/`auto` for all available cores. Results are
-//! bit-identical at every worker count.
+//! `--workers` (alias `--threads`) sets the fitness-evaluation pool size;
+//! `--sim-threads` sets the fault-group parallelism inside each simulator
+//! (total simulation threads = workers × sim-threads). Both take a positive
+//! integer, or `0`/`auto` for all available cores. Results are bit-identical
+//! at every combination.
 //! gatest grade    <circuit> --tests tests.txt [--transition]
 //! gatest compact  <circuit> --tests tests.txt [--out compacted.txt]
 //! gatest diagnose <circuit> --tests tests.txt --observe V:PO[,V:PO...]
@@ -84,8 +87,9 @@ fn usage() -> String {
     s.push_str("--progress prints live stderr updates, -v adds a telemetry table,\n");
     s.push_str("-q suppresses the summary\n");
     s.push_str("\nparallelism (atpg): --workers N (alias --threads) sizes the\n");
-    s.push_str("fitness-evaluation pool; 0 or `auto` uses all available cores;\n");
-    s.push_str("results are bit-identical at every worker count\n");
+    s.push_str("fitness-evaluation pool; --sim-threads N sizes the fault-group\n");
+    s.push_str("pool inside each simulator; 0 or `auto` uses all available\n");
+    s.push_str("cores; results are bit-identical at every combination\n");
     s.push_str("\nrun `gatest <command> --help` style flags are listed in the module docs;\n");
     s.push_str("circuits are bundled names (s27, s298, ...) or .bench/.v file paths\n");
     s

@@ -98,6 +98,14 @@ pub struct GatestConfig {
     /// for any worker count (the paper's conclusion points at exactly this
     /// parallelism).
     pub parallel_workers: usize,
+    /// Fault-group simulation threads inside each fault simulator. `1`
+    /// propagates the ≤64-fault Pv64 groups serially; larger values fan
+    /// each step's groups out across a persistent in-simulator pool (see
+    /// `gatest-sim`). `0` means auto-detect like `parallel_workers`.
+    /// Composes with `parallel_workers` — total simulation threads are
+    /// `workers × sim_threads` — and results stay bit-identical at any
+    /// combination (see [`GatestConfig::resolved_sim_threads`]).
+    pub sim_threads: usize,
     /// Master random seed.
     pub seed: u64,
 }
@@ -121,6 +129,7 @@ impl Default for GatestConfig {
             max_sequence_failures: 4,
             max_vectors: 10_000,
             parallel_workers: 1,
+            sim_threads: 1,
             seed: 1,
         }
     }
@@ -159,6 +168,14 @@ impl GatestConfig {
         self
     }
 
+    /// A new configuration with a different fault-group simulation thread
+    /// count (`0` = auto-detect at run time, see
+    /// [`GatestConfig::resolved_sim_threads`]).
+    pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
+        self.sim_threads = sim_threads;
+        self
+    }
+
     /// The effective worker count: `parallel_workers`, or the machine's
     /// [`std::thread::available_parallelism`] when it is `0` (falling back
     /// to 1 if the parallelism cannot be determined).
@@ -169,6 +186,19 @@ impl GatestConfig {
                 .unwrap_or(1)
         } else {
             self.parallel_workers
+        }
+    }
+
+    /// The effective fault-group simulation thread count: `sim_threads`,
+    /// or the machine's [`std::thread::available_parallelism`] when it is
+    /// `0` (falling back to 1 if the parallelism cannot be determined).
+    pub fn resolved_sim_threads(&self) -> usize {
+        if self.sim_threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.sim_threads
         }
     }
 
@@ -251,6 +281,24 @@ mod tests {
             GatestConfig::default().with_workers(6).resolved_workers(),
             6
         );
+    }
+
+    #[test]
+    fn sim_threads_resolve_like_workers() {
+        let cfg = GatestConfig::default();
+        assert_eq!(cfg.sim_threads, 1, "serial by default");
+        assert_eq!(cfg.resolved_sim_threads(), 1);
+        assert_eq!(
+            GatestConfig::default()
+                .with_sim_threads(4)
+                .resolved_sim_threads(),
+            4
+        );
+        let auto = GatestConfig::default().with_sim_threads(0);
+        assert!(auto.resolved_sim_threads() >= 1);
+        if let Ok(n) = std::thread::available_parallelism() {
+            assert_eq!(auto.resolved_sim_threads(), n.get());
+        }
     }
 
     #[test]

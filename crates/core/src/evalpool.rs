@@ -141,6 +141,11 @@ pub fn evaluate_candidate(
     }
 }
 
+/// Evaluation chunks dealt to each worker per batch (see
+/// [`EvalPool::evaluate`]): enough to absorb uneven candidate costs, few
+/// enough that channel traffic stays negligible next to simulation.
+const CHUNKS_PER_WORKER: usize = 4;
+
 /// A chunk of candidates to score against a shared context.
 struct Request {
     ctx: Arc<EvalContext>,
@@ -245,9 +250,13 @@ impl EvalPool {
 
     /// Scores a batch against a shared context, in input order.
     ///
-    /// The batch is split into `min(workers, batch.len())` contiguous
-    /// chunks (the same split the old scoped-thread scheme used), one per
-    /// worker; replies are placed back by offset.
+    /// The batch is split into up to [`CHUNKS_PER_WORKER`] chunks per
+    /// worker, dealt round-robin across the worker channels; replies are
+    /// placed back by offset. One big contiguous chunk per worker (the old
+    /// split) made the whole batch wait on its slowest chunk — candidate
+    /// costs are uneven, since a restore's copy-on-write traffic and a
+    /// step's event count depend on the chromosome — so finer interleaved
+    /// chunks keep the dispatch granularity ahead of the stragglers.
     ///
     /// # Panics
     ///
@@ -256,7 +265,8 @@ impl EvalPool {
         if batch.is_empty() {
             return Vec::new();
         }
-        let chunk = batch.len().div_ceil(self.workers.len().min(batch.len()));
+        let chunks = (self.workers.len() * CHUNKS_PER_WORKER).min(batch.len());
+        let chunk = batch.len().div_ceil(chunks);
         let mut sent = 0usize;
         for (i, piece) in batch.chunks(chunk).enumerate() {
             let req = Request {
@@ -264,7 +274,7 @@ impl EvalPool {
                 chunk: piece.to_vec(),
                 offset: i * chunk,
             };
-            self.workers[i]
+            self.workers[i % self.workers.len()]
                 .tx
                 .as_ref()
                 .expect("pool is live")

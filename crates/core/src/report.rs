@@ -106,11 +106,24 @@ pub fn telemetry_table(result: &TestGenResult) -> String {
         "packed p1 frames", t.counters.packed_phase1_frames
     );
     let _ = writeln!(out, "{:<22} {:>10}", "pool tasks", t.counters.pool_tasks);
-    let _ = write!(
+    let _ = writeln!(
         out,
         "{:<22} {:>9.2}s",
         "pool idle",
         t.counters.pool_idle_ns as f64 / 1e9
+    );
+    let _ = writeln!(out, "{:<22} {:>10}", "group tasks", t.counters.group_tasks);
+    let _ = writeln!(
+        out,
+        "{:<22} {:>9.2}s",
+        "group steal",
+        t.counters.group_steal_ns as f64 / 1e9
+    );
+    let _ = write!(
+        out,
+        "{:<22} {:>7.1} MB",
+        "scratch reused",
+        t.counters.scratch_bytes_reused as f64 / 1_000_000.0
     );
     out
 }
@@ -304,6 +317,9 @@ mod tests {
                     packed_phase1_frames: 40,
                     pool_tasks: 12,
                     pool_idle_ns: 80_000_000,
+                    group_tasks: 340,
+                    group_steal_ns: 6_000_000,
+                    scratch_bytes_reused: 3_400_000,
                 },
             },
         }
@@ -364,6 +380,9 @@ mod tests {
             "packed p1 frames",
             "pool tasks",
             "pool idle",
+            "group tasks",
+            "group steal",
+            "scratch reused",
         ] {
             assert!(table.contains(needle), "missing `{needle}`:\n{table}");
         }

@@ -24,16 +24,16 @@
 //! * per-step counts of faulty-circuit events and of fault effects
 //!   propagated to flip-flops, which the phase-2/3/4 fitness functions use.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use gatest_netlist::{Circuit, NetId};
+use gatest_netlist::Circuit;
 use gatest_telemetry::SimCounters;
 
-use crate::eval::eval_packed;
-use crate::fault::{FaultId, FaultList, FaultSite, FaultStatus};
+use crate::fault::{FaultId, FaultList, FaultStatus};
 use crate::good_sim::{GoodSim, GoodSimState, GoodStepReport};
-use crate::value::{Logic, Pv64};
+use crate::group::{simulate_group, FaultyFfState, GroupCtx, GroupOutcome, Scratch};
+use crate::grouppool::GroupPool;
+use crate::value::Logic;
 
 /// Statistics from simulating one vector over the active fault list.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -66,11 +66,6 @@ impl StepReport {
         self.newly_detected.len()
     }
 }
-
-/// Sparse faulty flip-flop state for one fault: `(dff index, faulty value)`
-/// wherever the faulty machine differs from the good machine. `Arc`-shared
-/// copy-on-write between the simulator and its checkpoints.
-type FaultyFfState = Arc<[(u32, Logic)]>;
 
 /// A saved simulator state: good machine, faulty machines, fault status.
 ///
@@ -115,7 +110,7 @@ pub struct Checkpoint {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct FaultSim {
     circuit: Arc<Circuit>,
     good: GoodSim,
@@ -138,13 +133,43 @@ pub struct FaultSim {
     counters: Option<Arc<SimCounters>>,
     /// Combinational gates evaluated by one good-machine frame.
     comb_gates: u64,
+    /// The simulator's own propagation arena, reused across steps (and
+    /// used directly when the step runs serially).
+    scratch: Scratch,
+    /// Per-group outcome slots, reused across steps.
+    outcomes: Vec<GroupOutcome>,
+    /// Requested fault-group parallelism: 1 = serial (default), 0 = one
+    /// thread per available core, N = exactly N threads.
+    sim_threads: usize,
+    /// The persistent fault-group worker pool, created lazily on the first
+    /// step that can actually use it (so serial simulators, clones, and
+    /// short runs never spawn threads).
+    pool: Option<GroupPool>,
+}
 
-    // --- scratch, reused across steps ---
-    fval: Vec<Pv64>,
-    fstamp: Vec<u32>,
-    stamp: u32,
-    queued: Vec<u32>,
-    buckets: Vec<Vec<NetId>>,
+impl Clone for FaultSim {
+    /// Clones the simulator state but **not** the worker pool: the clone
+    /// keeps its `sim_threads` setting and lazily builds its own pool if a
+    /// parallel step ever runs on it.
+    fn clone(&self) -> Self {
+        FaultSim {
+            circuit: Arc::clone(&self.circuit),
+            good: self.good.clone(),
+            faults: self.faults.clone(),
+            status: Arc::clone(&self.status),
+            active: Arc::clone(&self.active),
+            faulty_ff: Arc::clone(&self.faulty_ff),
+            ff_entries: self.ff_entries,
+            empty_ff: Arc::clone(&self.empty_ff),
+            vectors_applied: self.vectors_applied,
+            counters: self.counters.clone(),
+            comb_gates: self.comb_gates,
+            scratch: self.scratch.clone(),
+            outcomes: self.outcomes.clone(),
+            sim_threads: self.sim_threads,
+            pool: None,
+        }
+    }
 }
 
 impl FaultSim {
@@ -157,7 +182,6 @@ impl FaultSim {
     /// Creates a simulator over a caller-supplied fault list.
     pub fn with_faults(circuit: Arc<Circuit>, faults: FaultList) -> Self {
         let good = GoodSim::new(Arc::clone(&circuit));
-        let n = circuit.num_gates();
         let nfaults = faults.len();
         let max_level = good.levelization().max_level() as usize;
         let comb_gates = circuit
@@ -165,6 +189,7 @@ impl FaultSim {
             .filter(|&id| circuit.kind(id).is_combinational())
             .count() as u64;
         let empty_ff: Arc<[(u32, Logic)]> = Arc::from(Vec::new());
+        let scratch = Scratch::new(&circuit, max_level);
         FaultSim {
             circuit,
             good,
@@ -177,11 +202,10 @@ impl FaultSim {
             counters: None,
             comb_gates,
             faults,
-            fval: vec![Pv64::ALL_X; n],
-            fstamp: vec![0; n],
-            stamp: 0,
-            queued: vec![0; n],
-            buckets: vec![Vec::new(); max_level + 1],
+            scratch,
+            outcomes: Vec::new(),
+            sim_threads: 1,
+            pool: None,
         }
     }
 
@@ -239,6 +263,45 @@ impl FaultSim {
         self.counters.as_ref()
     }
 
+    /// Sets the fault-group parallelism for [`FaultSim::step`]: `1` runs
+    /// serially (the default), `0` uses one thread per available core, and
+    /// `N` uses exactly `N` threads (`N - 1` persistent workers plus the
+    /// calling thread).
+    ///
+    /// Results are bit-identical at every setting; the pool is created
+    /// lazily on the first step with more than one fault group, and torn
+    /// down when the setting changes.
+    pub fn set_sim_threads(&mut self, threads: usize) {
+        if threads != self.sim_threads {
+            self.sim_threads = threads;
+            self.pool = None;
+        }
+    }
+
+    /// The configured fault-group parallelism (see
+    /// [`FaultSim::set_sim_threads`]).
+    pub fn sim_threads(&self) -> usize {
+        self.sim_threads
+    }
+
+    /// `sim_threads` with `0` resolved to the available core count.
+    fn resolved_sim_threads(&self) -> usize {
+        if self.sim_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.sim_threads
+        }
+    }
+
+    /// The sparse faulty flip-flop state of fault `id`: `(dff index,
+    /// faulty value)` wherever its machine differs from the good machine.
+    /// Exposed so tests can assert parallel/serial state identity.
+    pub fn faulty_ff_state(&self, id: FaultId) -> &[(u32, Logic)] {
+        &self.faulty_ff[id.index()]
+    }
+
     /// Applies one vector, simulating **all** undetected faults, dropping
     /// any that are detected.
     ///
@@ -285,12 +348,80 @@ impl FaultSim {
             ..StepReport::default()
         };
 
+        // Simulate every ≤64-fault group against the advanced good machine,
+        // writing per-group outcomes into reusable slots — serially with the
+        // simulator's own arena, or fanned out across the group pool.
+        let ngroups = targets.len().div_ceil(64);
+        if self.outcomes.len() < ngroups {
+            self.outcomes.resize_with(ngroups, GroupOutcome::default);
+        }
+        let threads = self.resolved_sim_threads();
+        let mut group_dispatch: Option<(u64, u64)> = None;
+        if threads > 1 && ngroups > 1 && self.pool.is_none() {
+            let max_level = self.good.levelization().max_level() as usize;
+            self.pool = Some(GroupPool::new(&self.circuit, max_level, threads));
+        }
+        {
+            let ctx = GroupCtx {
+                circuit: &self.circuit,
+                good: &self.good,
+                faults: &self.faults,
+                faulty_ff: &self.faulty_ff,
+                empty_ff: &self.empty_ff,
+            };
+            match &self.pool {
+                Some(pool) if threads > 1 && ngroups > 1 => {
+                    group_dispatch = Some(pool.run(
+                        &ctx,
+                        targets,
+                        &mut self.outcomes[..ngroups],
+                        &mut self.scratch,
+                    ));
+                }
+                _ => {
+                    for (group, out) in targets.chunks(64).zip(self.outcomes.iter_mut()) {
+                        simulate_group(&ctx, group, &mut self.scratch, out);
+                    }
+                }
+            }
+        }
+
+        // Merge outcomes back **in group order**. The merge is the only
+        // place simulator state is written, so the result is identical no
+        // matter how (or on how many threads) the groups were simulated.
         let mut detected: Vec<FaultId> = Vec::new();
-        for group in targets.chunks(64) {
-            self.simulate_group(group, &mut report, &mut detected);
+        let mut scratch_bytes = 0u64;
+        for (gi, group) in targets.chunks(64).enumerate() {
+            let out = &mut self.outcomes[gi];
+            report.gate_evals += out.gate_evals;
+            report.faulty_events += out.faulty_events;
+            report.ff_effect_pairs += out.ff_effect_pairs;
+            report.ff_effect_faults += out.ff_effect_faults;
+            scratch_bytes += out.scratch_bytes;
+            for &(slot, po) in &out.po_detections {
+                report.po_detections.push((group[slot as usize], po));
+            }
+            let mut m = out.detected_mask;
+            while m != 0 {
+                let slot = m.trailing_zeros();
+                detected.push(group[slot as usize]);
+                m &= m - 1;
+            }
+            for (slot, &fid) in group.iter().enumerate() {
+                if let Some(entry) = out.new_ff[slot].take() {
+                    let idx = fid.index();
+                    let old_len = self.faulty_ff[idx].len();
+                    self.ff_entries = self.ff_entries + entry.len() - old_len;
+                    Arc::make_mut(&mut self.faulty_ff)[idx] = entry;
+                }
+            }
         }
         if let Some(counters) = &self.counters {
             counters.record_step(report.gate_evals, report.good_events, report.faulty_events);
+            counters.record_scratch_reuse(scratch_bytes);
+            if let Some((tasks, steal_ns)) = group_dispatch {
+                counters.record_group_dispatch(tasks, steal_ns);
+            }
         }
 
         if drop && !detected.is_empty() {
@@ -311,214 +442,6 @@ impl FaultSim {
         }
         report.newly_detected = detected;
         report
-    }
-
-    /// Simulates one group of ≤64 faults against the already-advanced good
-    /// machine.
-    fn simulate_group(
-        &mut self,
-        group: &[FaultId],
-        report: &mut StepReport,
-        detected: &mut Vec<FaultId>,
-    ) {
-        let circuit = Arc::clone(&self.circuit);
-        self.stamp = self.stamp.wrapping_add(2);
-        let stamp = self.stamp;
-
-        // Per-group forcing tables.
-        let mut stem_force: HashMap<NetId, Vec<(u32, Logic)>> = HashMap::new();
-        let mut branch_force: HashMap<NetId, Vec<(u16, u32, Logic)>> = HashMap::new();
-
-        for (slot, &fid) in group.iter().enumerate() {
-            let slot = slot as u32;
-            let fault = self.faults.get(fid);
-            match fault.site {
-                FaultSite::Stem(net) => {
-                    stem_force.entry(net).or_default().push((slot, fault.stuck));
-                }
-                FaultSite::Branch { gate, pin } => {
-                    branch_force
-                        .entry(gate)
-                        .or_default()
-                        .push((pin, slot, fault.stuck));
-                }
-            }
-        }
-
-        // Seed faulty flip-flop state differences. Cloning the per-fault Arc
-        // (instead of the old take/put-back dance) keeps the borrow checker
-        // happy while the loop body mutates scratch state.
-        for (slot, &fid) in group.iter().enumerate() {
-            let diffs = Arc::clone(&self.faulty_ff[fid.index()]);
-            for &(dff_idx, v) in diffs.iter() {
-                let ff = circuit.dffs()[dff_idx as usize];
-                let word = self.effective(ff);
-                let mut w = word;
-                w.set(slot as u32, v);
-                if w != word {
-                    self.fval[ff.index()] = w;
-                    self.fstamp[ff.index()] = stamp;
-                    self.schedule_fanout(&circuit, ff, stamp);
-                }
-            }
-        }
-
-        // Seed stem-fault injections (including faults on PIs and FF outputs,
-        // which are never re-evaluated by the combinational sweep).
-        for (&net, forces) in &stem_force {
-            let word = self.effective(net);
-            let mut w = word;
-            for &(slot, stuck) in forces {
-                w.set(slot, stuck);
-            }
-            if w != word {
-                self.fval[net.index()] = w;
-                self.fstamp[net.index()] = stamp;
-                self.schedule_fanout(&circuit, net, stamp);
-            } else {
-                // Fault value equals the good value this frame; still record
-                // the forced word so later reads see the forcing.
-                self.fval[net.index()] = w;
-                self.fstamp[net.index()] = stamp;
-            }
-        }
-
-        // Seed gates with branch faults: their effective input differs even
-        // though no net changed.
-        for &gate in branch_force.keys() {
-            if circuit.kind(gate).is_combinational() {
-                self.schedule(gate, stamp);
-            }
-        }
-
-        // Event-driven, levelized propagation.
-        let lev = self.good.levelization().clone();
-        for level in 1..self.buckets.len() {
-            let gates = std::mem::take(&mut self.buckets[level]);
-            for gate in gates {
-                self.queued[gate.index()] = 0;
-                report.gate_evals += 1;
-                let kind = circuit.kind(gate);
-                debug_assert!(kind.is_combinational());
-                let mut fanin_words: Vec<Pv64> = Vec::with_capacity(circuit.fanin(gate).len());
-                for &src in circuit.fanin(gate) {
-                    fanin_words.push(self.effective(src));
-                }
-                if let Some(forces) = branch_force.get(&gate) {
-                    for &(pin, slot, stuck) in forces {
-                        fanin_words[pin as usize].set(slot, stuck);
-                    }
-                }
-                let mut out = eval_packed(kind, &fanin_words);
-                if let Some(forces) = stem_force.get(&gate) {
-                    for &(slot, stuck) in forces {
-                        out.set(slot, stuck);
-                    }
-                }
-                let old = self.effective(gate);
-                if out != old {
-                    report.faulty_events += u64::from(out.any_diff(old).count_ones());
-                    self.fval[gate.index()] = out;
-                    self.fstamp[gate.index()] = stamp;
-                    self.schedule_fanout(&circuit, gate, stamp);
-                } else {
-                    let _ = lev; // keep the clone alive for clarity
-                }
-            }
-        }
-
-        // Detection at primary outputs: strict binary difference. The
-        // per-output masks double as the diagnosis syndrome.
-        let mut detected_mask = 0u64;
-        for (po_idx, &po) in circuit.outputs().iter().enumerate() {
-            let goodw = Pv64::broadcast(self.good.value(po));
-            let faultyw = self.effective(po);
-            let mask = faultyw.binary_diff(goodw);
-            detected_mask |= mask;
-            let mut m = mask;
-            while m != 0 {
-                let slot = m.trailing_zeros();
-                report
-                    .po_detections
-                    .push((group[slot as usize], po_idx as u16));
-                m &= m - 1;
-            }
-        }
-        let mut m = detected_mask;
-        while m != 0 {
-            let slot = m.trailing_zeros();
-            detected.push(group[slot as usize]);
-            m &= m - 1;
-        }
-
-        // Fault effects at flip-flops: compare faulty D values against the
-        // good next state, and record the new sparse faulty state.
-        let mut new_state: Vec<Vec<(u32, Logic)>> = vec![Vec::new(); group.len()];
-        for (dff_idx, &ff) in circuit.dffs().iter().enumerate() {
-            let d = circuit.fanin(ff)[0];
-            let mut faultyw = self.effective(d);
-            if let Some(forces) = branch_force.get(&ff) {
-                for &(pin, slot, stuck) in forces {
-                    debug_assert_eq!(pin, 0);
-                    faultyw.set(slot, stuck);
-                }
-            }
-            let goodw = Pv64::broadcast(self.good.next_state_of(dff_idx));
-            let mut diff = faultyw.any_diff(goodw);
-            while diff != 0 {
-                let slot = diff.trailing_zeros();
-                new_state[slot as usize].push((dff_idx as u32, faultyw.get(slot)));
-                diff &= diff - 1;
-            }
-        }
-        for (slot, &fid) in group.iter().enumerate() {
-            let effects = new_state[slot].len() as u64;
-            if effects > 0 {
-                report.ff_effect_pairs += effects;
-                report.ff_effect_faults += 1;
-            }
-            let idx = fid.index();
-            let old_len = self.faulty_ff[idx].len();
-            if old_len == 0 && new_state[slot].is_empty() {
-                continue; // keep sharing the empty slice: no write, no unshare
-            }
-            let entry: Arc<[(u32, Logic)]> = if new_state[slot].is_empty() {
-                Arc::clone(&self.empty_ff)
-            } else {
-                Arc::from(std::mem::take(&mut new_state[slot]))
-            };
-            self.ff_entries = self.ff_entries + entry.len() - old_len;
-            Arc::make_mut(&mut self.faulty_ff)[idx] = entry;
-        }
-    }
-
-    /// The faulty word of `net` for the current group, defaulting to the
-    /// broadcast good value if the net has not diverged.
-    #[inline]
-    fn effective(&self, net: NetId) -> Pv64 {
-        if self.fstamp[net.index()] == self.stamp {
-            self.fval[net.index()]
-        } else {
-            Pv64::broadcast(self.good.value(net))
-        }
-    }
-
-    fn schedule_fanout(&mut self, circuit: &Circuit, net: NetId, stamp: u32) {
-        for &out in circuit.fanout(net) {
-            if circuit.kind(out).is_combinational() {
-                self.schedule(out, stamp);
-            }
-        }
-    }
-
-    #[inline]
-    fn schedule(&mut self, gate: NetId, stamp: u32) {
-        if self.queued[gate.index()] != stamp {
-            self.queued[gate.index()] = stamp;
-            let level = self.good.levelization().level(gate) as usize;
-            debug_assert!(level >= 1, "combinational gates are level >= 1");
-            self.buckets[level].push(gate);
-        }
     }
 
     /// Saves the complete simulator state (good machine, faulty machines,
@@ -620,6 +543,7 @@ impl FaultSim {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSite;
     use gatest_netlist::{CircuitBuilder, GateKind};
     use Logic::{One, Zero};
 
@@ -976,6 +900,26 @@ mod tests {
         assert_eq!(sim.detected_count(), 0);
         assert_eq!(sim.vectors_applied(), 0);
         assert_eq!(sim.remaining(), sim.fault_list().len());
+    }
+
+    #[test]
+    fn parallel_step_matches_serial_exactly() {
+        // Full fault list on s298 → multiple Pv64 groups, so the pool
+        // genuinely fans out; every report and the sparse faulty-FF state
+        // must be bit-identical to the serial path.
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let faults = FaultList::full(&circuit);
+        let mut serial = FaultSim::with_faults(Arc::clone(&circuit), faults.clone());
+        let mut parallel = FaultSim::with_faults(Arc::clone(&circuit), faults);
+        parallel.set_sim_threads(3);
+        assert_eq!(parallel.sim_threads(), 3);
+        for v in prng_sequence(circuit.num_inputs(), 48, 41) {
+            assert_eq!(serial.step(&v), parallel.step(&v));
+        }
+        assert_eq!(serial.detected_count(), parallel.detected_count());
+        for &f in serial.active_faults() {
+            assert_eq!(serial.faulty_ff_state(f), parallel.faulty_ff_state(f));
+        }
     }
 
     #[test]

@@ -1,0 +1,432 @@
+//! Per-group fault propagation over a reusable scratch arena.
+//!
+//! [`FaultSim::step`](crate::FaultSim::step) partitions the simulated fault
+//! list into ≤64-fault [`Pv64`] groups. Given the already-advanced good
+//! machine, every group is independent: it reads the shared circuit, good
+//! values, and per-fault sparse flip-flop state, and writes only its own
+//! slots. This module factors the per-group propagation out of `FaultSim`
+//! into a free function over borrowed shared state ([`GroupCtx`]) plus a
+//! private arena ([`Scratch`]), so the serial step and the fault-group
+//! worker pool run the exact same code — serially with the simulator's own
+//! arena, or concurrently with one arena per worker.
+//!
+//! Results land in a [`GroupOutcome`] instead of being applied in place;
+//! the caller merges outcomes back **in group order**, which makes every
+//! thread count bit-identical to serial execution.
+//!
+//! The arena also removes the per-group/per-gate allocations the original
+//! inline implementation paid: `HashMap` forcing tables are replaced with
+//! slices sorted by net plus stamped `(start, end)` range tables, the
+//! per-gate fanin `Vec` with one reusable buffer, and the per-group
+//! faulty-FF state builders with 64 persistent vectors. A step over s1423's
+//! ~1.5k faults previously allocated on every one of its ~24 groups and
+//! every scheduled gate; with the arena the steady-state step allocates only
+//! the `Arc` payloads for faults whose sparse FF state actually changed.
+
+use std::sync::Arc;
+
+use gatest_netlist::{Circuit, NetId};
+
+use crate::eval::eval_packed;
+use crate::fault::{FaultId, FaultList, FaultSite};
+use crate::good_sim::GoodSim;
+use crate::value::{Logic, Pv64};
+
+/// Sparse faulty flip-flop state for one fault: `(dff index, faulty value)`
+/// wherever the faulty machine differs from the good machine. `Arc`-shared
+/// copy-on-write between the simulator and its checkpoints.
+pub(crate) type FaultyFfState = Arc<[(u32, Logic)]>;
+
+/// The shared state one group simulation reads (and never writes).
+///
+/// Borrowing these as one struct keeps [`simulate_group`]'s signature
+/// stable across the serial and pooled call sites, and proves by
+/// construction that workers cannot mutate simulator state: everything a
+/// group writes goes through its own [`Scratch`] and [`GroupOutcome`].
+pub(crate) struct GroupCtx<'a> {
+    /// The circuit under simulation.
+    pub circuit: &'a Circuit,
+    /// The good machine, already advanced past the vector being simulated.
+    pub good: &'a GoodSim,
+    /// The fault universe (sites and stuck values).
+    pub faults: &'a FaultList,
+    /// Sparse faulty flip-flop state per fault, from the *previous* frame.
+    pub faulty_ff: &'a [FaultyFfState],
+    /// The shared empty slice, so clearing a fault's state allocates nothing.
+    pub empty_ff: &'a FaultyFfState,
+}
+
+/// What one group simulation produced, in slot-relative terms.
+///
+/// Slots are indices into the group (`0..group.len()`); the merge loop in
+/// `FaultSim::step_with` translates them back to [`FaultId`]s. Outcomes are
+/// reused across steps: [`GroupOutcome::reset`] clears the vectors without
+/// releasing their capacity.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct GroupOutcome {
+    /// Slots detected at any primary output this frame.
+    pub detected_mask: u64,
+    /// `(slot, po index)` detection syndrome, in primary-output order.
+    pub po_detections: Vec<(u32, u16)>,
+    /// Fault effects latched into flip-flops, as (fault, flip-flop) pairs.
+    pub ff_effect_pairs: u64,
+    /// Distinct slots with at least one effect at a flip-flop.
+    pub ff_effect_faults: u64,
+    /// Faulty-circuit events over the group's packed machines.
+    pub faulty_events: u64,
+    /// Packed faulty gate re-evaluations.
+    pub gate_evals: u64,
+    /// Estimated bytes served from reused scratch this group (telemetry).
+    pub scratch_bytes: u64,
+    /// Replacement sparse faulty-FF state per slot. `None` means "keep the
+    /// old state" — emitted only when old and new are both empty, so the
+    /// merge can skip the copy-on-write table entirely.
+    pub new_ff: Vec<Option<FaultyFfState>>,
+}
+
+impl GroupOutcome {
+    /// Clears the outcome for reuse, keeping vector capacity.
+    fn reset(&mut self) {
+        self.detected_mask = 0;
+        self.po_detections.clear();
+        self.ff_effect_pairs = 0;
+        self.ff_effect_faults = 0;
+        self.faulty_events = 0;
+        self.gate_evals = 0;
+        self.scratch_bytes = 0;
+        self.new_ff.clear();
+    }
+}
+
+/// The per-owner simulation arena: every buffer one group propagation
+/// needs, allocated once and reused for the life of the owner (a
+/// `FaultSim`, or one fault-group pool worker).
+///
+/// Stamp discipline: `stamp` is bumped per group, and any stamped array
+/// entry is valid only while its stamp matches — so "clearing" the faulty
+/// values, the forcing-range tables, and the scheduling guard between
+/// groups costs one integer increment instead of a sweep.
+#[derive(Debug, Clone)]
+pub(crate) struct Scratch {
+    /// Faulty value per net, valid where `fstamp` matches `stamp`.
+    fval: Vec<Pv64>,
+    /// Validity stamp for `fval`.
+    fstamp: Vec<u32>,
+    /// Current group stamp (bumped by 2 per group).
+    stamp: u32,
+    /// Scheduling guard per gate (queued when it matches `stamp`).
+    queued: Vec<u32>,
+    /// Level-bucketed event queue; buckets keep their capacity.
+    buckets: Vec<Vec<NetId>>,
+    /// Stem forcing entries `(slot, stuck)`, grouped by net.
+    stem_entries: Vec<(u32, Logic)>,
+    /// Per-net `(start, end)` range into `stem_entries`, stamped.
+    stem_range: Vec<(u32, u32)>,
+    /// Validity stamp for `stem_range`.
+    stem_stamp: Vec<u32>,
+    /// Branch forcing entries `(pin, slot, stuck)`, grouped by gate.
+    branch_entries: Vec<(u16, u32, Logic)>,
+    /// Per-gate `(start, end)` range into `branch_entries`, stamped.
+    branch_range: Vec<(u32, u32)>,
+    /// Validity stamp for `branch_range`.
+    branch_stamp: Vec<u32>,
+    /// Sort buffer for stem faults: `(net, slot, stuck)`.
+    stem_tmp: Vec<(NetId, u32, Logic)>,
+    /// Sort buffer for branch faults: `(gate, pin, slot, stuck)`.
+    branch_tmp: Vec<(NetId, u16, u32, Logic)>,
+    /// Reusable gate fanin buffer (fanin is small and bounded).
+    fanin: Vec<Pv64>,
+    /// Per-slot faulty-FF state builders, reused across groups.
+    new_state: Vec<Vec<(u32, Logic)>>,
+}
+
+impl Scratch {
+    /// An arena sized for `circuit` (combinational depth `max_level`).
+    pub(crate) fn new(circuit: &Circuit, max_level: usize) -> Self {
+        let n = circuit.num_gates();
+        Scratch {
+            fval: vec![Pv64::ALL_X; n],
+            fstamp: vec![0; n],
+            stamp: 0,
+            queued: vec![0; n],
+            buckets: vec![Vec::new(); max_level + 1],
+            stem_entries: Vec::new(),
+            stem_range: vec![(0, 0); n],
+            stem_stamp: vec![0; n],
+            branch_entries: Vec::new(),
+            branch_range: vec![(0, 0); n],
+            branch_stamp: vec![0; n],
+            stem_tmp: Vec::new(),
+            branch_tmp: Vec::new(),
+            fanin: Vec::new(),
+            new_state: vec![Vec::new(); 64],
+        }
+    }
+
+    /// The faulty word of `net` for the current group, defaulting to the
+    /// broadcast good value if the net has not diverged.
+    #[inline]
+    fn effective(&self, good: &GoodSim, net: NetId) -> Pv64 {
+        if self.fstamp[net.index()] == self.stamp {
+            self.fval[net.index()]
+        } else {
+            Pv64::broadcast(good.value(net))
+        }
+    }
+
+    /// Stem forces on `net` this group (empty when the range is stale).
+    #[inline]
+    fn stem_forces(&self, net: NetId) -> &[(u32, Logic)] {
+        let i = net.index();
+        if self.stem_stamp[i] == self.stamp {
+            let (start, end) = self.stem_range[i];
+            &self.stem_entries[start as usize..end as usize]
+        } else {
+            &[]
+        }
+    }
+
+    /// Branch forces on `gate` this group (empty when the range is stale).
+    #[inline]
+    fn branch_forces(&self, gate: NetId) -> &[(u16, u32, Logic)] {
+        let i = gate.index();
+        if self.branch_stamp[i] == self.stamp {
+            let (start, end) = self.branch_range[i];
+            &self.branch_entries[start as usize..end as usize]
+        } else {
+            &[]
+        }
+    }
+
+    fn schedule_fanout(&mut self, circuit: &Circuit, good: &GoodSim, net: NetId) {
+        for &out in circuit.fanout(net) {
+            if circuit.kind(out).is_combinational() {
+                self.schedule(good, out);
+            }
+        }
+    }
+
+    #[inline]
+    fn schedule(&mut self, good: &GoodSim, gate: NetId) {
+        if self.queued[gate.index()] != self.stamp {
+            self.queued[gate.index()] = self.stamp;
+            let level = good.levelization().level(gate) as usize;
+            debug_assert!(level >= 1, "combinational gates are level >= 1");
+            self.buckets[level].push(gate);
+        }
+    }
+}
+
+/// Simulates one group of ≤64 faults against the already-advanced good
+/// machine, writing everything it learns into `out`.
+///
+/// Groups are order-independent: a group reads only the previous frame's
+/// faulty-FF state for its own faults and the (frozen) good machine, so
+/// calling this from concurrent workers with private `scratch`/`out` gives
+/// the same outcomes as a serial loop.
+pub(crate) fn simulate_group(
+    ctx: &GroupCtx<'_>,
+    group: &[FaultId],
+    scratch: &mut Scratch,
+    out: &mut GroupOutcome,
+) {
+    let circuit = ctx.circuit;
+    out.reset();
+    scratch.stamp = scratch.stamp.wrapping_add(2);
+    let stamp = scratch.stamp;
+    let mut reused = 0u64;
+
+    // Per-group forcing tables: sort the group's fault sites by net and
+    // publish stamped (start, end) ranges over the sorted entry slices.
+    // Entry order within a net is ascending slot order (forced by the sort
+    // key), which matches the insertion order the old HashMap tables had.
+    scratch.stem_tmp.clear();
+    scratch.branch_tmp.clear();
+    for (slot, &fid) in group.iter().enumerate() {
+        let slot = slot as u32;
+        let fault = ctx.faults.get(fid);
+        match fault.site {
+            FaultSite::Stem(net) => scratch.stem_tmp.push((net, slot, fault.stuck)),
+            FaultSite::Branch { gate, pin } => {
+                scratch.branch_tmp.push((gate, pin, slot, fault.stuck))
+            }
+        }
+    }
+    scratch
+        .stem_tmp
+        .sort_unstable_by_key(|&(net, slot, _)| (net.index(), slot));
+    scratch
+        .branch_tmp
+        .sort_unstable_by_key(|&(gate, _, slot, _)| (gate.index(), slot));
+    scratch.stem_entries.clear();
+    for i in 0..scratch.stem_tmp.len() {
+        let (net, slot, stuck) = scratch.stem_tmp[i];
+        let n = net.index();
+        let end = scratch.stem_entries.len() as u32;
+        if scratch.stem_stamp[n] != stamp {
+            scratch.stem_stamp[n] = stamp;
+            scratch.stem_range[n].0 = end;
+        }
+        scratch.stem_entries.push((slot, stuck));
+        scratch.stem_range[n].1 = end + 1;
+    }
+    scratch.branch_entries.clear();
+    for i in 0..scratch.branch_tmp.len() {
+        let (gate, pin, slot, stuck) = scratch.branch_tmp[i];
+        let g = gate.index();
+        let end = scratch.branch_entries.len() as u32;
+        if scratch.branch_stamp[g] != stamp {
+            scratch.branch_stamp[g] = stamp;
+            scratch.branch_range[g].0 = end;
+        }
+        scratch.branch_entries.push((pin, slot, stuck));
+        scratch.branch_range[g].1 = end + 1;
+    }
+    reused += (scratch.stem_tmp.len() * std::mem::size_of::<(NetId, u32, Logic)>()
+        + scratch.branch_tmp.len() * std::mem::size_of::<(NetId, u16, u32, Logic)>())
+        as u64;
+
+    // Seed faulty flip-flop state differences carried over from the
+    // previous frame.
+    for (slot, &fid) in group.iter().enumerate() {
+        for &(dff_idx, v) in ctx.faulty_ff[fid.index()].iter() {
+            let ff = circuit.dffs()[dff_idx as usize];
+            let word = scratch.effective(ctx.good, ff);
+            let mut w = word;
+            w.set(slot as u32, v);
+            if w != word {
+                scratch.fval[ff.index()] = w;
+                scratch.fstamp[ff.index()] = stamp;
+                scratch.schedule_fanout(circuit, ctx.good, ff);
+            }
+        }
+    }
+
+    // Seed stem-fault injections (including faults on PIs and FF outputs,
+    // which are never re-evaluated by the combinational sweep). `stem_tmp`
+    // is sorted by net, so each run of equal nets is one injection site.
+    let mut i = 0;
+    while i < scratch.stem_tmp.len() {
+        let net = scratch.stem_tmp[i].0;
+        let word = scratch.effective(ctx.good, net);
+        let mut w = word;
+        while i < scratch.stem_tmp.len() && scratch.stem_tmp[i].0 == net {
+            let (_, slot, stuck) = scratch.stem_tmp[i];
+            w.set(slot, stuck);
+            i += 1;
+        }
+        // Record the forced word even when it equals the good value this
+        // frame, so later reads see the forcing; schedule only on change.
+        scratch.fval[net.index()] = w;
+        scratch.fstamp[net.index()] = stamp;
+        if w != word {
+            scratch.schedule_fanout(circuit, ctx.good, net);
+        }
+    }
+
+    // Seed gates with branch faults: their effective input differs even
+    // though no net changed.
+    let mut i = 0;
+    while i < scratch.branch_tmp.len() {
+        let gate = scratch.branch_tmp[i].0;
+        while i < scratch.branch_tmp.len() && scratch.branch_tmp[i].0 == gate {
+            i += 1;
+        }
+        if circuit.kind(gate).is_combinational() {
+            scratch.schedule(ctx.good, gate);
+        }
+    }
+
+    // Event-driven, levelized propagation. The fanin buffer is taken out
+    // of the arena for the duration of the sweep so the borrow checker can
+    // see it is disjoint from the stamped tables.
+    let mut fanin = std::mem::take(&mut scratch.fanin);
+    for level in 1..scratch.buckets.len() {
+        let mut gates = std::mem::take(&mut scratch.buckets[level]);
+        for &gate in &gates {
+            scratch.queued[gate.index()] = 0;
+            out.gate_evals += 1;
+            let kind = circuit.kind(gate);
+            debug_assert!(kind.is_combinational());
+            fanin.clear();
+            for &src in circuit.fanin(gate) {
+                fanin.push(scratch.effective(ctx.good, src));
+            }
+            reused += (fanin.len() * std::mem::size_of::<Pv64>()) as u64;
+            for &(pin, slot, stuck) in scratch.branch_forces(gate) {
+                fanin[pin as usize].set(slot, stuck);
+            }
+            let mut word = eval_packed(kind, &fanin);
+            for &(slot, stuck) in scratch.stem_forces(gate) {
+                word.set(slot, stuck);
+            }
+            let old = scratch.effective(ctx.good, gate);
+            if word != old {
+                out.faulty_events += u64::from(word.any_diff(old).count_ones());
+                scratch.fval[gate.index()] = word;
+                scratch.fstamp[gate.index()] = stamp;
+                scratch.schedule_fanout(circuit, ctx.good, gate);
+            }
+        }
+        // Fanout is strictly higher-level, so nothing was appended to this
+        // bucket while we iterated; put it back empty with its capacity.
+        gates.clear();
+        scratch.buckets[level] = gates;
+    }
+    scratch.fanin = fanin;
+
+    // Detection at primary outputs: strict binary difference. The
+    // per-output masks double as the diagnosis syndrome.
+    for (po_idx, &po) in circuit.outputs().iter().enumerate() {
+        let goodw = Pv64::broadcast(ctx.good.value(po));
+        let faultyw = scratch.effective(ctx.good, po);
+        let mask = faultyw.binary_diff(goodw);
+        out.detected_mask |= mask;
+        let mut m = mask;
+        while m != 0 {
+            let slot = m.trailing_zeros();
+            out.po_detections.push((slot, po_idx as u16));
+            m &= m - 1;
+        }
+    }
+
+    // Fault effects at flip-flops: compare faulty D values against the
+    // good next state, and record the new sparse faulty state.
+    for state in scratch.new_state[..group.len()].iter_mut() {
+        state.clear();
+    }
+    reused += (group.len() * std::mem::size_of::<Vec<(u32, Logic)>>()) as u64;
+    for (dff_idx, &ff) in circuit.dffs().iter().enumerate() {
+        let d = circuit.fanin(ff)[0];
+        let mut faultyw = scratch.effective(ctx.good, d);
+        for &(pin, slot, stuck) in scratch.branch_forces(ff) {
+            debug_assert_eq!(pin, 0);
+            faultyw.set(slot, stuck);
+        }
+        let goodw = Pv64::broadcast(ctx.good.next_state_of(dff_idx));
+        let mut diff = faultyw.any_diff(goodw);
+        while diff != 0 {
+            let slot = diff.trailing_zeros();
+            scratch.new_state[slot as usize].push((dff_idx as u32, faultyw.get(slot)));
+            diff &= diff - 1;
+        }
+    }
+    for (slot, &fid) in group.iter().enumerate() {
+        let state = &scratch.new_state[slot];
+        let effects = state.len() as u64;
+        if effects > 0 {
+            out.ff_effect_pairs += effects;
+            out.ff_effect_faults += 1;
+        }
+        if state.is_empty() && ctx.faulty_ff[fid.index()].is_empty() {
+            // Keep sharing the empty slice: no write, no unshare.
+            out.new_ff.push(None);
+        } else if state.is_empty() {
+            out.new_ff.push(Some(Arc::clone(ctx.empty_ff)));
+        } else {
+            reused += (state.len() * std::mem::size_of::<(u32, Logic)>()) as u64;
+            out.new_ff.push(Some(Arc::from(state.as_slice())));
+        }
+    }
+    out.scratch_bytes = reused;
+}

@@ -1,0 +1,291 @@
+//! Persistent worker pool for fault-group-parallel simulation.
+//!
+//! [`FaultSim::step`](crate::FaultSim::step) simulates independent ≤64-fault
+//! groups against a frozen good machine (see [`crate::group`]). This pool
+//! runs those groups on `threads - 1` persistent worker threads plus the
+//! calling thread, with each participant owning a private
+//! [`Scratch`] arena, so a step's group fan-out costs no allocation and no
+//! thread spawn.
+//!
+//! # Protocol
+//!
+//! One job is in flight at a time. [`GroupPool::run`] publishes a
+//! lifetime-erased pointer to the job description under the pool mutex,
+//! bumps an epoch, and wakes every worker. Workers claim group indices from
+//! a shared atomic cursor (`fetch_add`), so each outcome slot is written by
+//! exactly one thread; the caller participates with the simulator's own
+//! arena instead of sleeping. A job ends only when **every** worker has
+//! decremented `remaining` — workers decrement through a drop guard, so a
+//! panicking worker still releases the caller (and poisons the pool, which
+//! makes the next dispatch panic loudly instead of hanging).
+//!
+//! # Safety
+//!
+//! `JobPtr` erases the borrow lifetimes of the caller's circuit, good
+//! machine, fault tables, and outcome slots. This is sound because `run`
+//! does not return until `remaining == 0`, i.e. until no worker can still
+//! hold the pointer: workers copy it only while it is published
+//! (`job.is_some()`), and it is unpublished after the last decrement.
+//!
+//! # Determinism
+//!
+//! Workers race only for *which* group they simulate; every group writes
+//! its own [`GroupOutcome`] slot, and the caller merges the slots in group
+//! order afterwards. Results are therefore bit-identical for every thread
+//! count — the property `tests/sim_parallel.rs` locks down.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use gatest_netlist::Circuit;
+
+use crate::fault::{FaultId, FaultList};
+use crate::good_sim::GoodSim;
+use crate::group::{simulate_group, FaultyFfState, GroupCtx, GroupOutcome, Scratch};
+
+/// Everything one parallel step's workers need, published by address.
+struct JobData<'a> {
+    circuit: &'a Circuit,
+    good: &'a GoodSim,
+    faults: &'a FaultList,
+    faulty_ff: &'a [FaultyFfState],
+    empty_ff: &'a FaultyFfState,
+    targets: &'a [FaultId],
+    /// One slot per group; disjoint claims make the `*mut` races-free.
+    outcomes: *mut GroupOutcome,
+    ngroups: usize,
+    /// Next unclaimed group index.
+    next: AtomicUsize,
+    /// Summed worker wake latency (publication → first claim attempt).
+    steal_ns: AtomicU64,
+    published: Instant,
+}
+
+/// Lifetime-erased pointer to the current job (see module safety notes).
+#[derive(Clone, Copy)]
+struct JobPtr(*const ());
+
+// SAFETY: the pointee outlives every access — `GroupPool::run` keeps the
+// `JobData` alive on its stack until all workers have checked in.
+unsafe impl Send for JobPtr {}
+
+struct PoolState {
+    /// Bumped once per published job; workers run each epoch exactly once.
+    epoch: u64,
+    /// The in-flight job, `Some` only between publish and completion.
+    job: Option<JobPtr>,
+    /// Workers that have not finished the current epoch.
+    remaining: usize,
+    shutdown: bool,
+    /// Set when a worker panicked; the pool refuses further dispatches.
+    poisoned: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    start: Condvar,
+    done: Condvar,
+}
+
+/// Decrements `remaining` when the worker finishes an epoch — including by
+/// panic, so the dispatching caller never deadlocks on a dead worker.
+struct DoneGuard<'a>(&'a Shared);
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = self.0.state.lock().unwrap();
+        if std::thread::panicking() {
+            st.poisoned = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            drop(st);
+            self.0.done.notify_all();
+        }
+    }
+}
+
+/// A persistent set of fault-group simulation workers.
+pub(crate) struct GroupPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl fmt::Debug for GroupPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupPool")
+            .field("workers", &self.handles.len())
+            .finish()
+    }
+}
+
+impl GroupPool {
+    /// Spawns `threads - 1` workers (the caller is the remaining thread),
+    /// each owning a scratch arena sized for `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads < 2` — a one-thread "pool" is the serial path.
+    pub(crate) fn new(circuit: &Circuit, max_level: usize, threads: usize) -> Self {
+        assert!(threads >= 2, "GroupPool needs at least two threads");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                epoch: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+                poisoned: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads - 1)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let mut scratch = Scratch::new(circuit, max_level);
+                std::thread::Builder::new()
+                    .name(format!("gatest-sim-{i}"))
+                    .spawn(move || worker_loop(&shared, &mut scratch))
+                    .expect("spawn sim worker")
+            })
+            .collect();
+        GroupPool { shared, handles }
+    }
+
+    /// Simulates every ≤64-fault chunk of `targets` into `outcomes`
+    /// (one slot per chunk), fanning out across the pool with the caller
+    /// participating via `caller_scratch`.
+    ///
+    /// Returns `(groups_run, steal_ns)` for telemetry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker panicked during this or any earlier dispatch.
+    pub(crate) fn run(
+        &self,
+        ctx: &GroupCtx<'_>,
+        targets: &[FaultId],
+        outcomes: &mut [GroupOutcome],
+        caller_scratch: &mut Scratch,
+    ) -> (u64, u64) {
+        debug_assert_eq!(outcomes.len(), targets.len().div_ceil(64));
+        let data = JobData {
+            circuit: ctx.circuit,
+            good: ctx.good,
+            faults: ctx.faults,
+            faulty_ff: ctx.faulty_ff,
+            empty_ff: ctx.empty_ff,
+            targets,
+            outcomes: outcomes.as_mut_ptr(),
+            ngroups: outcomes.len(),
+            next: AtomicUsize::new(0),
+            steal_ns: AtomicU64::new(0),
+            published: Instant::now(),
+        };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            assert!(!st.poisoned, "a fault-group sim worker panicked");
+            st.epoch += 1;
+            st.job = Some(JobPtr(&data as *const JobData as *const ()));
+            st.remaining = self.handles.len();
+            drop(st);
+            self.shared.start.notify_all();
+        }
+        run_groups(&data, caller_scratch);
+        let mut st = self.shared.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = self.shared.done.wait(st).unwrap();
+        }
+        st.job = None;
+        let poisoned = st.poisoned;
+        drop(st);
+        assert!(!poisoned, "a fault-group sim worker panicked");
+        (data.ngroups as u64, data.steal_ns.load(Ordering::Relaxed))
+    }
+}
+
+impl Drop for GroupPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+            drop(st);
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            // A panicked worker already poisoned the pool; joining its
+            // panic payload here would double-panic during drop.
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, scratch: &mut Scratch) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    if let Some(job) = st.job {
+                        seen_epoch = st.epoch;
+                        break job;
+                    }
+                }
+                st = shared.start.wait(st).unwrap();
+            }
+        };
+        let _guard = DoneGuard(shared);
+        // SAFETY: published jobs stay alive until this worker's guard
+        // decrement is observed by `run` (see module safety notes).
+        let data = unsafe { &*(job.0 as *const JobData) };
+        data.steal_ns.fetch_add(
+            data.published.elapsed().as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        run_groups(data, scratch);
+    }
+}
+
+/// Claims and simulates groups until the job's cursor runs out.
+fn run_groups(data: &JobData<'_>, scratch: &mut Scratch) {
+    let ctx = GroupCtx {
+        circuit: data.circuit,
+        good: data.good,
+        faults: data.faults,
+        faulty_ff: data.faulty_ff,
+        empty_ff: data.empty_ff,
+    };
+    loop {
+        let i = data.next.fetch_add(1, Ordering::Relaxed);
+        if i >= data.ngroups {
+            return;
+        }
+        let start = i * 64;
+        let end = (start + 64).min(data.targets.len());
+        // SAFETY: index `i` is claimed exactly once across all threads, so
+        // this is the only live reference to slot `i`.
+        let out = unsafe { &mut *data.outcomes.add(i) };
+        simulate_group(&ctx, &data.targets[start..end], scratch, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    #[test]
+    fn pool_debug_reports_worker_count() {
+        let circuit = StdArc::new(crate::tests_circuit());
+        let max_level = gatest_netlist::levelize::Levelization::new(&circuit).max_level() as usize;
+        let pool = GroupPool::new(&circuit, max_level, 3);
+        assert_eq!(format!("{pool:?}"), "GroupPool { workers: 2 }");
+    }
+}

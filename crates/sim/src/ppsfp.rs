@@ -150,6 +150,10 @@ impl Ppsfp {
         let mut stamp = 0u32;
         let mut queued = vec![0u32; n];
         let mut buckets: Vec<Vec<NetId>> = vec![Vec::new(); self.lev.max_level() as usize + 1];
+        // Reusable gate-fanin buffer: fanin is small and bounded, so one
+        // buffer serves both the good sweep and every faulty event pass
+        // instead of a fresh `Vec<Pv64>` per gate evaluation.
+        let mut fanin: Vec<Pv64> = Vec::new();
 
         for (block_idx, block) in patterns.chunks(64).enumerate() {
             // Good simulation of the whole block at once.
@@ -178,12 +182,8 @@ impl Ppsfp {
                 if !kind.is_combinational() {
                     continue;
                 }
-                let fanin: Vec<Pv64> = self
-                    .circuit
-                    .fanin(gate)
-                    .iter()
-                    .map(|&s| good[s.index()])
-                    .collect();
+                fanin.clear();
+                fanin.extend(self.circuit.fanin(gate).iter().map(|&s| good[s.index()]));
                 good[gate.index()] = eval_packed(kind, &fanin);
             }
             let block_mask = if block.len() == 64 {
@@ -218,12 +218,11 @@ impl Ppsfp {
 
                 // Propagate.
                 for level in 1..buckets.len() {
-                    let gates = std::mem::take(&mut buckets[level]);
-                    for gate in gates {
+                    let mut gates = std::mem::take(&mut buckets[level]);
+                    for &gate in &gates {
                         queued[gate.index()] = 0;
                         let kind = self.circuit.kind(gate);
-                        let mut fanin: Vec<Pv64> =
-                            Vec::with_capacity(self.circuit.fanin(gate).len());
+                        fanin.clear();
                         for (pin, &s) in self.circuit.fanin(gate).iter().enumerate() {
                             let mut w = if fstamp[s.index()] == stamp {
                                 fval[s.index()]
@@ -254,6 +253,10 @@ impl Ppsfp {
                             }
                         }
                     }
+                    // Fanout is strictly higher-level, so the bucket did not
+                    // grow while we iterated; return it with its capacity.
+                    gates.clear();
+                    buckets[level] = gates;
                 }
 
                 // Detect.

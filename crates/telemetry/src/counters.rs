@@ -35,6 +35,17 @@ pub struct SimCounters {
     /// Nanoseconds pool workers spent waiting for work (summed over
     /// workers; compare against wall-clock × workers for utilization).
     pub pool_idle_ns: AtomicU64,
+    /// Pv64 fault groups dispatched to the fault-group-parallel sim pool
+    /// (serial steps dispatch none).
+    pub group_tasks: AtomicU64,
+    /// Nanoseconds fault-group workers spent between job publication and
+    /// claiming their first group of each parallel step (wake/steal
+    /// latency, summed over workers).
+    pub group_steal_ns: AtomicU64,
+    /// Bytes served from reusable simulator scratch buffers (gate fanin
+    /// words, forcing-table entries, faulty-FF state builders) that the
+    /// pre-arena simulator allocated fresh on every use.
+    pub scratch_bytes_reused: AtomicU64,
 }
 
 impl SimCounters {
@@ -88,6 +99,21 @@ impl SimCounters {
         self.pool_idle_ns.fetch_add(nanos, Ordering::Relaxed);
     }
 
+    /// Records one parallel step's fault-group dispatch: groups run by the
+    /// sim pool and the summed worker wake/steal latency.
+    #[inline]
+    pub fn record_group_dispatch(&self, groups: u64, steal_ns: u64) {
+        self.group_tasks.fetch_add(groups, Ordering::Relaxed);
+        self.group_steal_ns.fetch_add(steal_ns, Ordering::Relaxed);
+    }
+
+    /// Records bytes served from reusable simulator scratch buffers.
+    #[inline]
+    pub fn record_scratch_reuse(&self, bytes: u64) {
+        self.scratch_bytes_reused
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// A plain-integer copy of the current totals.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -101,6 +127,9 @@ impl SimCounters {
             packed_phase1_frames: self.packed_phase1_frames.load(Ordering::Relaxed),
             pool_tasks: self.pool_tasks.load(Ordering::Relaxed),
             pool_idle_ns: self.pool_idle_ns.load(Ordering::Relaxed),
+            group_tasks: self.group_tasks.load(Ordering::Relaxed),
+            group_steal_ns: self.group_steal_ns.load(Ordering::Relaxed),
+            scratch_bytes_reused: self.scratch_bytes_reused.load(Ordering::Relaxed),
         }
     }
 
@@ -116,6 +145,9 @@ impl SimCounters {
         self.packed_phase1_frames.store(0, Ordering::Relaxed);
         self.pool_tasks.store(0, Ordering::Relaxed);
         self.pool_idle_ns.store(0, Ordering::Relaxed);
+        self.group_tasks.store(0, Ordering::Relaxed);
+        self.group_steal_ns.store(0, Ordering::Relaxed);
+        self.scratch_bytes_reused.store(0, Ordering::Relaxed);
     }
 }
 
@@ -142,6 +174,12 @@ pub struct CounterSnapshot {
     pub pool_tasks: u64,
     /// Nanoseconds pool workers spent waiting for work.
     pub pool_idle_ns: u64,
+    /// Pv64 fault groups dispatched to the fault-group-parallel sim pool.
+    pub group_tasks: u64,
+    /// Nanoseconds fault-group workers spent waking/claiming first groups.
+    pub group_steal_ns: u64,
+    /// Bytes served from reusable simulator scratch buffers.
+    pub scratch_bytes_reused: u64,
 }
 
 impl CounterSnapshot {
@@ -183,10 +221,17 @@ mod tests {
         c.record_pool_tasks(8);
         c.record_pool_idle(1_500);
         c.record_pool_idle(500);
+        c.record_group_dispatch(24, 3_000);
+        c.record_group_dispatch(8, 1_000);
+        c.record_scratch_reuse(4_096);
+        c.record_scratch_reuse(1_024);
         let s = c.snapshot();
         assert_eq!(s.packed_phase1_frames, 4);
         assert_eq!(s.pool_tasks, 8);
         assert_eq!(s.pool_idle_ns, 2_000);
+        assert_eq!(s.group_tasks, 32);
+        assert_eq!(s.group_steal_ns, 4_000);
+        assert_eq!(s.scratch_bytes_reused, 5_120);
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
     }

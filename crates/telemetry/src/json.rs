@@ -101,7 +101,7 @@ fn snapshot_fields(snapshot: &TelemetrySnapshot) -> String {
     }
     let _ = write!(
         s,
-        "],\"ga_generations\":{},\"counters\":{{\"step_calls\":{},\"good_only_calls\":{},\"gate_evals\":{},\"good_events\":{},\"faulty_events\":{},\"checkpoint_restores\":{},\"restore_bytes_avoided\":{},\"packed_phase1_frames\":{},\"pool_tasks\":{},\"pool_idle_ns\":{}}}",
+        "],\"ga_generations\":{},\"counters\":{{\"step_calls\":{},\"good_only_calls\":{},\"gate_evals\":{},\"good_events\":{},\"faulty_events\":{},\"checkpoint_restores\":{},\"restore_bytes_avoided\":{},\"packed_phase1_frames\":{},\"pool_tasks\":{},\"pool_idle_ns\":{},\"group_tasks\":{},\"group_steal_ns\":{},\"scratch_bytes_reused\":{}}}",
         snapshot.ga_generations,
         c.step_calls,
         c.good_only_calls,
@@ -112,7 +112,10 @@ fn snapshot_fields(snapshot: &TelemetrySnapshot) -> String {
         c.restore_bytes_avoided,
         c.packed_phase1_frames,
         c.pool_tasks,
-        c.pool_idle_ns
+        c.pool_idle_ns,
+        c.group_tasks,
+        c.group_steal_ns,
+        c.scratch_bytes_reused
     );
     s
 }
@@ -430,6 +433,9 @@ mod tests {
                         packed_phase1_frames: 22,
                         pool_tasks: 96,
                         pool_idle_ns: 1_250_000,
+                        group_tasks: 1_024,
+                        group_steal_ns: 730_000,
+                        scratch_bytes_reused: 8_388_608,
                     },
                 },
             },
@@ -502,6 +508,18 @@ mod tests {
         assert_eq!(
             counters.get("pool_idle_ns").and_then(Json::as_u64),
             Some(1_250_000)
+        );
+        assert_eq!(
+            counters.get("group_tasks").and_then(Json::as_u64),
+            Some(1_024)
+        );
+        assert_eq!(
+            counters.get("group_steal_ns").and_then(Json::as_u64),
+            Some(730_000)
+        );
+        assert_eq!(
+            counters.get("scratch_bytes_reused").and_then(Json::as_u64),
+            Some(8_388_608)
         );
     }
 

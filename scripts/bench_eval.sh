@@ -1,7 +1,9 @@
 #!/bin/sh
 # Measure candidate-evaluation throughput (the evaluation engine's headline
-# number) and record it in BENCH_eval.json so the performance trajectory is
-# tracked across PRs. Pass --smoke for a fast CI-sized run.
+# number) and fault-simulation step throughput (the fault-group pool's
+# headline number), recording them in BENCH_eval.json and BENCH_sim.json so
+# the performance trajectory is tracked across PRs. Pass --smoke for a fast
+# CI-sized run; the BENCH_sim output is schema-validated either way.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,7 +16,11 @@ elif [ "$#" -gt 0 ]; then
     exit 2
 fi
 
-cargo build --release -p gatest-bench --bin bench_eval
+cargo build --release -p gatest-bench --bin bench_eval --bin bench_sim
 target/release/bench_eval $mode > BENCH_eval.json
 echo "wrote BENCH_eval.json:" >&2
 cat BENCH_eval.json
+target/release/bench_sim $mode > BENCH_sim.json
+target/release/bench_sim --validate BENCH_sim.json >&2
+echo "wrote BENCH_sim.json:" >&2
+cat BENCH_sim.json
