@@ -8,6 +8,8 @@
 //! Prints a JSON document to stdout; `scripts/bench_eval.sh` redirects it to
 //! `BENCH_eval.json` so the performance trajectory is tracked across PRs.
 //! Pass `--smoke` for a fast CI-sized run (same shape, fewer batches).
+//! `--validate FILE` parses FILE as a `BENCH_eval` document and checks its
+//! shape, so CI can assert the recorded baseline is well-formed.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -16,6 +18,7 @@ use gatest_core::{evaluate_candidate, EvalContext, EvalJob, EvalPool, FitnessSca
 use gatest_ga::{Chromosome, Rng};
 use gatest_netlist::benchmarks;
 use gatest_sim::{FaultSim, Logic};
+use gatest_telemetry::json::parse_json;
 
 const CIRCUIT: &str = "s1423";
 const WORKERS: [usize; 3] = [1, 4, 8];
@@ -23,10 +26,24 @@ const BATCH: usize = 64;
 const SAMPLE: usize = 100;
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    // Full mode runs ~5 s per worker count so the rate is stable; smoke
-    // mode just proves the path end to end.
-    let batches = if smoke { 3 } else { 600 };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--validate") {
+        let path = args.get(1).map(String::as_str).unwrap_or("BENCH_eval.json");
+        match validate(path) {
+            Ok(summary) => println!("{summary}"),
+            Err(e) => {
+                eprintln!("bench_eval --validate {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // Full mode runs ~2 s per worker count for a stable baseline; smoke mode
+    // still runs long enough (~0.4 s serial) that the regression gate in
+    // scripts/check_bench.sh can compare its rate against the baseline.
+    let batches = if smoke { 120 } else { 600 };
 
     let circuit = Arc::new(benchmarks::iscas89(CIRCUIT).expect("bundled circuit"));
     let pis = circuit.num_inputs();
@@ -102,4 +119,50 @@ fn main() {
         "{{\n  \"bench\": \"eval_throughput\",\n  \"circuit\": \"{CIRCUIT}\",\n  \"mode\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"batch\": {BATCH},\n  \"fault_sample\": {SAMPLE},\n  \"score_checksum\": {checksum:.6},\n  \"results\": [\n{rows}\n  ]\n}}",
         if smoke { "smoke" } else { "full" }
     );
+}
+
+/// Parses `path` as a `BENCH_eval` document and checks every field the
+/// regression gate and scaling-curve consumers rely on. Returns a one-line
+/// summary on success.
+fn validate(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read failed: {e}"))?;
+    let doc = parse_json(&text)?;
+    let field = |key: &str| doc.get(key).ok_or_else(|| format!("missing `{key}`"));
+    let bench = field("bench")?.as_str().ok_or("`bench` is not a string")?;
+    if bench != "eval_throughput" {
+        return Err(format!("`bench` is `{bench}`, expected `eval_throughput`"));
+    }
+    field("circuit")?
+        .as_str()
+        .ok_or("`circuit` is not a string")?;
+    field("mode")?.as_str().ok_or("`mode` is not a string")?;
+    let cpus = field("host_cpus")?
+        .as_u64()
+        .ok_or("`host_cpus` is not an integer")?;
+    field("batch")?
+        .as_u64()
+        .ok_or("`batch` is not an integer")?;
+    field("fault_sample")?
+        .as_u64()
+        .ok_or("`fault_sample` is not an integer")?;
+    field("score_checksum")?
+        .as_f64()
+        .ok_or("`score_checksum` is not a number")?;
+    let results = field("results")?
+        .as_array()
+        .ok_or("`results` is not an array")?;
+    if results.is_empty() {
+        return Err("`results` is empty".into());
+    }
+    for (i, row) in results.iter().enumerate() {
+        for key in ["workers", "evals", "secs", "evals_per_sec"] {
+            row.get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("results[{i}] missing numeric `{key}`"))?;
+        }
+    }
+    Ok(format!(
+        "{path} ok: {} worker counts, host_cpus {cpus}",
+        results.len()
+    ))
 }

@@ -40,9 +40,10 @@ fn main() {
     }
 
     let smoke = args.iter().any(|a| a == "--smoke");
-    // Full mode applies enough vectors per thread count for a stable rate;
-    // smoke mode just proves the path (and the identity assert) end to end.
-    let vectors = if smoke { 30 } else { 1500 };
+    // Full mode applies enough vectors per thread count for a stable
+    // baseline; smoke mode still runs long enough (~0.15 s serial) that the
+    // regression gate in scripts/check_bench.sh can compare rates.
+    let vectors = if smoke { 400 } else { 1500 };
 
     let circuit = Arc::new(benchmarks::iscas89(CIRCUIT).expect("bundled circuit"));
     let pis = circuit.num_inputs();

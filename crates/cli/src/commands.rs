@@ -1,14 +1,20 @@
 //! The CLI subcommands.
 
 use std::error::Error;
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use gatest_baselines::hitec::{BacktraceGuide, HitecAtpg, HitecConfig};
 use gatest_core::report::{
-    coverage_curve, format_duration, sparkline, telemetry_table, test_set_from_string,
-    test_set_to_string,
+    coverage_curve, format_duration, result_to_json, sparkline, telemetry_table,
+    test_set_from_string, test_set_to_string,
 };
-use gatest_core::{compact_test_set, FaultSample, GatestConfig, TestGenerator};
+use gatest_core::{
+    compact_test_set, CheckpointCadence, FaultSample, GatestConfig, RunControls, RunSnapshot,
+    StopCause, TestGenerator,
+};
 use gatest_netlist::depth::sequential_depth;
 use gatest_netlist::scoap::Scoap;
 use gatest_sim::dictionary::FaultDictionary;
@@ -79,19 +85,142 @@ fn sim_thread_count(opts: &Opts) -> Result<usize, Box<dyn Error>> {
     })
 }
 
-/// `gatest atpg` — run the GA test generator.
-pub fn atpg(opts: &Opts) -> Result<(), Box<dyn Error>> {
-    let circuit = load_circuit(opts.circuit()?)?;
+/// The stop flag shared between the `atpg` run and the signal handler.
+static STOP_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+extern "C" {
+    /// POSIX `signal(2)`; the handler is passed as a raw function address so
+    /// the CLI needs no FFI crate.
+    fn signal(signum: i32, handler: usize) -> usize;
+    /// POSIX `_exit(2)` — async-signal-safe, unlike `std::process::exit`.
+    fn _exit(code: i32) -> !;
+}
+
+/// The SIGINT/SIGTERM handler: raises the stop flag (the run then finishes
+/// the in-flight generation, writes a final checkpoint, and exits with code
+/// 3); a second signal hard-exits immediately.
+extern "C" fn on_stop_signal(signum: i32) {
+    if let Some(flag) = STOP_FLAG.get() {
+        if !flag.swap(true, Ordering::SeqCst) {
+            return;
+        }
+    }
+    // SAFETY: _exit is async-signal-safe by POSIX.
+    unsafe { _exit(128 + signum) }
+}
+
+/// Installs graceful SIGINT/SIGTERM handling and returns the shared flag.
+fn install_stop_handler() -> Arc<AtomicBool> {
+    let flag = Arc::clone(STOP_FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))));
+    // SAFETY: on_stop_signal only touches atomics and _exit, both
+    // async-signal-safe; signal(2) itself is safe to call from main.
+    let handler = on_stop_signal as extern "C" fn(i32) as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+    flag
+}
+
+/// Parses `--checkpoint-every`: a bare integer is a generation count, an
+/// `s`-suffixed number is seconds (`500` = every 500 generations, `30s` =
+/// every 30 seconds).
+fn checkpoint_cadence(opts: &Opts) -> Result<Option<CheckpointCadence>, Box<dyn Error>> {
+    let Some(value) = opts.get("checkpoint-every") else {
+        return Ok(None);
+    };
+    if let Some(secs) = value.strip_suffix('s') {
+        let secs: f64 = secs.parse().map_err(|_| {
+            UsageError::boxed(format!("--checkpoint-every expects seconds, got `{value}`"))
+        })?;
+        if secs <= 0.0 {
+            return Err(UsageError::boxed("--checkpoint-every must be positive"));
+        }
+        return Ok(Some(CheckpointCadence::Secs(secs)));
+    }
+    let gens: u64 = value.parse().map_err(|_| {
+        UsageError::boxed(format!(
+            "--checkpoint-every expects a generation count or `Ns` seconds, got `{value}`"
+        ))
+    })?;
+    if gens == 0 {
+        return Err(UsageError::boxed("--checkpoint-every must be positive"));
+    }
+    Ok(Some(CheckpointCadence::Generations(gens)))
+}
+
+/// `gatest atpg` — run the GA test generator (or resume a checkpoint).
+pub fn atpg(opts: &Opts) -> Result<ExitCode, Box<dyn Error>> {
+    let resume_snapshot = match opts.get("resume") {
+        Some(path) => Some(
+            RunSnapshot::load(Path::new(path))
+                .map_err(|e| format!("cannot resume from `{path}`: {e}"))?,
+        ),
+        None => None,
+    };
+    // Resuming a bundled benchmark needs no circuit argument — the
+    // checkpoint names it. File-path circuits must be passed again.
+    let spec = match (opts.circuit(), &resume_snapshot) {
+        (Ok(spec), _) => spec.to_string(),
+        (Err(_), Some(snap)) => snap.circuit.clone(),
+        (Err(e), None) => return Err(e),
+    };
+    let circuit = load_circuit(&spec)?;
     let mut config = GatestConfig::for_circuit(&circuit)
-        .with_seed(opts.num("seed", 1u64)?)
         .with_workers(worker_count(opts)?)
         .with_sim_threads(sim_thread_count(opts)?);
-    let sample: usize = opts.num("sample", 100)?;
-    config.fault_sample = if sample == 0 {
-        FaultSample::Full
+    if let Some(snap) = &resume_snapshot {
+        if opts.get("seed").is_some() || opts.get("sample").is_some() {
+            return Err(UsageError::boxed(
+                "--seed and --sample come from the checkpoint when resuming",
+            ));
+        }
+        config.seed = snap.seed;
+        config.fault_sample = snap.fault_sample;
     } else {
-        FaultSample::Count(sample)
+        config.seed = opts.num("seed", 1u64)?;
+        let sample: usize = opts.num("sample", 100)?;
+        config.fault_sample = if sample == 0 {
+            FaultSample::Full
+        } else {
+            FaultSample::Count(sample)
+        };
+    }
+    if opts.get("max-wall-secs").is_some() {
+        let secs: f64 = opts.num("max-wall-secs", 0.0)?;
+        if secs <= 0.0 {
+            return Err(UsageError::boxed("--max-wall-secs must be positive"));
+        }
+        config.max_wall_secs = Some(secs);
+    }
+    if opts.get("max-evals").is_some() {
+        let evals: u64 = opts.num("max-evals", 0u64)?;
+        if evals == 0 {
+            return Err(UsageError::boxed("--max-evals must be positive"));
+        }
+        config.max_evals = Some(evals);
+    }
+    // When resuming, keep checkpointing to the same file unless overridden.
+    let checkpoint_path: Option<PathBuf> = opts
+        .get("checkpoint")
+        .or_else(|| opts.get("resume"))
+        .map(PathBuf::from);
+    let cadence = checkpoint_cadence(opts)?;
+    if cadence.is_some() && checkpoint_path.is_none() {
+        return Err(UsageError::boxed(
+            "--checkpoint-every requires --checkpoint FILE",
+        ));
+    }
+    let controls = RunControls {
+        stop: Some(install_stop_handler()),
+        checkpoint_path: checkpoint_path.clone(),
+        checkpoint_every: cadence,
+        max_ticks: None,
     };
+
     let mut generator = TestGenerator::new(Arc::clone(&circuit), config);
     let mut observers = MultiObserver::default();
     if let Some(path) = opts.get("trace-out") {
@@ -105,7 +234,13 @@ pub fn atpg(opts: &Opts) -> Result<(), Box<dyn Error>> {
     if !observers.is_empty() {
         generator = generator.with_observer(Arc::new(observers));
     }
-    let result = generator.run();
+    let result = match &resume_snapshot {
+        Some(snap) => generator.resume(snap, &controls)?,
+        None => generator.run_controlled(&controls),
+    };
+    if let Some(e) = &result.checkpoint_error {
+        eprintln!("warning: {e}");
+    }
     if !opts.has("quiet") {
         eprintln!(
             "{}: {}/{} faults ({:.1}%), {} vectors, {} — phases {:?}",
@@ -123,7 +258,27 @@ pub fn atpg(opts: &Opts) -> Result<(), Box<dyn Error>> {
     if opts.has("verbose") {
         eprintln!("{}", telemetry_table(&result));
     }
-    emit(opts, &test_set_to_string(&result.test_set))
+    if let Some(path) = opts.get("result-json") {
+        std::fs::write(path, result_to_json(&result) + "\n")?;
+        eprintln!("wrote result summary to {path}");
+    }
+    emit(opts, &test_set_to_string(&result.test_set))?;
+    if result.is_complete() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        let cause = match result.stop {
+            StopCause::BudgetExhausted => "budget exhausted",
+            _ => "interrupted",
+        };
+        match (&checkpoint_path, result.checkpoint_error.is_none()) {
+            (Some(path), true) => eprintln!(
+                "stopped early ({cause}); resume with: gatest atpg --resume {}",
+                path.display()
+            ),
+            _ => eprintln!("stopped early ({cause}); no checkpoint available"),
+        }
+        Ok(ExitCode::from(3))
+    }
 }
 
 /// `gatest grade` — fault-grade a test set.

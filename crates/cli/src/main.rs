@@ -4,6 +4,8 @@
 //! gatest atpg     <circuit> [--seed N] [--sample N] [--workers N|auto]
 //!                 [--sim-threads N|auto] [--out tests.txt]
 //!                 [--trace-out trace.jsonl] [--progress] [-v|--verbose] [-q|--quiet]
+//!                 [--checkpoint FILE] [--checkpoint-every N|Ns] [--resume FILE]
+//!                 [--max-wall-secs S] [--max-evals N] [--result-json FILE]
 //!
 //! `--workers` (alias `--threads`) sets the fitness-evaluation pool size;
 //! `--sim-threads` sets the fault-group parallelism inside each simulator
@@ -25,7 +27,9 @@
 //!
 //! Exit codes follow convention: `0` on success, `1` on runtime errors
 //! (unreadable files, failed runs), `2` on usage errors (unknown commands or
-//! flags, missing arguments).
+//! flags, missing arguments), `3` when an `atpg` run stopped early but
+//! gracefully — on SIGINT/SIGTERM or an exhausted `--max-wall-secs` /
+//! `--max-evals` budget — with its state checkpointed for `--resume`.
 
 use std::error::Error;
 use std::process::ExitCode;
@@ -46,7 +50,7 @@ fn main() -> ExitCode {
     }
     let command = args.remove(0);
     match run(&command, args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("gatest {command}: {e}");
             if e.downcast_ref::<UsageError>().is_some() {
@@ -90,23 +94,30 @@ fn usage() -> String {
     s.push_str("fitness-evaluation pool; --sim-threads N sizes the fault-group\n");
     s.push_str("pool inside each simulator; 0 or `auto` uses all available\n");
     s.push_str("cores; results are bit-identical at every combination\n");
+    s.push_str("\nlong runs (atpg): --checkpoint FILE saves resumable state\n");
+    s.push_str("(--checkpoint-every N generations, or Ns seconds); --max-wall-secs\n");
+    s.push_str("and --max-evals stop gracefully on a budget; SIGINT/SIGTERM also\n");
+    s.push_str("stop gracefully (exit code 3, checkpoint written); --resume FILE\n");
+    s.push_str("continues bit-identically; --result-json FILE writes the\n");
+    s.push_str("deterministic result summary for diffing runs\n");
     s.push_str("\nrun `gatest <command> --help` style flags are listed in the module docs;\n");
     s.push_str("circuits are bundled names (s27, s298, ...) or .bench/.v file paths\n");
     s
 }
 
-fn run(command: &str, args: Vec<String>) -> Result<(), Box<dyn Error>> {
+fn run(command: &str, args: Vec<String>) -> Result<ExitCode, Box<dyn Error>> {
     let opts = Opts::parse(args)?;
+    let done = |r: Result<(), Box<dyn Error>>| r.map(|()| ExitCode::SUCCESS);
     match command {
         "atpg" => commands::atpg(&opts),
-        "grade" => commands::grade(&opts),
-        "compact" => commands::compact(&opts),
-        "diagnose" => commands::diagnose(&opts),
-        "stats" => commands::stats(&opts),
-        "scan" => commands::scan(&opts),
-        "convert" => commands::convert(&opts),
-        "hitec" => commands::hitec(&opts),
-        "trace" => commands::trace(&opts),
+        "grade" => done(commands::grade(&opts)),
+        "compact" => done(commands::compact(&opts)),
+        "diagnose" => done(commands::diagnose(&opts)),
+        "stats" => done(commands::stats(&opts)),
+        "scan" => done(commands::scan(&opts)),
+        "convert" => done(commands::convert(&opts)),
+        "hitec" => done(commands::hitec(&opts)),
+        "trace" => done(commands::trace(&opts)),
         other => Err(UsageError::boxed(format!(
             "unknown command `{other}` (try --help)"
         ))),

@@ -108,6 +108,17 @@ pub struct GatestConfig {
     pub sim_threads: usize,
     /// Master random seed.
     pub seed: u64,
+    /// Wall-clock budget in seconds for the whole run, counted across
+    /// resumed legs. When exhausted the run stops gracefully at the next
+    /// generation boundary with
+    /// [`StopCause::BudgetExhausted`](crate::StopCause) and (if
+    /// checkpointing is configured) a final checkpoint. `None` = unlimited.
+    pub max_wall_secs: Option<f64>,
+    /// Budget on cumulative GA fitness evaluations, counted across resumed
+    /// legs; same graceful-stop behaviour as `max_wall_secs`. `None` =
+    /// unlimited. Unlike the wall-clock budget this one is deterministic:
+    /// the same budget always stops at the same generation boundary.
+    pub max_evals: Option<u64>,
 }
 
 impl Default for GatestConfig {
@@ -131,6 +142,8 @@ impl Default for GatestConfig {
             parallel_workers: 1,
             sim_threads: 1,
             seed: 1,
+            max_wall_secs: None,
+            max_evals: None,
         }
     }
 }
@@ -173,6 +186,18 @@ impl GatestConfig {
     /// [`GatestConfig::resolved_sim_threads`]).
     pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
         self.sim_threads = sim_threads;
+        self
+    }
+
+    /// A new configuration with a wall-clock budget in seconds.
+    pub fn with_max_wall_secs(mut self, secs: f64) -> Self {
+        self.max_wall_secs = Some(secs);
+        self
+    }
+
+    /// A new configuration with a GA fitness-evaluation budget.
+    pub fn with_max_evals(mut self, evals: u64) -> Self {
+        self.max_evals = Some(evals);
         self
     }
 

@@ -1,22 +1,89 @@
 //! The GATEST test generator: Figure 1's top-level flow and Figure 2's
 //! phase machine for individual-vector generation.
+//!
+//! The flow runs as an explicit state machine ([`MachineState`] internally):
+//! every call to the driver's `tick` either starts a GA invocation, evolves
+//! it by exactly one generation, or commits its winner and moves the phase
+//! machine. Budgets, cooperative interrupts, and checkpoint writes are all
+//! checked between ticks, so a run can stop gracefully at any generation
+//! boundary and [`TestGenerator::resume`] continues it bit-identically from
+//! a [`RunSnapshot`].
 
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use gatest_ga::{Chromosome, Coding, GaConfig, GaEngine, GenerationStats, Rng};
+use gatest_ga::{
+    Chromosome, Coding, Evaluated, GaConfig, GaEngine, GaRunState, GenerationStats, Rng,
+};
 use gatest_netlist::depth::sequential_depth;
 use gatest_netlist::Circuit;
 use gatest_sim::{FaultId, FaultList, FaultSim, GoodSim, Logic, PackedGoodSim, Pv64, StepReport};
 use gatest_telemetry::{NullObserver, RunEvent, RunObserver, SimCounters, TelemetrySnapshot};
 
+use crate::checkpoint::{config_digest, GaSnapshot, RunSnapshot, SnapshotIndividual, SnapshotPos};
 use crate::config::{FaultSample, GatestConfig};
 use crate::evalpool::{
     decode_frame_into, decode_vector_into, evaluate_candidate, EvalContext, EvalJob, EvalPool,
 };
 use crate::fitness::{phase1, FitnessScale, Phase};
 
-/// Result of one GATEST run.
+/// Why a run returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The flow ran to completion (Figure 1's exit).
+    Completed,
+    /// A `max_wall_secs` or `max_evals` budget was exhausted.
+    BudgetExhausted,
+    /// The [`RunControls::stop`] flag was raised (or the tick limit hit).
+    Interrupted,
+}
+
+impl StopCause {
+    /// The snake-case tag used in result JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopCause::Completed => "completed",
+            StopCause::BudgetExhausted => "budget_exhausted",
+            StopCause::Interrupted => "interrupted",
+        }
+    }
+}
+
+/// How often to write periodic checkpoints during a controlled run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CheckpointCadence {
+    /// Every `n` GA generations.
+    Generations(u64),
+    /// Every `secs` seconds of wall clock.
+    Secs(f64),
+}
+
+/// External controls for [`TestGenerator::run_controlled`] and
+/// [`TestGenerator::resume`]: cooperative stopping and checkpointing.
+/// Budgets (`max_wall_secs`, `max_evals`) live in [`GatestConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct RunControls {
+    /// Cooperative stop flag, checked between machine ticks — set it from a
+    /// signal handler for graceful SIGINT/SIGTERM handling. Raising it
+    /// stops the run with [`StopCause::Interrupted`] after the current
+    /// generation finishes.
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Where to write checkpoints. When set, a final checkpoint is always
+    /// written on an early stop (interrupt or budget), and periodic ones
+    /// per `checkpoint_every`.
+    pub checkpoint_path: Option<PathBuf>,
+    /// Cadence for periodic checkpoints (requires `checkpoint_path`).
+    pub checkpoint_every: Option<CheckpointCadence>,
+    /// Stop with [`StopCause::Interrupted`] after this many machine ticks.
+    /// Ticks are deterministic (one GA generation, invocation start, or
+    /// commit each), so this simulates a kill at an exact, reproducible
+    /// point — the checkpoint/resume test suite sweeps it.
+    pub max_ticks: Option<u64>,
+}
+
+/// Result of one GATEST run (or one leg of an interrupted run).
 #[derive(Debug, Clone)]
 pub struct TestGenResult {
     /// Circuit name.
@@ -27,7 +94,7 @@ pub struct TestGenResult {
     pub detected: usize,
     /// The generated test set, one vector per time frame.
     pub test_set: Vec<Vec<Logic>>,
-    /// Wall-clock time of the run.
+    /// Wall-clock time of the run, cumulative across resumed legs.
     pub elapsed: Duration,
     /// Vectors committed while in each phase (1–3 individual vectors,
     /// 4 = sequences).
@@ -39,6 +106,11 @@ pub struct TestGenResult {
     /// The phase (1-4) each committed vector was generated in, in test-set
     /// order — the observable trace of Figure 2's phase machine.
     pub phase_trace: Vec<u8>,
+    /// Why the run returned.
+    pub stop: StopCause,
+    /// The error from the most recent failed checkpoint write, if any
+    /// (checkpoint I/O failures never abort the run itself).
+    pub checkpoint_error: Option<String>,
     /// Final telemetry: per-phase wall-clock time, GA generations, and the
     /// simulator hot-path counters accumulated over the run.
     pub telemetry: TelemetrySnapshot,
@@ -57,6 +129,34 @@ impl TestGenResult {
     /// Number of vectors in the test set.
     pub fn vectors(&self) -> usize {
         self.test_set.len()
+    }
+
+    /// True when the flow ran to completion rather than stopping early.
+    pub fn is_complete(&self) -> bool {
+        self.stop == StopCause::Completed
+    }
+
+    /// True when the run stopped on an exhausted budget.
+    pub fn budget_exhausted(&self) -> bool {
+        self.stop == StopCause::BudgetExhausted
+    }
+}
+
+/// Why a [`RunSnapshot`] cannot be resumed by a particular generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeError(String);
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot resume checkpoint: {}", self.0)
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl ResumeError {
+    fn new(msg: impl Into<String>) -> Self {
+        ResumeError(msg.into())
     }
 }
 
@@ -99,11 +199,71 @@ impl std::fmt::Debug for TestGenerator {
     }
 }
 
-/// Per-run telemetry accumulators threaded through the phase machine.
-#[derive(Default)]
-struct RunTelemetry {
+/// One in-flight GA invocation.
+struct ActiveGa {
+    engine: GaEngine,
+    state: GaRunState,
+    run_rng: Rng,
+    ctx: Arc<EvalContext>,
+}
+
+/// Where the flow is between ticks.
+enum MachinePos {
+    /// Phases 1–3: evolving individual vectors.
+    Vectors {
+        phase: Phase,
+        noncontributing: usize,
+        best_known_ffs: usize,
+        init_stall: usize,
+        ga: Option<ActiveGa>,
+    },
+    /// Phase 4: evolving whole sequences over the length schedule.
+    Sequences {
+        len_idx: usize,
+        failures: usize,
+        ga: Option<ActiveGa>,
+    },
+    /// Figure 1's exit.
+    Done,
+}
+
+impl MachinePos {
+    fn active_ga(&self) -> Option<&ActiveGa> {
+        match self {
+            MachinePos::Vectors { ga, .. } | MachinePos::Sequences { ga, .. } => ga.as_ref(),
+            MachinePos::Done => None,
+        }
+    }
+}
+
+/// The complete resumable run state: everything [`RunSnapshot`] captures,
+/// in its in-memory form.
+struct MachineState {
+    test_set: Vec<Vec<Logic>>,
+    phase_vectors: [usize; 4],
+    phase_trace: Vec<u8>,
+    ga_evaluations: usize,
+    sequence_attempts: usize,
     phase_time: [Duration; 4],
     ga_generations: u64,
+    /// Wall clock accumulated by previous legs of an interrupted run.
+    elapsed_base: Duration,
+    pos: MachinePos,
+}
+
+/// Per-leg driver context: the process-local machinery (worker pool, packed
+/// phase-1 simulator, scratch buffers, schedules) that is rebuilt on every
+/// leg and deliberately kept out of [`MachineState`]/[`RunSnapshot`].
+struct DriverCtx {
+    pool: Option<EvalPool>,
+    packed: Option<PackedGoodSim>,
+    scratch: Vec<Logic>,
+    seq_lens: Vec<usize>,
+    progress_limit: usize,
+    nffs: usize,
+    pis: usize,
+    emitted_phase: Option<u8>,
+    phase_started: Instant,
 }
 
 impl TestGenerator {
@@ -164,62 +324,211 @@ impl TestGenerator {
     /// the progress limit is exhausted, then test sequences of increasing
     /// length until four consecutive attempts fail at the longest length.
     pub fn run(&mut self) -> TestGenResult {
-        let start = Instant::now();
+        self.run_controlled(&RunControls::default())
+    }
+
+    /// Runs the flow under external controls: cooperative stopping,
+    /// checkpoint writes, and (via [`GatestConfig`]) wall-clock and
+    /// evaluation budgets. [`TestGenerator::run`] is this with defaults.
+    pub fn run_controlled(&mut self, controls: &RunControls) -> TestGenResult {
         self.counters.reset();
+        let phase = if self.circuit.num_dffs() == 0 {
+            Phase::VectorGeneration
+        } else {
+            Phase::Initialization
+        };
+        let m = MachineState {
+            test_set: Vec::new(),
+            phase_vectors: [0; 4],
+            phase_trace: Vec::new(),
+            ga_evaluations: 0,
+            sequence_attempts: 0,
+            phase_time: [Duration::ZERO; 4],
+            ga_generations: 0,
+            elapsed_base: Duration::ZERO,
+            pos: MachinePos::Vectors {
+                phase,
+                noncontributing: 0,
+                best_known_ffs: 0,
+                init_stall: 0,
+                ga: None,
+            },
+        };
+        self.drive(m, controls)
+    }
+
+    /// Continues an interrupted run from a [`RunSnapshot`], bit-identically:
+    /// the resumed run's test set, coverage, and deterministic counters
+    /// equal the uninterrupted run's. The generator must be constructed
+    /// over the same circuit, fault list, and configuration (same seed and
+    /// search parameters; worker counts and budgets may differ freely) —
+    /// mismatches are rejected.
+    pub fn resume(
+        &mut self,
+        snapshot: &RunSnapshot,
+        controls: &RunControls,
+    ) -> Result<TestGenResult, ResumeError> {
+        if snapshot.circuit != self.circuit.name() {
+            return Err(ResumeError::new(format!(
+                "checkpoint is for circuit {:?}, generator is for {:?}",
+                snapshot.circuit,
+                self.circuit.name()
+            )));
+        }
+        if snapshot.total_faults as usize != self.sim.fault_list().len() {
+            return Err(ResumeError::new(format!(
+                "checkpoint targets {} faults, generator targets {}",
+                snapshot.total_faults,
+                self.sim.fault_list().len()
+            )));
+        }
+        if snapshot.seed != self.config.seed {
+            return Err(ResumeError::new(format!(
+                "checkpoint seed {} differs from configured seed {}",
+                snapshot.seed, self.config.seed
+            )));
+        }
+        if snapshot.config_digest != config_digest(&self.config) {
+            return Err(ResumeError::new(
+                "configuration digest mismatch: the checkpoint was taken under \
+                 different search parameters",
+            ));
+        }
+        self.sim.import_state(&snapshot.sim);
+        self.rng = Rng::from_state(snapshot.master_rng);
+        self.counters.load_snapshot(&snapshot.counters);
+        let m = self.machine_from_snapshot(snapshot)?;
+        Ok(self.drive(m, controls))
+    }
+
+    /// The main driver loop: check stop conditions, tick the machine, write
+    /// due checkpoints, repeat until done or stopped.
+    fn drive(&mut self, mut m: MachineState, controls: &RunControls) -> TestGenResult {
+        let start = Instant::now();
         self.observer.on_event(&RunEvent::RunStarted {
             circuit: self.circuit.name().to_string(),
             total_faults: self.sim.fault_list().len(),
             seed: self.config.seed,
         });
 
-        let mut test_set: Vec<Vec<Logic>> = Vec::new();
-        let mut phase_vectors = [0usize; 4];
-        let mut phase_trace: Vec<u8> = Vec::new();
-        let mut ga_evaluations = 0usize;
-        let mut sequence_attempts = 0usize;
-        let mut telem = RunTelemetry::default();
-
-        // The evaluation pool lives for the whole run: workers clone the
-        // simulator once here and adopt per-generation checkpoints through
-        // the shared EvalContext, instead of deep-cloning per batch.
         let workers = self.config.resolved_workers();
-        let pool = (workers > 1).then(|| EvalPool::new(&self.sim, workers));
+        let nffs = self.circuit.num_dffs();
+        let pis = self.circuit.num_inputs();
+        let mut dctx = DriverCtx {
+            // The evaluation pool lives for the whole leg: workers clone the
+            // simulator once here and adopt per-invocation checkpoints
+            // through the shared EvalContext instead of deep-cloning per
+            // batch.
+            pool: (workers > 1).then(|| EvalPool::new(&self.sim, workers)),
+            packed: (nffs > 0).then(|| PackedGoodSim::new(Arc::clone(&self.circuit))),
+            scratch: Vec::with_capacity(pis),
+            seq_lens: self.config.sequence_lengths(self.seq_depth),
+            progress_limit: self.config.progress_limit(self.seq_depth),
+            nffs,
+            pis,
+            // Resuming mid-invocation: the phase was already entered by the
+            // previous leg, so attribute time to it without re-emitting.
+            emitted_phase: m.pos.active_ga().map(|_| match &m.pos {
+                MachinePos::Vectors { phase, .. } => phase.number(),
+                MachinePos::Sequences { .. } => 4,
+                MachinePos::Done => unreachable!(),
+            }),
+            phase_started: Instant::now(),
+        };
 
-        self.generate_vectors(
-            &mut test_set,
-            &mut phase_vectors,
-            &mut phase_trace,
-            &mut ga_evaluations,
-            &mut telem,
-            pool.as_ref(),
-        );
-        self.generate_sequences(
-            &mut test_set,
-            &mut phase_vectors,
-            &mut phase_trace,
-            &mut ga_evaluations,
-            &mut sequence_attempts,
-            &mut telem,
-            pool.as_ref(),
-        );
-        drop(pool);
+        let mut ticks: u64 = 0;
+        let mut gens_at_cp = m.ga_generations;
+        let mut last_cp = Instant::now();
+        let mut checkpoint_error: Option<String> = None;
+
+        let stop = loop {
+            if matches!(m.pos, MachinePos::Done) {
+                break StopCause::Completed;
+            }
+            if let Some(flag) = &controls.stop {
+                if flag.load(Ordering::Relaxed) {
+                    break StopCause::Interrupted;
+                }
+            }
+            if controls.max_ticks.is_some_and(|limit| ticks >= limit) {
+                break StopCause::Interrupted;
+            }
+            if self
+                .config
+                .max_evals
+                .is_some_and(|limit| m.ga_evaluations as u64 >= limit)
+            {
+                break StopCause::BudgetExhausted;
+            }
+            if self
+                .config
+                .max_wall_secs
+                .is_some_and(|limit| (m.elapsed_base + start.elapsed()).as_secs_f64() >= limit)
+            {
+                break StopCause::BudgetExhausted;
+            }
+
+            self.tick(&mut m, &mut dctx);
+            ticks += 1;
+
+            if let (Some(path), Some(cadence)) =
+                (&controls.checkpoint_path, controls.checkpoint_every)
+            {
+                let due = match cadence {
+                    CheckpointCadence::Generations(n) => {
+                        m.ga_generations.saturating_sub(gens_at_cp) >= n.max(1)
+                    }
+                    CheckpointCadence::Secs(s) => last_cp.elapsed().as_secs_f64() >= s,
+                };
+                if due && !matches!(m.pos, MachinePos::Done) {
+                    Self::flush_phase_time(&mut m, &mut dctx);
+                    if let Err(e) =
+                        self.write_checkpoint(path, &m, m.elapsed_base + start.elapsed())
+                    {
+                        checkpoint_error = Some(e);
+                    }
+                    gens_at_cp = m.ga_generations;
+                    last_cp = Instant::now();
+                }
+            }
+        };
+
+        Self::flush_phase_time(&mut m, &mut dctx);
+        let elapsed = m.elapsed_base + start.elapsed();
+        if stop != StopCause::Completed {
+            if let Some(path) = &controls.checkpoint_path {
+                if let Err(e) = self.write_checkpoint(path, &m, elapsed) {
+                    checkpoint_error = Some(e);
+                }
+            }
+        }
+        // Stopping mid-invocation can leave the simulator holding the last
+        // candidate's scratch state (serial path); roll it back to the
+        // invocation-start checkpoint so `detected` and `sim()` reflect the
+        // committed test set only. After the final checkpoint write so the
+        // extra restore never skews resumed-vs-uninterrupted counters.
+        if let Some(ga) = m.pos.active_ga() {
+            self.sim.restore(&ga.ctx.checkpoint);
+        }
+        drop(dctx.pool.take());
 
         let snapshot = TelemetrySnapshot {
-            phase_time: telem.phase_time,
-            ga_generations: telem.ga_generations,
+            phase_time: m.phase_time,
+            ga_generations: m.ga_generations,
             counters: self.counters.snapshot(),
         };
-        let elapsed = start.elapsed();
         let result = TestGenResult {
             circuit: self.circuit.name().to_string(),
             total_faults: self.sim.fault_list().len(),
             detected: self.sim.detected_count(),
-            test_set,
+            test_set: m.test_set,
             elapsed,
-            phase_vectors,
-            ga_evaluations,
-            sequence_attempts,
-            phase_trace,
+            phase_vectors: m.phase_vectors,
+            ga_evaluations: m.ga_evaluations,
+            sequence_attempts: m.sequence_attempts,
+            phase_trace: m.phase_trace,
+            stop,
+            checkpoint_error,
             telemetry: snapshot.clone(),
         };
         self.observer.on_event(&RunEvent::RunFinished {
@@ -228,201 +537,417 @@ impl TestGenerator {
             vectors: result.vectors(),
             ga_evaluations: result.ga_evaluations,
             elapsed_secs: elapsed.as_secs_f64(),
+            budget_exhausted: stop == StopCause::BudgetExhausted,
             snapshot,
         });
         result
     }
 
-    /// Phases 1–3 (Figure 2): evolve one vector at a time.
-    fn generate_vectors(
-        &mut self,
-        test_set: &mut Vec<Vec<Logic>>,
-        phase_vectors: &mut [usize; 4],
-        phase_trace: &mut Vec<u8>,
-        ga_evaluations: &mut usize,
-        telem: &mut RunTelemetry,
-        pool: Option<&EvalPool>,
-    ) {
-        let progress_limit = self.config.progress_limit(self.seq_depth);
-        let nffs = self.circuit.num_dffs();
-        let pis = self.circuit.num_inputs();
-        let mut scratch: Vec<Logic> = Vec::with_capacity(pis);
-        let mut packed = (nffs > 0).then(|| PackedGoodSim::new(Arc::clone(&self.circuit)));
-
-        let mut phase = if nffs == 0 {
-            Phase::VectorGeneration
-        } else {
-            Phase::Initialization
-        };
-        let mut noncontributing = 0usize;
-        let mut best_known_ffs = 0usize;
-        let mut init_stall = 0usize;
-        let mut emitted_phase: Option<u8> = None;
-        let mut phase_started = Instant::now();
-
-        'vectors: while test_set.len() < self.config.max_vectors && self.sim.remaining() > 0 {
-            let phase_no = phase.number();
-            if emitted_phase != Some(phase_no) {
-                if let Some(prev) = emitted_phase {
-                    telem.phase_time[prev as usize - 1] += phase_started.elapsed();
-                    phase_started = Instant::now();
-                }
-                emitted_phase = Some(phase_no);
-                self.observer.on_event(&RunEvent::PhaseEntered {
-                    phase: phase_no,
-                    vectors: test_set.len(),
-                });
-            }
-            let sample = self.draw_sample();
-            let scale = FitnessScale {
-                faults: sample.len(),
-                flip_flops: nffs,
-                nodes: self.circuit.num_gates(),
-            };
-
-            let ga = GaEngine::new(self.vector_ga_config());
-            let ctx = Arc::new(EvalContext {
-                checkpoint: self.sim.checkpoint(),
-                job: EvalJob::Vector {
-                    phase,
-                    sample,
-                    scale,
-                    pis,
-                },
-            });
-            let mut run_rng = self.rng.fork();
-            // Initial population: mostly random, seeded with the all-zero
-            // and all-one vectors and the previously committed vector (the
-            // paper: the initial population "may also be supplied by the
-            // user"). The constant vectors matter for initialization-hard
-            // circuits, where holding a reset-friendly input for several
-            // frames is the only way to keep partial state from decaying
-            // back to X.
-            let mut initial: Vec<Chromosome> = Vec::with_capacity(self.config.vector_population);
-            initial.push(Chromosome::from_bits(vec![false; pis]));
-            initial.push(Chromosome::from_bits(vec![true; pis]));
-            if let Some(prev) = test_set.last() {
-                initial.push(Chromosome::from_bits(
-                    prev.iter().map(|&v| v == Logic::One).collect(),
-                ));
-            }
-            while initial.len() < self.config.vector_population {
-                initial.push(Chromosome::random(pis, &mut run_rng));
-            }
-            let observer = Arc::clone(&self.observer);
-            let gen_count = &mut telem.ga_generations;
-            let mut observe = |s: &GenerationStats| {
-                *gen_count += 1;
-                observer.on_event(&RunEvent::GaGenerationEvaluated {
-                    phase: phase_no,
-                    generation: s.generation,
-                    best: s.best,
-                    mean: s.mean,
-                    evaluations: s.evaluations,
-                });
-            };
-            let result = if phase == Phase::Initialization {
-                // Phase 1 needs no fault simulation, so score 64 candidates
-                // per packed good-machine pass. The generator's simulator is
-                // never touched here: it stays at the checkpoint state the
-                // packed simulator reseeds from each batch.
-                let packed = packed
-                    .as_mut()
-                    .expect("phase 1 only runs on circuits with flip-flops");
-                let good = self.sim.good();
-                let counters = &self.counters;
-                ga.run_seeded_batched_observed(
-                    initial,
-                    &mut run_rng,
-                    |batch| packed_phase1_scores(packed, good, counters, batch, pis, scale),
-                    &mut observe,
-                )
-            } else if let Some(pool) = pool {
-                ga.run_seeded_batched_observed(
-                    initial,
-                    &mut run_rng,
-                    |batch| pool.evaluate(&ctx, batch),
-                    &mut observe,
-                )
-            } else {
-                let sim = &mut self.sim;
-                let scratch = &mut scratch;
-                ga.run_seeded_batched_observed(
-                    initial,
-                    &mut run_rng,
-                    |batch| {
-                        batch
-                            .iter()
-                            .map(|c| evaluate_candidate(sim, &ctx, c, scratch))
-                            .collect()
-                    },
-                    &mut observe,
-                )
-            };
-            *ga_evaluations += result.evaluations;
-
-            // Commit the best vector with a full-list simulation (twice in
-            // phase 1, matching the two-frame evaluation above).
-            self.sim.restore(&ctx.checkpoint);
-            let vector = decode_vector(&result.best.chromosome, pis);
-            let report = if phase == Phase::Initialization {
-                let first = self.sim.step(&vector);
-                test_set.push(vector.clone());
-                phase_vectors[0] += 1;
-                phase_trace.push(1);
-                self.emit_commit(1, test_set.len(), self.sim.detected_count(), &first);
-                self.sim.step(&vector)
-            } else {
-                self.sim.step(&vector)
-            };
-            test_set.push(vector);
-            phase_vectors[phase.number() as usize - 1] += 1;
-            phase_trace.push(phase.number());
-            self.emit_commit(
-                phase.number(),
-                test_set.len(),
-                self.sim.detected_count(),
-                &report,
-            );
-
-            match phase {
-                Phase::Initialization => {
-                    let known = self.sim.good().known_next_state();
-                    if known == nffs {
-                        phase = Phase::VectorGeneration;
-                    } else if known > best_known_ffs {
-                        best_known_ffs = known;
-                        init_stall = 0;
-                    } else {
-                        init_stall += 1;
-                        if init_stall >= progress_limit {
-                            // Some flip-flops are uninitializable; move on.
-                            phase = Phase::VectorGeneration;
-                        }
-                    }
-                }
-                Phase::VectorGeneration => {
-                    if report.detected() == 0 {
-                        phase = Phase::StalledVectorGeneration;
-                        noncontributing = 1;
-                    }
-                }
-                Phase::StalledVectorGeneration => {
-                    if report.detected() > 0 {
-                        phase = Phase::VectorGeneration;
-                        noncontributing = 0;
-                    } else {
-                        noncontributing += 1;
-                        if noncontributing > progress_limit {
-                            break 'vectors; // progress limit exhausted: on to sequences
-                        }
-                    }
-                }
-                Phase::SequenceGeneration => unreachable!("not in sequence phase"),
-            }
+    /// One machine tick: start an invocation, evolve one generation, or
+    /// commit a finished invocation's winner.
+    fn tick(&mut self, m: &mut MachineState, dctx: &mut DriverCtx) {
+        let has_ga = m.pos.active_ga().is_some();
+        match (&m.pos, has_ga) {
+            (MachinePos::Done, _) => {}
+            (MachinePos::Vectors { .. }, false) => self.start_vector_invocation(m, dctx),
+            (MachinePos::Sequences { .. }, false) => self.start_sequence_invocation(m, dctx),
+            (_, true) => self.tick_ga(m, dctx),
         }
-        if let Some(prev) = emitted_phase {
-            telem.phase_time[prev as usize - 1] += phase_started.elapsed();
+    }
+
+    /// Advances the active GA by one generation, or commits it when done.
+    fn tick_ga(&mut self, m: &mut MachineState, dctx: &mut DriverCtx) {
+        let (phase_no, in_vectors) = match &m.pos {
+            MachinePos::Vectors { phase, .. } => (phase.number(), true),
+            MachinePos::Sequences { .. } => (4, false),
+            MachinePos::Done => unreachable!("ticked a finished machine"),
+        };
+        let mut active = match &mut m.pos {
+            MachinePos::Vectors { ga, .. } | MachinePos::Sequences { ga, .. } => {
+                ga.take().expect("tick_ga requires an active GA")
+            }
+            MachinePos::Done => unreachable!(),
+        };
+        if active.engine.is_done(&active.state) {
+            if in_vectors {
+                self.commit_vector(m, dctx, active);
+            } else {
+                self.commit_sequence(m, dctx, active);
+            }
+            return;
+        }
+        let stats = {
+            let sim = &mut self.sim;
+            let counters = &self.counters;
+            let pool = dctx.pool.as_ref();
+            let mut packed = dctx.packed.as_mut();
+            let scratch = &mut dctx.scratch;
+            let ctx = Arc::clone(&active.ctx);
+            active
+                .engine
+                .advance(&mut active.state, &mut active.run_rng, |batch| {
+                    eval_batch(
+                        sim,
+                        counters,
+                        pool,
+                        packed.as_deref_mut(),
+                        &ctx,
+                        scratch,
+                        batch,
+                    )
+                })
+        };
+        self.note_generation(m, phase_no, &stats);
+        match &mut m.pos {
+            MachinePos::Vectors { ga, .. } | MachinePos::Sequences { ga, .. } => {
+                *ga = Some(active);
+            }
+            MachinePos::Done => unreachable!(),
+        }
+    }
+
+    /// Starts one vector-phase GA invocation — or, when the vector loop's
+    /// exit conditions hold, moves on to sequence generation instead.
+    fn start_vector_invocation(&mut self, m: &mut MachineState, dctx: &mut DriverCtx) {
+        if m.test_set.len() >= self.config.max_vectors || self.sim.remaining() == 0 {
+            m.pos = MachinePos::Sequences {
+                len_idx: 0,
+                failures: 0,
+                ga: None,
+            };
+            return;
+        }
+        let phase = match &m.pos {
+            MachinePos::Vectors { phase, .. } => *phase,
+            _ => unreachable!("start_vector_invocation outside the vector phases"),
+        };
+        let phase_no = phase.number();
+        self.note_phase(m, dctx, phase_no);
+        let sample = self.draw_sample();
+        let scale = FitnessScale {
+            faults: sample.len(),
+            flip_flops: dctx.nffs,
+            nodes: self.circuit.num_gates(),
+        };
+        let ctx = Arc::new(EvalContext {
+            checkpoint: self.sim.checkpoint(),
+            job: EvalJob::Vector {
+                phase,
+                sample,
+                scale,
+                pis: dctx.pis,
+            },
+        });
+        let mut run_rng = self.rng.fork();
+        // Initial population: mostly random, seeded with the all-zero
+        // and all-one vectors and the previously committed vector (the
+        // paper: the initial population "may also be supplied by the
+        // user"). The constant vectors matter for initialization-hard
+        // circuits, where holding a reset-friendly input for several
+        // frames is the only way to keep partial state from decaying
+        // back to X.
+        let mut initial: Vec<Chromosome> = Vec::with_capacity(self.config.vector_population);
+        initial.push(Chromosome::from_bits(vec![false; dctx.pis]));
+        initial.push(Chromosome::from_bits(vec![true; dctx.pis]));
+        if let Some(prev) = m.test_set.last() {
+            initial.push(Chromosome::from_bits(
+                prev.iter().map(|&v| v == Logic::One).collect(),
+            ));
+        }
+        while initial.len() < self.config.vector_population {
+            initial.push(Chromosome::random(dctx.pis, &mut run_rng));
+        }
+        let engine = GaEngine::new(self.vector_ga_config());
+        let (state, first) = {
+            let sim = &mut self.sim;
+            let counters = &self.counters;
+            let pool = dctx.pool.as_ref();
+            let mut packed = dctx.packed.as_mut();
+            let scratch = &mut dctx.scratch;
+            let ctx = Arc::clone(&ctx);
+            engine.begin(initial, |batch| {
+                eval_batch(
+                    sim,
+                    counters,
+                    pool,
+                    packed.as_deref_mut(),
+                    &ctx,
+                    scratch,
+                    batch,
+                )
+            })
+        };
+        self.note_generation(m, phase_no, &first);
+        match &mut m.pos {
+            MachinePos::Vectors { ga, .. } => {
+                *ga = Some(ActiveGa {
+                    engine,
+                    state,
+                    run_rng,
+                    ctx,
+                })
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Commits the winner of a finished vector-phase invocation with a
+    /// full-list simulation (twice in phase 1, matching the two-frame
+    /// evaluation) and moves Figure 2's phase machine.
+    fn commit_vector(&mut self, m: &mut MachineState, dctx: &mut DriverCtx, active: ActiveGa) {
+        let (phase, mut noncontributing, mut best_known_ffs, mut init_stall) = match &m.pos {
+            MachinePos::Vectors {
+                phase,
+                noncontributing,
+                best_known_ffs,
+                init_stall,
+                ..
+            } => (*phase, *noncontributing, *best_known_ffs, *init_stall),
+            _ => unreachable!("commit_vector outside the vector phases"),
+        };
+        let result = active.engine.finish(active.state);
+        self.sim.restore(&active.ctx.checkpoint);
+        let vector = decode_vector(&result.best.chromosome, dctx.pis);
+        let report = if phase == Phase::Initialization {
+            let first = self.sim.step(&vector);
+            m.test_set.push(vector.clone());
+            m.phase_vectors[0] += 1;
+            m.phase_trace.push(1);
+            self.emit_commit(1, m.test_set.len(), self.sim.detected_count(), &first);
+            self.sim.step(&vector)
+        } else {
+            self.sim.step(&vector)
+        };
+        m.test_set.push(vector);
+        m.phase_vectors[phase.number() as usize - 1] += 1;
+        m.phase_trace.push(phase.number());
+        self.emit_commit(
+            phase.number(),
+            m.test_set.len(),
+            self.sim.detected_count(),
+            &report,
+        );
+
+        let mut next = phase;
+        let mut to_sequences = false;
+        match phase {
+            Phase::Initialization => {
+                let known = self.sim.good().known_next_state();
+                if known == dctx.nffs {
+                    next = Phase::VectorGeneration;
+                } else if known > best_known_ffs {
+                    best_known_ffs = known;
+                    init_stall = 0;
+                } else {
+                    init_stall += 1;
+                    if init_stall >= dctx.progress_limit {
+                        // Some flip-flops are uninitializable; move on.
+                        next = Phase::VectorGeneration;
+                    }
+                }
+            }
+            Phase::VectorGeneration => {
+                if report.detected() == 0 {
+                    next = Phase::StalledVectorGeneration;
+                    noncontributing = 1;
+                }
+            }
+            Phase::StalledVectorGeneration => {
+                if report.detected() > 0 {
+                    next = Phase::VectorGeneration;
+                    noncontributing = 0;
+                } else {
+                    noncontributing += 1;
+                    if noncontributing > dctx.progress_limit {
+                        // Progress limit exhausted: on to sequences.
+                        to_sequences = true;
+                    }
+                }
+            }
+            Phase::SequenceGeneration => unreachable!("not in sequence phase"),
+        }
+        m.pos = if to_sequences {
+            MachinePos::Sequences {
+                len_idx: 0,
+                failures: 0,
+                ga: None,
+            }
+        } else {
+            MachinePos::Vectors {
+                phase: next,
+                noncontributing,
+                best_known_ffs,
+                init_stall,
+                ga: None,
+            }
+        };
+    }
+
+    /// Starts one sequence-phase GA invocation, advancing through the
+    /// length schedule past exhausted lengths — or finishes the flow when
+    /// no workable length remains.
+    fn start_sequence_invocation(&mut self, m: &mut MachineState, dctx: &mut DriverCtx) {
+        let (mut len_idx, mut failures) = match &m.pos {
+            MachinePos::Sequences {
+                len_idx, failures, ..
+            } => (*len_idx, *failures),
+            _ => unreachable!("start_sequence_invocation outside phase 4"),
+        };
+        // Mirror the monolithic for/while nest: a length is abandoned after
+        // max_sequence_failures consecutive failures, and any length is
+        // unworkable once every fault is detected or the vector cap would
+        // be crossed.
+        let len = loop {
+            let Some(&len) = dctx.seq_lens.get(len_idx) else {
+                m.pos = MachinePos::Done;
+                return;
+            };
+            if failures < self.config.max_sequence_failures
+                && self.sim.remaining() > 0
+                && m.test_set.len() + len <= self.config.max_vectors
+            {
+                break len;
+            }
+            len_idx += 1;
+            failures = 0;
+        };
+        self.note_phase(m, dctx, 4);
+        let sample = self.draw_sample();
+        let scale = FitnessScale {
+            faults: sample.len(),
+            flip_flops: dctx.nffs,
+            nodes: self.circuit.num_gates(),
+        };
+        let ctx = Arc::new(EvalContext {
+            checkpoint: self.sim.checkpoint(),
+            job: EvalJob::Sequence {
+                frames: len,
+                sample,
+                scale,
+                pis: dctx.pis,
+            },
+        });
+        let mut run_rng = self.rng.fork();
+        let initial: Vec<Chromosome> = (0..self.config.sequence_population)
+            .map(|_| Chromosome::random(len * dctx.pis, &mut run_rng))
+            .collect();
+        let engine = GaEngine::new(self.sequence_ga_config(dctx.pis));
+        let (state, first) = {
+            let sim = &mut self.sim;
+            let counters = &self.counters;
+            let pool = dctx.pool.as_ref();
+            let mut packed = dctx.packed.as_mut();
+            let scratch = &mut dctx.scratch;
+            let ctx = Arc::clone(&ctx);
+            engine.begin(initial, |batch| {
+                eval_batch(
+                    sim,
+                    counters,
+                    pool,
+                    packed.as_deref_mut(),
+                    &ctx,
+                    scratch,
+                    batch,
+                )
+            })
+        };
+        self.note_generation(m, 4, &first);
+        m.pos = MachinePos::Sequences {
+            len_idx,
+            failures,
+            ga: Some(ActiveGa {
+                engine,
+                state,
+                run_rng,
+                ctx,
+            }),
+        };
+    }
+
+    /// Commits a finished sequence invocation's winner if it detects
+    /// anything (full simulation), otherwise counts a failure.
+    fn commit_sequence(&mut self, m: &mut MachineState, dctx: &mut DriverCtx, active: ActiveGa) {
+        let (len_idx, mut failures) = match &m.pos {
+            MachinePos::Sequences {
+                len_idx, failures, ..
+            } => (*len_idx, *failures),
+            _ => unreachable!("commit_sequence outside phase 4"),
+        };
+        let len = match &active.ctx.job {
+            EvalJob::Sequence { frames, .. } => *frames,
+            EvalJob::Vector { .. } => unreachable!("sequence commit with a vector job"),
+        };
+        let result = active.engine.finish(active.state);
+        m.sequence_attempts += 1;
+
+        // Commit with full simulation only if it helps.
+        self.sim.restore(&active.ctx.checkpoint);
+        let mut detected = 0usize;
+        let mut seq = Vec::with_capacity(len);
+        let mut reports = Vec::with_capacity(len);
+        for frame in 0..len {
+            let v = decode_frame(&result.best.chromosome, dctx.pis, frame);
+            let report = self.sim.step(&v);
+            detected += report.detected();
+            reports.push(report);
+            seq.push(v);
+        }
+        if detected > 0 {
+            m.phase_vectors[3] += seq.len();
+            m.phase_trace.extend(std::iter::repeat_n(4u8, seq.len()));
+            let mut running = self.sim.detected_count() - detected;
+            for (offset, report) in reports.iter().enumerate() {
+                running += report.detected();
+                self.emit_commit(4, m.test_set.len() + offset + 1, running, report);
+            }
+            m.test_set.extend(seq);
+            failures = 0;
+        } else {
+            self.sim.restore(&active.ctx.checkpoint);
+            failures += 1;
+        }
+        m.pos = MachinePos::Sequences {
+            len_idx,
+            failures,
+            ga: None,
+        };
+    }
+
+    /// Counts one evaluated GA generation and emits its event.
+    fn note_generation(&self, m: &mut MachineState, phase_no: u8, stats: &GenerationStats) {
+        m.ga_generations += 1;
+        m.ga_evaluations += stats.evaluations;
+        self.observer.on_event(&RunEvent::GaGenerationEvaluated {
+            phase: phase_no,
+            generation: stats.generation,
+            best: stats.best,
+            mean: stats.mean,
+            evaluations: stats.evaluations,
+        });
+    }
+
+    /// Emits `PhaseEntered` on phase changes and attributes the elapsed
+    /// wall clock to the phase being left.
+    fn note_phase(&self, m: &mut MachineState, dctx: &mut DriverCtx, phase_no: u8) {
+        if dctx.emitted_phase != Some(phase_no) {
+            if let Some(prev) = dctx.emitted_phase {
+                m.phase_time[prev as usize - 1] += dctx.phase_started.elapsed();
+            }
+            dctx.phase_started = Instant::now();
+            dctx.emitted_phase = Some(phase_no);
+            self.observer.on_event(&RunEvent::PhaseEntered {
+                phase: phase_no,
+                vectors: m.test_set.len(),
+            });
+        }
+    }
+
+    /// Folds the current phase's in-progress wall clock into the machine
+    /// state (so checkpoints and results carry it) and restarts the timer.
+    fn flush_phase_time(m: &mut MachineState, dctx: &mut DriverCtx) {
+        if let Some(p) = dctx.emitted_phase {
+            m.phase_time[p as usize - 1] += dctx.phase_started.elapsed();
+            dctx.phase_started = Instant::now();
         }
     }
 
@@ -451,127 +976,235 @@ impl TestGenerator {
         }
     }
 
-    /// Phase 4: evolve whole sequences, reinitializing the GA population for
-    /// every attempt, over the configured schedule of lengths.
-    #[allow(clippy::too_many_arguments)]
-    fn generate_sequences(
-        &mut self,
-        test_set: &mut Vec<Vec<Logic>>,
-        phase_vectors: &mut [usize; 4],
-        phase_trace: &mut Vec<u8>,
-        ga_evaluations: &mut usize,
-        sequence_attempts: &mut usize,
-        telem: &mut RunTelemetry,
-        pool: Option<&EvalPool>,
-    ) {
-        let nffs = self.circuit.num_dffs();
-        let pis = self.circuit.num_inputs();
-        let mut scratch: Vec<Logic> = Vec::with_capacity(pis);
-        let mut entered = false;
-        let phase_started = Instant::now();
+    /// Builds the serializable snapshot of the current machine state. For a
+    /// stop mid-invocation the simulator state is exported from the
+    /// invocation-start checkpoint — the live simulator may carry scratch
+    /// state from the last candidate evaluated on the serial path.
+    fn build_snapshot(&self, m: &MachineState, elapsed: Duration) -> RunSnapshot {
+        let pos = match &m.pos {
+            MachinePos::Vectors {
+                phase,
+                noncontributing,
+                best_known_ffs,
+                init_stall,
+                ga,
+            } => SnapshotPos::Vectors {
+                phase: phase.number(),
+                noncontributing: *noncontributing as u64,
+                best_known_ffs: *best_known_ffs as u64,
+                init_stall: *init_stall as u64,
+                ga: ga.as_ref().map(snapshot_ga),
+            },
+            MachinePos::Sequences {
+                len_idx,
+                failures,
+                ga,
+            } => SnapshotPos::Sequences {
+                len_idx: *len_idx as u64,
+                failures: *failures as u64,
+                ga: ga.as_ref().map(snapshot_ga),
+            },
+            MachinePos::Done => SnapshotPos::Done,
+        };
+        let sim = match m.pos.active_ga() {
+            Some(ga) => ga.ctx.checkpoint.export_state(),
+            None => self.sim.export_state(),
+        };
+        RunSnapshot {
+            circuit: self.circuit.name().to_string(),
+            seed: self.config.seed,
+            fault_sample: self.config.fault_sample,
+            config_digest: config_digest(&self.config),
+            total_faults: self.sim.fault_list().len() as u64,
+            master_rng: self.rng.state(),
+            test_set: m.test_set.clone(),
+            phase_vectors: m.phase_vectors.map(|v| v as u64),
+            phase_trace: m.phase_trace.clone(),
+            ga_evaluations: m.ga_evaluations as u64,
+            sequence_attempts: m.sequence_attempts as u64,
+            phase_time_ns: m.phase_time.map(|d| d.as_nanos() as u64),
+            ga_generations: m.ga_generations,
+            elapsed_ns: elapsed.as_nanos() as u64,
+            pos,
+            sim,
+            counters: self.counters.snapshot(),
+        }
+    }
 
-        for len in self.config.sequence_lengths(self.seq_depth) {
-            let mut failures = 0usize;
-            while failures < self.config.max_sequence_failures
-                && self.sim.remaining() > 0
-                && test_set.len() + len <= self.config.max_vectors
-            {
-                if !entered {
-                    entered = true;
-                    self.observer.on_event(&RunEvent::PhaseEntered {
-                        phase: 4,
-                        vectors: test_set.len(),
-                    });
-                }
-                let sample = self.draw_sample();
-                let scale = FitnessScale {
-                    faults: sample.len(),
-                    flip_flops: nffs,
-                    nodes: self.circuit.num_gates(),
-                };
+    /// Writes one checkpoint file and counts it; failures are reported, not
+    /// fatal.
+    fn write_checkpoint(
+        &self,
+        path: &Path,
+        m: &MachineState,
+        elapsed: Duration,
+    ) -> Result<(), String> {
+        let snap = self.build_snapshot(m, elapsed);
+        match snap.save(path) {
+            Ok(bytes) => {
+                self.counters.record_checkpoint_write(bytes);
+                Ok(())
+            }
+            Err(e) => Err(format!(
+                "failed to write checkpoint to {}: {e}",
+                path.display()
+            )),
+        }
+    }
 
-                let ga = GaEngine::new(self.sequence_ga_config(pis));
-                let ctx = Arc::new(EvalContext {
-                    checkpoint: self.sim.checkpoint(),
-                    job: EvalJob::Sequence {
-                        frames: len,
-                        sample,
-                        scale,
-                        pis,
-                    },
-                });
-                let mut run_rng = self.rng.fork();
-                let observer = Arc::clone(&self.observer);
-                let gen_count = &mut telem.ga_generations;
-                let mut observe = |s: &GenerationStats| {
-                    *gen_count += 1;
-                    observer.on_event(&RunEvent::GaGenerationEvaluated {
-                        phase: 4,
-                        generation: s.generation,
-                        best: s.best,
-                        mean: s.mean,
-                        evaluations: s.evaluations,
-                    });
+    /// Rebuilds the in-memory machine from a decoded snapshot. The
+    /// simulator state must already be imported (an in-flight invocation's
+    /// context re-checkpoints it).
+    fn machine_from_snapshot(&mut self, snap: &RunSnapshot) -> Result<MachineState, ResumeError> {
+        let pos = match &snap.pos {
+            SnapshotPos::Vectors {
+                phase,
+                noncontributing,
+                best_known_ffs,
+                init_stall,
+                ga,
+            } => {
+                let phase = match phase {
+                    1 => Phase::Initialization,
+                    2 => Phase::VectorGeneration,
+                    3 => Phase::StalledVectorGeneration,
+                    p => return Err(ResumeError::new(format!("invalid vector phase {p}"))),
                 };
-                let initial: Vec<Chromosome> = (0..self.config.sequence_population)
-                    .map(|_| Chromosome::random(len * pis, &mut run_rng))
-                    .collect();
-                let result = if let Some(pool) = pool {
-                    ga.run_seeded_batched_observed(
-                        initial,
-                        &mut run_rng,
-                        |batch| pool.evaluate(&ctx, batch),
-                        &mut observe,
-                    )
-                } else {
-                    let sim = &mut self.sim;
-                    let scratch = &mut scratch;
-                    ga.run_seeded_batched_observed(
-                        initial,
-                        &mut run_rng,
-                        |batch| {
-                            batch
-                                .iter()
-                                .map(|c| evaluate_candidate(sim, &ctx, c, scratch))
-                                .collect()
-                        },
-                        &mut observe,
-                    )
-                };
-                *ga_evaluations += result.evaluations;
-                *sequence_attempts += 1;
-
-                // Commit with full simulation only if it helps.
-                self.sim.restore(&ctx.checkpoint);
-                let mut detected = 0usize;
-                let mut seq = Vec::with_capacity(len);
-                let mut reports = Vec::with_capacity(len);
-                for frame in 0..len {
-                    let v = decode_frame(&result.best.chromosome, pis, frame);
-                    let report = self.sim.step(&v);
-                    detected += report.detected();
-                    reports.push(report);
-                    seq.push(v);
-                }
-                if detected > 0 {
-                    phase_vectors[3] += seq.len();
-                    phase_trace.extend(std::iter::repeat_n(4u8, seq.len()));
-                    let mut running = self.sim.detected_count() - detected;
-                    for (offset, report) in reports.iter().enumerate() {
-                        running += report.detected();
-                        self.emit_commit(4, test_set.len() + offset + 1, running, report);
-                    }
-                    test_set.extend(seq);
-                    failures = 0;
-                } else {
-                    self.sim.restore(&ctx.checkpoint);
-                    failures += 1;
+                let ga = ga
+                    .as_ref()
+                    .map(|g| self.revive_ga(g, phase, None))
+                    .transpose()?;
+                MachinePos::Vectors {
+                    phase,
+                    noncontributing: *noncontributing as usize,
+                    best_known_ffs: *best_known_ffs as usize,
+                    init_stall: *init_stall as usize,
+                    ga,
                 }
             }
+            SnapshotPos::Sequences {
+                len_idx,
+                failures,
+                ga,
+            } => {
+                let seq_lens = self.config.sequence_lengths(self.seq_depth);
+                let len_idx = *len_idx as usize;
+                let Some(&len) = seq_lens.get(len_idx) else {
+                    return Err(ResumeError::new(format!(
+                        "sequence length index {len_idx} is outside the {}-entry schedule",
+                        seq_lens.len()
+                    )));
+                };
+                let ga = ga
+                    .as_ref()
+                    .map(|g| self.revive_ga(g, Phase::SequenceGeneration, Some(len)))
+                    .transpose()?;
+                MachinePos::Sequences {
+                    len_idx,
+                    failures: *failures as usize,
+                    ga,
+                }
+            }
+            SnapshotPos::Done => MachinePos::Done,
+        };
+        Ok(MachineState {
+            test_set: snap.test_set.clone(),
+            phase_vectors: snap.phase_vectors.map(|v| v as usize),
+            phase_trace: snap.phase_trace.clone(),
+            ga_evaluations: snap.ga_evaluations as usize,
+            sequence_attempts: snap.sequence_attempts as usize,
+            phase_time: snap.phase_time_ns.map(Duration::from_nanos),
+            ga_generations: snap.ga_generations,
+            elapsed_base: Duration::from_nanos(snap.elapsed_ns),
+            pos,
+        })
+    }
+
+    /// Rebuilds one in-flight GA invocation: the evaluation context is
+    /// re-created from the (just-imported) simulator state, the GA state
+    /// and forked RNG come from the snapshot verbatim.
+    fn revive_ga(
+        &mut self,
+        g: &GaSnapshot,
+        phase: Phase,
+        frames: Option<usize>,
+    ) -> Result<ActiveGa, ResumeError> {
+        let nfaults = self.sim.fault_list().len() as u32;
+        let sample = g
+            .sample
+            .iter()
+            .map(|&id| {
+                if id < nfaults {
+                    Ok(FaultId(id))
+                } else {
+                    Err(ResumeError::new(format!(
+                        "sampled fault id {id} is outside the {nfaults}-fault list"
+                    )))
+                }
+            })
+            .collect::<Result<Vec<FaultId>, ResumeError>>()?;
+        let pis = self.circuit.num_inputs();
+        let scale = FitnessScale {
+            faults: sample.len(),
+            flip_flops: self.circuit.num_dffs(),
+            nodes: self.circuit.num_gates(),
+        };
+        let job = match frames {
+            None => EvalJob::Vector {
+                phase,
+                sample,
+                scale,
+                pis,
+            },
+            Some(frames) => EvalJob::Sequence {
+                frames,
+                sample,
+                scale,
+                pis,
+            },
+        };
+        let expected_bits = frames.unwrap_or(1) * pis;
+        let revive_individual = |ind: &SnapshotIndividual| -> Result<Evaluated, ResumeError> {
+            if ind.bits.len() != expected_bits {
+                return Err(ResumeError::new(format!(
+                    "chromosome has {} bits, expected {expected_bits}",
+                    ind.bits.len()
+                )));
+            }
+            Ok(Evaluated {
+                chromosome: Chromosome::from_bits(ind.bits.clone()),
+                fitness: ind.fitness,
+            })
+        };
+        let state = GaRunState {
+            population: g
+                .population
+                .iter()
+                .map(revive_individual)
+                .collect::<Result<Vec<_>, _>>()?,
+            best: revive_individual(&g.best)?,
+            generation: g.generation as usize,
+            evaluations: g.evaluations as usize,
+            best_history: g.best_history.clone(),
+            mean_history: g.mean_history.clone(),
+            diversity_history: g.diversity_history.clone(),
+        };
+        if state.population.is_empty() {
+            return Err(ResumeError::new("in-flight GA population is empty"));
         }
-        if entered {
-            telem.phase_time[3] += phase_started.elapsed();
-        }
+        let engine = GaEngine::new(match frames {
+            None => self.vector_ga_config(),
+            Some(_) => self.sequence_ga_config(pis),
+        });
+        Ok(ActiveGa {
+            engine,
+            state,
+            run_rng: Rng::from_state(g.rng),
+            ctx: Arc::new(EvalContext {
+                checkpoint: self.sim.checkpoint(),
+                job,
+            }),
+        })
     }
 
     fn vector_ga_config(&self) -> GaConfig {
@@ -620,6 +1253,66 @@ impl TestGenerator {
         pool.truncate(want);
         pool.sort_unstable();
         pool
+    }
+}
+
+/// Serializes one in-flight invocation.
+fn snapshot_ga(ga: &ActiveGa) -> GaSnapshot {
+    let sample = match &ga.ctx.job {
+        EvalJob::Vector { sample, .. } | EvalJob::Sequence { sample, .. } => {
+            sample.iter().map(|f| f.index() as u32).collect()
+        }
+    };
+    let snap_individual = |e: &Evaluated| SnapshotIndividual {
+        bits: e.chromosome.bits().to_vec(),
+        fitness: e.fitness,
+    };
+    GaSnapshot {
+        sample,
+        rng: ga.run_rng.state(),
+        generation: ga.state.generation as u64,
+        evaluations: ga.state.evaluations as u64,
+        population: ga.state.population.iter().map(snap_individual).collect(),
+        best: snap_individual(&ga.state.best),
+        best_history: ga.state.best_history.clone(),
+        mean_history: ga.state.mean_history.clone(),
+        diversity_history: ga.state.diversity_history.clone(),
+    }
+}
+
+/// Scores one GA batch on whichever evaluation path the invocation uses:
+/// the 64-way packed good-machine simulator in phase 1, the persistent
+/// worker pool when configured, or the serial scoring loop. All three are
+/// bit-identical; the choice is pure mechanism.
+fn eval_batch(
+    sim: &mut FaultSim,
+    counters: &SimCounters,
+    pool: Option<&EvalPool>,
+    packed: Option<&mut PackedGoodSim>,
+    ctx: &Arc<EvalContext>,
+    scratch: &mut Vec<Logic>,
+    batch: &[Chromosome],
+) -> Vec<f64> {
+    let (is_init, pis, scale) = match &ctx.job {
+        EvalJob::Vector {
+            phase, scale, pis, ..
+        } => (*phase == Phase::Initialization, *pis, *scale),
+        EvalJob::Sequence { scale, pis, .. } => (false, *pis, *scale),
+    };
+    if is_init {
+        // Phase 1 needs no fault simulation, so score 64 candidates per
+        // packed good-machine pass. The generator's simulator is never
+        // touched here: it stays at the checkpoint state the packed
+        // simulator reseeds from each batch.
+        let packed = packed.expect("phase 1 only runs on circuits with flip-flops");
+        packed_phase1_scores(packed, sim.good(), counters, batch, pis, scale)
+    } else if let Some(pool) = pool {
+        pool.evaluate(ctx, batch)
+    } else {
+        batch
+            .iter()
+            .map(|c| evaluate_candidate(sim, ctx, c, scratch))
+            .collect()
     }
 }
 
@@ -688,6 +1381,8 @@ mod tests {
             result.fault_coverage()
         );
         assert!(result.vectors() > 0);
+        assert!(result.is_complete());
+        assert!(!result.budget_exhausted());
     }
 
     #[test]
@@ -863,5 +1558,52 @@ mod tests {
             result.detected,
             random_sim.detected_count()
         );
+    }
+
+    #[test]
+    fn max_evals_budget_stops_early_with_budget_exhausted() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let full = run_on("s27", 3);
+        let config = GatestConfig::for_circuit(&circuit)
+            .with_seed(3)
+            .with_max_evals(48);
+        let partial = TestGenerator::new(Arc::clone(&circuit), config).run();
+        assert!(partial.budget_exhausted());
+        assert!(partial.ga_evaluations >= 48, "stops at a tick boundary");
+        assert!(partial.ga_evaluations < full.ga_evaluations);
+        // The budgeted prefix agrees with the full run's committed prefix.
+        assert_eq!(
+            partial.test_set[..],
+            full.test_set[..partial.test_set.len()]
+        );
+    }
+
+    #[test]
+    fn max_ticks_interrupts_deterministically() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let config = GatestConfig::for_circuit(&circuit).with_seed(3);
+        let controls = RunControls {
+            max_ticks: Some(5),
+            ..RunControls::default()
+        };
+        let a = TestGenerator::new(Arc::clone(&circuit), config.clone()).run_controlled(&controls);
+        let b = TestGenerator::new(Arc::clone(&circuit), config).run_controlled(&controls);
+        assert_eq!(a.stop, StopCause::Interrupted);
+        assert_eq!(a.test_set, b.test_set);
+        assert_eq!(a.ga_evaluations, b.ga_evaluations);
+    }
+
+    #[test]
+    fn stop_flag_interrupts_immediately() {
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s27").unwrap());
+        let config = GatestConfig::for_circuit(&circuit).with_seed(3);
+        let flag = Arc::new(AtomicBool::new(true));
+        let controls = RunControls {
+            stop: Some(Arc::clone(&flag)),
+            ..RunControls::default()
+        };
+        let r = TestGenerator::new(circuit, config).run_controlled(&controls);
+        assert_eq!(r.stop, StopCause::Interrupted);
+        assert_eq!(r.vectors(), 0, "stopped before any tick");
     }
 }

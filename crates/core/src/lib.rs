@@ -40,6 +40,7 @@
 //! # }
 //! ```
 
+pub mod checkpoint;
 pub mod compact;
 pub mod config;
 pub mod evalpool;
@@ -48,10 +49,15 @@ pub mod generator;
 pub mod report;
 pub mod transition;
 
+pub use checkpoint::{
+    config_digest, CheckpointError, GaSnapshot, RunSnapshot, SnapshotIndividual, SnapshotPos,
+};
 pub use compact::{compact_test_set, CompactionStats};
 pub use config::{table1_parameters, FaultSample, GatestConfig};
 pub use evalpool::{evaluate_candidate, EvalContext, EvalJob, EvalPool};
 pub use fitness::{FitnessScale, Phase};
 pub use gatest_telemetry as telemetry;
-pub use generator::{TestGenResult, TestGenerator};
+pub use generator::{
+    CheckpointCadence, ResumeError, RunControls, StopCause, TestGenResult, TestGenerator,
+};
 pub use transition::{TransitionResult, TransitionTestGenerator};

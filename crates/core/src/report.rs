@@ -7,6 +7,7 @@ use std::time::Duration;
 use gatest_netlist::Circuit;
 use gatest_sim::{FaultSim, Logic};
 
+use crate::checkpoint::{fnv1a, FNV_OFFSET};
 use crate::generator::TestGenResult;
 
 /// Formats a duration the way the paper's tables do: seconds below a
@@ -119,12 +120,107 @@ pub fn telemetry_table(result: &TestGenResult) -> String {
         "group steal",
         t.counters.group_steal_ns as f64 / 1e9
     );
-    let _ = write!(
+    let _ = writeln!(
         out,
         "{:<22} {:>7.1} MB",
         "scratch reused",
         t.counters.scratch_bytes_reused as f64 / 1_000_000.0
     );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>10}",
+        "ckpt writes", t.counters.checkpoint_writes
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:>7.1} MB",
+        "ckpt bytes",
+        t.counters.checkpoint_bytes as f64 / 1_000_000.0
+    );
+    let _ = write!(out, "{:<22} {:>10}", "stop cause", result.stop.as_str());
+    out
+}
+
+/// A checksum over everything a deterministic run pins down: the test set,
+/// the phase trace, the detection count, and the evaluation count. Two runs
+/// of the same configuration — including an interrupted-and-resumed run —
+/// must produce the same value.
+pub fn score_checksum(result: &TestGenResult) -> u64 {
+    let mut hash = FNV_OFFSET;
+    for vector in &result.test_set {
+        for &v in vector {
+            hash = fnv1a(hash, &[v as u8]);
+        }
+        hash = fnv1a(hash, b"/");
+    }
+    hash = fnv1a(hash, &result.phase_trace);
+    hash = fnv1a(hash, &(result.detected as u64).to_le_bytes());
+    fnv1a(hash, &(result.ga_evaluations as u64).to_le_bytes())
+}
+
+/// Serializes the deterministic portion of a result as canonical JSON: the
+/// test set, coverage, phase statistics, stop cause, and the simulator
+/// counters that replay identically across runs. Wall-clock times,
+/// thread-pool statistics, and checkpoint-write counts are deliberately
+/// excluded, so the output of an interrupted-and-resumed run is
+/// **byte-identical** to an uninterrupted one — CI diffs the two files.
+pub fn result_to_json(result: &TestGenResult) -> String {
+    let c = &result.telemetry.counters;
+    let mut out = String::from("{");
+    let _ = write!(out, "\"circuit\":\"{}\",", result.circuit);
+    let _ = write!(out, "\"total_faults\":{},", result.total_faults);
+    let _ = write!(out, "\"detected\":{},", result.detected);
+    let _ = write!(out, "\"coverage\":{:.6},", result.fault_coverage());
+    let _ = write!(out, "\"vectors\":{},", result.vectors());
+    let _ = write!(
+        out,
+        "\"phase_vectors\":[{},{},{},{}],",
+        result.phase_vectors[0],
+        result.phase_vectors[1],
+        result.phase_vectors[2],
+        result.phase_vectors[3]
+    );
+    let trace: Vec<String> = result.phase_trace.iter().map(u8::to_string).collect();
+    let _ = write!(out, "\"phase_trace\":[{}],", trace.join(","));
+    let _ = write!(out, "\"ga_evaluations\":{},", result.ga_evaluations);
+    let _ = write!(
+        out,
+        "\"ga_generations\":{},",
+        result.telemetry.ga_generations
+    );
+    let _ = write!(out, "\"sequence_attempts\":{},", result.sequence_attempts);
+    let _ = write!(out, "\"stop\":\"{}\",", result.stop.as_str());
+    let _ = write!(out, "\"budget_exhausted\":{},", result.budget_exhausted());
+    let _ = write!(out, "\"score_checksum\":{},", score_checksum(result));
+    let vectors: Vec<String> = result
+        .test_set
+        .iter()
+        .map(|v| {
+            let mut s = String::with_capacity(v.len() + 2);
+            s.push('"');
+            for l in v {
+                let _ = write!(s, "{l}");
+            }
+            s.push('"');
+            s
+        })
+        .collect();
+    let _ = write!(out, "\"test_set\":[{}],", vectors.join(","));
+    let _ = write!(
+        out,
+        "\"counters\":{{\"step_calls\":{},\"good_only_calls\":{},\"gate_evals\":{},\
+         \"good_events\":{},\"faulty_events\":{},\"checkpoint_restores\":{},\
+         \"restore_bytes_avoided\":{},\"packed_phase1_frames\":{}}}",
+        c.step_calls,
+        c.good_only_calls,
+        c.gate_evals,
+        c.good_events,
+        c.faulty_events,
+        c.checkpoint_restores,
+        c.restore_bytes_avoided,
+        c.packed_phase1_frames
+    );
+    out.push('}');
     out
 }
 
@@ -298,6 +394,8 @@ mod tests {
             ga_evaluations: 640,
             sequence_attempts: 2,
             phase_trace: vec![1, 1, 2, 2, 2, 2, 2, 3, 4],
+            stop: crate::generator::StopCause::Completed,
+            checkpoint_error: None,
             telemetry: TelemetrySnapshot {
                 phase_time: [
                     Duration::from_millis(50),
@@ -320,6 +418,8 @@ mod tests {
                     group_tasks: 340,
                     group_steal_ns: 6_000_000,
                     scratch_bytes_reused: 3_400_000,
+                    checkpoint_writes: 3,
+                    checkpoint_bytes: 18_000,
                 },
             },
         }
@@ -383,6 +483,9 @@ mod tests {
             "group tasks",
             "group steal",
             "scratch reused",
+            "ckpt writes",
+            "ckpt bytes",
+            "stop cause",
         ] {
             assert!(table.contains(needle), "missing `{needle}`:\n{table}");
         }
@@ -401,5 +504,42 @@ mod tests {
         };
         let offsets: Vec<_> = lines[1..5].iter().map(|l| time_end(l)).collect();
         assert!(offsets.iter().all(|o| *o == offsets[0]), "{offsets:?}");
+    }
+
+    #[test]
+    fn result_json_is_deterministic_and_parseable() {
+        use gatest_telemetry::json::{parse_json, Json};
+        let r = sample_result();
+        let a = result_to_json(&r);
+        let b = result_to_json(&r);
+        assert_eq!(a, b, "canonical serialization");
+        let j = parse_json(&a).unwrap();
+        assert_eq!(j.get("circuit").and_then(Json::as_str), Some("s27"));
+        assert_eq!(j.get("detected").and_then(Json::as_f64), Some(25.0));
+        assert_eq!(j.get("stop").and_then(Json::as_str), Some("completed"));
+        assert_eq!(
+            j.get("score_checksum").and_then(Json::as_f64),
+            Some(score_checksum(&r) as f64)
+        );
+        let counters = j.get("counters").unwrap();
+        assert_eq!(
+            counters.get("step_calls").and_then(Json::as_f64),
+            Some(700.0)
+        );
+        // Nondeterministic quantities stay out of the result JSON.
+        for absent in ["elapsed", "pool_idle", "checkpoint_writes", "scratch"] {
+            assert!(!a.contains(absent), "`{absent}` must not leak into {a}");
+        }
+    }
+
+    #[test]
+    fn score_checksum_tracks_the_test_set() {
+        let r = sample_result();
+        let mut changed = r.clone();
+        changed.test_set[0][0] = Logic::Zero;
+        assert_ne!(score_checksum(&r), score_checksum(&changed));
+        let mut traced = r.clone();
+        traced.phase_trace[0] = 2;
+        assert_ne!(score_checksum(&r), score_checksum(&traced));
     }
 }

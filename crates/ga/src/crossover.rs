@@ -90,7 +90,7 @@ impl CrossoverScheme {
                     }
                     // Trailing partial character (length not a multiple of
                     // g) is treated as one more unit.
-                    if !a.len().is_multiple_of(g) && rng.coin() {
+                    if a.len() % g != 0 && rng.coin() {
                         swap_range(&mut x, &mut y, chars * g, a.len());
                     }
                 }

@@ -95,6 +95,31 @@ pub struct Evaluated {
     pub fitness: f64,
 }
 
+/// The complete mid-run state of one GA invocation.
+///
+/// Produced by [`GaEngine::begin`], advanced one generation at a time by
+/// [`GaEngine::advance`], and turned into a [`GaResult`] by
+/// [`GaEngine::finish`]. Every field is plain data, so the state can be
+/// serialized for checkpointing and a resumed run continues bit-identically
+/// (the caller must also save/restore the [`Rng`] driving `advance`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GaRunState {
+    /// The current population, every member evaluated.
+    pub population: Vec<Evaluated>,
+    /// The best individual seen in any generation so far.
+    pub best: Evaluated,
+    /// Generations evolved so far (0 = only the initial population).
+    pub generation: usize,
+    /// Total fitness evaluations performed so far.
+    pub evaluations: usize,
+    /// Best fitness per generation (index 0 = initial population).
+    pub best_history: Vec<f64>,
+    /// Mean fitness per generation.
+    pub mean_history: Vec<f64>,
+    /// Population diversity per generation.
+    pub diversity_history: Vec<f64>,
+}
+
 /// Result of one GA run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GaResult {
@@ -228,6 +253,31 @@ impl GaEngine {
         F: FnMut(&[Chromosome]) -> Vec<f64>,
         O: FnMut(&GenerationStats),
     {
+        let (mut state, first) = self.begin(initial, &mut eval);
+        observe(&first);
+        while !self.is_done(&state) {
+            let stats = self.advance(&mut state, rng, &mut eval);
+            observe(&stats);
+        }
+        self.finish(state)
+    }
+
+    /// Evaluates the initial population and returns the run state positioned
+    /// at generation 0, plus the generation-0 statistics. The first step of
+    /// the resumable API: `begin` → [`GaEngine::advance`] until
+    /// [`GaEngine::is_done`] → [`GaEngine::finish`] is exactly
+    /// [`GaEngine::run_seeded_batched_observed`]. No randomness is consumed,
+    /// so a checkpoint taken between generations needs only the state and
+    /// the caller's [`Rng`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty, its chromosomes have unequal lengths,
+    /// or `eval` returns the wrong number of fitness values.
+    pub fn begin<F>(&self, initial: Vec<Chromosome>, mut eval: F) -> (GaRunState, GenerationStats)
+    where
+        F: FnMut(&[Chromosome]) -> Vec<f64>,
+    {
         assert!(!initial.is_empty(), "initial population must not be empty");
         let len = initial[0].len();
         assert!(
@@ -235,15 +285,14 @@ impl GaEngine {
             "all chromosomes must share one length"
         );
 
-        let mut evaluations = 0usize;
         let scores = eval(&initial);
         assert_eq!(
             scores.len(),
             initial.len(),
             "eval must score every chromosome"
         );
-        evaluations += initial.len();
-        let mut population: Vec<Evaluated> = initial
+        let evaluations = initial.len();
+        let population: Vec<Evaluated> = initial
             .into_iter()
             .zip(scores)
             .map(|(chromosome, fitness)| Evaluated {
@@ -252,129 +301,159 @@ impl GaEngine {
             })
             .collect();
 
-        let mut best = population
+        let best = population
             .iter()
             .max_by(|a, b| a.fitness.total_cmp(&b.fitness))
             .expect("population is non-empty")
             .clone();
-        let mut best_history = vec![best.fitness];
-        let mut mean_history = vec![mean_fitness(&population)];
-        let mut diversity_history = vec![diversity(&population)];
-        observe(&GenerationStats {
+        let mean = mean_fitness(&population);
+        let stats = GenerationStats {
             generation: 0,
             best: best.fitness,
-            mean: mean_history[0],
+            mean,
             evaluations,
-        });
+        };
+        let state = GaRunState {
+            best_history: vec![best.fitness],
+            mean_history: vec![mean],
+            diversity_history: vec![diversity(&population)],
+            best,
+            generation: 0,
+            evaluations,
+            population,
+        };
+        (state, stats)
+    }
 
-        for generation in 0..self.config.generations {
-            let g = self.config.offspring_per_generation().min(population.len());
-            let fitness: Vec<f64> = population.iter().map(|e| e.fitness).collect();
-            let parents = self.config.selection.select(&fitness, g.max(2), rng);
+    /// `true` once `state` has evolved the configured number of generations.
+    pub fn is_done(&self, state: &GaRunState) -> bool {
+        state.generation >= self.config.generations
+    }
 
-            let mut offspring: Vec<Chromosome> = Vec::with_capacity(g);
-            for pair in parents.chunks(2) {
+    /// Evolves `state` by exactly one generation: select parents, cross,
+    /// mutate, evaluate the offspring, and fold them into the population.
+    /// Consumes randomness from `rng` in the same order as the monolithic
+    /// run methods, so stepping is bit-identical to running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eval` returns the wrong number of fitness values.
+    pub fn advance<F>(&self, state: &mut GaRunState, rng: &mut Rng, mut eval: F) -> GenerationStats
+    where
+        F: FnMut(&[Chromosome]) -> Vec<f64>,
+    {
+        let population = &mut state.population;
+        let g = self.config.offspring_per_generation().min(population.len());
+        let fitness: Vec<f64> = population.iter().map(|e| e.fitness).collect();
+        let parents = self.config.selection.select(&fitness, g.max(2), rng);
+
+        let mut offspring: Vec<Chromosome> = Vec::with_capacity(g);
+        for pair in parents.chunks(2) {
+            if offspring.len() >= g {
+                break;
+            }
+            let (pa, pb) = (pair[0], pair[pair.len() - 1]);
+            let (mut ca, mut cb) = if rng.chance(self.config.crossover_probability) {
+                self.config.crossover.cross(
+                    &population[pa].chromosome,
+                    &population[pb].chromosome,
+                    self.config.coding,
+                    rng,
+                )
+            } else {
+                (
+                    population[pa].chromosome.clone(),
+                    population[pb].chromosome.clone(),
+                )
+            };
+            mutate(&mut ca, self.config.mutation_rate, self.config.coding, rng);
+            mutate(&mut cb, self.config.mutation_rate, self.config.coding, rng);
+            for chromosome in [ca, cb] {
                 if offspring.len() >= g {
                     break;
                 }
-                let (pa, pb) = (pair[0], pair[pair.len() - 1]);
-                let (mut ca, mut cb) = if rng.chance(self.config.crossover_probability) {
-                    self.config.crossover.cross(
-                        &population[pa].chromosome,
-                        &population[pb].chromosome,
-                        self.config.coding,
-                        rng,
-                    )
-                } else {
-                    (
-                        population[pa].chromosome.clone(),
-                        population[pb].chromosome.clone(),
-                    )
-                };
-                mutate(&mut ca, self.config.mutation_rate, self.config.coding, rng);
-                mutate(&mut cb, self.config.mutation_rate, self.config.coding, rng);
-                for chromosome in [ca, cb] {
-                    if offspring.len() >= g {
-                        break;
-                    }
-                    offspring.push(chromosome);
-                }
+                offspring.push(chromosome);
             }
-            let scores = eval(&offspring);
-            assert_eq!(
-                scores.len(),
-                offspring.len(),
-                "eval must score every chromosome"
-            );
-            evaluations += offspring.len();
-            let generation_evaluations = offspring.len();
-            let children: Vec<Evaluated> = offspring
-                .into_iter()
-                .zip(scores)
-                .map(|(chromosome, fitness)| Evaluated {
-                    chromosome,
-                    fitness,
-                })
-                .collect();
+        }
+        let scores = eval(&offspring);
+        assert_eq!(
+            scores.len(),
+            offspring.len(),
+            "eval must score every chromosome"
+        );
+        state.evaluations += offspring.len();
+        let generation_evaluations = offspring.len();
+        let children: Vec<Evaluated> = offspring
+            .into_iter()
+            .zip(scores)
+            .map(|(chromosome, fitness)| Evaluated {
+                chromosome,
+                fitness,
+            })
+            .collect();
 
-            if children.len() == population.len() {
-                let elites = self.config.elitism.min(population.len());
-                if elites > 0 {
-                    // Keep the top `elites` of the old generation, dropping
-                    // the weakest children to make room.
-                    let mut old_order: Vec<usize> = (0..population.len()).collect();
-                    old_order
-                        .sort_by(|&a, &b| population[b].fitness.total_cmp(&population[a].fitness));
-                    let mut new_population = children;
-                    let mut child_order: Vec<usize> = (0..new_population.len()).collect();
-                    child_order.sort_by(|&a, &b| {
-                        new_population[a]
-                            .fitness
-                            .total_cmp(&new_population[b].fitness)
-                    });
-                    for (slot, &old_idx) in child_order.iter().zip(old_order.iter().take(elites)) {
-                        new_population[*slot] = population[old_idx].clone();
-                    }
-                    population = new_population;
-                } else {
-                    population = children;
+        if children.len() == population.len() {
+            let elites = self.config.elitism.min(population.len());
+            if elites > 0 {
+                // Keep the top `elites` of the old generation, dropping
+                // the weakest children to make room.
+                let mut old_order: Vec<usize> = (0..population.len()).collect();
+                old_order.sort_by(|&a, &b| population[b].fitness.total_cmp(&population[a].fitness));
+                let mut new_population = children;
+                let mut child_order: Vec<usize> = (0..new_population.len()).collect();
+                child_order.sort_by(|&a, &b| {
+                    new_population[a]
+                        .fitness
+                        .total_cmp(&new_population[b].fitness)
+                });
+                for (slot, &old_idx) in child_order.iter().zip(old_order.iter().take(elites)) {
+                    new_population[*slot] = population[old_idx].clone();
                 }
+                *population = new_population;
             } else {
-                // Overlapping generations: the g worst individuals are
-                // replaced by the new offspring (§III-C).
-                let mut order: Vec<usize> = (0..population.len()).collect();
-                order.sort_by(|&a, &b| population[a].fitness.total_cmp(&population[b].fitness));
-                for (slot, child) in order.into_iter().zip(children) {
-                    population[slot] = child;
-                }
+                *population = children;
             }
-
-            let gen_best = population
-                .iter()
-                .max_by(|a, b| a.fitness.total_cmp(&b.fitness))
-                .expect("population stays non-empty");
-            let gen_best_fitness = gen_best.fitness;
-            if gen_best.fitness > best.fitness {
-                best = gen_best.clone();
+        } else {
+            // Overlapping generations: the g worst individuals are
+            // replaced by the new offspring (§III-C).
+            let mut order: Vec<usize> = (0..population.len()).collect();
+            order.sort_by(|&a, &b| population[a].fitness.total_cmp(&population[b].fitness));
+            for (slot, child) in order.into_iter().zip(children) {
+                population[slot] = child;
             }
-            best_history.push(best.fitness);
-            mean_history.push(mean_fitness(&population));
-            diversity_history.push(diversity(&population));
-            observe(&GenerationStats {
-                generation: generation + 1,
-                best: gen_best_fitness,
-                mean: *mean_history.last().expect("just pushed"),
-                evaluations: generation_evaluations,
-            });
         }
 
+        let gen_best = population
+            .iter()
+            .max_by(|a, b| a.fitness.total_cmp(&b.fitness))
+            .expect("population stays non-empty");
+        let gen_best_fitness = gen_best.fitness;
+        if gen_best.fitness > state.best.fitness {
+            state.best = gen_best.clone();
+        }
+        state.best_history.push(state.best.fitness);
+        state.mean_history.push(mean_fitness(population));
+        state.diversity_history.push(diversity(population));
+        state.generation += 1;
+        GenerationStats {
+            generation: state.generation,
+            best: gen_best_fitness,
+            mean: *state.mean_history.last().expect("just pushed"),
+            evaluations: generation_evaluations,
+        }
+    }
+
+    /// Converts a finished (or deliberately cut-short) run state into a
+    /// [`GaResult`]. `generations` reports how far the state actually
+    /// evolved, which equals the configured limit for a completed run.
+    pub fn finish(&self, state: GaRunState) -> GaResult {
         GaResult {
-            best,
-            evaluations,
-            generations: self.config.generations,
-            best_history,
-            mean_history,
-            diversity_history,
+            best: state.best,
+            evaluations: state.evaluations,
+            generations: state.generation,
+            best_history: state.best_history,
+            mean_history: state.mean_history,
+            diversity_history: state.diversity_history,
         }
     }
 }
@@ -619,6 +698,66 @@ mod tests {
             assert!(s.best <= *b, "population best never exceeds best-so-far");
             assert_eq!(s.mean, *m);
         }
+    }
+
+    #[test]
+    fn stepping_matches_monolithic_run() {
+        let engine = GaEngine::new(GaConfig {
+            population_size: 12,
+            generations: 6,
+            ..GaConfig::default()
+        });
+        let mut seed_rng = Rng::new(21);
+        let pop: Vec<Chromosome> = (0..12)
+            .map(|_| Chromosome::random(20, &mut seed_rng))
+            .collect();
+        let batch_eval = |batch: &[Chromosome]| -> Vec<f64> { batch.iter().map(one_max).collect() };
+
+        let monolithic = engine.run_seeded_batched(pop.clone(), &mut Rng::new(55), batch_eval);
+
+        let mut rng = Rng::new(55);
+        let (mut state, _) = engine.begin(pop, batch_eval);
+        while !engine.is_done(&state) {
+            engine.advance(&mut state, &mut rng, batch_eval);
+        }
+        let stepped = engine.finish(state);
+        assert_eq!(monolithic, stepped);
+    }
+
+    #[test]
+    fn cloned_state_resumes_bit_identically() {
+        // Snapshot the run state and RNG mid-run; finishing from the
+        // snapshot must match finishing the original.
+        let engine = GaEngine::new(GaConfig {
+            population_size: 10,
+            generations: 8,
+            ..GaConfig::default()
+        });
+        let mut seed_rng = Rng::new(2);
+        let pop: Vec<Chromosome> = (0..10)
+            .map(|_| Chromosome::random(16, &mut seed_rng))
+            .collect();
+        let batch_eval = |batch: &[Chromosome]| -> Vec<f64> { batch.iter().map(one_max).collect() };
+
+        let mut rng = Rng::new(77);
+        let (mut state, _) = engine.begin(pop, batch_eval);
+        for _ in 0..3 {
+            engine.advance(&mut state, &mut rng, batch_eval);
+        }
+        let saved_state = state.clone();
+        let mut saved_rng = Rng::from_state(rng.state());
+
+        while !engine.is_done(&state) {
+            engine.advance(&mut state, &mut rng, batch_eval);
+        }
+        let original = engine.finish(state);
+
+        let mut resumed_state = saved_state;
+        while !engine.is_done(&resumed_state) {
+            engine.advance(&mut resumed_state, &mut saved_rng, batch_eval);
+        }
+        let resumed = engine.finish(resumed_state);
+        assert_eq!(original, resumed);
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub mod selection;
 
 pub use chromosome::{Chromosome, Coding};
 pub use crossover::CrossoverScheme;
-pub use engine::{Evaluated, GaConfig, GaEngine, GaResult, GenerationStats};
+pub use engine::{Evaluated, GaConfig, GaEngine, GaResult, GaRunState, GenerationStats};
 pub use rng::Rng;
 pub use selection::SelectionScheme;

@@ -92,6 +92,48 @@ pub struct Checkpoint {
     vectors_applied: u32,
 }
 
+impl Checkpoint {
+    /// Exports the saved state as owned plain data (see [`SimState`])
+    /// without needing the simulator itself. A checkpoint file writer uses
+    /// this to serialize the state a run had at the *start* of the current
+    /// GA invocation even while the live simulator carries scratch state
+    /// from candidate evaluation.
+    pub fn export_state(&self) -> SimState {
+        SimState {
+            good_values: self.good.values().to_vec(),
+            good_next_state: self.good.next_state().to_vec(),
+            status: self.status.as_ref().clone(),
+            faulty_ff: self.faulty_ff.iter().map(|e| e.to_vec()).collect(),
+            vectors_applied: self.vectors_applied,
+        }
+    }
+}
+
+/// A complete, owned, serializable snapshot of a [`FaultSim`]'s mutable
+/// state, produced by [`FaultSim::export_state`] and reloaded with
+/// [`FaultSim::import_state`].
+///
+/// Unlike [`Checkpoint`] — which `Arc`-shares the fault tables for cheap
+/// in-process save/restore — this struct owns plain vectors of plain data,
+/// so a checkpoint file writer can serialize every field and a fresh
+/// simulator (in a different process) can adopt it exactly. The active
+/// fault list is not stored: it is recomputed from `status`, which is the
+/// single source of truth for detection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimState {
+    /// Good-machine net values, one per net.
+    pub good_values: Vec<Logic>,
+    /// Good-machine latched next-state values, one per flip-flop.
+    pub good_next_state: Vec<Logic>,
+    /// Detection status, one per fault in fault-id order.
+    pub status: Vec<FaultStatus>,
+    /// Sparse faulty flip-flop state per fault: `(dff index, faulty value)`
+    /// wherever the faulty machine differs from the good machine.
+    pub faulty_ff: Vec<Vec<(u32, Logic)>>,
+    /// Vectors committed so far.
+    pub vectors_applied: u32,
+}
+
 /// The sequential fault simulator.
 ///
 /// # Example
@@ -528,6 +570,79 @@ impl FaultSim {
             + cp.ff_entries * size_of::<(u32, Logic)>()) as u64
     }
 
+    /// Exports the complete mutable state as owned plain data, suitable for
+    /// serialization to a checkpoint file. See [`SimState`].
+    pub fn export_state(&self) -> SimState {
+        let good = self.good.snapshot();
+        SimState {
+            good_values: good.values().to_vec(),
+            good_next_state: good.next_state().to_vec(),
+            status: self.status.as_ref().clone(),
+            faulty_ff: self.faulty_ff.iter().map(|e| e.to_vec()).collect(),
+            vectors_applied: self.vectors_applied,
+        }
+    }
+
+    /// Adopts a state exported by [`FaultSim::export_state`] from a
+    /// simulator over the same circuit and fault list. The active fault
+    /// list and the faulty-FF entry tally are rebuilt from the state, so a
+    /// resumed simulator is indistinguishable from the one that exported.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's dimensions do not match this simulator's
+    /// circuit or fault list.
+    pub fn import_state(&mut self, state: &SimState) {
+        assert_eq!(
+            state.status.len(),
+            self.faults.len(),
+            "fault count mismatch: state is from a different fault list"
+        );
+        assert_eq!(
+            state.faulty_ff.len(),
+            self.faults.len(),
+            "faulty-FF table size mismatch"
+        );
+        assert_eq!(
+            state.good_values.len(),
+            self.circuit.num_gates(),
+            "net count mismatch: state is from a different circuit"
+        );
+        assert_eq!(
+            state.good_next_state.len(),
+            self.circuit.num_dffs(),
+            "flip-flop count mismatch"
+        );
+        self.good.restore(&GoodSimState::from_parts(
+            state.good_values.clone(),
+            state.good_next_state.clone(),
+        ));
+        self.status = Arc::new(state.status.clone());
+        self.active = Arc::new(
+            (0..self.faults.len() as u32)
+                .map(FaultId)
+                .filter(|f| matches!(state.status[f.index()], FaultStatus::Undetected))
+                .collect(),
+        );
+        let mut ff_entries = 0;
+        self.faulty_ff = Arc::new(
+            state
+                .faulty_ff
+                .iter()
+                .map(|e| {
+                    ff_entries += e.len();
+                    if e.is_empty() {
+                        Arc::clone(&self.empty_ff)
+                    } else {
+                        Arc::from(e.as_slice())
+                    }
+                })
+                .collect(),
+        );
+        self.ff_entries = ff_entries;
+        self.vectors_applied = state.vectors_applied;
+    }
+
     /// Resets everything: all faults undetected, all state X.
     pub fn reset(&mut self) {
         let nfaults = self.faults.len();
@@ -886,6 +1001,55 @@ mod tests {
             1,
             "detached counters stop accumulating"
         );
+    }
+
+    #[test]
+    fn exported_state_resumes_a_fresh_simulator_exactly() {
+        // A brand-new simulator adopting an exported state must continue
+        // bit-identically to the original — the checkpoint/resume guarantee
+        // at the simulator layer.
+        let circuit = s27();
+        let mut sim = FaultSim::new(Arc::clone(&circuit));
+        for v in prng_sequence(4, 9, 47) {
+            sim.step(&v);
+        }
+        let state = sim.export_state();
+
+        let mut fresh = FaultSim::new(circuit);
+        fresh.import_state(&state);
+        assert_eq!(fresh.detected_count(), sim.detected_count());
+        assert_eq!(fresh.vectors_applied(), sim.vectors_applied());
+        assert_eq!(fresh.active_faults(), sim.active_faults());
+        for v in prng_sequence(4, 12, 48) {
+            assert_eq!(sim.step(&v), fresh.step(&v));
+        }
+        assert_eq!(fresh.export_state(), sim.export_state());
+    }
+
+    #[test]
+    fn export_import_round_trips_mid_campaign_state() {
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        for v in prng_sequence(4, 5, 53) {
+            sim.step(&v);
+        }
+        let state = sim.export_state();
+        // Diverge, then import back: the simulator must return exactly.
+        for v in prng_sequence(4, 7, 54) {
+            sim.step(&v);
+        }
+        sim.import_state(&state);
+        assert_eq!(sim.export_state(), state);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault count mismatch")]
+    fn import_rejects_mismatched_fault_list() {
+        let circuit = s27();
+        let full = FaultSim::with_faults(Arc::clone(&circuit), FaultList::full(&circuit));
+        let state = full.export_state();
+        let mut collapsed = FaultSim::new(circuit);
+        collapsed.import_state(&state);
     }
 
     #[test]

@@ -32,6 +32,24 @@ pub struct GoodSimState {
     next_state: Vec<Logic>,
 }
 
+impl GoodSimState {
+    /// Rebuilds a snapshot from raw parts (checkpoint deserialization).
+    /// `values` is one entry per net, `next_state` one per flip-flop.
+    pub fn from_parts(values: Vec<Logic>, next_state: Vec<Logic>) -> Self {
+        GoodSimState { values, next_state }
+    }
+
+    /// The snapshotted net values, one per net.
+    pub fn values(&self) -> &[Logic] {
+        &self.values
+    }
+
+    /// The snapshotted latched next-state values, one per flip-flop.
+    pub fn next_state(&self) -> &[Logic] {
+        &self.next_state
+    }
+}
+
 /// The good-circuit simulator.
 ///
 /// # Example

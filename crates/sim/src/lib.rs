@@ -68,7 +68,7 @@ pub mod vcd;
 
 pub use dictionary::{FaultDictionary, Syndrome};
 pub use fault::{Fault, FaultId, FaultList, FaultSite, FaultStatus};
-pub use fsim::{Checkpoint, FaultSim, StepReport};
+pub use fsim::{Checkpoint, FaultSim, SimState, StepReport};
 pub use good_sim::{GoodSim, GoodSimState, GoodStepReport};
 pub use packed_good::PackedGoodSim;
 pub use transition::{Slow, TransitionFault, TransitionFaultSim};

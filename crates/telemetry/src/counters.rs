@@ -46,6 +46,10 @@ pub struct SimCounters {
     /// words, forcing-table entries, faulty-FF state builders) that the
     /// pre-arena simulator allocated fresh on every use.
     pub scratch_bytes_reused: AtomicU64,
+    /// Run-state checkpoint files written (cadence + final writes).
+    pub checkpoint_writes: AtomicU64,
+    /// Total bytes of checkpoint files written.
+    pub checkpoint_bytes: AtomicU64,
 }
 
 impl SimCounters {
@@ -114,6 +118,48 @@ impl SimCounters {
             .fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Records one run-state checkpoint file written and its size.
+    #[inline]
+    pub fn record_checkpoint_write(&self, bytes: u64) {
+        self.checkpoint_writes.fetch_add(1, Ordering::Relaxed);
+        self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Overwrites every counter with the totals in `snapshot`, so a resumed
+    /// run continues accumulating from where the checkpointed run stopped.
+    pub fn load_snapshot(&self, snapshot: &CounterSnapshot) {
+        self.step_calls
+            .store(snapshot.step_calls, Ordering::Relaxed);
+        self.good_only_calls
+            .store(snapshot.good_only_calls, Ordering::Relaxed);
+        self.gate_evals
+            .store(snapshot.gate_evals, Ordering::Relaxed);
+        self.good_events
+            .store(snapshot.good_events, Ordering::Relaxed);
+        self.faulty_events
+            .store(snapshot.faulty_events, Ordering::Relaxed);
+        self.checkpoint_restores
+            .store(snapshot.checkpoint_restores, Ordering::Relaxed);
+        self.restore_bytes_avoided
+            .store(snapshot.restore_bytes_avoided, Ordering::Relaxed);
+        self.packed_phase1_frames
+            .store(snapshot.packed_phase1_frames, Ordering::Relaxed);
+        self.pool_tasks
+            .store(snapshot.pool_tasks, Ordering::Relaxed);
+        self.pool_idle_ns
+            .store(snapshot.pool_idle_ns, Ordering::Relaxed);
+        self.group_tasks
+            .store(snapshot.group_tasks, Ordering::Relaxed);
+        self.group_steal_ns
+            .store(snapshot.group_steal_ns, Ordering::Relaxed);
+        self.scratch_bytes_reused
+            .store(snapshot.scratch_bytes_reused, Ordering::Relaxed);
+        self.checkpoint_writes
+            .store(snapshot.checkpoint_writes, Ordering::Relaxed);
+        self.checkpoint_bytes
+            .store(snapshot.checkpoint_bytes, Ordering::Relaxed);
+    }
+
     /// A plain-integer copy of the current totals.
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -130,6 +176,8 @@ impl SimCounters {
             group_tasks: self.group_tasks.load(Ordering::Relaxed),
             group_steal_ns: self.group_steal_ns.load(Ordering::Relaxed),
             scratch_bytes_reused: self.scratch_bytes_reused.load(Ordering::Relaxed),
+            checkpoint_writes: self.checkpoint_writes.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -148,6 +196,8 @@ impl SimCounters {
         self.group_tasks.store(0, Ordering::Relaxed);
         self.group_steal_ns.store(0, Ordering::Relaxed);
         self.scratch_bytes_reused.store(0, Ordering::Relaxed);
+        self.checkpoint_writes.store(0, Ordering::Relaxed);
+        self.checkpoint_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -180,6 +230,10 @@ pub struct CounterSnapshot {
     pub group_steal_ns: u64,
     /// Bytes served from reusable simulator scratch buffers.
     pub scratch_bytes_reused: u64,
+    /// Run-state checkpoint files written.
+    pub checkpoint_writes: u64,
+    /// Total bytes of checkpoint files written.
+    pub checkpoint_bytes: u64,
 }
 
 impl CounterSnapshot {
@@ -234,6 +288,27 @@ mod tests {
         assert_eq!(s.scratch_bytes_reused, 5_120);
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn checkpoint_write_counters_accumulate_and_reload() {
+        let c = SimCounters::new();
+        c.record_checkpoint_write(10_000);
+        c.record_checkpoint_write(12_000);
+        c.record_step(5, 1, 2);
+        let s = c.snapshot();
+        assert_eq!(s.checkpoint_writes, 2);
+        assert_eq!(s.checkpoint_bytes, 22_000);
+
+        // A resumed run reloads the saved totals and keeps accumulating.
+        let resumed = SimCounters::new();
+        resumed.load_snapshot(&s);
+        assert_eq!(resumed.snapshot(), s);
+        resumed.record_checkpoint_write(1_000);
+        let s2 = resumed.snapshot();
+        assert_eq!(s2.checkpoint_writes, 3);
+        assert_eq!(s2.checkpoint_bytes, 23_000);
+        assert_eq!(s2.step_calls, 1);
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub enum RunEvent {
         /// Index of the detecting vector in the test set.
         vector: usize,
     },
-    /// The run completed.
+    /// The run completed (or stopped early on a budget or interrupt).
     RunFinished {
         /// Faults detected by the final test set.
         detected: usize,
@@ -71,8 +71,11 @@ pub enum RunEvent {
         vectors: usize,
         /// Total GA fitness evaluations.
         ga_evaluations: usize,
-        /// Wall-clock run time in seconds.
+        /// Wall-clock run time in seconds (cumulative across resumed legs).
         elapsed_secs: f64,
+        /// True when the run stopped because a wall-clock or evaluation
+        /// budget was exhausted rather than by finishing the flow.
+        budget_exhausted: bool,
         /// Final telemetry aggregate (phase timings, counters).
         snapshot: TelemetrySnapshot,
     },

@@ -76,11 +76,12 @@ pub fn event_to_json(event: &RunEvent) -> String {
             vectors,
             ga_evaluations,
             elapsed_secs,
+            budget_exhausted,
             snapshot,
         } => {
             let _ = write!(
                 s,
-                ",\"detected\":{detected},\"total_faults\":{total_faults},\"vectors\":{vectors},\"ga_evaluations\":{ga_evaluations},\"elapsed_secs\":{},{}",
+                ",\"detected\":{detected},\"total_faults\":{total_faults},\"vectors\":{vectors},\"ga_evaluations\":{ga_evaluations},\"elapsed_secs\":{},\"budget_exhausted\":{budget_exhausted},{}",
                 num(*elapsed_secs),
                 snapshot_fields(snapshot)
             );
@@ -101,7 +102,7 @@ fn snapshot_fields(snapshot: &TelemetrySnapshot) -> String {
     }
     let _ = write!(
         s,
-        "],\"ga_generations\":{},\"counters\":{{\"step_calls\":{},\"good_only_calls\":{},\"gate_evals\":{},\"good_events\":{},\"faulty_events\":{},\"checkpoint_restores\":{},\"restore_bytes_avoided\":{},\"packed_phase1_frames\":{},\"pool_tasks\":{},\"pool_idle_ns\":{},\"group_tasks\":{},\"group_steal_ns\":{},\"scratch_bytes_reused\":{}}}",
+        "],\"ga_generations\":{},\"counters\":{{\"step_calls\":{},\"good_only_calls\":{},\"gate_evals\":{},\"good_events\":{},\"faulty_events\":{},\"checkpoint_restores\":{},\"restore_bytes_avoided\":{},\"packed_phase1_frames\":{},\"pool_tasks\":{},\"pool_idle_ns\":{},\"group_tasks\":{},\"group_steal_ns\":{},\"scratch_bytes_reused\":{},\"checkpoint_writes\":{},\"checkpoint_bytes\":{}}}",
         snapshot.ga_generations,
         c.step_calls,
         c.good_only_calls,
@@ -115,7 +116,9 @@ fn snapshot_fields(snapshot: &TelemetrySnapshot) -> String {
         c.pool_idle_ns,
         c.group_tasks,
         c.group_steal_ns,
-        c.scratch_bytes_reused
+        c.scratch_bytes_reused,
+        c.checkpoint_writes,
+        c.checkpoint_bytes
     );
     s
 }
@@ -414,6 +417,7 @@ mod tests {
                 vectors: 9,
                 ga_evaluations: 640,
                 elapsed_secs: 0.125,
+                budget_exhausted: false,
                 snapshot: TelemetrySnapshot {
                     phase_time: [
                         Duration::from_millis(10),
@@ -436,6 +440,8 @@ mod tests {
                         group_tasks: 1_024,
                         group_steal_ns: 730_000,
                         scratch_bytes_reused: 8_388_608,
+                        checkpoint_writes: 3,
+                        checkpoint_bytes: 45_000,
                     },
                 },
             },
@@ -520,6 +526,14 @@ mod tests {
         assert_eq!(
             counters.get("scratch_bytes_reused").and_then(Json::as_u64),
             Some(8_388_608)
+        );
+        assert_eq!(
+            counters.get("checkpoint_writes").and_then(Json::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            counters.get("checkpoint_bytes").and_then(Json::as_u64),
+            Some(45_000)
         );
     }
 

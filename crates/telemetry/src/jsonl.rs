@@ -100,6 +100,7 @@ mod tests {
             vectors: 9,
             ga_evaluations: 100,
             elapsed_secs: 0.5,
+            budget_exhausted: false,
             snapshot: TelemetrySnapshot::default(),
         });
         assert_eq!(writer.error_count(), 0);

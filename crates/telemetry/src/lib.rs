@@ -150,6 +150,7 @@ mod tests {
             vectors: 0,
             ga_evaluations: 0,
             elapsed_secs: 0.0,
+            budget_exhausted: false,
             snapshot: TelemetrySnapshot::default(),
         });
     }

@@ -3,7 +3,8 @@
 # number) and fault-simulation step throughput (the fault-group pool's
 # headline number), recording them in BENCH_eval.json and BENCH_sim.json so
 # the performance trajectory is tracked across PRs. Pass --smoke for a fast
-# CI-sized run; the BENCH_sim output is schema-validated either way.
+# CI-sized run. Validation and the regression gate live in check_bench.sh —
+# this script only refreshes the committed baselines.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,6 +22,6 @@ target/release/bench_eval $mode > BENCH_eval.json
 echo "wrote BENCH_eval.json:" >&2
 cat BENCH_eval.json
 target/release/bench_sim $mode > BENCH_sim.json
-target/release/bench_sim --validate BENCH_sim.json >&2
 echo "wrote BENCH_sim.json:" >&2
 cat BENCH_sim.json
+scripts/check_bench.sh --validate >&2

@@ -1,0 +1,92 @@
+#!/bin/sh
+# The single bench gate used by CI and local runs.
+#
+#   check_bench.sh --validate   schema-validate the committed BENCH_eval.json
+#                               and BENCH_sim.json baselines
+#   check_bench.sh --smoke      run both microbenchmarks in smoke mode,
+#                               schema-validate their output, and fail when
+#                               the serial (workers=1 / sim_threads=1)
+#                               throughput regresses more than
+#                               BENCH_TOLERANCE (default 0.15 = 15%) below
+#                               the committed baseline
+#
+# The regression comparison is skipped with a warning when the host CPU
+# count differs from the one the committed baseline was recorded on — the
+# numbers are not comparable across machine shapes.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${BENCH_TOLERANCE:-0.15}"
+
+usage() {
+    echo "usage: $0 --validate | --smoke" >&2
+    exit 2
+}
+
+[ "$#" -eq 1 ] || usage
+mode="$1"
+case "$mode" in
+    --validate|--smoke) ;;
+    *) usage ;;
+esac
+
+cargo build --release -p gatest-bench --bin bench_eval --bin bench_sim
+
+validate_committed() {
+    target/release/bench_eval --validate BENCH_eval.json
+    target/release/bench_sim --validate BENCH_sim.json
+}
+
+# json_num FILE KEY -> first numeric value of "KEY" in FILE
+json_num() {
+    sed -n "s/.*\"$2\": *\\([0-9][0-9.]*\\).*/\\1/p" "$1" | head -n 1
+}
+
+# rate FILE ROWKEY ROWVAL RATEKEY -> RATEKEY from the row where ROWKEY=ROWVAL
+rate() {
+    grep "\"$2\": *$3[,}]" "$1" | sed -n "s/.*\"$4\": *\\([0-9][0-9.]*\\).*/\\1/p" | head -n 1
+}
+
+# compare LABEL BASELINE CURRENT -> fails when CURRENT < (1-TOLERANCE)*BASELINE
+compare() {
+    awk -v label="$1" -v base="$2" -v cur="$3" -v tol="$TOLERANCE" 'BEGIN {
+        floor = base * (1 - tol)
+        if (cur < floor) {
+            printf "FAIL %s: %.0f/sec is %.1f%% below the committed %.0f/sec (floor %.0f at %.0f%% tolerance)\n",
+                label, cur, 100 * (1 - cur / base), base, floor, 100 * tol
+            exit 1
+        }
+        printf "ok   %s: %.0f/sec vs committed %.0f/sec (floor %.0f)\n", label, cur, base, floor
+    }'
+}
+
+if [ "$mode" = "--validate" ]; then
+    validate_committed
+    exit 0
+fi
+
+# --smoke: fresh runs, schema checks, then the regression gate.
+validate_committed
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+target/release/bench_eval --smoke > "$tmpdir/eval.json"
+target/release/bench_sim --smoke > "$tmpdir/sim.json"
+target/release/bench_eval --validate "$tmpdir/eval.json"
+target/release/bench_sim --validate "$tmpdir/sim.json"
+
+host_cpus="$(json_num "$tmpdir/eval.json" host_cpus)"
+base_cpus="$(json_num BENCH_eval.json host_cpus)"
+if [ "$host_cpus" != "$base_cpus" ]; then
+    echo "warning: host_cpus $host_cpus differs from the committed baseline's $base_cpus; skipping the regression comparison" >&2
+    exit 0
+fi
+
+compare "eval workers=1" \
+    "$(rate BENCH_eval.json workers 1 evals_per_sec)" \
+    "$(rate "$tmpdir/eval.json" workers 1 evals_per_sec)"
+compare "sim sim_threads=1" \
+    "$(rate BENCH_sim.json sim_threads 1 vectors_per_sec)" \
+    "$(rate "$tmpdir/sim.json" sim_threads 1 vectors_per_sec)"

@@ -103,6 +103,7 @@ fn s27_run_emits_a_consistent_event_stream() {
             vectors,
             ga_evaluations,
             elapsed_secs,
+            budget_exhausted,
             snapshot,
         } => {
             assert_eq!(*detected, result.detected);
@@ -110,6 +111,7 @@ fn s27_run_emits_a_consistent_event_stream() {
             assert_eq!(*vectors, result.vectors());
             assert_eq!(*ga_evaluations, result.ga_evaluations);
             assert!(*elapsed_secs >= 0.0);
+            assert!(!budget_exhausted, "no budget was configured");
             assert_eq!(snapshot, &result.telemetry);
         }
         other => panic!("expected run_finished, got {other:?}"),
