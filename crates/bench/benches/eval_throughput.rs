@@ -31,6 +31,7 @@ fn bench_eval_throughput(c: &mut Criterion) {
         nodes: circuit.num_gates(),
     };
     let ctx = Arc::new(EvalContext {
+        epoch: 1,
         checkpoint: sim.checkpoint(),
         job: EvalJob::Vector {
             phase: Phase::VectorGeneration,

@@ -14,16 +14,21 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use gatest_core::{evaluate_candidate, EvalContext, EvalJob, EvalPool, FitnessScale, Phase};
+use gatest_core::{
+    evaluate_candidate, EvalContext, EvalJob, EvalMemo, EvalPool, FitnessScale, Phase,
+};
 use gatest_ga::{Chromosome, Rng};
 use gatest_netlist::benchmarks;
 use gatest_sim::{FaultSim, Logic};
 use gatest_telemetry::json::parse_json;
+use gatest_telemetry::SimCounters;
 
 const CIRCUIT: &str = "s1423";
 const WORKERS: [usize; 3] = [1, 4, 8];
 const BATCH: usize = 64;
 const SAMPLE: usize = 100;
+/// Distinct chromosomes in the duplicate-heavy cache workload's 64-batch.
+const CACHE_DISTINCT: usize = 8;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,6 +69,7 @@ fn main() {
         nodes: circuit.num_gates(),
     };
     let ctx = Arc::new(EvalContext {
+        epoch: 1,
         checkpoint: sim.checkpoint(),
         job: EvalJob::Vector {
             phase: Phase::VectorGeneration,
@@ -115,10 +121,86 @@ fn main() {
         );
     }
 
+    let cache = cache_section(&sim, &ctx, pis, batches);
+
     println!(
-        "{{\n  \"bench\": \"eval_throughput\",\n  \"circuit\": \"{CIRCUIT}\",\n  \"mode\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"batch\": {BATCH},\n  \"fault_sample\": {SAMPLE},\n  \"score_checksum\": {checksum:.6},\n  \"results\": [\n{rows}\n  ]\n}}",
+        "{{\n  \"bench\": \"eval_throughput\",\n  \"circuit\": \"{CIRCUIT}\",\n  \"mode\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"batch\": {BATCH},\n  \"fault_sample\": {SAMPLE},\n  \"score_checksum\": {checksum:.6},\n  \"results\": [\n{rows}\n  ],\n  \"cache\": {cache}\n}}",
         if smoke { "smoke" } else { "full" }
     );
+}
+
+/// The duplicate-heavy memoization workload: a 64-batch built from
+/// [`CACHE_DISTINCT`] distinct chromosomes, re-evaluated for `batches`
+/// rounds. GA populations converge toward exactly this shape — elites and
+/// clones recur within and across generations — so the serial uncached loop
+/// is the honest baseline and the memoized path's win comes from eliminated
+/// simulation, not from extra threads. Returns the `"cache"` JSON object.
+fn cache_section(sim: &FaultSim, ctx: &Arc<EvalContext>, pis: usize, batches: usize) -> String {
+    let mut chrom_rng = Rng::new(11);
+    let distinct: Vec<Chromosome> = (0..CACHE_DISTINCT)
+        .map(|_| Chromosome::random(pis, &mut chrom_rng))
+        .collect();
+    let batch: Vec<Chromosome> = (0..BATCH)
+        .map(|i| distinct[i % CACHE_DISTINCT].clone())
+        .collect();
+    let evals = batches * batch.len();
+
+    let mut serial = sim.clone();
+    let mut scratch = Vec::new();
+    let baseline_scores: Vec<f64> = batch
+        .iter()
+        .map(|c| evaluate_candidate(&mut serial, ctx, c, &mut scratch))
+        .collect();
+    let start = Instant::now();
+    let mut baseline_sum = 0.0f64;
+    for _ in 0..batches {
+        // Per-batch sums, matching the memoized loop's accumulation order,
+        // so the bit-equality assertion below compares identical reductions.
+        baseline_sum += batch
+            .iter()
+            .map(|c| evaluate_candidate(&mut serial, ctx, c, &mut scratch))
+            .sum::<f64>();
+    }
+    let baseline_secs = start.elapsed().as_secs_f64();
+
+    let mut memo = EvalMemo::new(4096, true).expect("memoization enabled");
+    let counters = SimCounters::default();
+    let start = Instant::now();
+    let mut memo_sum = 0.0f64;
+    for round in 0..batches {
+        let scores = memo.evaluate(ctx, &batch, Some(&counters), |work| {
+            work.iter()
+                .map(|c| evaluate_candidate(&mut serial, ctx, c, &mut scratch))
+                .collect()
+        });
+        memo_sum += scores.iter().sum::<f64>();
+        if round == 0 {
+            for (a, b) in baseline_scores.iter().zip(&scores) {
+                assert_eq!(a.to_bits(), b.to_bits(), "memoized scores must be exact");
+            }
+        }
+    }
+    let memo_secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        baseline_sum.to_bits(),
+        memo_sum.to_bits(),
+        "memoized totals must be exact"
+    );
+
+    let snap = counters.snapshot();
+    let speedup = baseline_secs / memo_secs;
+    eprintln!(
+        "cache: {evals} evals ({CACHE_DISTINCT} distinct) baseline {baseline_secs:.2}s, memoized {memo_secs:.2}s = {speedup:.1}x ({} hits, {} misses, {} dedup skips)",
+        snap.cache_hits, snap.cache_misses, snap.dedup_skips
+    );
+    format!(
+        "{{\"distinct\": {CACHE_DISTINCT}, \"batch\": {BATCH}, \"evals\": {evals}, \"baseline_secs\": {baseline_secs:.4}, \"baseline_evals_per_sec\": {:.0}, \"memo_secs\": {memo_secs:.4}, \"memo_evals_per_sec\": {:.0}, \"speedup\": {speedup:.2}, \"cache_hits\": {}, \"cache_misses\": {}, \"dedup_skips\": {}}}",
+        evals as f64 / baseline_secs,
+        evals as f64 / memo_secs,
+        snap.cache_hits,
+        snap.cache_misses,
+        snap.dedup_skips
+    )
 }
 
 /// Parses `path` as a `BENCH_eval` document and checks every field the
@@ -161,8 +243,28 @@ fn validate(path: &str) -> Result<String, String> {
                 .ok_or_else(|| format!("results[{i}] missing numeric `{key}`"))?;
         }
     }
+    let cache = field("cache")?;
+    for key in [
+        "distinct",
+        "batch",
+        "evals",
+        "baseline_secs",
+        "baseline_evals_per_sec",
+        "memo_secs",
+        "memo_evals_per_sec",
+        "speedup",
+        "cache_hits",
+        "cache_misses",
+        "dedup_skips",
+    ] {
+        cache
+            .get(key)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("cache section missing numeric `{key}`"))?;
+    }
+    let speedup = cache.get("speedup").and_then(|v| v.as_f64()).unwrap_or(0.0);
     Ok(format!(
-        "{path} ok: {} worker counts, host_cpus {cpus}",
+        "{path} ok: {} worker counts, host_cpus {cpus}, cache speedup {speedup:.2}x",
         results.len()
     ))
 }

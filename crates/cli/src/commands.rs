@@ -85,6 +85,25 @@ fn sim_thread_count(opts: &Opts) -> Result<usize, Box<dyn Error>> {
     })
 }
 
+/// Parses `--eval-cache`: a fitness-cache entry count, or `off` (same as
+/// `0`) to disable the whole memoization layer — cache, batch dedup, and
+/// prefix-sharing sequence evaluation. Returns `None` when the flag is
+/// absent, leaving the built-in default in place.
+fn eval_cache_override(opts: &Opts) -> Result<Option<usize>, Box<dyn Error>> {
+    let Some(value) = opts.get("eval-cache") else {
+        return Ok(None);
+    };
+    if value == "off" {
+        return Ok(Some(0));
+    }
+    match value.parse() {
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(UsageError::boxed(format!(
+            "--eval-cache expects an entry count or `off`, got `{value}`"
+        ))),
+    }
+}
+
 /// The stop flag shared between the `atpg` run and the signal handler.
 static STOP_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
 
@@ -171,7 +190,12 @@ pub fn atpg(opts: &Opts) -> Result<ExitCode, Box<dyn Error>> {
     let circuit = load_circuit(&spec)?;
     let mut config = GatestConfig::for_circuit(&circuit)
         .with_workers(worker_count(opts)?)
-        .with_sim_threads(sim_thread_count(opts)?);
+        .with_sim_threads(sim_thread_count(opts)?)
+        .with_dedup(!opts.has("no-dedup"));
+    if let Some(entries) = eval_cache_override(opts)? {
+        config = config.with_eval_cache(entries);
+    }
+    config.paranoid_cache = opts.has("paranoid-cache");
     if let Some(snap) = &resume_snapshot {
         if opts.get("seed").is_some() || opts.get("sample").is_some() {
             return Err(UsageError::boxed(
@@ -549,6 +573,20 @@ pub fn summarize_trace(text: &str) -> Result<String, Box<dyn Error>> {
                     field("ga_evaluations"),
                     j.get("elapsed_secs").and_then(Json::as_f64).unwrap_or(0.0),
                 );
+                if let Some(c) = j.get("counters") {
+                    let cf = |name: &str| c.get(name).and_then(Json::as_u64).unwrap_or(0);
+                    let (hits, misses) = (cf("cache_hits"), cf("cache_misses"));
+                    let lookups = hits + misses;
+                    if lookups + cf("dedup_skips") + cf("prefix_frames_avoided") > 0 {
+                        let _ = write!(
+                            footer,
+                            "\ncache: {hits}/{lookups} hits ({:.1}%), {} dedup skips, {} prefix frames saved",
+                            100.0 * hits as f64 / lookups.max(1) as f64,
+                            cf("dedup_skips"),
+                            cf("prefix_frames_avoided"),
+                        );
+                    }
+                }
             }
             _ => {}
         }
@@ -600,7 +638,7 @@ mod tests {
 {\"event\":\"phase_entered\",\"phase\":2,\"vectors\":1}
 {\"event\":\"vector_committed\",\"phase\":2,\"vectors\":2,\"detected_new\":3,\"detected_total\":7,\"coverage\":0.27}
 {\"event\":\"fault_detected\",\"fault\":3,\"site\":\"G10 SA1\",\"vector\":1}
-{\"event\":\"run_finished\",\"detected\":7,\"total_faults\":26,\"vectors\":2,\"ga_evaluations\":16,\"elapsed_secs\":0.5}
+{\"event\":\"run_finished\",\"detected\":7,\"total_faults\":26,\"vectors\":2,\"ga_evaluations\":16,\"elapsed_secs\":0.5,\"counters\":{\"cache_hits\":6,\"cache_misses\":10,\"dedup_skips\":3,\"prefix_frames_avoided\":40}}
 ";
         let summary = summarize_trace(trace).unwrap();
         assert!(summary.contains("run: s27 seed 1 (26 faults)"));
@@ -613,6 +651,20 @@ mod tests {
         assert_eq!(&cols[2..], ["1", "2", "16", "1", "4"]);
         assert!(summary.contains("9 events (1 fault detections)"));
         assert!(summary.contains("finished: 7/26 detected, 2 vectors, 16 GA evaluations, 0.50s"));
+        assert!(
+            summary.contains("cache: 6/16 hits (37.5%), 3 dedup skips, 40 prefix frames saved"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn summarize_trace_omits_cache_line_when_memoization_was_off() {
+        let trace = "\
+{\"event\":\"run_started\",\"circuit\":\"s27\",\"total_faults\":26,\"seed\":1}
+{\"event\":\"run_finished\",\"detected\":7,\"total_faults\":26,\"vectors\":2,\"ga_evaluations\":16,\"elapsed_secs\":0.5,\"counters\":{\"cache_hits\":0,\"cache_misses\":0,\"dedup_skips\":0,\"prefix_frames_avoided\":0}}
+";
+        let summary = summarize_trace(trace).unwrap();
+        assert!(!summary.contains("cache:"), "{summary}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! gatest atpg     <circuit> [--seed N] [--sample N] [--workers N|auto]
 //!                 [--sim-threads N|auto] [--out tests.txt]
+//!                 [--eval-cache N|off] [--no-dedup] [--paranoid-cache]
 //!                 [--trace-out trace.jsonl] [--progress] [-v|--verbose] [-q|--quiet]
 //!                 [--checkpoint FILE] [--checkpoint-every N|Ns] [--resume FILE]
 //!                 [--max-wall-secs S] [--max-evals N] [--result-json FILE]
@@ -12,6 +13,15 @@
 //! (total simulation threads = workers × sim-threads). Both take a positive
 //! integer, or `0`/`auto` for all available cores. Results are bit-identical
 //! at every combination.
+//!
+//! `--eval-cache N` bounds the epoch-keyed fitness cache (default 4096
+//! entries); `off` (or `0`) disables the whole memoization layer — cache,
+//! batch dedup, and prefix-sharing sequence evaluation — restoring the
+//! uncached evaluation path exactly. `--no-dedup` disables only the
+//! within-batch duplicate elimination. `--paranoid-cache` recomputes every
+//! memoized score and asserts bit-equality (debug aid, slow). All three are
+//! runtime-only: they never change results, only how much simulation is
+//! spent producing them.
 //! gatest grade    <circuit> --tests tests.txt [--transition]
 //! gatest compact  <circuit> --tests tests.txt [--out compacted.txt]
 //! gatest diagnose <circuit> --tests tests.txt --observe V:PO[,V:PO...]
@@ -94,6 +104,11 @@ fn usage() -> String {
     s.push_str("fitness-evaluation pool; --sim-threads N sizes the fault-group\n");
     s.push_str("pool inside each simulator; 0 or `auto` uses all available\n");
     s.push_str("cores; results are bit-identical at every combination\n");
+    s.push_str("\nmemoization (atpg): --eval-cache N bounds the fitness cache\n");
+    s.push_str("(default 4096; `off` disables cache, dedup, and prefix sharing);\n");
+    s.push_str("--no-dedup keeps duplicate chromosomes' evaluations; --paranoid-cache\n");
+    s.push_str("recomputes every memoized score and asserts bit-equality; results\n");
+    s.push_str("are bit-identical with memoization on or off\n");
     s.push_str("\nlong runs (atpg): --checkpoint FILE saves resumable state\n");
     s.push_str("(--checkpoint-every N generations, or Ns seconds); --max-wall-secs\n");
     s.push_str("and --max-evals stop gracefully on a budget; SIGINT/SIGTERM also\n");

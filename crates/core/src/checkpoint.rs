@@ -15,7 +15,7 @@
 //!
 //! ```text
 //! magic   8 bytes   b"GATESTCP"
-//! version u32       format version (currently 1)
+//! version u32       format version (currently 2)
 //! payload ...       length-prefixed fields in a fixed order
 //! crc     u64       FNV-1a 64 over magic + version + payload
 //! ```
@@ -45,8 +45,10 @@ use crate::config::{FaultSample, GatestConfig};
 
 /// File magic: the first eight bytes of every checkpoint file.
 pub const MAGIC: [u8; 8] = *b"GATESTCP";
-/// Current checkpoint format version.
-pub const VERSION: u32 = 1;
+/// Current checkpoint format version. Version 2 added the evaluation epoch
+/// (the fitness cache's invalidation key) and the memoization counters;
+/// version-1 files are rejected with [`CheckpointError::VersionMismatch`].
+pub const VERSION: u32 = 2;
 
 /// A complete, serializable snapshot of an in-progress (or finished)
 /// generator run. Produced by the generator's checkpoint cadence or its
@@ -85,6 +87,10 @@ pub struct RunSnapshot {
     pub ga_generations: u64,
     /// Cumulative wall-clock nanoseconds across all prior legs.
     pub elapsed_ns: u64,
+    /// GA invocations started so far — the fitness cache's epoch key. Stored
+    /// so a resumed run numbers later invocations exactly like the
+    /// uninterrupted run would.
+    pub eval_epoch: u64,
     /// Where in the flow the run stopped.
     pub pos: SnapshotPos,
     /// The fault simulator's complete mutable state at the stop point (for
@@ -216,7 +222,8 @@ pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Digest of every configuration field that influences the search path
 /// (everything except the seed — stored separately — and the runtime-only
-/// knobs `parallel_workers`, `sim_threads`, and the two budget limits,
+/// knobs `parallel_workers`, `sim_threads`, the two budget limits, and the
+/// memoization knobs `eval_cache_entries` / `dedup` / `paranoid_cache`,
 /// which are all bit-identity-neutral). Resume compares this digest so a
 /// checkpoint is never silently continued under a different configuration.
 pub fn config_digest(config: &GatestConfig) -> u64 {
@@ -468,6 +475,7 @@ impl RunSnapshot {
         }
         e.u64(self.ga_generations);
         e.u64(self.elapsed_ns);
+        e.u64(self.eval_epoch);
         match &self.pos {
             SnapshotPos::Vectors {
                 phase,
@@ -533,6 +541,10 @@ impl RunSnapshot {
             c.scratch_bytes_reused,
             c.checkpoint_writes,
             c.checkpoint_bytes,
+            c.cache_hits,
+            c.cache_misses,
+            c.dedup_skips,
+            c.prefix_frames_avoided,
         ] {
             e.u64(v);
         }
@@ -601,6 +613,7 @@ impl RunSnapshot {
         }
         let ga_generations = d.u64("ga_generations")?;
         let elapsed_ns = d.u64("elapsed_ns")?;
+        let eval_epoch = d.u64("eval_epoch")?;
         let pos = match d.u8("pos")? {
             0 => {
                 let phase = d.u8("pos.phase")?;
@@ -657,7 +670,7 @@ impl RunSnapshot {
             })
             .collect::<Result<Vec<_>, _>>()?;
         let vectors_applied = d.u32("sim.vectors_applied")?;
-        let mut counter_fields = [0u64; 15];
+        let mut counter_fields = [0u64; 19];
         for v in &mut counter_fields {
             *v = d.u64("counters")?;
         }
@@ -677,6 +690,10 @@ impl RunSnapshot {
             scratch_bytes_reused: counter_fields[12],
             checkpoint_writes: counter_fields[13],
             checkpoint_bytes: counter_fields[14],
+            cache_hits: counter_fields[15],
+            cache_misses: counter_fields[16],
+            dedup_skips: counter_fields[17],
+            prefix_frames_avoided: counter_fields[18],
         };
         if d.pos != d.buf.len() {
             return Err(CheckpointError::Corrupt(format!(
@@ -699,6 +716,7 @@ impl RunSnapshot {
             phase_time_ns,
             ga_generations,
             elapsed_ns,
+            eval_epoch,
             pos,
             sim: SimState {
                 good_values,
@@ -770,6 +788,7 @@ mod tests {
             phase_time_ns: [5, 6, 0, 0],
             ga_generations: 16,
             elapsed_ns: 1_000_000,
+            eval_epoch: 7,
             pos: SnapshotPos::Vectors {
                 phase: 2,
                 noncontributing: 0,
@@ -813,6 +832,10 @@ mod tests {
             counters: CounterSnapshot {
                 step_calls: 100,
                 gate_evals: 5000,
+                cache_hits: 60,
+                cache_misses: 40,
+                dedup_skips: 12,
+                prefix_frames_avoided: 320,
                 ..CounterSnapshot::default()
             },
         }
@@ -845,6 +868,19 @@ mod tests {
         match RunSnapshot::decode(&bytes) {
             Err(CheckpointError::VersionMismatch { found: 99 }) => {}
             other => panic!("expected version mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn old_version_1_is_rejected_with_the_found_version() {
+        // Version 2 added the eval epoch and memoization counters; a v1 file
+        // has neither, so decoding must refuse it up front rather than
+        // misinterpret the stream.
+        let mut bytes = sample_snapshot().encode();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        match RunSnapshot::decode(&bytes) {
+            Err(CheckpointError::VersionMismatch { found: 1 }) => {}
+            other => panic!("expected version-1 mismatch, got {other:?}"),
         }
     }
 
@@ -895,6 +931,9 @@ mod tests {
         b.max_evals = Some(100);
         b.max_wall_secs = Some(1.0);
         b.seed = 999;
+        b.eval_cache_entries = 0;
+        b.dedup = false;
+        b.paranoid_cache = true;
         assert_eq!(config_digest(&a), config_digest(&b), "runtime knobs");
         let mut c = a.clone();
         c.generations = 9;

@@ -106,6 +106,22 @@ pub struct GatestConfig {
     /// `workers × sim_threads` — and results stay bit-identical at any
     /// combination (see [`GatestConfig::resolved_sim_threads`]).
     pub sim_threads: usize,
+    /// Capacity (in entries) of the epoch-keyed fitness cache, the heart of
+    /// the memoization layer in front of candidate evaluation. `0` disables
+    /// the whole layer (cache and prefix-sharing sequence evaluation) —
+    /// every candidate is then re-simulated, which is useful for A/B
+    /// comparisons. Memoized scores are bit-identical to recomputed ones by
+    /// construction, so this knob changes runtime only, never results, and
+    /// it is excluded from the checkpoint config digest.
+    pub eval_cache_entries: usize,
+    /// Deduplicate identical chromosomes within each GA generation before
+    /// evaluation, fanning one simulated score out to all copies. Like the
+    /// cache this is bit-identity-neutral and runtime-only.
+    pub dedup: bool,
+    /// Debug mode: recompute every memoized (cached, deduplicated, or
+    /// prefix-shared) score with the plain flat evaluator and panic on any
+    /// bit difference. Slow; for validating the memoization layer.
+    pub paranoid_cache: bool,
     /// Master random seed.
     pub seed: u64,
     /// Wall-clock budget in seconds for the whole run, counted across
@@ -141,6 +157,9 @@ impl Default for GatestConfig {
             max_vectors: 10_000,
             parallel_workers: 1,
             sim_threads: 1,
+            eval_cache_entries: 4096,
+            dedup: true,
+            paranoid_cache: false,
             seed: 1,
             max_wall_secs: None,
             max_evals: None,
@@ -186,6 +205,20 @@ impl GatestConfig {
     /// [`GatestConfig::resolved_sim_threads`]).
     pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
         self.sim_threads = sim_threads;
+        self
+    }
+
+    /// A new configuration with a different fitness-cache capacity
+    /// (`0` disables the memoization layer entirely).
+    pub fn with_eval_cache(mut self, entries: usize) -> Self {
+        self.eval_cache_entries = entries;
+        self
+    }
+
+    /// A new configuration with generation-level chromosome dedup switched
+    /// on or off.
+    pub fn with_dedup(mut self, dedup: bool) -> Self {
+        self.dedup = dedup;
         self
     }
 
@@ -324,6 +357,17 @@ mod tests {
         if let Ok(n) = std::thread::available_parallelism() {
             assert_eq!(auto.resolved_sim_threads(), n.get());
         }
+    }
+
+    #[test]
+    fn memoization_knobs_default_on() {
+        let cfg = GatestConfig::default();
+        assert!(cfg.eval_cache_entries > 0, "cache is on by default");
+        assert!(cfg.dedup, "dedup is on by default");
+        assert!(!cfg.paranoid_cache, "paranoia is opt-in");
+        let off = GatestConfig::default().with_eval_cache(0).with_dedup(false);
+        assert_eq!(off.eval_cache_entries, 0);
+        assert!(!off.dedup);
     }
 
     #[test]

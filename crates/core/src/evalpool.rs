@@ -23,13 +23,14 @@
 //!   fault sample, and fitness scale. One context is shared per GA
 //!   invocation via `Arc`.
 
+use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use gatest_ga::Chromosome;
-use gatest_sim::{Checkpoint, FaultId, FaultSim, Logic};
+use gatest_sim::{Checkpoint, FaultId, FaultSim, Logic, StepReport};
 use gatest_telemetry::SimCounters;
 
 use crate::fitness::{phase1, phase2, phase3, phase4, FitnessScale, Phase};
@@ -65,10 +66,26 @@ pub enum EvalJob {
 /// Everything a candidate's score depends on besides its chromosome.
 #[derive(Debug, Clone)]
 pub struct EvalContext {
+    /// Monotone counter identifying the simulator state this context was
+    /// built from: the generator bumps it at every GA invocation start, so
+    /// two contexts share an epoch only if they share a checkpoint and
+    /// fault sample. The fitness cache keys on it to rule out stale hits.
+    pub epoch: u64,
     /// Simulator state every candidate evaluation starts from.
     pub checkpoint: Checkpoint,
     /// The simulation/scoring recipe.
     pub job: EvalJob,
+}
+
+impl EvalContext {
+    /// The cache-key phase tag of this context's job (1–3 for vector
+    /// phases, 4 for sequences).
+    fn phase_tag(&self) -> u8 {
+        match &self.job {
+            EvalJob::Vector { phase, .. } => phase.number(),
+            EvalJob::Sequence { .. } => 4,
+        }
+    }
 }
 
 /// Decodes the first `pis` chromosome bits into `out` (cleared first).
@@ -141,6 +158,426 @@ pub fn evaluate_candidate(
     }
 }
 
+/// Scores a batch of sequence candidates by sharing their common vector
+/// prefixes.
+///
+/// The batch is walked as a prefix trie over decoded frames: at each depth
+/// the still-live candidates are partitioned by their next frame, an O(1)
+/// copy-on-write [`Checkpoint`] is taken when the partition branches, and
+/// each distinct frame is simulated once for its whole subtree. Candidates
+/// sharing a k-frame prefix therefore pay for those k frames once instead
+/// of once each; the frames *not* simulated are recorded as
+/// `prefix_frames_avoided`.
+///
+/// Bit-identical to calling [`evaluate_candidate`] per candidate: each
+/// leaf's per-frame [`StepReport`]s are exactly the flat path's, because
+/// restoring a checkpoint reproduces simulator state exactly and each
+/// candidate's evaluation is independent of the others.
+///
+/// Falls back to the flat per-candidate loop for non-sequence jobs.
+pub fn evaluate_sequences_shared(
+    sim: &mut FaultSim,
+    ctx: &EvalContext,
+    batch: &[Chromosome],
+    scratch: &mut Vec<Logic>,
+    counters: Option<&SimCounters>,
+) -> Vec<f64> {
+    let EvalJob::Sequence {
+        frames,
+        sample,
+        scale,
+        pis,
+    } = &ctx.job
+    else {
+        return batch
+            .iter()
+            .map(|c| evaluate_candidate(sim, ctx, c, scratch))
+            .collect();
+    };
+    if batch.is_empty() {
+        return Vec::new();
+    }
+    sim.restore(&ctx.checkpoint);
+    let mut walk = PrefixWalk {
+        batch,
+        frames: *frames,
+        pis: *pis,
+        sample,
+        scale: *scale,
+        reports: Vec::with_capacity(*frames),
+        scores: vec![0.0f64; batch.len()],
+        frames_simulated: 0,
+        scratch,
+    };
+    let group: Vec<usize> = (0..batch.len()).collect();
+    walk.descend(sim, &group, 0);
+    if let Some(c) = counters {
+        let flat = (batch.len() * *frames) as u64;
+        c.record_prefix_frames_avoided(flat - walk.frames_simulated);
+    }
+    walk.scores
+}
+
+/// Depth-first state for [`evaluate_sequences_shared`].
+struct PrefixWalk<'a> {
+    batch: &'a [Chromosome],
+    frames: usize,
+    pis: usize,
+    sample: &'a [FaultId],
+    scale: FitnessScale,
+    /// Per-frame reports along the current trie path.
+    reports: Vec<StepReport>,
+    scores: Vec<f64>,
+    frames_simulated: u64,
+    scratch: &'a mut Vec<Logic>,
+}
+
+impl PrefixWalk<'_> {
+    /// `true` if candidates `a` and `b` apply the same vector at `depth`.
+    fn same_frame(&self, a: usize, b: usize, depth: usize) -> bool {
+        let lo = depth * self.pis;
+        self.batch[a].bits()[lo..lo + self.pis] == self.batch[b].bits()[lo..lo + self.pis]
+    }
+
+    /// Evaluates `group` (candidates sharing their first `depth` frames)
+    /// with the simulator positioned after those frames.
+    fn descend(&mut self, sim: &mut FaultSim, group: &[usize], depth: usize) {
+        if depth == self.frames {
+            let score = phase4(&self.reports, self.scale);
+            for &i in group {
+                self.scores[i] = score;
+            }
+            return;
+        }
+        // Partition by the next frame, preserving first-occurrence order so
+        // the walk is deterministic. Groups are at most a population wide,
+        // so the quadratic scan is negligible next to simulation.
+        let mut subgroups: Vec<Vec<usize>> = Vec::new();
+        'candidates: for &i in group {
+            for sub in &mut subgroups {
+                if self.same_frame(sub[0], i, depth) {
+                    sub.push(i);
+                    continue 'candidates;
+                }
+            }
+            subgroups.push(vec![i]);
+        }
+        // A branch point needs a resume point for every sibling after the
+        // first; checkpoints are O(1) copy-on-write so this is cheap.
+        let fork = (subgroups.len() > 1).then(|| sim.checkpoint());
+        for (k, sub) in subgroups.iter().enumerate() {
+            if k > 0 {
+                sim.restore(fork.as_ref().expect("forked above"));
+            }
+            decode_frame_into(&self.batch[sub[0]], self.pis, depth, self.scratch);
+            self.reports
+                .push(sim.step_sampled(self.scratch, self.sample));
+            self.frames_simulated += 1;
+            self.descend(sim, sub, depth + 1);
+            self.reports.pop();
+        }
+    }
+}
+
+/// A bounded LRU cache of candidate fitness scores, keyed by
+/// `(epoch, phase, fingerprint)`.
+///
+/// The epoch comes from [`EvalContext::epoch`] and changes whenever the
+/// generator starts a GA invocation from new simulator state, so every
+/// entry from an earlier epoch is provably stale; [`EvalCache::begin_epoch`]
+/// drops them all at once, which keeps the live key just
+/// `(phase, fingerprint)`. Fingerprints can collide, so entries store their
+/// chromosome and a lookup only hits on exact bit equality — a collision
+/// can cost a redundant simulation, never a wrong score.
+///
+/// The LRU list is threaded through a slab with index links; no
+/// dependencies, O(1) lookup/insert/evict.
+#[derive(Debug)]
+pub struct EvalCache {
+    capacity: usize,
+    epoch: u64,
+    map: HashMap<(u8, u64), usize>,
+    slab: Vec<CacheEntry>,
+    /// Most recently used entry, or `NIL`.
+    head: usize,
+    /// Least recently used entry, or `NIL`.
+    tail: usize,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    phase: u8,
+    fingerprint: u64,
+    chrom: Chromosome,
+    score: f64,
+    prev: usize,
+    next: usize,
+}
+
+/// Sentinel index terminating the LRU list.
+const NIL: usize = usize::MAX;
+
+impl EvalCache {
+    /// A cache holding at most `capacity` scores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 (use no cache at all instead).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "an EvalCache needs room for at least 1 entry");
+        EvalCache {
+            capacity,
+            epoch: 0,
+            map: HashMap::new(),
+            slab: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Switches to `epoch`, dropping every entry if it differs from the
+    /// current one (entries keyed under another epoch are provably stale).
+    pub fn begin_epoch(&mut self, epoch: u64) {
+        if self.epoch != epoch {
+            self.epoch = epoch;
+            self.map.clear();
+            self.slab.clear();
+            self.head = NIL;
+            self.tail = NIL;
+        }
+    }
+
+    /// The cached score for `chrom`, if present; refreshes its recency.
+    ///
+    /// Only returns a score when the stored chromosome's bits equal
+    /// `chrom`'s — a fingerprint collision is treated as a miss.
+    pub fn lookup(&mut self, phase: u8, fingerprint: u64, chrom: &Chromosome) -> Option<f64> {
+        let &idx = self.map.get(&(phase, fingerprint))?;
+        if self.slab[idx].chrom != *chrom {
+            return None;
+        }
+        self.unlink(idx);
+        self.push_front(idx);
+        Some(self.slab[idx].score)
+    }
+
+    /// Inserts (or refreshes) a score, evicting the least recently used
+    /// entry when full.
+    pub fn insert(&mut self, phase: u8, fingerprint: u64, chrom: &Chromosome, score: f64) {
+        if let Some(&idx) = self.map.get(&(phase, fingerprint)) {
+            // Same key: keep the newest chromosome/score (on a collision
+            // the later candidate wins; lookups verify bits either way).
+            self.slab[idx].chrom = chrom.clone();
+            self.slab[idx].score = score;
+            self.unlink(idx);
+            self.push_front(idx);
+            return;
+        }
+        let idx = if self.map.len() == self.capacity {
+            let victim = self.tail;
+            self.unlink(victim);
+            let v = &mut self.slab[victim];
+            self.map.remove(&(v.phase, v.fingerprint));
+            v.phase = phase;
+            v.fingerprint = fingerprint;
+            v.chrom = chrom.clone();
+            v.score = score;
+            victim
+        } else {
+            self.slab.push(CacheEntry {
+                phase,
+                fingerprint,
+                chrom: chrom.clone(),
+                score,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slab.len() - 1
+        };
+        self.map.insert((phase, fingerprint), idx);
+        self.push_front(idx);
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        match prev {
+            NIL => {
+                if self.head == idx {
+                    self.head = next;
+                }
+            }
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => {
+                if self.tail == idx {
+                    self.tail = prev;
+                }
+            }
+            n => self.slab[n].prev = prev,
+        }
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].next = self.head;
+        match self.head {
+            NIL => self.tail = idx,
+            h => self.slab[h].prev = idx,
+        }
+        self.head = idx;
+    }
+}
+
+/// The memoization layer in front of the raw evaluation path: batch-level
+/// chromosome dedup plus the epoch-keyed [`EvalCache`].
+///
+/// [`EvalMemo::evaluate`] answers what it can from the cache, collapses
+/// in-batch duplicates, and hands only the distinct unresolved candidates
+/// to the raw evaluator — sorted lexicographically so sequence candidates
+/// that share prefixes sit in the same pool chunk for
+/// [`evaluate_sequences_shared`]. Memoized scores are bit-identical to
+/// recomputed ones because every candidate's score depends only on the
+/// context (checkpointed state, job) and its own bits, never on batch
+/// composition or order.
+#[derive(Debug)]
+pub struct EvalMemo {
+    cache: Option<EvalCache>,
+    dedup: bool,
+}
+
+impl EvalMemo {
+    /// A memoization layer with the given cache capacity (`0` = no cache)
+    /// and dedup switch; `None` when both mechanisms are off.
+    pub fn new(cache_entries: usize, dedup: bool) -> Option<Self> {
+        if cache_entries == 0 && !dedup {
+            return None;
+        }
+        Some(EvalMemo {
+            cache: (cache_entries > 0).then(|| EvalCache::new(cache_entries)),
+            dedup,
+        })
+    }
+
+    /// `true` if the score cache (and with it prefix-shared sequence
+    /// evaluation) is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Scores `batch`, calling `raw` at most once with the distinct
+    /// candidates that neither the cache nor in-batch dedup could answer.
+    ///
+    /// `raw` receives those candidates (lexicographically sorted) and must
+    /// return their scores in matching order; this function restores the
+    /// original batch order, fans duplicate scores out, records cache/dedup
+    /// counters, and files the fresh scores in the cache.
+    pub fn evaluate(
+        &mut self,
+        ctx: &EvalContext,
+        batch: &[Chromosome],
+        counters: Option<&SimCounters>,
+        raw: impl FnOnce(&[Chromosome]) -> Vec<f64>,
+    ) -> Vec<f64> {
+        let phase = ctx.phase_tag();
+        if let Some(cache) = &mut self.cache {
+            cache.begin_epoch(ctx.epoch);
+        }
+        let fingerprints: Vec<u64> = batch.iter().map(Chromosome::fingerprint).collect();
+        let mut scores: Vec<f64> = vec![0.0; batch.len()];
+        let mut resolved = vec![false; batch.len()];
+        let mut hits = 0u64;
+        // Batch indices of the distinct candidates that must be simulated.
+        let mut misses: Vec<usize> = Vec::new();
+        // Batch index -> miss slot its score is copied from (duplicates).
+        let mut copy_from: Vec<(usize, usize)> = Vec::new();
+        // fingerprint -> miss slots with that fingerprint (collision chain).
+        let mut seen: HashMap<u64, Vec<usize>> = HashMap::new();
+        'candidates: for (i, chrom) in batch.iter().enumerate() {
+            if let Some(cache) = &mut self.cache {
+                if let Some(score) = cache.lookup(phase, fingerprints[i], chrom) {
+                    scores[i] = score;
+                    resolved[i] = true;
+                    hits += 1;
+                    continue;
+                }
+            }
+            if self.dedup {
+                if let Some(slots) = seen.get(&fingerprints[i]) {
+                    for &slot in slots {
+                        if batch[misses[slot]] == *chrom {
+                            copy_from.push((i, slot));
+                            continue 'candidates;
+                        }
+                    }
+                }
+                seen.entry(fingerprints[i]).or_default().push(misses.len());
+            }
+            misses.push(i);
+        }
+        // Sequence jobs sort the distinct work lexicographically: scores
+        // are independent of order, and adjacent shared prefixes maximize
+        // what one pool chunk's trie walk can reuse. Vector jobs gain
+        // nothing from reordering, so they skip the sort — and when every
+        // candidate missed (the common cold-batch case) the original slice
+        // is passed straight through without cloning.
+        let sort_for_prefix = matches!(ctx.job, EvalJob::Sequence { .. });
+        let mut order: Vec<usize> = (0..misses.len()).collect();
+        if sort_for_prefix {
+            order.sort_by(|&a, &b| batch[misses[a]].bits().cmp(batch[misses[b]].bits()));
+        }
+        let raw_scores = if misses.is_empty() {
+            Vec::new()
+        } else if !sort_for_prefix && misses.len() == batch.len() {
+            // No hits and no duplicates, so misses is 0..len in order.
+            raw(batch)
+        } else {
+            let work: Vec<Chromosome> = order.iter().map(|&k| batch[misses[k]].clone()).collect();
+            raw(&work)
+        };
+        debug_assert_eq!(raw_scores.len(), misses.len());
+        let mut slot_scores = vec![0.0f64; misses.len()];
+        for (pos, &k) in order.iter().enumerate() {
+            slot_scores[k] = raw_scores[pos];
+        }
+        for (slot, &i) in misses.iter().enumerate() {
+            scores[i] = slot_scores[slot];
+            resolved[i] = true;
+            if let Some(cache) = &mut self.cache {
+                cache.insert(phase, fingerprints[i], &batch[i], slot_scores[slot]);
+            }
+        }
+        for &(i, slot) in &copy_from {
+            scores[i] = slot_scores[slot];
+            resolved[i] = true;
+        }
+        debug_assert!(resolved.iter().all(|&r| r));
+        if let Some(c) = counters {
+            if self.cache.is_some() {
+                c.record_cache_outcome(hits, misses.len() as u64);
+            }
+            c.record_dedup_skips(copy_from.len() as u64);
+        }
+        scores
+    }
+}
+
 /// Evaluation chunks dealt to each worker per batch (see
 /// [`EvalPool::evaluate`]): enough to absorb uneven candidate costs, few
 /// enough that channel traffic stays negligible next to simulation.
@@ -151,6 +588,9 @@ struct Request {
     ctx: Arc<EvalContext>,
     chunk: Vec<Chromosome>,
     offset: usize,
+    /// Score the chunk with [`evaluate_sequences_shared`] instead of the
+    /// flat per-candidate loop (sequence jobs with memoization on).
+    shared_prefix: bool,
 }
 
 /// Scores for one chunk, tagged with its position in the batch.
@@ -212,13 +652,22 @@ impl EvalPool {
                         if let Some(c) = &counters {
                             c.record_pool_idle(wait.elapsed().as_nanos() as u64);
                         }
-                        let scores = req
-                            .chunk
-                            .iter()
-                            .map(|chrom| {
-                                evaluate_candidate(&mut sim, &req.ctx, chrom, &mut scratch)
-                            })
-                            .collect();
+                        let scores = if req.shared_prefix {
+                            evaluate_sequences_shared(
+                                &mut sim,
+                                &req.ctx,
+                                &req.chunk,
+                                &mut scratch,
+                                counters.as_deref(),
+                            )
+                        } else {
+                            req.chunk
+                                .iter()
+                                .map(|chrom| {
+                                    evaluate_candidate(&mut sim, &req.ctx, chrom, &mut scratch)
+                                })
+                                .collect()
+                        };
                         if reply_tx
                             .send(Reply {
                                 offset: req.offset,
@@ -262,6 +711,23 @@ impl EvalPool {
     ///
     /// Panics if a worker thread has died.
     pub fn evaluate(&self, ctx: &Arc<EvalContext>, batch: &[Chromosome]) -> Vec<f64> {
+        self.dispatch(ctx, batch, false)
+    }
+
+    /// Like [`EvalPool::evaluate`], but each worker scores its chunk with
+    /// [`evaluate_sequences_shared`], so sequence candidates sharing vector
+    /// prefixes within a chunk are simulated once per shared frame. Scores
+    /// are bit-identical to [`EvalPool::evaluate`]'s.
+    pub fn evaluate_shared_prefix(&self, ctx: &Arc<EvalContext>, batch: &[Chromosome]) -> Vec<f64> {
+        self.dispatch(ctx, batch, true)
+    }
+
+    fn dispatch(
+        &self,
+        ctx: &Arc<EvalContext>,
+        batch: &[Chromosome],
+        shared_prefix: bool,
+    ) -> Vec<f64> {
         if batch.is_empty() {
             return Vec::new();
         }
@@ -273,6 +739,7 @@ impl EvalPool {
                 ctx: Arc::clone(ctx),
                 chunk: piece.to_vec(),
                 offset: i * chunk,
+                shared_prefix,
             };
             self.workers[i % self.workers.len()]
                 .tx
@@ -338,9 +805,29 @@ mod tests {
             nodes: sim.good().circuit().num_gates(),
         };
         Arc::new(EvalContext {
+            epoch: 1,
             checkpoint: sim.checkpoint(),
             job: EvalJob::Vector {
                 phase,
+                sample,
+                scale,
+                pis: sim.good().circuit().num_inputs(),
+            },
+        })
+    }
+
+    fn sequence_ctx(sim: &FaultSim, frames: usize, epoch: u64) -> Arc<EvalContext> {
+        let sample = sim.active_faults().to_vec();
+        let scale = FitnessScale {
+            faults: sample.len(),
+            flip_flops: sim.good().circuit().num_dffs(),
+            nodes: sim.good().circuit().num_gates(),
+        };
+        Arc::new(EvalContext {
+            epoch,
+            checkpoint: sim.checkpoint(),
+            job: EvalJob::Sequence {
+                frames,
                 sample,
                 scale,
                 pis: sim.good().circuit().num_inputs(),
@@ -383,21 +870,7 @@ mod tests {
         let sim = warmed_sim();
         let frames = 4;
         let pis = sim.good().circuit().num_inputs();
-        let sample = sim.active_faults().to_vec();
-        let scale = FitnessScale {
-            faults: sample.len(),
-            flip_flops: sim.good().circuit().num_dffs(),
-            nodes: sim.good().circuit().num_gates(),
-        };
-        let ctx = Arc::new(EvalContext {
-            checkpoint: sim.checkpoint(),
-            job: EvalJob::Sequence {
-                frames,
-                sample,
-                scale,
-                pis,
-            },
-        });
+        let ctx = sequence_ctx(&sim, frames, 1);
         let batch = random_batch(frames * pis, 17, 9);
         let mut serial_sim = sim.clone();
         let mut scratch = Vec::new();
@@ -424,6 +897,197 @@ mod tests {
             let scores = pool.evaluate(&ctx, &batch);
             assert_eq!(scores.len(), n);
         }
+    }
+
+    #[test]
+    fn prefix_shared_sequences_match_flat_and_save_frames() {
+        let sim = warmed_sim();
+        let frames = 5;
+        let pis = sim.good().circuit().num_inputs();
+        let ctx = sequence_ctx(&sim, frames, 1);
+        // A batch with deliberately shared prefixes: pairs differing only
+        // in their last frames, plus unrelated candidates.
+        let mut rng = Rng::new(41);
+        let mut batch = Vec::new();
+        for _ in 0..6 {
+            let base = Chromosome::random(frames * pis, &mut rng);
+            let mut twin = base.clone();
+            for b in &mut twin.bits_mut()[(frames - 1) * pis..] {
+                *b = rng.coin();
+            }
+            batch.push(base);
+            batch.push(twin);
+        }
+        batch.extend(random_batch(frames * pis, 5, 43));
+
+        let mut flat_sim = sim.clone();
+        let mut scratch = Vec::new();
+        let flat: Vec<f64> = batch
+            .iter()
+            .map(|c| evaluate_candidate(&mut flat_sim, &ctx, c, &mut scratch))
+            .collect();
+
+        let counters = Arc::new(SimCounters::new());
+        let mut trie_sim = sim.clone();
+        let shared =
+            evaluate_sequences_shared(&mut trie_sim, &ctx, &batch, &mut scratch, Some(&counters));
+        assert!(
+            flat.iter()
+                .zip(&shared)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "prefix-shared scores must be bit-identical to flat scores"
+        );
+        let avoided = counters.snapshot().prefix_frames_avoided;
+        assert!(
+            avoided >= 6 * (frames as u64 - 1),
+            "each twin pair shares frames-1 frames; avoided only {avoided}"
+        );
+
+        // The pooled shared-prefix path agrees too, at several widths.
+        for workers in [1, 3] {
+            let pool = EvalPool::new(&sim, workers);
+            let pooled = pool.evaluate_shared_prefix(&ctx, &batch);
+            assert!(flat
+                .iter()
+                .zip(&pooled)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn cache_is_lru_bounded_and_epoch_keyed() {
+        let mut rng = Rng::new(11);
+        let chroms: Vec<Chromosome> = (0..4).map(|_| Chromosome::random(24, &mut rng)).collect();
+        let mut cache = EvalCache::new(2);
+        cache.begin_epoch(1);
+        cache.insert(2, chroms[0].fingerprint(), &chroms[0], 0.5);
+        cache.insert(2, chroms[1].fingerprint(), &chroms[1], 1.5);
+        assert_eq!(
+            cache.lookup(2, chroms[0].fingerprint(), &chroms[0]),
+            Some(0.5)
+        );
+        // Insert a third entry: chroms[1] is now least recent and evicted.
+        cache.insert(2, chroms[2].fingerprint(), &chroms[2], 2.5);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(2, chroms[1].fingerprint(), &chroms[1]), None);
+        assert_eq!(
+            cache.lookup(2, chroms[0].fingerprint(), &chroms[0]),
+            Some(0.5)
+        );
+        assert_eq!(
+            cache.lookup(2, chroms[2].fingerprint(), &chroms[2]),
+            Some(2.5)
+        );
+        // Same epoch: entries survive; new epoch: all dropped.
+        cache.begin_epoch(1);
+        assert_eq!(cache.len(), 2);
+        cache.begin_epoch(2);
+        assert!(cache.is_empty());
+        assert_eq!(cache.lookup(2, chroms[0].fingerprint(), &chroms[0]), None);
+    }
+
+    #[test]
+    fn cache_treats_fingerprint_collisions_as_misses() {
+        let a = Chromosome::from_bits(vec![true, false, true]);
+        let b = Chromosome::from_bits(vec![false, true, true]);
+        let mut cache = EvalCache::new(4);
+        cache.begin_epoch(1);
+        // Force a collision by filing `a` under a fabricated fingerprint.
+        cache.insert(2, 42, &a, 9.0);
+        assert_eq!(cache.lookup(2, 42, &a), Some(9.0));
+        assert_eq!(cache.lookup(2, 42, &b), None, "bits differ: must miss");
+        // Phase is part of the key.
+        assert_eq!(cache.lookup(3, 42, &a), None);
+    }
+
+    #[test]
+    fn memo_answers_duplicates_and_repeats_without_raw_calls() {
+        let sim = warmed_sim();
+        let ctx = vector_ctx(&sim, Phase::VectorGeneration);
+        let mut flat_sim = sim.clone();
+        let mut scratch = Vec::new();
+        let distinct = random_batch(3, 4, 21);
+        // Batch = each distinct chromosome three times over.
+        let batch: Vec<Chromosome> = (0..12).map(|i| distinct[i % 4].clone()).collect();
+        let expected: Vec<f64> = batch
+            .iter()
+            .map(|c| evaluate_candidate(&mut flat_sim, &ctx, c, &mut scratch))
+            .collect();
+
+        let counters = SimCounters::new();
+        let mut memo = EvalMemo::new(64, true).expect("layer on");
+        let mut raw_calls = 0usize;
+        let scores = memo.evaluate(&ctx, &batch, Some(&counters), |work| {
+            raw_calls += work.len();
+            let mut sim = sim.clone();
+            let mut scratch = Vec::new();
+            work.iter()
+                .map(|c| evaluate_candidate(&mut sim, &ctx, c, &mut scratch))
+                .collect()
+        });
+        assert!(expected
+            .iter()
+            .zip(&scores)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(raw_calls, 4, "each distinct chromosome simulated once");
+        let snap = counters.snapshot();
+        assert_eq!(snap.cache_misses, 4);
+        assert_eq!(snap.dedup_skips, 8);
+        assert_eq!(snap.cache_hits, 0);
+
+        // The same batch again, same epoch: everything comes from cache.
+        let scores2 = memo.evaluate(&ctx, &batch, Some(&counters), |_| {
+            panic!("fully cached batch must not reach the raw evaluator")
+        });
+        assert!(expected
+            .iter()
+            .zip(&scores2)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert_eq!(counters.snapshot().cache_hits, 12);
+
+        // A new epoch invalidates: the raw evaluator runs again.
+        let mut next = (*ctx).clone();
+        next.epoch = 2;
+        let mut raw_again = 0usize;
+        memo.evaluate(&next, &batch, Some(&counters), |work| {
+            raw_again = work.len();
+            let mut sim = sim.clone();
+            let mut scratch = Vec::new();
+            work.iter()
+                .map(|c| evaluate_candidate(&mut sim, &next, c, &mut scratch))
+                .collect()
+        });
+        assert_eq!(raw_again, 4, "epoch change must drop every cached score");
+    }
+
+    #[test]
+    fn memo_dedup_only_mode_shares_scores_without_caching() {
+        let sim = warmed_sim();
+        let ctx = vector_ctx(&sim, Phase::VectorGeneration);
+        let distinct = random_batch(3, 3, 33);
+        let batch = vec![
+            distinct[0].clone(),
+            distinct[1].clone(),
+            distinct[0].clone(),
+            distinct[2].clone(),
+            distinct[0].clone(),
+        ];
+        let counters = SimCounters::new();
+        let mut memo = EvalMemo::new(0, true).expect("dedup still on");
+        assert!(!memo.cache_enabled());
+        let mut seen = 0usize;
+        let scores = memo.evaluate(&ctx, &batch, Some(&counters), |work| {
+            seen = work.len();
+            work.iter().map(|c| c.bits()[0] as u8 as f64).collect()
+        });
+        assert_eq!(seen, 3);
+        assert_eq!(scores.len(), 5);
+        assert_eq!(scores[0].to_bits(), scores[2].to_bits());
+        assert_eq!(scores[0].to_bits(), scores[4].to_bits());
+        let snap = counters.snapshot();
+        assert_eq!(snap.dedup_skips, 2);
+        assert_eq!(snap.cache_hits + snap.cache_misses, 0, "no cache in play");
+        assert!(EvalMemo::new(0, false).is_none(), "both off = no layer");
     }
 
     #[test]

@@ -25,7 +25,8 @@ use gatest_telemetry::{NullObserver, RunEvent, RunObserver, SimCounters, Telemet
 use crate::checkpoint::{config_digest, GaSnapshot, RunSnapshot, SnapshotIndividual, SnapshotPos};
 use crate::config::{FaultSample, GatestConfig};
 use crate::evalpool::{
-    decode_frame_into, decode_vector_into, evaluate_candidate, EvalContext, EvalJob, EvalPool,
+    decode_frame_into, decode_vector_into, evaluate_candidate, evaluate_sequences_shared,
+    EvalContext, EvalJob, EvalMemo, EvalPool,
 };
 use crate::fitness::{phase1, FitnessScale, Phase};
 
@@ -248,6 +249,12 @@ struct MachineState {
     ga_generations: u64,
     /// Wall clock accumulated by previous legs of an interrupted run.
     elapsed_base: Duration,
+    /// Monotone GA-invocation counter keying the fitness cache: bumped at
+    /// every invocation start (each draws a fresh fault sample and
+    /// checkpoint), so scores cached under one epoch can never leak into
+    /// another. Serialized so a resumed run keeps the uninterrupted run's
+    /// numbering.
+    eval_epoch: u64,
     pos: MachinePos,
 }
 
@@ -257,6 +264,11 @@ struct MachineState {
 struct DriverCtx {
     pool: Option<EvalPool>,
     packed: Option<PackedGoodSim>,
+    /// The memoization layer (dedup + fitness cache); `None` when both are
+    /// disabled. Process-local by design: a resumed leg starts cold and
+    /// merely re-simulates what the cache would have answered, so results
+    /// are unaffected.
+    memo: Option<EvalMemo>,
     scratch: Vec<Logic>,
     seq_lens: Vec<usize>,
     progress_limit: usize,
@@ -346,6 +358,7 @@ impl TestGenerator {
             phase_time: [Duration::ZERO; 4],
             ga_generations: 0,
             elapsed_base: Duration::ZERO,
+            eval_epoch: 0,
             pos: MachinePos::Vectors {
                 phase,
                 noncontributing: 0,
@@ -358,8 +371,13 @@ impl TestGenerator {
     }
 
     /// Continues an interrupted run from a [`RunSnapshot`], bit-identically:
-    /// the resumed run's test set, coverage, and deterministic counters
-    /// equal the uninterrupted run's. The generator must be constructed
+    /// the resumed run's test set, coverage, phase trace, and evaluation
+    /// counts equal the uninterrupted run's. (Simulator work counters may
+    /// legitimately differ when the fitness cache is enabled — the cache is
+    /// process-local, so a resumed leg starts cold and re-simulates scores
+    /// the uninterrupted run would have answered from cache; the scores
+    /// themselves are bit-identical either way.) The generator must be
+    /// constructed
     /// over the same circuit, fault list, and configuration (same seed and
     /// search parameters; worker counts and budgets may differ freely) —
     /// mismatches are rejected.
@@ -421,6 +439,7 @@ impl TestGenerator {
             // batch.
             pool: (workers > 1).then(|| EvalPool::new(&self.sim, workers)),
             packed: (nffs > 0).then(|| PackedGoodSim::new(Arc::clone(&self.circuit))),
+            memo: EvalMemo::new(self.config.eval_cache_entries, self.config.dedup),
             scratch: Vec::with_capacity(pis),
             seq_lens: self.config.sequence_lengths(self.seq_depth),
             progress_limit: self.config.progress_limit(self.seq_depth),
@@ -538,7 +557,7 @@ impl TestGenerator {
             ga_evaluations: result.ga_evaluations,
             elapsed_secs: elapsed.as_secs_f64(),
             budget_exhausted: stop == StopCause::BudgetExhausted,
-            snapshot,
+            snapshot: Box::new(snapshot),
         });
         result
     }
@@ -577,24 +596,12 @@ impl TestGenerator {
             return;
         }
         let stats = {
-            let sim = &mut self.sim;
-            let counters = &self.counters;
-            let pool = dctx.pool.as_ref();
-            let mut packed = dctx.packed.as_mut();
-            let scratch = &mut dctx.scratch;
+            let mut path = self.eval_path(dctx);
             let ctx = Arc::clone(&active.ctx);
             active
                 .engine
                 .advance(&mut active.state, &mut active.run_rng, |batch| {
-                    eval_batch(
-                        sim,
-                        counters,
-                        pool,
-                        packed.as_deref_mut(),
-                        &ctx,
-                        scratch,
-                        batch,
-                    )
+                    eval_batch(&mut path, &ctx, batch)
                 })
         };
         self.note_generation(m, phase_no, &stats);
@@ -623,6 +630,7 @@ impl TestGenerator {
         };
         let phase_no = phase.number();
         self.note_phase(m, dctx, phase_no);
+        m.eval_epoch += 1;
         let sample = self.draw_sample();
         let scale = FitnessScale {
             faults: sample.len(),
@@ -630,6 +638,7 @@ impl TestGenerator {
             nodes: self.circuit.num_gates(),
         };
         let ctx = Arc::new(EvalContext {
+            epoch: m.eval_epoch,
             checkpoint: self.sim.checkpoint(),
             job: EvalJob::Vector {
                 phase,
@@ -659,23 +668,9 @@ impl TestGenerator {
         }
         let engine = GaEngine::new(self.vector_ga_config());
         let (state, first) = {
-            let sim = &mut self.sim;
-            let counters = &self.counters;
-            let pool = dctx.pool.as_ref();
-            let mut packed = dctx.packed.as_mut();
-            let scratch = &mut dctx.scratch;
+            let mut path = self.eval_path(dctx);
             let ctx = Arc::clone(&ctx);
-            engine.begin(initial, |batch| {
-                eval_batch(
-                    sim,
-                    counters,
-                    pool,
-                    packed.as_deref_mut(),
-                    &ctx,
-                    scratch,
-                    batch,
-                )
-            })
+            engine.begin(initial, |batch| eval_batch(&mut path, &ctx, batch))
         };
         self.note_generation(m, phase_no, &first);
         match &mut m.pos {
@@ -812,6 +807,7 @@ impl TestGenerator {
             failures = 0;
         };
         self.note_phase(m, dctx, 4);
+        m.eval_epoch += 1;
         let sample = self.draw_sample();
         let scale = FitnessScale {
             faults: sample.len(),
@@ -819,6 +815,7 @@ impl TestGenerator {
             nodes: self.circuit.num_gates(),
         };
         let ctx = Arc::new(EvalContext {
+            epoch: m.eval_epoch,
             checkpoint: self.sim.checkpoint(),
             job: EvalJob::Sequence {
                 frames: len,
@@ -833,23 +830,9 @@ impl TestGenerator {
             .collect();
         let engine = GaEngine::new(self.sequence_ga_config(dctx.pis));
         let (state, first) = {
-            let sim = &mut self.sim;
-            let counters = &self.counters;
-            let pool = dctx.pool.as_ref();
-            let mut packed = dctx.packed.as_mut();
-            let scratch = &mut dctx.scratch;
+            let mut path = self.eval_path(dctx);
             let ctx = Arc::clone(&ctx);
-            engine.begin(initial, |batch| {
-                eval_batch(
-                    sim,
-                    counters,
-                    pool,
-                    packed.as_deref_mut(),
-                    &ctx,
-                    scratch,
-                    batch,
-                )
-            })
+            engine.begin(initial, |batch| eval_batch(&mut path, &ctx, batch))
         };
         self.note_generation(m, 4, &first);
         m.pos = MachinePos::Sequences {
@@ -911,6 +894,23 @@ impl TestGenerator {
             failures,
             ga: None,
         };
+    }
+
+    /// Borrows the per-batch evaluation machinery (simulator, counters,
+    /// pool, packed phase-1 simulator, memoization layer, scratch) for one
+    /// GA eval closure.
+    fn eval_path<'a>(&'a mut self, dctx: &'a mut DriverCtx) -> EvalPath<'a> {
+        EvalPath {
+            raw: RawEval {
+                sim: &mut self.sim,
+                counters: &self.counters,
+                pool: dctx.pool.as_ref(),
+                packed: dctx.packed.as_mut(),
+                scratch: &mut dctx.scratch,
+            },
+            memo: dctx.memo.as_mut(),
+            paranoid: self.config.paranoid_cache,
+        }
     }
 
     /// Counts one evaluated GA generation and emits its event.
@@ -1025,6 +1025,7 @@ impl TestGenerator {
             phase_time_ns: m.phase_time.map(|d| d.as_nanos() as u64),
             ga_generations: m.ga_generations,
             elapsed_ns: elapsed.as_nanos() as u64,
+            eval_epoch: m.eval_epoch,
             pos,
             sim,
             counters: self.counters.snapshot(),
@@ -1072,7 +1073,7 @@ impl TestGenerator {
                 };
                 let ga = ga
                     .as_ref()
-                    .map(|g| self.revive_ga(g, phase, None))
+                    .map(|g| self.revive_ga(g, phase, None, snap.eval_epoch))
                     .transpose()?;
                 MachinePos::Vectors {
                     phase,
@@ -1097,7 +1098,9 @@ impl TestGenerator {
                 };
                 let ga = ga
                     .as_ref()
-                    .map(|g| self.revive_ga(g, Phase::SequenceGeneration, Some(len)))
+                    .map(|g| {
+                        self.revive_ga(g, Phase::SequenceGeneration, Some(len), snap.eval_epoch)
+                    })
                     .transpose()?;
                 MachinePos::Sequences {
                     len_idx,
@@ -1116,6 +1119,7 @@ impl TestGenerator {
             phase_time: snap.phase_time_ns.map(Duration::from_nanos),
             ga_generations: snap.ga_generations,
             elapsed_base: Duration::from_nanos(snap.elapsed_ns),
+            eval_epoch: snap.eval_epoch,
             pos,
         })
     }
@@ -1128,6 +1132,7 @@ impl TestGenerator {
         g: &GaSnapshot,
         phase: Phase,
         frames: Option<usize>,
+        eval_epoch: u64,
     ) -> Result<ActiveGa, ResumeError> {
         let nfaults = self.sim.fault_list().len() as u32;
         let sample = g
@@ -1201,6 +1206,7 @@ impl TestGenerator {
             state,
             run_rng: Rng::from_state(g.rng),
             ctx: Arc::new(EvalContext {
+                epoch: eval_epoch,
                 checkpoint: self.sim.checkpoint(),
                 job,
             }),
@@ -1280,40 +1286,111 @@ fn snapshot_ga(ga: &ActiveGa) -> GaSnapshot {
     }
 }
 
-/// Scores one GA batch on whichever evaluation path the invocation uses:
-/// the 64-way packed good-machine simulator in phase 1, the persistent
-/// worker pool when configured, or the serial scoring loop. All three are
-/// bit-identical; the choice is pure mechanism.
-fn eval_batch(
-    sim: &mut FaultSim,
-    counters: &SimCounters,
-    pool: Option<&EvalPool>,
-    packed: Option<&mut PackedGoodSim>,
-    ctx: &Arc<EvalContext>,
-    scratch: &mut Vec<Logic>,
-    batch: &[Chromosome],
-) -> Vec<f64> {
-    let (is_init, pis, scale) = match &ctx.job {
-        EvalJob::Vector {
-            phase, scale, pis, ..
-        } => (*phase == Phase::Initialization, *pis, *scale),
-        EvalJob::Sequence { scale, pis, .. } => (false, *pis, *scale),
-    };
-    if is_init {
-        // Phase 1 needs no fault simulation, so score 64 candidates per
-        // packed good-machine pass. The generator's simulator is never
-        // touched here: it stays at the checkpoint state the packed
-        // simulator reseeds from each batch.
-        let packed = packed.expect("phase 1 only runs on circuits with flip-flops");
-        packed_phase1_scores(packed, sim.good(), counters, batch, pis, scale)
-    } else if let Some(pool) = pool {
-        pool.evaluate(ctx, batch)
-    } else {
-        batch
-            .iter()
-            .map(|c| evaluate_candidate(sim, ctx, c, scratch))
-            .collect()
+/// The raw (unmemoized) evaluation machinery for one GA batch: the 64-way
+/// packed good-machine simulator in phase 1, the persistent worker pool when
+/// configured, or the serial scoring loop. All paths are bit-identical; the
+/// choice is pure mechanism.
+struct RawEval<'a> {
+    sim: &'a mut FaultSim,
+    counters: &'a SimCounters,
+    pool: Option<&'a EvalPool>,
+    packed: Option<&'a mut PackedGoodSim>,
+    scratch: &'a mut Vec<Logic>,
+}
+
+impl RawEval<'_> {
+    fn eval(
+        &mut self,
+        ctx: &Arc<EvalContext>,
+        batch: &[Chromosome],
+        shared_prefix: bool,
+    ) -> Vec<f64> {
+        let (is_init, pis, scale) = match &ctx.job {
+            EvalJob::Vector {
+                phase, scale, pis, ..
+            } => (*phase == Phase::Initialization, *pis, *scale),
+            EvalJob::Sequence { scale, pis, .. } => (false, *pis, *scale),
+        };
+        if is_init {
+            // Phase 1 needs no fault simulation, so score 64 candidates per
+            // packed good-machine pass. The generator's simulator is never
+            // touched here: it stays at the checkpoint state the packed
+            // simulator reseeds from each batch.
+            let packed = self
+                .packed
+                .as_deref_mut()
+                .expect("phase 1 only runs on circuits with flip-flops");
+            packed_phase1_scores(packed, self.sim.good(), self.counters, batch, pis, scale)
+        } else if shared_prefix {
+            match self.pool {
+                Some(pool) => pool.evaluate_shared_prefix(ctx, batch),
+                None => evaluate_sequences_shared(
+                    self.sim,
+                    ctx,
+                    batch,
+                    self.scratch,
+                    Some(self.counters),
+                ),
+            }
+        } else if let Some(pool) = self.pool {
+            pool.evaluate(ctx, batch)
+        } else {
+            batch
+                .iter()
+                .map(|c| evaluate_candidate(self.sim, ctx, c, self.scratch))
+                .collect()
+        }
     }
+}
+
+/// One invocation's full evaluation path: the raw machinery plus the
+/// optional memoization layer ([`EvalMemo`]) and the `--paranoid-cache`
+/// cross-check.
+struct EvalPath<'a> {
+    raw: RawEval<'a>,
+    memo: Option<&'a mut EvalMemo>,
+    paranoid: bool,
+}
+
+/// Scores one GA batch, routing it through the memoization layer when
+/// enabled. Memoized and raw scores are bit-identical: the cache and dedup
+/// layers only share scores between bit-equal chromosomes, and the
+/// prefix-sharing trie replays the exact per-frame reports the flat loop
+/// would produce.
+fn eval_batch(path: &mut EvalPath<'_>, ctx: &Arc<EvalContext>, batch: &[Chromosome]) -> Vec<f64> {
+    // Prefix sharing rides the same knob as the cache: `--eval-cache off`
+    // restores the seed evaluation path exactly.
+    let shared_prefix = path.memo.as_ref().is_some_and(|m| m.cache_enabled())
+        && matches!(ctx.job, EvalJob::Sequence { .. });
+    let EvalPath {
+        raw,
+        memo,
+        paranoid,
+    } = path;
+    let scores = match memo {
+        None => raw.eval(ctx, batch, shared_prefix),
+        Some(memo) => {
+            let counters = raw.counters;
+            memo.evaluate(ctx, batch, Some(counters), |work| {
+                raw.eval(ctx, work, shared_prefix)
+            })
+        }
+    };
+    if *paranoid {
+        for (chrom, &score) in batch.iter().zip(&scores) {
+            let again = evaluate_candidate(raw.sim, ctx, chrom, raw.scratch);
+            assert_eq!(
+                score.to_bits(),
+                again.to_bits(),
+                "--paranoid-cache: memoized score {score} != recomputed {again}"
+            );
+        }
+        // The packed phase-1 path reseeds from the live simulator without
+        // restoring first, so put back the invocation checkpoint the
+        // recomputation loop just stepped past.
+        raw.sim.restore(&ctx.checkpoint);
+    }
+    scores
 }
 
 /// Scores a phase-1 batch with the 64-way packed good-machine simulator:

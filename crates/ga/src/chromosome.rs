@@ -116,6 +116,36 @@ impl Chromosome {
     pub fn chars(&self, coding: Coding) -> impl Iterator<Item = &[bool]> {
         self.bits.chunks(coding.granularity())
     }
+
+    /// A 64-bit FNV-1a fingerprint of the chromosome: the bit length
+    /// followed by the bits packed LSB-first into bytes.
+    ///
+    /// Equal chromosomes always fingerprint equally, so the fingerprint can
+    /// key a fitness cache — but distinct chromosomes may collide, so any
+    /// consumer that must be exact (a memoizing evaluator, for example) has
+    /// to confirm bit equality on a fingerprint match before sharing a
+    /// score. Including the length keeps a chromosome from colliding with
+    /// its own zero-padded extension.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        let mix = |byte: u8, hash: &mut u64| {
+            *hash ^= u64::from(byte);
+            *hash = hash.wrapping_mul(FNV_PRIME);
+        };
+        for byte in (self.bits.len() as u64).to_le_bytes() {
+            mix(byte, &mut hash);
+        }
+        for chunk in self.bits.chunks(8) {
+            let mut packed = 0u8;
+            for (i, &bit) in chunk.iter().enumerate() {
+                packed |= (bit as u8) << i;
+            }
+            mix(packed, &mut hash);
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -150,6 +180,35 @@ mod tests {
     fn coding_granularity() {
         assert_eq!(Coding::Binary.granularity(), 1);
         assert_eq!(Coding::Nonbinary { bits_per_char: 5 }.granularity(), 5);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_length_sensitive() {
+        let a = Chromosome::from_bits(vec![true, false, true]);
+        let b = Chromosome::from_bits(vec![true, false, true]);
+        assert_eq!(a.fingerprint(), b.fingerprint(), "equal bits, equal hash");
+        // Zero-padding must change the fingerprint: [1,0,1] vs [1,0,1,0]
+        // pack to the same byte and differ only in length.
+        let padded = Chromosome::from_bits(vec![true, false, true, false]);
+        assert_ne!(a.fingerprint(), padded.fingerprint());
+        // Flipping any single bit changes the fingerprint.
+        let mut rng = Rng::new(7);
+        let base = Chromosome::random(67, &mut rng);
+        for i in 0..base.len() {
+            let mut flipped = base.clone();
+            flipped.bits_mut()[i] = !flipped.bit(i);
+            assert_ne!(base.fingerprint(), flipped.fingerprint(), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn fingerprint_of_empty_is_well_defined() {
+        let empty = Chromosome::from_bits(Vec::new());
+        assert_eq!(empty.fingerprint(), empty.fingerprint());
+        assert_ne!(
+            empty.fingerprint(),
+            Chromosome::from_bits(vec![false]).fingerprint()
+        );
     }
 
     #[test]

@@ -50,6 +50,17 @@ pub struct SimCounters {
     pub checkpoint_writes: AtomicU64,
     /// Total bytes of checkpoint files written.
     pub checkpoint_bytes: AtomicU64,
+    /// Candidate evaluations answered from the epoch-keyed fitness cache
+    /// (each hit is one whole fault-sim pass skipped).
+    pub cache_hits: AtomicU64,
+    /// Fitness-cache lookups that missed and had to simulate.
+    pub cache_misses: AtomicU64,
+    /// Candidates skipped because an identical chromosome appeared earlier
+    /// in the same evaluation batch (the score is shared, not resimulated).
+    pub dedup_skips: AtomicU64,
+    /// Sequence-evaluation frames not simulated thanks to prefix sharing:
+    /// candidates with a common k-vector prefix pay for those frames once.
+    pub prefix_frames_avoided: AtomicU64,
 }
 
 impl SimCounters {
@@ -125,6 +136,27 @@ impl SimCounters {
         self.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Records one evaluation batch's fitness-cache outcome: scores served
+    /// from the cache and lookups that fell through to simulation.
+    #[inline]
+    pub fn record_cache_outcome(&self, hits: u64, misses: u64) {
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Records candidates deduplicated away within one evaluation batch.
+    #[inline]
+    pub fn record_dedup_skips(&self, skips: u64) {
+        self.dedup_skips.fetch_add(skips, Ordering::Relaxed);
+    }
+
+    /// Records sequence frames skipped by prefix-sharing evaluation.
+    #[inline]
+    pub fn record_prefix_frames_avoided(&self, frames: u64) {
+        self.prefix_frames_avoided
+            .fetch_add(frames, Ordering::Relaxed);
+    }
+
     /// Overwrites every counter with the totals in `snapshot`, so a resumed
     /// run continues accumulating from where the checkpointed run stopped.
     pub fn load_snapshot(&self, snapshot: &CounterSnapshot) {
@@ -158,6 +190,14 @@ impl SimCounters {
             .store(snapshot.checkpoint_writes, Ordering::Relaxed);
         self.checkpoint_bytes
             .store(snapshot.checkpoint_bytes, Ordering::Relaxed);
+        self.cache_hits
+            .store(snapshot.cache_hits, Ordering::Relaxed);
+        self.cache_misses
+            .store(snapshot.cache_misses, Ordering::Relaxed);
+        self.dedup_skips
+            .store(snapshot.dedup_skips, Ordering::Relaxed);
+        self.prefix_frames_avoided
+            .store(snapshot.prefix_frames_avoided, Ordering::Relaxed);
     }
 
     /// A plain-integer copy of the current totals.
@@ -178,6 +218,10 @@ impl SimCounters {
             scratch_bytes_reused: self.scratch_bytes_reused.load(Ordering::Relaxed),
             checkpoint_writes: self.checkpoint_writes.load(Ordering::Relaxed),
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            dedup_skips: self.dedup_skips.load(Ordering::Relaxed),
+            prefix_frames_avoided: self.prefix_frames_avoided.load(Ordering::Relaxed),
         }
     }
 
@@ -198,6 +242,10 @@ impl SimCounters {
         self.scratch_bytes_reused.store(0, Ordering::Relaxed);
         self.checkpoint_writes.store(0, Ordering::Relaxed);
         self.checkpoint_bytes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.dedup_skips.store(0, Ordering::Relaxed);
+        self.prefix_frames_avoided.store(0, Ordering::Relaxed);
     }
 }
 
@@ -234,6 +282,14 @@ pub struct CounterSnapshot {
     pub checkpoint_writes: u64,
     /// Total bytes of checkpoint files written.
     pub checkpoint_bytes: u64,
+    /// Candidate evaluations answered from the fitness cache.
+    pub cache_hits: u64,
+    /// Fitness-cache lookups that fell through to simulation.
+    pub cache_misses: u64,
+    /// Candidates deduplicated away within evaluation batches.
+    pub dedup_skips: u64,
+    /// Sequence frames skipped by prefix-sharing evaluation.
+    pub prefix_frames_avoided: u64,
 }
 
 impl CounterSnapshot {
@@ -286,6 +342,27 @@ mod tests {
         assert_eq!(s.group_tasks, 32);
         assert_eq!(s.group_steal_ns, 4_000);
         assert_eq!(s.scratch_bytes_reused, 5_120);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn memoization_counters_accumulate_and_reload() {
+        let c = SimCounters::new();
+        c.record_cache_outcome(10, 4);
+        c.record_cache_outcome(5, 1);
+        c.record_dedup_skips(3);
+        c.record_prefix_frames_avoided(120);
+        c.record_prefix_frames_avoided(8);
+        let s = c.snapshot();
+        assert_eq!(s.cache_hits, 15);
+        assert_eq!(s.cache_misses, 5);
+        assert_eq!(s.dedup_skips, 3);
+        assert_eq!(s.prefix_frames_avoided, 128);
+
+        let resumed = SimCounters::new();
+        resumed.load_snapshot(&s);
+        assert_eq!(resumed.snapshot(), s);
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
     }

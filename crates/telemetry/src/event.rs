@@ -76,8 +76,10 @@ pub enum RunEvent {
         /// True when the run stopped because a wall-clock or evaluation
         /// budget was exhausted rather than by finishing the flow.
         budget_exhausted: bool,
-        /// Final telemetry aggregate (phase timings, counters).
-        snapshot: TelemetrySnapshot,
+        /// Final telemetry aggregate (phase timings, counters). Boxed so
+        /// the once-per-run variant doesn't size every per-generation
+        /// event.
+        snapshot: Box<TelemetrySnapshot>,
     },
 }
 

@@ -102,7 +102,7 @@ fn snapshot_fields(snapshot: &TelemetrySnapshot) -> String {
     }
     let _ = write!(
         s,
-        "],\"ga_generations\":{},\"counters\":{{\"step_calls\":{},\"good_only_calls\":{},\"gate_evals\":{},\"good_events\":{},\"faulty_events\":{},\"checkpoint_restores\":{},\"restore_bytes_avoided\":{},\"packed_phase1_frames\":{},\"pool_tasks\":{},\"pool_idle_ns\":{},\"group_tasks\":{},\"group_steal_ns\":{},\"scratch_bytes_reused\":{},\"checkpoint_writes\":{},\"checkpoint_bytes\":{}}}",
+        "],\"ga_generations\":{},\"counters\":{{\"step_calls\":{},\"good_only_calls\":{},\"gate_evals\":{},\"good_events\":{},\"faulty_events\":{},\"checkpoint_restores\":{},\"restore_bytes_avoided\":{},\"packed_phase1_frames\":{},\"pool_tasks\":{},\"pool_idle_ns\":{},\"group_tasks\":{},\"group_steal_ns\":{},\"scratch_bytes_reused\":{},\"checkpoint_writes\":{},\"checkpoint_bytes\":{},\"cache_hits\":{},\"cache_misses\":{},\"dedup_skips\":{},\"prefix_frames_avoided\":{}}}",
         snapshot.ga_generations,
         c.step_calls,
         c.good_only_calls,
@@ -118,7 +118,11 @@ fn snapshot_fields(snapshot: &TelemetrySnapshot) -> String {
         c.group_steal_ns,
         c.scratch_bytes_reused,
         c.checkpoint_writes,
-        c.checkpoint_bytes
+        c.checkpoint_bytes,
+        c.cache_hits,
+        c.cache_misses,
+        c.dedup_skips,
+        c.prefix_frames_avoided
     );
     s
 }
@@ -418,7 +422,7 @@ mod tests {
                 ga_evaluations: 640,
                 elapsed_secs: 0.125,
                 budget_exhausted: false,
-                snapshot: TelemetrySnapshot {
+                snapshot: Box::new(TelemetrySnapshot {
                     phase_time: [
                         Duration::from_millis(10),
                         Duration::from_millis(80),
@@ -442,8 +446,12 @@ mod tests {
                         scratch_bytes_reused: 8_388_608,
                         checkpoint_writes: 3,
                         checkpoint_bytes: 45_000,
+                        cache_hits: 210,
+                        cache_misses: 430,
+                        dedup_skips: 37,
+                        prefix_frames_avoided: 1_900,
                     },
-                },
+                }),
             },
         ]
     }
@@ -534,6 +542,16 @@ mod tests {
         assert_eq!(
             counters.get("checkpoint_bytes").and_then(Json::as_u64),
             Some(45_000)
+        );
+        assert_eq!(counters.get("cache_hits").and_then(Json::as_u64), Some(210));
+        assert_eq!(
+            counters.get("cache_misses").and_then(Json::as_u64),
+            Some(430)
+        );
+        assert_eq!(counters.get("dedup_skips").and_then(Json::as_u64), Some(37));
+        assert_eq!(
+            counters.get("prefix_frames_avoided").and_then(Json::as_u64),
+            Some(1_900)
         );
     }
 

@@ -80,7 +80,6 @@ impl<W: Write + Send> RunObserver for JsonlTraceWriter<W> {
 mod tests {
     use super::*;
     use crate::json::{parse_json, Json};
-    use crate::snapshot::TelemetrySnapshot;
 
     #[test]
     fn writes_one_line_per_event() {
@@ -101,7 +100,7 @@ mod tests {
             ga_evaluations: 100,
             elapsed_secs: 0.5,
             budget_exhausted: false,
-            snapshot: TelemetrySnapshot::default(),
+            snapshot: Box::default(),
         });
         assert_eq!(writer.error_count(), 0);
         let text = String::from_utf8(writer.into_inner()).unwrap();

@@ -151,7 +151,7 @@ mod tests {
             ga_evaluations: 0,
             elapsed_secs: 0.0,
             budget_exhausted: false,
-            snapshot: TelemetrySnapshot::default(),
+            snapshot: Box::default(),
         });
     }
 }

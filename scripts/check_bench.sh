@@ -77,6 +77,17 @@ target/release/bench_sim --smoke > "$tmpdir/sim.json"
 target/release/bench_eval --validate "$tmpdir/eval.json"
 target/release/bench_sim --validate "$tmpdir/sim.json"
 
+# The memoization layer must earn its keep on the duplicate-heavy cache
+# workload. The speedup is a within-run ratio, so unlike the absolute
+# throughput comparison below it is meaningful on any machine shape.
+awk -v cur="$(json_num "$tmpdir/eval.json" speedup)" -v floor=1.3 'BEGIN {
+    if (cur < floor) {
+        printf "FAIL eval cache: %.2fx speedup is below the %.1fx floor\n", cur, floor
+        exit 1
+    }
+    printf "ok   eval cache: %.2fx speedup on the duplicate-heavy workload (floor %.1fx)\n", cur, floor
+}'
+
 host_cpus="$(json_num "$tmpdir/eval.json" host_cpus)"
 base_cpus="$(json_num BENCH_eval.json host_cpus)"
 if [ "$host_cpus" != "$base_cpus" ]; then

@@ -118,6 +118,7 @@ fn arbitrary_snapshot(seed: u64) -> RunSnapshot {
         phase_time_ns: [mix.next(), mix.next(), mix.next(), mix.next()],
         ga_generations: mix.below(5000),
         elapsed_ns: mix.next(),
+        eval_epoch: mix.below(10_000),
         pos,
         sim: SimState {
             good_values: mix.logics(20),
@@ -146,6 +147,10 @@ fn arbitrary_snapshot(seed: u64) -> RunSnapshot {
             step_calls: mix.next(),
             gate_evals: mix.next(),
             checkpoint_restores: mix.next(),
+            cache_hits: mix.next(),
+            cache_misses: mix.next(),
+            dedup_skips: mix.next(),
+            prefix_frames_avoided: mix.next(),
             ..CounterSnapshot::default()
         },
     }

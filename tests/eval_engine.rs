@@ -89,6 +89,7 @@ proptest! {
             nodes: circuit.num_gates(),
         };
         let ctx = Arc::new(EvalContext {
+            epoch: 1,
             checkpoint: sim.checkpoint(),
             job: EvalJob::Vector { phase, sample, scale, pis },
         });

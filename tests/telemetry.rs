@@ -112,7 +112,7 @@ fn s27_run_emits_a_consistent_event_stream() {
             assert_eq!(*ga_evaluations, result.ga_evaluations);
             assert!(*elapsed_secs >= 0.0);
             assert!(!budget_exhausted, "no budget was configured");
-            assert_eq!(snapshot, &result.telemetry);
+            assert_eq!(snapshot.as_ref(), &result.telemetry);
         }
         other => panic!("expected run_finished, got {other:?}"),
     }
