@@ -24,6 +24,21 @@ use gatest_telemetry::json::parse_json;
 
 const CIRCUIT: &str = "s1423";
 const SIM_THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Bumped whenever the document shape changes; `--validate` requires it.
+/// 2 added provenance (`git_revision`, `timestamp`).
+const SCHEMA_VERSION: u64 = 2;
+
+/// `--NAME VALUE` from the args, else the `env` variable, else `"unknown"`.
+/// Benchmarks never read the clock or the repo themselves — provenance is
+/// caller-supplied so the emitted document stays deterministic.
+fn provenance(args: &[String], name: &str, env: &str) -> String {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var(env).ok())
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| String::from("unknown"))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -40,6 +55,8 @@ fn main() {
     }
 
     let smoke = args.iter().any(|a| a == "--smoke");
+    let git_revision = provenance(&args, "--git-rev", "GATEST_GIT_REV");
+    let timestamp = provenance(&args, "--timestamp", "GATEST_BENCH_TIMESTAMP");
     // Full mode applies enough vectors per thread count for a stable
     // baseline; smoke mode still runs long enough (~0.15 s serial) that the
     // regression gate in scripts/check_bench.sh can compare rates.
@@ -107,7 +124,7 @@ fn main() {
     }
 
     println!(
-        "{{\n  \"bench\": \"step_throughput\",\n  \"circuit\": \"{CIRCUIT}\",\n  \"mode\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"identity_checksum\": {},\n  \"results\": [\n{rows}\n  ]\n}}",
+        "{{\n  \"bench\": \"step_throughput\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"git_revision\": \"{git_revision}\",\n  \"timestamp\": \"{timestamp}\",\n  \"circuit\": \"{CIRCUIT}\",\n  \"mode\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"identity_checksum\": {},\n  \"results\": [\n{rows}\n  ]\n}}",
         if smoke { "smoke" } else { "full" },
         checksum.unwrap_or(0)
     );
@@ -123,6 +140,20 @@ fn validate(path: &str) -> Result<String, String> {
     if bench != "step_throughput" {
         return Err(format!("`bench` is `{bench}`, expected `step_throughput`"));
     }
+    let version = field("schema_version")?
+        .as_u64()
+        .ok_or("`schema_version` is not an integer")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "`schema_version` is {version}, expected {SCHEMA_VERSION}"
+        ));
+    }
+    field("git_revision")?
+        .as_str()
+        .ok_or("`git_revision` is not a string")?;
+    field("timestamp")?
+        .as_str()
+        .ok_or("`timestamp` is not a string")?;
     field("circuit")?
         .as_str()
         .ok_or("`circuit` is not a string")?;

@@ -8,7 +8,7 @@ use std::sync::{Arc, OnceLock};
 
 use gatest_baselines::hitec::{BacktraceGuide, HitecAtpg, HitecConfig};
 use gatest_core::report::{
-    coverage_curve, format_duration, result_to_json, sparkline, telemetry_table,
+    coverage_curve, format_duration, result_to_json, span_table, sparkline, telemetry_table,
     test_set_from_string, test_set_to_string,
 };
 use gatest_core::{
@@ -20,8 +20,10 @@ use gatest_netlist::scoap::Scoap;
 use gatest_sim::dictionary::FaultDictionary;
 use gatest_sim::transition::TransitionFaultSim;
 use gatest_sim::{FaultSim, Logic};
-use gatest_telemetry::json::{parse_json, Json};
-use gatest_telemetry::{JsonlTraceWriter, MultiObserver, ProgressReporter};
+use gatest_telemetry::json::{parse_json, spans_from_json, Json};
+use gatest_telemetry::{
+    Instruments, JsonlTraceWriter, MetricsObserver, MetricsServer, MultiObserver, ProgressReporter,
+};
 
 use crate::load_circuit;
 use crate::opts::{Opts, UsageError};
@@ -246,6 +248,14 @@ pub fn atpg(opts: &Opts) -> Result<ExitCode, Box<dyn Error>> {
     };
 
     let mut generator = TestGenerator::new(Arc::clone(&circuit), config);
+    // Attach the instrumentation bundle whenever something will read it: the
+    // live metrics server, the JSONL trace (span aggregates ride in the
+    // run_finished event), or the -v telemetry table. Instrumentation is
+    // observational only — results stay bit-identical either way.
+    let instruments = (opts.get("metrics-addr").is_some()
+        || opts.get("trace-out").is_some()
+        || opts.has("verbose"))
+    .then(Instruments::new);
     let mut observers = MultiObserver::default();
     if let Some(path) = opts.get("trace-out") {
         let writer = JsonlTraceWriter::create(path)
@@ -255,9 +265,29 @@ pub fn atpg(opts: &Opts) -> Result<ExitCode, Box<dyn Error>> {
     if opts.has("progress") {
         observers.push(Arc::new(ProgressReporter::new()));
     }
+    if let Some(instruments) = &instruments {
+        observers.push(Arc::new(MetricsObserver::new(Arc::clone(instruments))));
+        generator = generator.with_instruments(Arc::clone(instruments));
+    }
     if !observers.is_empty() {
         generator = generator.with_observer(Arc::new(observers));
     }
+    // Dropping the server stops serving, so it must outlive the run.
+    let _metrics_server = match (opts.get("metrics-addr"), &instruments) {
+        (Some(addr), Some(instruments)) => {
+            let server = MetricsServer::bind(
+                addr,
+                Arc::clone(instruments),
+                Arc::clone(generator.telemetry_counters()),
+            )
+            .map_err(|e| format!("cannot serve metrics on `{addr}`: {e}"))?;
+            if !opts.has("quiet") {
+                eprintln!("serving metrics on http://{}/metrics", server.local_addr());
+            }
+            Some(server)
+        }
+        _ => None,
+    };
     let result = match &resume_snapshot {
         Some(snap) => generator.resume(snap, &controls)?,
         None => generator.run_controlled(&controls),
@@ -487,28 +517,260 @@ pub fn hitec(opts: &Opts) -> Result<(), Box<dyn Error>> {
     emit(opts, &test_set_to_string(&result.test_set))
 }
 
-/// `gatest trace` — operate on JSONL run traces (`summarize <file>`).
+/// `gatest trace` — operate on JSONL run traces.
+///
+/// Actions: `summarize <file>` (per-phase event totals with wall-time
+/// shares), `phases <file>` (hierarchical span-tree timing breakdown from
+/// the run's aggregates), and `diff <base> <new> [--threshold PCT]
+/// [--no-timing]` (regression report; errors — exit code 1 — when the new
+/// trace regressed, so it can gate CI).
 pub fn trace(opts: &Opts) -> Result<(), Box<dyn Error>> {
-    match opts.positional().first().map(String::as_str) {
-        Some("summarize") => {}
-        Some(other) => {
-            return Err(UsageError::boxed(format!(
-                "unknown trace action `{other}` (expected `summarize`)"
-            )))
+    const USAGE: &str = "usage: gatest trace summarize|phases <trace.jsonl>, \
+                         or gatest trace diff <base.jsonl> <new.jsonl> [--threshold PCT] [--no-timing]";
+    let action = opts
+        .positional()
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| UsageError::boxed(USAGE))?;
+    match action {
+        "summarize" | "phases" => {
+            let path = opts.positional().get(1).ok_or_else(|| {
+                UsageError::boxed(format!("missing trace file (gatest trace {action} <file>)"))
+            })?;
+            let text = std::fs::read_to_string(path)?;
+            let report = match action {
+                "summarize" => summarize_trace(&text)?,
+                _ => trace_phases(&text)?,
+            };
+            println!("{report}");
+            Ok(())
         }
-        None => {
-            return Err(UsageError::boxed(
-                "usage: gatest trace summarize <trace.jsonl>",
-            ))
+        "diff" => {
+            let base_path = opts
+                .positional()
+                .get(1)
+                .ok_or_else(|| UsageError::boxed(USAGE))?;
+            let new_path = opts
+                .positional()
+                .get(2)
+                .ok_or_else(|| UsageError::boxed(USAGE))?;
+            let threshold: f64 = opts.num("threshold", 10.0f64)?;
+            if !(0.0..=1000.0).contains(&threshold) {
+                return Err(UsageError::boxed("--threshold expects a percentage >= 0"));
+            }
+            let base = trace_stats(&std::fs::read_to_string(base_path)?)
+                .map_err(|e| format!("{base_path}: {e}"))?;
+            let new = trace_stats(&std::fs::read_to_string(new_path)?)
+                .map_err(|e| format!("{new_path}: {e}"))?;
+            let (report, regressed) = diff_traces(&base, &new, threshold, !opts.has("no-timing"));
+            println!("{report}");
+            if regressed {
+                return Err(format!("`{new_path}` regressed against `{base_path}`").into());
+            }
+            Ok(())
+        }
+        other => Err(UsageError::boxed(format!(
+            "unknown trace action `{other}` (expected summarize, phases, or diff)"
+        ))),
+    }
+}
+
+/// Parses a JSONL trace and returns its last `run_finished` object.
+fn last_run_finished(text: &str) -> Result<Json, Box<dyn Error>> {
+    let mut finished = None;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let j = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if j.get("event").and_then(Json::as_str) == Some("run_finished") {
+            finished = Some(j);
         }
     }
-    let path = opts
-        .positional()
-        .get(1)
-        .ok_or_else(|| UsageError::boxed("missing trace file (gatest trace summarize <file>)"))?;
-    let text = std::fs::read_to_string(path)?;
-    println!("{}", summarize_trace(&text)?);
-    Ok(())
+    finished.ok_or_else(|| "trace has no run_finished event (incomplete run?)".into())
+}
+
+/// The per-phase wall clock recorded in a `run_finished` event, in seconds.
+fn phase_times(finished: &Json) -> [f64; 4] {
+    let mut times = [0.0; 4];
+    if let Some(items) = finished.get("phase_time_secs").and_then(Json::as_array) {
+        for (slot, item) in times.iter_mut().zip(items) {
+            *slot = item.as_f64().unwrap_or(0.0);
+        }
+    }
+    times
+}
+
+/// Renders the hierarchical span-tree timing breakdown embedded in a
+/// trace's `run_finished` event, falling back to the per-phase wall clock
+/// for traces recorded before span instrumentation existed.
+pub fn trace_phases(text: &str) -> Result<String, Box<dyn Error>> {
+    use std::fmt::Write as _;
+
+    let finished = last_run_finished(text)?;
+    let spans = finished
+        .get("spans")
+        .and_then(spans_from_json)
+        .unwrap_or_default();
+    if !spans.is_empty() {
+        return Ok(span_table(&spans));
+    }
+    let times = phase_times(&finished);
+    let total: f64 = times.iter().sum();
+    if total <= 0.0 {
+        return Err("trace has neither span aggregates nor per-phase timing".into());
+    }
+    let mut out = String::from("no span aggregates in trace; per-phase wall clock:\n");
+    let _ = writeln!(out, "{:<22} {:>9} {:>7}", "phase", "time", "wall");
+    for (i, t) in times.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8.2}s {:>6.1}%",
+            format!("phase {}", i + 1),
+            t,
+            100.0 * t / total
+        );
+    }
+    Ok(out.trim_end().to_owned())
+}
+
+/// Deterministic run totals extracted from a trace, compared by
+/// [`diff_traces`].
+#[derive(Debug, Default, PartialEq)]
+pub struct TraceStats {
+    circuit: String,
+    detected: u64,
+    total_faults: u64,
+    vectors: u64,
+    ga_evaluations: u64,
+    gate_evals: u64,
+    elapsed_secs: f64,
+}
+
+/// Extracts [`TraceStats`] from a JSONL trace (header circuit name plus the
+/// last `run_finished` totals).
+pub fn trace_stats(text: &str) -> Result<TraceStats, Box<dyn Error>> {
+    let mut circuit = String::from("?");
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        if let Ok(j) = parse_json(line) {
+            if j.get("event").and_then(Json::as_str) == Some("run_started") {
+                if let Some(name) = j.get("circuit").and_then(Json::as_str) {
+                    circuit = name.to_owned();
+                }
+                break;
+            }
+        }
+    }
+    let finished = last_run_finished(text)?;
+    let field = |name: &str| finished.get(name).and_then(Json::as_u64).unwrap_or(0);
+    Ok(TraceStats {
+        circuit,
+        detected: field("detected"),
+        total_faults: field("total_faults"),
+        vectors: field("vectors"),
+        ga_evaluations: field("ga_evaluations"),
+        gate_evals: finished
+            .get("counters")
+            .and_then(|c| c.get("gate_evals"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        elapsed_secs: finished
+            .get("elapsed_secs")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+    })
+}
+
+/// Percent change from `base` to `new`, or `None` when there is no baseline
+/// to compare against.
+fn pct_change(base: f64, new: f64) -> Option<f64> {
+    (base != 0.0).then(|| 100.0 * (new - base) / base)
+}
+
+/// Compares two traces' run totals. A regression is any drop in `detected`,
+/// or growth beyond `threshold` percent in a cost metric (vectors, GA
+/// evaluations, gate evaluations — and elapsed wall time when `timing` is
+/// set; pass `timing = false` for machine-independent CI gating).
+pub fn diff_traces(
+    base: &TraceStats,
+    new: &TraceStats,
+    threshold: f64,
+    timing: bool,
+) -> (String, bool) {
+    use std::fmt::Write as _;
+
+    let grew = |b: f64, n: f64| pct_change(b, n).is_some_and(|d| d > threshold);
+    let mut rows = vec![
+        (
+            "detected",
+            base.detected.to_string(),
+            new.detected.to_string(),
+            pct_change(base.detected as f64, new.detected as f64),
+            new.detected < base.detected,
+        ),
+        (
+            "vectors",
+            base.vectors.to_string(),
+            new.vectors.to_string(),
+            pct_change(base.vectors as f64, new.vectors as f64),
+            grew(base.vectors as f64, new.vectors as f64),
+        ),
+        (
+            "ga_evaluations",
+            base.ga_evaluations.to_string(),
+            new.ga_evaluations.to_string(),
+            pct_change(base.ga_evaluations as f64, new.ga_evaluations as f64),
+            grew(base.ga_evaluations as f64, new.ga_evaluations as f64),
+        ),
+        (
+            "gate_evals",
+            base.gate_evals.to_string(),
+            new.gate_evals.to_string(),
+            pct_change(base.gate_evals as f64, new.gate_evals as f64),
+            grew(base.gate_evals as f64, new.gate_evals as f64),
+        ),
+    ];
+    if timing {
+        rows.push((
+            "elapsed_secs",
+            format!("{:.2}", base.elapsed_secs),
+            format!("{:.2}", new.elapsed_secs),
+            pct_change(base.elapsed_secs, new.elapsed_secs),
+            grew(base.elapsed_secs, new.elapsed_secs),
+        ));
+    }
+    let mut out = String::new();
+    if base.circuit != new.circuit {
+        let _ = writeln!(
+            out,
+            "warning: comparing different circuits (`{}` vs `{}`)",
+            base.circuit, new.circuit
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<16} {:>12} {:>12} {:>8}  status",
+        "metric", "base", "new", "change"
+    );
+    let mut regressed = false;
+    for (name, b, n, delta, bad) in rows {
+        regressed |= bad;
+        let change = match delta {
+            Some(d) => format!("{d:+.1}%"),
+            None => String::from("n/a"),
+        };
+        let _ = writeln!(
+            out,
+            "{name:<16} {b:>12} {n:>12} {change:>8}  {}",
+            if bad { "REGRESSED" } else { "ok" }
+        );
+    }
+    let _ = write!(
+        out,
+        "threshold: +{threshold}% on cost metrics; detected must not drop{}",
+        if timing { "" } else { "; timing ignored" }
+    );
+    (out, regressed)
 }
 
 /// Reduces a JSONL trace to per-phase totals (GA generations, fitness
@@ -526,6 +788,8 @@ pub fn summarize_trace(text: &str) -> Result<String, Box<dyn Error>> {
     }
 
     let mut phases: [PhaseTotals; 4] = Default::default();
+    let mut times = [0.0f64; 4];
+    let mut elapsed = 0.0f64;
     let mut events = 0u64;
     let mut fault_events = 0u64;
     let mut header = String::new();
@@ -565,6 +829,8 @@ pub fn summarize_trace(text: &str) -> Result<String, Box<dyn Error>> {
             }
             ("fault_detected", _) => fault_events += 1,
             ("run_finished", _) => {
+                times = phase_times(&j);
+                elapsed = j.get("elapsed_secs").and_then(Json::as_f64).unwrap_or(0.0);
                 footer = format!(
                     "finished: {}/{} detected, {} vectors, {} GA evaluations, {:.2}s",
                     field("detected"),
@@ -598,23 +864,39 @@ pub fn summarize_trace(text: &str) -> Result<String, Box<dyn Error>> {
     if !header.is_empty() {
         let _ = writeln!(out, "{header}");
     }
-    let _ = writeln!(
+    // Wall-time columns appear when the trace's run_finished event carries
+    // per-phase timing (older traces did not record it).
+    let timed = times.iter().sum::<f64>() > 0.0;
+    let wall = if elapsed > 0.0 {
+        elapsed
+    } else {
+        times.iter().sum()
+    };
+    let _ = write!(
         out,
         "{:<22} {:>7} {:>6} {:>8} {:>8} {:>9}",
         "phase", "entered", "gens", "evals", "vectors", "detected"
     );
+    if timed {
+        let _ = write!(out, " {:>9} {:>6}", "time", "wall");
+    }
+    out.push('\n');
     const NAMES: [&str; 4] = [
         "1 initialization",
         "2 vector generation",
         "3 stalled (activity)",
         "4 sequences",
     ];
-    for (name, t) in NAMES.iter().zip(phases.iter()) {
-        let _ = writeln!(
+    for ((name, t), secs) in NAMES.iter().zip(phases.iter()).zip(times) {
+        let _ = write!(
             out,
             "{:<22} {:>7} {:>6} {:>8} {:>8} {:>9}",
             name, t.entered, t.generations, t.evaluations, t.vectors, t.detected
         );
+        if timed {
+            let _ = write!(out, " {:>8.2}s {:>5.1}%", secs, 100.0 * secs / wall);
+        }
+        out.push('\n');
     }
     let _ = write!(out, "{events} events ({fault_events} fault detections)");
     if !footer.is_empty() {
@@ -638,7 +920,7 @@ mod tests {
 {\"event\":\"phase_entered\",\"phase\":2,\"vectors\":1}
 {\"event\":\"vector_committed\",\"phase\":2,\"vectors\":2,\"detected_new\":3,\"detected_total\":7,\"coverage\":0.27}
 {\"event\":\"fault_detected\",\"fault\":3,\"site\":\"G10 SA1\",\"vector\":1}
-{\"event\":\"run_finished\",\"detected\":7,\"total_faults\":26,\"vectors\":2,\"ga_evaluations\":16,\"elapsed_secs\":0.5,\"counters\":{\"cache_hits\":6,\"cache_misses\":10,\"dedup_skips\":3,\"prefix_frames_avoided\":40}}
+{\"event\":\"run_finished\",\"detected\":7,\"total_faults\":26,\"vectors\":2,\"ga_evaluations\":16,\"elapsed_secs\":0.5,\"phase_time_secs\":[0.3,0.2,0,0],\"counters\":{\"cache_hits\":6,\"cache_misses\":10,\"dedup_skips\":3,\"prefix_frames_avoided\":40}}
 ";
         let summary = summarize_trace(trace).unwrap();
         assert!(summary.contains("run: s27 seed 1 (26 faults)"));
@@ -647,8 +929,8 @@ mod tests {
             .find(|l| l.starts_with("1 initialization"))
             .unwrap();
         let cols: Vec<&str> = phase1.split_whitespace().collect();
-        // name(2 words), entered, gens, evals, vectors, detected
-        assert_eq!(&cols[2..], ["1", "2", "16", "1", "4"]);
+        // name(2 words), entered, gens, evals, vectors, detected, time, wall%
+        assert_eq!(&cols[2..], ["1", "2", "16", "1", "4", "0.30s", "60.0%"]);
         assert!(summary.contains("9 events (1 fault detections)"));
         assert!(summary.contains("finished: 7/26 detected, 2 vectors, 16 GA evaluations, 0.50s"));
         assert!(
@@ -665,6 +947,82 @@ mod tests {
 ";
         let summary = summarize_trace(trace).unwrap();
         assert!(!summary.contains("cache:"), "{summary}");
+        // No phase_time_secs recorded: no wall-time columns either.
+        assert!(!summary.contains("wall"), "{summary}");
+    }
+
+    const TRACED_FINISH: &str = "\
+{\"event\":\"run_started\",\"circuit\":\"s27\",\"total_faults\":26,\"seed\":1}
+{\"event\":\"run_finished\",\"detected\":24,\"total_faults\":26,\"vectors\":10,\"ga_evaluations\":640,\"elapsed_secs\":0.5,\"phase_time_secs\":[0.3,0.2,0,0],\"counters\":{\"gate_evals\":100000,\"cache_hits\":0,\"cache_misses\":0,\"dedup_skips\":0,\"prefix_frames_avoided\":0},\"spans\":[{\"kind\":\"run\",\"parent\":null,\"count\":1,\"incl_ns\":500000000,\"excl_ns\":20000000},{\"kind\":\"generation\",\"parent\":\"run\",\"count\":80,\"incl_ns\":480000000,\"excl_ns\":480000000}]}
+";
+
+    #[test]
+    fn trace_phases_renders_the_span_tree() {
+        let table = trace_phases(TRACED_FINISH).unwrap();
+        assert!(table.contains("run"), "{table}");
+        assert!(table.contains("  generation"), "{table}");
+        assert!(table.contains("100.0%"), "{table}");
+    }
+
+    #[test]
+    fn trace_phases_falls_back_to_phase_wall_clock() {
+        let trace = "\
+{\"event\":\"run_finished\",\"detected\":7,\"total_faults\":26,\"vectors\":2,\"ga_evaluations\":16,\"elapsed_secs\":0.5,\"phase_time_secs\":[0.3,0.1,0,0],\"spans\":[]}
+";
+        let table = trace_phases(trace).unwrap();
+        assert!(table.contains("no span aggregates"), "{table}");
+        assert!(table.contains("75.0%"), "{table}");
+        assert!(trace_phases(
+            "{\"event\":\"run_started\",\"circuit\":\"s27\",\"total_faults\":26,\"seed\":1}\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn trace_stats_reads_header_and_final_totals() {
+        let stats = trace_stats(TRACED_FINISH).unwrap();
+        assert_eq!(stats.circuit, "s27");
+        assert_eq!(stats.detected, 24);
+        assert_eq!(stats.vectors, 10);
+        assert_eq!(stats.ga_evaluations, 640);
+        assert_eq!(stats.gate_evals, 100_000);
+        assert!((stats.elapsed_secs - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diff_traces_passes_identical_runs_and_catches_regressions() {
+        let base = trace_stats(TRACED_FINISH).unwrap();
+        let same = trace_stats(TRACED_FINISH).unwrap();
+        let (report, regressed) = diff_traces(&base, &same, 10.0, true);
+        assert!(!regressed, "{report}");
+        assert!(report.contains("+0.0%"), "{report}");
+
+        // Any detected drop is a regression, regardless of threshold.
+        let worse = TraceStats {
+            detected: base.detected - 1,
+            ..trace_stats(TRACED_FINISH).unwrap()
+        };
+        let (report, regressed) = diff_traces(&base, &worse, 50.0, true);
+        assert!(regressed, "{report}");
+        assert!(report.contains("REGRESSED"), "{report}");
+
+        // Cost growth beyond the threshold is a regression...
+        let slower = TraceStats {
+            ga_evaluations: base.ga_evaluations * 2,
+            ..trace_stats(TRACED_FINISH).unwrap()
+        };
+        let (report, regressed) = diff_traces(&base, &slower, 10.0, true);
+        assert!(regressed, "{report}");
+        // ...but timing growth is forgiven with timing checks off.
+        let jittery = TraceStats {
+            elapsed_secs: base.elapsed_secs * 3.0,
+            ..trace_stats(TRACED_FINISH).unwrap()
+        };
+        let (report, regressed) = diff_traces(&base, &jittery, 10.0, false);
+        assert!(!regressed, "{report}");
+        assert!(report.contains("timing ignored"), "{report}");
+        let (_, regressed) = diff_traces(&base, &jittery, 10.0, true);
+        assert!(regressed);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!                 [--sim-threads N|auto] [--out tests.txt]
 //!                 [--eval-cache N|off] [--no-dedup] [--paranoid-cache]
 //!                 [--trace-out trace.jsonl] [--progress] [-v|--verbose] [-q|--quiet]
+//!                 [--metrics-addr 127.0.0.1:9184]
 //!                 [--checkpoint FILE] [--checkpoint-every N|Ns] [--resume FILE]
 //!                 [--max-wall-secs S] [--max-evals N] [--result-json FILE]
 //!
@@ -30,7 +31,18 @@
 //! gatest convert  <circuit> --to bench|verilog|dot [--out file]
 //! gatest hitec    <circuit> [--scoap]
 //! gatest trace    summarize <trace.jsonl>
+//! gatest trace    phases <trace.jsonl>
+//! gatest trace    diff <base.jsonl> <new.jsonl> [--threshold PCT] [--no-timing]
 //! ```
+//!
+//! `--metrics-addr ADDR` serves live Prometheus text on `/metrics` and a
+//! JSON progress snapshot on `/healthz` for the duration of the run (port 0
+//! picks a free port; the bound address is printed). `trace phases` prints
+//! the hierarchical span-time breakdown a traced run embeds in its
+//! `run_finished` event; `trace diff` compares two traces and exits
+//! non-zero on regression (detected drop, or cost growth beyond
+//! `--threshold` percent, default 10; `--no-timing` ignores wall-clock
+//! rows for machine-independent CI gating).
 //!
 //! `<circuit>` is either a bundled benchmark name (`s27`, `s298`, ...) or a
 //! path to a `.bench` / `.v` netlist.
@@ -92,14 +104,17 @@ fn usage() -> String {
         ("hitec", "run the deterministic (PODEM) baseline"),
         (
             "trace",
-            "summarize a JSONL run trace (trace summarize <file>)",
+            "analyze JSONL run traces (summarize|phases <file>, diff <a> <b>)",
         ),
     ] {
         s.push_str(&format!("  {cmd:<9} {desc}\n"));
     }
     s.push_str("\nobservability (atpg): --trace-out FILE writes a JSONL event trace,\n");
     s.push_str("--progress prints live stderr updates, -v adds a telemetry table,\n");
-    s.push_str("-q suppresses the summary\n");
+    s.push_str("-q suppresses the summary; --metrics-addr HOST:PORT serves live\n");
+    s.push_str("Prometheus /metrics and JSON /healthz for the duration of the run;\n");
+    s.push_str("trace phases prints a traced run's span-time breakdown and\n");
+    s.push_str("trace diff <a> <b> [--threshold PCT] [--no-timing] gates regressions\n");
     s.push_str("\nparallelism (atpg): --workers N (alias --threads) sizes the\n");
     s.push_str("fitness-evaluation pool; --sim-threads N sizes the fault-group\n");
     s.push_str("pool inside each simulator; 0 or `auto` uses all available\n");

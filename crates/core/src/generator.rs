@@ -20,7 +20,10 @@ use gatest_ga::{
 use gatest_netlist::depth::sequential_depth;
 use gatest_netlist::Circuit;
 use gatest_sim::{FaultId, FaultList, FaultSim, GoodSim, Logic, PackedGoodSim, Pv64, StepReport};
-use gatest_telemetry::{NullObserver, RunEvent, RunObserver, SimCounters, TelemetrySnapshot};
+use gatest_telemetry::{
+    Instruments, NullObserver, RunEvent, RunObserver, SimCounters, SpanHandle, SpanKind,
+    TelemetrySnapshot,
+};
 
 use crate::checkpoint::{config_digest, GaSnapshot, RunSnapshot, SnapshotIndividual, SnapshotPos};
 use crate::config::{FaultSample, GatestConfig};
@@ -186,6 +189,12 @@ pub struct TestGenerator {
     seq_depth: u32,
     observer: Arc<dyn RunObserver>,
     counters: Arc<SimCounters>,
+    /// Optional instrumentation bundle (span tree + metrics registry),
+    /// shared with the simulator and, via simulator clones, every
+    /// evaluation-pool worker.
+    instruments: Option<Arc<Instruments>>,
+    /// The generator thread's lazily-registered span slot.
+    probe: Option<SpanHandle>,
 }
 
 impl std::fmt::Debug for TestGenerator {
@@ -305,6 +314,8 @@ impl TestGenerator {
             seq_depth,
             observer: Arc::new(NullObserver),
             counters,
+            instruments: None,
+            probe: None,
         }
     }
 
@@ -315,6 +326,35 @@ impl TestGenerator {
     pub fn with_observer(mut self, observer: Arc<dyn RunObserver>) -> Self {
         self.observer = observer;
         self
+    }
+
+    /// Attaches the shared instrumentation bundle: the hierarchical span
+    /// collector and the run-metrics registry. The bundle propagates to
+    /// the fault simulator (and through simulator clones to every
+    /// evaluation-pool worker), so `run > generation > eval_batch >
+    /// sim_step` timings all land in one place. Instrumentation is
+    /// observational only: instrumented and uninstrumented runs produce
+    /// bit-identical results.
+    pub fn with_instruments(mut self, instruments: Arc<Instruments>) -> Self {
+        self.sim.set_instruments(Some(Arc::clone(&instruments)));
+        self.instruments = Some(instruments);
+        self.probe = None;
+        self
+    }
+
+    /// The attached instrumentation bundle, if any.
+    pub fn instruments(&self) -> Option<&Arc<Instruments>> {
+        self.instruments.as_ref()
+    }
+
+    /// The generator thread's span handle, registered on first use.
+    fn probe(&mut self) -> Option<SpanHandle> {
+        if self.probe.is_none() {
+            if let Some(instruments) = &self.instruments {
+                self.probe = Some(instruments.spans.handle());
+            }
+        }
+        self.probe.clone()
     }
 
     /// The shared simulator hot-path counters for this generator.
@@ -423,6 +463,7 @@ impl TestGenerator {
     /// due checkpoints, repeat until done or stopped.
     fn drive(&mut self, mut m: MachineState, controls: &RunControls) -> TestGenResult {
         let start = Instant::now();
+        let run_span = self.probe().map(|p| p.enter(SpanKind::Run));
         self.observer.on_event(&RunEvent::RunStarted {
             circuit: self.circuit.name().to_string(),
             total_faults: self.sim.fault_list().len(),
@@ -531,10 +572,20 @@ impl TestGenerator {
         }
         drop(dctx.pool.take());
 
+        // Close the run span before snapshotting so its timing is counted;
+        // spans are process-local, so (like the fitness cache) a resumed
+        // run's snapshot covers the final leg only.
+        drop(run_span);
+        let spans = self
+            .instruments
+            .as_ref()
+            .map(|i| i.spans.snapshot())
+            .unwrap_or_default();
         let snapshot = TelemetrySnapshot {
             phase_time: m.phase_time,
             ga_generations: m.ga_generations,
             counters: self.counters.snapshot(),
+            spans,
         };
         let result = TestGenResult {
             circuit: self.circuit.name().to_string(),
@@ -595,6 +646,9 @@ impl TestGenerator {
             }
             return;
         }
+        let probe = self.probe();
+        let gen_start = self.instruments.is_some().then(Instant::now);
+        let gen_span = probe.as_ref().map(|p| p.enter(SpanKind::Generation));
         let stats = {
             let mut path = self.eval_path(dctx);
             let ctx = Arc::clone(&active.ctx);
@@ -604,6 +658,19 @@ impl TestGenerator {
                     eval_batch(&mut path, &ctx, batch)
                 })
         };
+        // Breeding time is measured inside the engine (the span machinery
+        // cannot straddle the eval closure), recorded here as a leaf under
+        // the still-open generation span.
+        if let Some(p) = &probe {
+            p.record(SpanKind::Breed, Duration::from_nanos(stats.breed_ns));
+        }
+        drop(gen_span);
+        if let (Some(start), Some(instruments)) = (gen_start, &self.instruments) {
+            instruments
+                .metrics
+                .generation_wall_ns
+                .observe(start.elapsed().as_nanos() as u64);
+        }
         self.note_generation(m, phase_no, &stats);
         match &mut m.pos {
             MachinePos::Vectors { ga, .. } | MachinePos::Sequences { ga, .. } => {
@@ -667,11 +734,20 @@ impl TestGenerator {
             initial.push(Chromosome::random(dctx.pis, &mut run_rng));
         }
         let engine = GaEngine::new(self.vector_ga_config());
+        let gen_start = self.instruments.is_some().then(Instant::now);
+        let gen_span = self.probe().map(|p| p.enter(SpanKind::Generation));
         let (state, first) = {
             let mut path = self.eval_path(dctx);
             let ctx = Arc::clone(&ctx);
             engine.begin(initial, |batch| eval_batch(&mut path, &ctx, batch))
         };
+        drop(gen_span);
+        if let (Some(start), Some(instruments)) = (gen_start, &self.instruments) {
+            instruments
+                .metrics
+                .generation_wall_ns
+                .observe(start.elapsed().as_nanos() as u64);
+        }
         self.note_generation(m, phase_no, &first);
         match &mut m.pos {
             MachinePos::Vectors { ga, .. } => {
@@ -829,11 +905,20 @@ impl TestGenerator {
             .map(|_| Chromosome::random(len * dctx.pis, &mut run_rng))
             .collect();
         let engine = GaEngine::new(self.sequence_ga_config(dctx.pis));
+        let gen_start = self.instruments.is_some().then(Instant::now);
+        let gen_span = self.probe().map(|p| p.enter(SpanKind::Generation));
         let (state, first) = {
             let mut path = self.eval_path(dctx);
             let ctx = Arc::clone(&ctx);
             engine.begin(initial, |batch| eval_batch(&mut path, &ctx, batch))
         };
+        drop(gen_span);
+        if let (Some(start), Some(instruments)) = (gen_start, &self.instruments) {
+            instruments
+                .metrics
+                .generation_wall_ns
+                .observe(start.elapsed().as_nanos() as u64);
+        }
         self.note_generation(m, 4, &first);
         m.pos = MachinePos::Sequences {
             len_idx,
@@ -900,6 +985,8 @@ impl TestGenerator {
     /// pool, packed phase-1 simulator, memoization layer, scratch) for one
     /// GA eval closure.
     fn eval_path<'a>(&'a mut self, dctx: &'a mut DriverCtx) -> EvalPath<'a> {
+        let probe = self.probe();
+        let instruments = self.instruments.clone();
         EvalPath {
             raw: RawEval {
                 sim: &mut self.sim,
@@ -910,6 +997,8 @@ impl TestGenerator {
             },
             memo: dctx.memo.as_mut(),
             paranoid: self.config.paranoid_cache,
+            instruments,
+            probe,
         }
     }
 
@@ -1350,6 +1439,11 @@ struct EvalPath<'a> {
     raw: RawEval<'a>,
     memo: Option<&'a mut EvalMemo>,
     paranoid: bool,
+    /// The shared instrumentation bundle, for batch/cache histograms.
+    instruments: Option<Arc<Instruments>>,
+    /// The generator thread's span handle (batches run on this thread;
+    /// pool workers record their own sim-step spans via simulator clones).
+    probe: Option<SpanHandle>,
 }
 
 /// Scores one GA batch, routing it through the memoization layer when
@@ -1366,16 +1460,48 @@ fn eval_batch(path: &mut EvalPath<'_>, ctx: &Arc<EvalContext>, batch: &[Chromoso
         raw,
         memo,
         paranoid,
+        instruments,
+        probe,
     } = path;
+    let batch_start = instruments.is_some().then(Instant::now);
+    let batch_span = probe.as_ref().map(|p| p.enter(SpanKind::EvalBatch));
     let scores = match memo {
         None => raw.eval(ctx, batch, shared_prefix),
         Some(memo) => {
             let counters = raw.counters;
-            memo.evaluate(ctx, batch, Some(counters), |work| {
-                raw.eval(ctx, work, shared_prefix)
-            })
+            // Cache-lookup time is the memo layer's overhead: total memoized
+            // evaluation time minus the raw simulation time underneath it.
+            // It cannot own a span guard (the raw eval runs inside the
+            // closure), so it is recorded as an already-measured leaf.
+            let memo_start = batch_start.is_some().then(Instant::now);
+            let mut raw_ns = 0u64;
+            let scores = memo.evaluate(ctx, batch, Some(counters), |work| {
+                let raw_start = memo_start.is_some().then(Instant::now);
+                let result = raw.eval(ctx, work, shared_prefix);
+                if let Some(start) = raw_start {
+                    raw_ns += start.elapsed().as_nanos() as u64;
+                }
+                result
+            });
+            if let Some(start) = memo_start {
+                let lookup_ns = (start.elapsed().as_nanos() as u64).saturating_sub(raw_ns);
+                if let Some(p) = &probe {
+                    p.record(SpanKind::CacheLookup, Duration::from_nanos(lookup_ns));
+                }
+                if let Some(instruments) = &instruments {
+                    instruments.metrics.cache_lookup_ns.observe(lookup_ns);
+                }
+            }
+            scores
         }
     };
+    drop(batch_span);
+    if let (Some(start), Some(instruments)) = (batch_start, &instruments) {
+        instruments
+            .metrics
+            .batch_latency_ns
+            .observe(start.elapsed().as_nanos() as u64);
+    }
     if *paranoid {
         for (chrom, &score) in batch.iter().zip(&scores) {
             let again = evaluate_candidate(raw.sim, ctx, chrom, raw.scratch);

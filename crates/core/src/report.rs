@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use gatest_netlist::Circuit;
 use gatest_sim::{FaultSim, Logic};
+use gatest_telemetry::SpanSnapshot;
 
 use crate::checkpoint::{fnv1a, FNV_OFFSET};
 use crate::generator::TestGenResult;
@@ -150,6 +151,62 @@ pub fn telemetry_table(result: &TestGenResult) -> String {
         "prefix frames saved", t.counters.prefix_frames_avoided
     );
     let _ = write!(out, "{:<22} {:>10}", "stop cause", result.stop.as_str());
+    if !t.spans.is_empty() {
+        let _ = write!(out, "\n{}", span_table(&t.spans));
+    }
+    out
+}
+
+/// Renders hierarchical span aggregates as an indented tree: per span kind
+/// the call count, inclusive and exclusive wall time, and the inclusive
+/// share of the total root time. Empty input renders as an empty string.
+pub fn span_table(spans: &SpanSnapshot) -> String {
+    let mut out = String::new();
+    if spans.is_empty() {
+        return out;
+    }
+    let total: u64 = spans
+        .nodes
+        .iter()
+        .filter(|n| n.parent.is_none())
+        .map(|n| n.incl_ns)
+        .sum();
+    let _ = writeln!(
+        out,
+        "{:<26} {:>8} {:>10} {:>10} {:>7}",
+        "span", "count", "incl", "excl", "wall"
+    );
+    fn emit(
+        out: &mut String,
+        spans: &SpanSnapshot,
+        parent: Option<&str>,
+        depth: usize,
+        total: u64,
+    ) {
+        // Snapshots from files could in principle contain cycles; cap the
+        // walk at the collector's own nesting limit.
+        if depth >= 16 {
+            return;
+        }
+        for node in spans.nodes.iter().filter(|n| n.parent.as_deref() == parent) {
+            let share = if total > 0 {
+                100.0 * node.incl_ns as f64 / total as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "{:<26} {:>8} {:>10} {:>10} {:>6.1}%",
+                format!("{}{}", "  ".repeat(depth), node.kind),
+                node.count,
+                format_duration(Duration::from_nanos(node.incl_ns)),
+                format_duration(Duration::from_nanos(node.excl_ns)),
+                share
+            );
+            emit(out, spans, Some(&node.kind), depth + 1, total);
+        }
+    }
+    emit(&mut out, spans, None, 0, total);
     out
 }
 
@@ -384,7 +441,7 @@ mod tests {
     }
 
     fn sample_result() -> TestGenResult {
-        use gatest_telemetry::{CounterSnapshot, TelemetrySnapshot};
+        use gatest_telemetry::{CounterSnapshot, SpanNode, TelemetrySnapshot};
         TestGenResult {
             circuit: String::from("s27"),
             total_faults: 26,
@@ -425,6 +482,31 @@ mod tests {
                     cache_misses: 430,
                     dedup_skips: 37,
                     prefix_frames_avoided: 1_900,
+                },
+                spans: SpanSnapshot {
+                    nodes: vec![
+                        SpanNode {
+                            kind: "run".into(),
+                            parent: None,
+                            count: 1,
+                            incl_ns: 500_000_000,
+                            excl_ns: 20_000_000,
+                        },
+                        SpanNode {
+                            kind: "generation".into(),
+                            parent: Some("run".into()),
+                            count: 81,
+                            incl_ns: 450_000_000,
+                            excl_ns: 50_000_000,
+                        },
+                        SpanNode {
+                            kind: "eval_batch".into(),
+                            parent: Some("generation".into()),
+                            count: 81,
+                            incl_ns: 400_000_000,
+                            excl_ns: 400_000_000,
+                        },
+                    ],
                 },
             },
         }
@@ -513,6 +595,25 @@ mod tests {
         };
         let offsets: Vec<_> = lines[1..5].iter().map(|l| time_end(l)).collect();
         assert!(offsets.iter().all(|o| *o == offsets[0]), "{offsets:?}");
+    }
+
+    #[test]
+    fn span_table_renders_an_indented_tree_with_wall_shares() {
+        let r = sample_result();
+        let table = span_table(&r.telemetry.spans);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].contains("span"), "{table}");
+        assert!(lines[1].starts_with("run"), "{table}");
+        assert!(lines[2].contains("  generation"), "{table}");
+        assert!(lines[3].contains("    eval_batch"), "{table}");
+        // run is 100% of wall, generation 450/500 = 90%.
+        assert!(lines[1].contains("100.0%"), "{table}");
+        assert!(lines[2].contains("90.0%"), "{table}");
+        // The span section also rides along in the -v telemetry table.
+        let full = telemetry_table(&r);
+        assert!(full.contains("eval_batch"), "{full}");
+        // Empty snapshots render nothing (and the table omits the section).
+        assert_eq!(span_table(&SpanSnapshot::default()), "");
     }
 
     #[test]

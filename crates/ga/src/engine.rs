@@ -84,6 +84,12 @@ pub struct GenerationStats {
     pub mean: f64,
     /// Fitness evaluations performed for this generation alone.
     pub evaluations: usize,
+    /// Wall time spent breeding this generation (selection, crossover,
+    /// mutation — everything in [`GaEngine::advance`] before the fitness
+    /// evaluation). Zero for the initial population, which is not bred.
+    /// Purely informational: tests and checkpoints compare the
+    /// deterministic fields, never this timing.
+    pub breed_ns: u64,
 }
 
 /// A chromosome with its evaluated fitness.
@@ -312,6 +318,7 @@ impl GaEngine {
             best: best.fitness,
             mean,
             evaluations,
+            breed_ns: 0,
         };
         let state = GaRunState {
             best_history: vec![best.fitness],
@@ -342,6 +349,7 @@ impl GaEngine {
     where
         F: FnMut(&[Chromosome]) -> Vec<f64>,
     {
+        let breed_start = std::time::Instant::now();
         let population = &mut state.population;
         let g = self.config.offspring_per_generation().min(population.len());
         let fitness: Vec<f64> = population.iter().map(|e| e.fitness).collect();
@@ -375,6 +383,7 @@ impl GaEngine {
                 offspring.push(chromosome);
             }
         }
+        let breed_ns = breed_start.elapsed().as_nanos() as u64;
         let scores = eval(&offspring);
         assert_eq!(
             scores.len(),
@@ -440,6 +449,7 @@ impl GaEngine {
             best: gen_best_fitness,
             mean: *state.mean_history.last().expect("just pushed"),
             evaluations: generation_evaluations,
+            breed_ns,
         }
     }
 

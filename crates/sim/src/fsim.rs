@@ -27,7 +27,7 @@
 use std::sync::Arc;
 
 use gatest_netlist::Circuit;
-use gatest_telemetry::SimCounters;
+use gatest_telemetry::{Instruments, SimCounters, SpanHandle, SpanKind};
 
 use crate::fault::{FaultId, FaultList, FaultStatus};
 use crate::good_sim::{GoodSim, GoodSimState, GoodStepReport};
@@ -173,6 +173,14 @@ pub struct FaultSim {
     /// Optional shared telemetry counters; clones of this simulator (the
     /// parallel fitness workers) aggregate into the same instance.
     counters: Option<Arc<SimCounters>>,
+    /// Optional shared instrumentation bundle (hierarchical spans and
+    /// latency histograms); shared by clones like `counters`.
+    instruments: Option<Arc<Instruments>>,
+    /// This simulator's per-thread span slot, registered lazily on the
+    /// first instrumented step. Deliberately **not** cloned: each clone
+    /// (typically living on its own worker thread) registers its own slot,
+    /// keeping span recording single-writer per thread.
+    probe: Option<SpanHandle>,
     /// Combinational gates evaluated by one good-machine frame.
     comb_gates: u64,
     /// The simulator's own propagation arena, reused across steps (and
@@ -205,6 +213,8 @@ impl Clone for FaultSim {
             empty_ff: Arc::clone(&self.empty_ff),
             vectors_applied: self.vectors_applied,
             counters: self.counters.clone(),
+            instruments: self.instruments.clone(),
+            probe: None,
             comb_gates: self.comb_gates,
             scratch: self.scratch.clone(),
             outcomes: self.outcomes.clone(),
@@ -242,6 +252,8 @@ impl FaultSim {
             empty_ff,
             vectors_applied: 0,
             counters: None,
+            instruments: None,
+            probe: None,
             comb_gates,
             faults,
             scratch,
@@ -303,6 +315,32 @@ impl FaultSim {
     /// The attached telemetry counters, if any.
     pub fn counters(&self) -> Option<&Arc<SimCounters>> {
         self.counters.as_ref()
+    }
+
+    /// Attaches (or detaches, with `None`) the shared instrumentation
+    /// bundle: step timings flow into its span tree and the group-merge
+    /// wait histogram. Like [`FaultSim::set_counters`], clones keep
+    /// reporting into the same shared bundle. Instrumentation is
+    /// observational only — results are bit-identical with or without it.
+    pub fn set_instruments(&mut self, instruments: Option<Arc<Instruments>>) {
+        self.instruments = instruments;
+        self.probe = None;
+    }
+
+    /// The attached instrumentation bundle, if any.
+    pub fn instruments(&self) -> Option<&Arc<Instruments>> {
+        self.instruments.as_ref()
+    }
+
+    /// This simulator's span handle, registering a per-thread slot with the
+    /// collector on first use. `None` when uninstrumented.
+    fn probe(&mut self) -> Option<SpanHandle> {
+        if self.probe.is_none() {
+            if let Some(instruments) = &self.instruments {
+                self.probe = Some(instruments.spans.handle());
+            }
+        }
+        self.probe.clone()
     }
 
     /// Sets the fault-group parallelism for [`FaultSim::step`]: `1` runs
@@ -371,6 +409,8 @@ impl FaultSim {
     /// Used for the phase-1 (initialization) fitness, which needs only
     /// flip-flop statistics.
     pub fn step_good_only(&mut self, vector: &[Logic]) -> GoodStepReport {
+        let probe = self.probe();
+        let _step_span = probe.as_ref().map(|p| p.enter(SpanKind::SimStep));
         self.vectors_applied += 1;
         let report = self.good.apply(vector);
         if let Some(counters) = &self.counters {
@@ -380,6 +420,8 @@ impl FaultSim {
     }
 
     fn step_with(&mut self, vector: &[Logic], targets: &[FaultId], drop: bool) -> StepReport {
+        let probe = self.probe();
+        let _step_span = probe.as_ref().map(|p| p.enter(SpanKind::SimStep));
         let good_report = self.good.apply(vector);
         self.vectors_applied += 1;
 
@@ -398,7 +440,7 @@ impl FaultSim {
             self.outcomes.resize_with(ngroups, GroupOutcome::default);
         }
         let threads = self.resolved_sim_threads();
-        let mut group_dispatch: Option<(u64, u64)> = None;
+        let mut group_dispatch: Option<(u64, u64, u64)> = None;
         if threads > 1 && ngroups > 1 && self.pool.is_none() {
             let max_level = self.good.levelization().max_level() as usize;
             self.pool = Some(GroupPool::new(&self.circuit, max_level, threads));
@@ -431,6 +473,7 @@ impl FaultSim {
         // Merge outcomes back **in group order**. The merge is the only
         // place simulator state is written, so the result is identical no
         // matter how (or on how many threads) the groups were simulated.
+        let merge_span = probe.as_ref().map(|p| p.enter(SpanKind::Merge));
         let mut detected: Vec<FaultId> = Vec::new();
         let mut scratch_bytes = 0u64;
         for (gi, group) in targets.chunks(64).enumerate() {
@@ -458,12 +501,16 @@ impl FaultSim {
                 }
             }
         }
+        std::mem::drop(merge_span); // `drop` the fn is shadowed by the flag
         if let Some(counters) = &self.counters {
             counters.record_step(report.gate_evals, report.good_events, report.faulty_events);
             counters.record_scratch_reuse(scratch_bytes);
-            if let Some((tasks, steal_ns)) = group_dispatch {
+            if let Some((tasks, steal_ns, _)) = group_dispatch {
                 counters.record_group_dispatch(tasks, steal_ns);
             }
+        }
+        if let (Some(instruments), Some((_, _, wait_ns))) = (&self.instruments, group_dispatch) {
+            instruments.metrics.merge_wait_ns.observe(wait_ns);
         }
 
         if drop && !detected.is_empty() {

@@ -159,7 +159,10 @@ impl GroupPool {
     /// (one slot per chunk), fanning out across the pool with the caller
     /// participating via `caller_scratch`.
     ///
-    /// Returns `(groups_run, steal_ns)` for telemetry.
+    /// Returns `(groups_run, steal_ns, wait_ns)` for telemetry: `wait_ns`
+    /// is the time the caller blocked on the done-condvar after exhausting
+    /// the group cursor itself — the merge-barrier wait for the slowest
+    /// worker.
     ///
     /// # Panics
     ///
@@ -170,7 +173,7 @@ impl GroupPool {
         targets: &[FaultId],
         outcomes: &mut [GroupOutcome],
         caller_scratch: &mut Scratch,
-    ) -> (u64, u64) {
+    ) -> (u64, u64, u64) {
         debug_assert_eq!(outcomes.len(), targets.len().div_ceil(64));
         let data = JobData {
             circuit: ctx.circuit,
@@ -195,15 +198,21 @@ impl GroupPool {
             self.shared.start.notify_all();
         }
         run_groups(&data, caller_scratch);
+        let wait_start = Instant::now();
         let mut st = self.shared.state.lock().unwrap();
         while st.remaining > 0 {
             st = self.shared.done.wait(st).unwrap();
         }
+        let wait_ns = wait_start.elapsed().as_nanos() as u64;
         st.job = None;
         let poisoned = st.poisoned;
         drop(st);
         assert!(!poisoned, "a fault-group sim worker panicked");
-        (data.ngroups as u64, data.steal_ns.load(Ordering::Relaxed))
+        (
+            data.ngroups as u64,
+            data.steal_ns.load(Ordering::Relaxed),
+            wait_ns,
+        )
     }
 }
 

@@ -297,6 +297,34 @@ impl CounterSnapshot {
     pub fn total_steps(&self) -> u64 {
         self.step_calls + self.good_only_calls
     }
+
+    /// Every counter as a `(name, value)` pair, in struct declaration
+    /// order. The single source of field names for the JSON serializer and
+    /// the Prometheus renderer, so adding a counter cannot silently skip a
+    /// consumer.
+    pub fn fields(&self) -> [(&'static str, u64); 19] {
+        [
+            ("step_calls", self.step_calls),
+            ("good_only_calls", self.good_only_calls),
+            ("gate_evals", self.gate_evals),
+            ("good_events", self.good_events),
+            ("faulty_events", self.faulty_events),
+            ("checkpoint_restores", self.checkpoint_restores),
+            ("restore_bytes_avoided", self.restore_bytes_avoided),
+            ("packed_phase1_frames", self.packed_phase1_frames),
+            ("pool_tasks", self.pool_tasks),
+            ("pool_idle_ns", self.pool_idle_ns),
+            ("group_tasks", self.group_tasks),
+            ("group_steal_ns", self.group_steal_ns),
+            ("scratch_bytes_reused", self.scratch_bytes_reused),
+            ("checkpoint_writes", self.checkpoint_writes),
+            ("checkpoint_bytes", self.checkpoint_bytes),
+            ("cache_hits", self.cache_hits),
+            ("cache_misses", self.cache_misses),
+            ("dedup_skips", self.dedup_skips),
+            ("prefix_frames_avoided", self.prefix_frames_avoided),
+        ]
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,270 @@
+//! Live metrics exposition: a tiny hand-rolled HTTP listener serving
+//! Prometheus text format on `/metrics` and a JSON health snapshot on
+//! `/healthz`.
+//!
+//! The workspace is dependency-free by policy, so this is `std::net` only:
+//! a single accept thread that parses just the request line, answers, and
+//! closes the connection. It is deliberately minimal — the first
+//! serving-shaped component on the road to `gatest serve`, not a general
+//! HTTP server. The server only ever *reads* shared atomics, so serving a
+//! request cannot perturb the run it observes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::counters::SimCounters;
+use crate::json::quote;
+use crate::Instruments;
+
+/// A background HTTP listener exposing an [`Instruments`] bundle (and the
+/// simulator's [`SimCounters`]) until dropped.
+///
+/// Routes:
+/// * `GET /metrics` — Prometheus text format: the registry's metrics, every
+///   `SimCounters` field as `gatest_sim_<name>_total`, and the span
+///   aggregates as `gatest_span_time_ns{kind=...,parent=...}`.
+/// * `GET /healthz` — a one-object JSON snapshot of run progress.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`; port 0 picks a free port — read
+    /// it back with [`MetricsServer::local_addr`]) and starts serving on a
+    /// background thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error when the address is unavailable or malformed.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        instruments: Arc<Instruments>,
+        counters: Arc<SimCounters>,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let started = Instant::now();
+        let handle = std::thread::Builder::new()
+            .name("gatest-metrics".into())
+            .spawn(move || serve(listener, &flag, &instruments, &counters, started))?;
+        Ok(MetricsServer {
+            addr: local,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve(
+    listener: TcpListener,
+    shutdown: &AtomicBool,
+    instruments: &Instruments,
+    counters: &SimCounters,
+    started: Instant,
+) {
+    for stream in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+        let _ = handle_request(&mut stream, instruments, counters, started);
+    }
+}
+
+fn handle_request(
+    stream: &mut TcpStream,
+    instruments: &Instruments,
+    counters: &SimCounters,
+    started: Instant,
+) -> std::io::Result<()> {
+    let path = match read_request_path(stream) {
+        Some(path) => path,
+        None => return Ok(()), // closed early or malformed; nothing to say
+    };
+    let (status, content_type, body) = match path.as_str() {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            render_metrics(instruments, counters),
+        ),
+        "/healthz" => (
+            "200 OK",
+            "application/json",
+            render_health(instruments, started),
+        ),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            String::from("try /metrics or /healthz\n"),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+/// Reads until the end of the request headers and returns the request-line
+/// path, or `None` for anything that is not a parseable `GET`-style line.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+                    break;
+                }
+            }
+        }
+    }
+    let text = String::from_utf8_lossy(&buf);
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let _method = parts.next()?;
+    parts.next().map(str::to_owned)
+}
+
+/// Renders everything observable as Prometheus text format.
+pub fn render_metrics(instruments: &Instruments, counters: &SimCounters) -> String {
+    use std::fmt::Write as _;
+    let mut out = instruments.metrics.registry.render_prometheus();
+    let snapshot = counters.snapshot();
+    for (name, value) in snapshot.fields() {
+        let _ = writeln!(out, "# TYPE gatest_sim_{name}_total counter");
+        let _ = writeln!(out, "gatest_sim_{name}_total {value}");
+    }
+    let spans = instruments.spans.snapshot();
+    if !spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP gatest_span_time_ns Inclusive span time by (kind, parent)"
+        );
+        let _ = writeln!(out, "# TYPE gatest_span_time_ns counter");
+        let _ = writeln!(
+            out,
+            "# HELP gatest_span_count Completed spans by (kind, parent)"
+        );
+        let _ = writeln!(out, "# TYPE gatest_span_count counter");
+        for node in &spans.nodes {
+            let parent = node.parent.as_deref().unwrap_or("root");
+            let _ = writeln!(
+                out,
+                "gatest_span_time_ns{{kind=\"{}\",parent=\"{parent}\"}} {}",
+                node.kind, node.incl_ns
+            );
+            let _ = writeln!(
+                out,
+                "gatest_span_count{{kind=\"{}\",parent=\"{parent}\"}} {}",
+                node.kind, node.count
+            );
+        }
+    }
+    out
+}
+
+/// Renders the `/healthz` JSON snapshot.
+pub fn render_health(instruments: &Instruments, started: Instant) -> String {
+    let m = &instruments.metrics;
+    let active = m.run_active.get() != 0.0;
+    format!(
+        "{{\"status\":{},\"run_active\":{active},\"uptime_secs\":{:.3},\"phase\":{},\"vectors\":{},\"detected\":{},\"total_faults\":{},\"coverage_percent\":{:.2},\"ga_generations\":{},\"ga_evaluations\":{}}}\n",
+        quote("ok"),
+        started.elapsed().as_secs_f64(),
+        m.phase.get() as u64,
+        m.vectors.get() as u64,
+        m.detected.get() as u64,
+        m.total_faults.get() as u64,
+        m.coverage_percent.get(),
+        m.ga_generations.get(),
+        m.ga_evaluations.get(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_json, Json};
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        (head.to_owned(), body.to_owned())
+    }
+
+    #[test]
+    fn serves_metrics_health_and_404_until_dropped() {
+        let instruments = Instruments::new();
+        let counters = Arc::new(SimCounters::new());
+        counters.record_step(100, 5, 20);
+        instruments.metrics.phase.set(2.0);
+        instruments.metrics.run_active.set(1.0);
+        instruments.metrics.batch_latency_ns.observe(1_234);
+        {
+            let handle = instruments.spans.handle();
+            let _g = handle.enter(crate::SpanKind::Run);
+        }
+        let server = MetricsServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(&instruments),
+            Arc::clone(&counters),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(body.contains("# TYPE gatest_eval_batch_latency_ns histogram"));
+        assert!(body.contains("gatest_eval_batch_latency_ns_count 1"));
+        assert!(body.contains("gatest_sim_step_calls_total 1"));
+        assert!(body.contains("gatest_sim_gate_evals_total 100"));
+        assert!(body.contains("gatest_span_count{kind=\"run\",parent=\"root\"} 1"));
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        let health = parse_json(body.trim()).expect("healthz is JSON");
+        assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(health.get("run_active"), Some(&Json::Bool(true)));
+        assert_eq!(health.get("phase").and_then(Json::as_u64), Some(2));
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        drop(server);
+        // The port is released: a fresh bind to the same address succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "server thread must release the listener");
+    }
+}

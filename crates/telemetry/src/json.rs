@@ -8,7 +8,9 @@
 use std::fmt::Write as _;
 
 use crate::event::RunEvent;
+use crate::metrics::HistogramSnapshot;
 use crate::snapshot::TelemetrySnapshot;
+use crate::span::{SpanNode, SpanSnapshot};
 
 /// Serializes one event as a single-line JSON object.
 ///
@@ -92,7 +94,6 @@ pub fn event_to_json(event: &RunEvent) -> String {
 }
 
 fn snapshot_fields(snapshot: &TelemetrySnapshot) -> String {
-    let c = &snapshot.counters;
     let mut s = String::from("\"phase_time_secs\":[");
     for (i, d) in snapshot.phase_time.iter().enumerate() {
         if i > 0 {
@@ -102,29 +103,99 @@ fn snapshot_fields(snapshot: &TelemetrySnapshot) -> String {
     }
     let _ = write!(
         s,
-        "],\"ga_generations\":{},\"counters\":{{\"step_calls\":{},\"good_only_calls\":{},\"gate_evals\":{},\"good_events\":{},\"faulty_events\":{},\"checkpoint_restores\":{},\"restore_bytes_avoided\":{},\"packed_phase1_frames\":{},\"pool_tasks\":{},\"pool_idle_ns\":{},\"group_tasks\":{},\"group_steal_ns\":{},\"scratch_bytes_reused\":{},\"checkpoint_writes\":{},\"checkpoint_bytes\":{},\"cache_hits\":{},\"cache_misses\":{},\"dedup_skips\":{},\"prefix_frames_avoided\":{}}}",
-        snapshot.ga_generations,
-        c.step_calls,
-        c.good_only_calls,
-        c.gate_evals,
-        c.good_events,
-        c.faulty_events,
-        c.checkpoint_restores,
-        c.restore_bytes_avoided,
-        c.packed_phase1_frames,
-        c.pool_tasks,
-        c.pool_idle_ns,
-        c.group_tasks,
-        c.group_steal_ns,
-        c.scratch_bytes_reused,
-        c.checkpoint_writes,
-        c.checkpoint_bytes,
-        c.cache_hits,
-        c.cache_misses,
-        c.dedup_skips,
-        c.prefix_frames_avoided
+        "],\"ga_generations\":{},\"counters\":{{",
+        snapshot.ga_generations
     );
+    for (i, (name, value)) in snapshot.counters.fields().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\"{name}\":{value}");
+    }
+    let _ = write!(s, "}},\"spans\":{}", spans_to_json(&snapshot.spans));
     s
+}
+
+/// Serializes a span-aggregate tree as a JSON array of node objects.
+pub fn spans_to_json(spans: &SpanSnapshot) -> String {
+    let mut s = String::from("[");
+    for (i, node) in spans.nodes.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let parent = match &node.parent {
+            Some(p) => quote(p),
+            None => String::from("null"),
+        };
+        let _ = write!(
+            s,
+            "{{\"kind\":{},\"parent\":{parent},\"count\":{},\"incl_ns\":{},\"excl_ns\":{}}}",
+            quote(&node.kind),
+            node.count,
+            node.incl_ns,
+            node.excl_ns
+        );
+    }
+    s.push(']');
+    s
+}
+
+/// Reads a span-aggregate tree back from the value [`spans_to_json`]
+/// produced. Returns `None` when the shape does not match.
+pub fn spans_from_json(value: &Json) -> Option<SpanSnapshot> {
+    let mut nodes = Vec::new();
+    for item in value.as_array()? {
+        let parent = match item.get("parent")? {
+            Json::Null => None,
+            Json::Str(p) => Some(p.clone()),
+            _ => return None,
+        };
+        nodes.push(SpanNode {
+            kind: item.get("kind")?.as_str()?.to_owned(),
+            parent,
+            count: item.get("count")?.as_u64()?,
+            incl_ns: item.get("incl_ns")?.as_u64()?,
+            excl_ns: item.get("excl_ns")?.as_u64()?,
+        });
+    }
+    Some(SpanSnapshot { nodes })
+}
+
+/// Serializes a histogram snapshot as a JSON object with a bucket array of
+/// `[inclusive upper bound, count]` pairs.
+pub fn histogram_to_json(snapshot: &HistogramSnapshot) -> String {
+    let mut s = format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+        snapshot.count, snapshot.sum, snapshot.min, snapshot.max
+    );
+    for (i, (bound, n)) in snapshot.buckets.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "[{bound},{n}]");
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Reads a histogram snapshot back from the value [`histogram_to_json`]
+/// produced. Returns `None` when the shape does not match.
+pub fn histogram_from_json(value: &Json) -> Option<HistogramSnapshot> {
+    let mut buckets = Vec::new();
+    for pair in value.get("buckets")?.as_array()? {
+        let pair = pair.as_array()?;
+        if pair.len() != 2 {
+            return None;
+        }
+        buckets.push((pair[0].as_u64()?, pair[1].as_u64()?));
+    }
+    Some(HistogramSnapshot {
+        count: value.get("count")?.as_u64()?,
+        sum: value.get("sum")?.as_u64()?,
+        min: value.get("min")?.as_u64()?,
+        max: value.get("max")?.as_u64()?,
+        buckets,
+    })
 }
 
 /// Formats a finite JSON number (non-finite values become 0).
@@ -212,6 +283,49 @@ impl Json {
         match self {
             Json::Arr(items) => Some(items),
             _ => None,
+        }
+    }
+
+    /// Serializes the value back to compact JSON text.
+    ///
+    /// Numbers print through Rust's shortest-round-trip `f64` formatting
+    /// (non-finite values become `0`, as in the event writer), so
+    /// `parse_json(&v.render())` reproduces `v` exactly for any value built
+    /// from finite numbers.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => out.push_str(&num(*v)),
+            Json::Str(s) => out.push_str(&quote(s)),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&quote(key));
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
         }
     }
 }
@@ -451,6 +565,24 @@ mod tests {
                         dedup_skips: 37,
                         prefix_frames_avoided: 1_900,
                     },
+                    spans: SpanSnapshot {
+                        nodes: vec![
+                            SpanNode {
+                                kind: String::from("run"),
+                                parent: None,
+                                count: 1,
+                                incl_ns: 125_000_000,
+                                excl_ns: 5_000_000,
+                            },
+                            SpanNode {
+                                kind: String::from("generation"),
+                                parent: Some(String::from("run")),
+                                count: 45,
+                                incl_ns: 110_000_000,
+                                excl_ns: 9_000_000,
+                            },
+                        ],
+                    },
                 }),
             },
         ]
@@ -552,6 +684,47 @@ mod tests {
         assert_eq!(
             counters.get("prefix_frames_avoided").and_then(Json::as_u64),
             Some(1_900)
+        );
+        let spans = spans_from_json(j.get("spans").unwrap()).unwrap();
+        assert_eq!(spans.nodes.len(), 2);
+        assert_eq!(spans.get("run", None).unwrap().incl_ns, 125_000_000);
+        assert_eq!(spans.get("generation", Some("run")).unwrap().count, 45);
+    }
+
+    #[test]
+    fn span_snapshots_round_trip() {
+        let snapshot = SpanSnapshot {
+            nodes: vec![SpanNode {
+                kind: String::from("eval_batch"),
+                parent: Some(String::from("generation")),
+                count: 7,
+                incl_ns: 1_234,
+                excl_ns: 1_000,
+            }],
+        };
+        let parsed = parse_json(&spans_to_json(&snapshot)).unwrap();
+        assert_eq!(spans_from_json(&parsed), Some(snapshot));
+        assert_eq!(
+            spans_from_json(&parse_json("[]").unwrap()),
+            Some(SpanSnapshot::default())
+        );
+        assert_eq!(spans_from_json(&Json::Null), None);
+    }
+
+    #[test]
+    fn histogram_snapshots_round_trip() {
+        let snapshot = HistogramSnapshot {
+            count: 3,
+            sum: 1_006,
+            min: 3,
+            max: 1_000,
+            buckets: vec![(3, 2), (1_023, 1)],
+        };
+        let parsed = parse_json(&histogram_to_json(&snapshot)).unwrap();
+        assert_eq!(histogram_from_json(&parsed), Some(snapshot));
+        assert_eq!(
+            histogram_from_json(&parse_json("{\"count\":0}").unwrap()),
+            None
         );
     }
 

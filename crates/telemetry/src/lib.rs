@@ -37,18 +37,51 @@
 
 pub mod counters;
 pub mod event;
+pub mod expose;
 pub mod json;
 pub mod jsonl;
+pub mod metrics;
 pub mod progress;
 pub mod snapshot;
+pub mod span;
 
 use std::sync::Arc;
 
 pub use counters::{CounterSnapshot, SimCounters};
 pub use event::RunEvent;
+pub use expose::MetricsServer;
 pub use jsonl::JsonlTraceWriter;
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsObserver, MetricsRegistry, RunMetrics,
+};
 pub use progress::ProgressReporter;
 pub use snapshot::TelemetrySnapshot;
+pub use span::{
+    SpanCollector, SpanGuard, SpanHandle, SpanKind, SpanNode, SpanRecord, SpanSnapshot,
+};
+
+/// The per-run instrumentation bundle: a hierarchical [`SpanCollector`]
+/// plus the pre-registered [`RunMetrics`].
+///
+/// One `Arc<Instruments>` is shared by the generator, its evaluation pool
+/// workers, and every simulator clone, mirroring how [`SimCounters`] is
+/// shared — attach it where the run is built, and every layer records into
+/// the same place. Instrumentation is observational only: attaching (or
+/// not attaching) a bundle never changes run results.
+#[derive(Debug, Default)]
+pub struct Instruments {
+    /// Hierarchical timing spans.
+    pub spans: SpanCollector,
+    /// Counters, gauges, and latency histograms.
+    pub metrics: RunMetrics,
+}
+
+impl Instruments {
+    /// A fresh shared bundle.
+    pub fn new() -> Arc<Instruments> {
+        Arc::new(Instruments::default())
+    }
+}
 
 /// Receives [`RunEvent`]s as a test-generation run unfolds.
 ///

@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use crate::counters::CounterSnapshot;
+use crate::span::SpanSnapshot;
 
 /// Final telemetry of one test-generation run.
 ///
@@ -19,6 +20,10 @@ pub struct TelemetrySnapshot {
     pub ga_generations: u64,
     /// Simulator hot-path counter totals.
     pub counters: CounterSnapshot,
+    /// Merged hierarchical span aggregates (empty unless the run was
+    /// instrumented; spans are process-local and excluded from run-state
+    /// checkpoints, so a resumed run restarts span accumulation).
+    pub spans: SpanSnapshot,
 }
 
 impl TelemetrySnapshot {
@@ -77,6 +82,7 @@ mod tests {
                 faulty_events: 60,
                 ..CounterSnapshot::default()
             },
+            spans: SpanSnapshot::default(),
         };
         assert_eq!(snap.phased_time(), Duration::from_millis(60));
         assert_eq!(snap.evals_per_sec(50, Duration::from_secs(2)), 25.0);

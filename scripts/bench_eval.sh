@@ -17,6 +17,13 @@ elif [ "$#" -gt 0 ]; then
     exit 2
 fi
 
+# Provenance is caller-supplied (the binaries never read the clock or the
+# repo themselves); default it here so refreshed baselines record where and
+# when they were measured.
+GATEST_GIT_REV="${GATEST_GIT_REV:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
+GATEST_BENCH_TIMESTAMP="${GATEST_BENCH_TIMESTAMP:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
+export GATEST_GIT_REV GATEST_BENCH_TIMESTAMP
+
 cargo build --release -p gatest-bench --bin bench_eval --bin bench_sim
 target/release/bench_eval $mode > BENCH_eval.json
 echo "wrote BENCH_eval.json:" >&2

@@ -10,6 +10,17 @@
 #                               BENCH_TOLERANCE (default 0.15 = 15%) below
 #                               the committed baseline
 #
+# Both modes gate the instrumentation overhead recorded in the committed
+# full-mode BENCH_eval.json at BENCH_OVERHEAD_TOLERANCE (default 0.05 =
+# 5%). Typical readings are 0-1%; the ceiling sits above that because
+# per-process memory-layout jitter (allocator/ASLR placement) biases any
+# single bench_eval run by a couple percent either way, and a real
+# regression (say, making span collection eager on the sim hot path)
+# costs an order of magnitude more than the headroom. The fresh smoke
+# run's overhead is re-measured too, but against the looser
+# BENCH_SMOKE_OVERHEAD_TOLERANCE (default 0.10 = 10%): its sub-second
+# passes add timer noise on top.
+#
 # The regression comparison is skipped with a warning when the host CPU
 # count differs from the one the committed baseline was recorded on — the
 # numbers are not comparable across machine shapes.
@@ -18,6 +29,8 @@ set -eu
 cd "$(dirname "$0")/.."
 
 TOLERANCE="${BENCH_TOLERANCE:-0.15}"
+OVERHEAD_TOLERANCE="${BENCH_OVERHEAD_TOLERANCE:-0.05}"
+SMOKE_OVERHEAD_TOLERANCE="${BENCH_SMOKE_OVERHEAD_TOLERANCE:-0.10}"
 
 usage() {
     echo "usage: $0 --validate | --smoke" >&2
@@ -61,13 +74,28 @@ compare() {
     }'
 }
 
+# overhead_gate LABEL FILE TOLERANCE -> fails when overhead_frac > TOLERANCE
+overhead_gate() {
+    awk -v label="$1" -v frac="$(json_num "$2" overhead_frac)" -v tol="$3" 'BEGIN {
+        if (frac > tol) {
+            printf "FAIL %s instrumentation overhead: %.2f%% exceeds the %.2f%% ceiling\n",
+                label, 100 * frac, 100 * tol
+            exit 1
+        }
+        printf "ok   %s instrumentation overhead: %.2f%% of serial eval throughput (ceiling %.2f%%)\n",
+            label, 100 * frac, 100 * tol
+    }'
+}
+
 if [ "$mode" = "--validate" ]; then
     validate_committed
+    overhead_gate committed BENCH_eval.json "$OVERHEAD_TOLERANCE"
     exit 0
 fi
 
 # --smoke: fresh runs, schema checks, then the regression gate.
 validate_committed
+overhead_gate committed BENCH_eval.json "$OVERHEAD_TOLERANCE"
 
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
@@ -87,6 +115,11 @@ awk -v cur="$(json_num "$tmpdir/eval.json" speedup)" -v floor=1.3 'BEGIN {
     }
     printf "ok   eval cache: %.2fx speedup on the duplicate-heavy workload (floor %.1fx)\n", cur, floor
 }'
+
+# Instrumentation must stay observationally cheap on this machine too.
+# Like the cache speedup this is a within-run ratio, valid on any shape,
+# but the sub-second smoke passes are noisy, hence the looser ceiling.
+overhead_gate smoke "$tmpdir/eval.json" "$SMOKE_OVERHEAD_TOLERANCE"
 
 host_cpus="$(json_num "$tmpdir/eval.json" host_cpus)"
 base_cpus="$(json_num BENCH_eval.json host_cpus)"

@@ -1,0 +1,84 @@
+#!/bin/sh
+# Traced end-to-end smoke, used by CI and local runs.
+#
+# Runs s298 (seed 5, full fault sample) with a JSONL trace and the live
+# metrics server attached, exercises /metrics and /healthz over HTTP while
+# the run executes, then drives the trace analysis subcommands:
+#
+#   * `trace summarize` and `trace phases` must parse the fresh trace;
+#   * `trace diff --no-timing` against the committed reference
+#     (tests/data/s298_seed5_full.trace.jsonl) gates determinism — the
+#     deterministic totals (detected, vectors, GA evaluations, gate
+#     evaluations) must match the recorded baseline on any machine;
+#   * a sed-injected coverage drop must make `trace diff` fail (the
+#     negative test proving the gate can actually fire).
+#
+# TRACE_SMOKE_PORT overrides the metrics port (default 9184).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PORT="${TRACE_SMOKE_PORT:-9184}"
+REF=tests/data/s298_seed5_full.trace.jsonl
+
+cargo build --release -p gatest-cli
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+target/release/gatest atpg s298 --seed 5 --sample 0 \
+    --trace-out "$tmpdir/run.jsonl" --metrics-addr "127.0.0.1:$PORT" \
+    --out "$tmpdir/tests.txt" -q &
+run_pid=$!
+
+# Sample the live endpoints while the run executes. The server lives inside
+# the gatest process, so every sample here is by construction mid-run.
+if command -v curl >/dev/null 2>&1; then
+    metrics_ok=0
+    health_ok=0
+    while kill -0 "$run_pid" 2>/dev/null; do
+        if [ "$metrics_ok" -eq 0 ] \
+            && curl -sf "http://127.0.0.1:$PORT/metrics" > "$tmpdir/metrics.txt" 2>/dev/null; then
+            metrics_ok=1
+        fi
+        if [ "$health_ok" -eq 0 ] \
+            && curl -sf "http://127.0.0.1:$PORT/healthz" > "$tmpdir/healthz.json" 2>/dev/null; then
+            health_ok=1
+        fi
+        [ "$metrics_ok" -eq 1 ] && [ "$health_ok" -eq 1 ] && break
+        sleep 0.1
+    done
+    if [ "$metrics_ok" -ne 1 ] || [ "$health_ok" -ne 1 ]; then
+        echo "FAIL: could not sample /metrics and /healthz during the run" >&2
+        wait "$run_pid" || true
+        exit 1
+    fi
+    grep -q "gatest_sim_gate_evals_total" "$tmpdir/metrics.txt"
+    grep -q '"status":"ok"' "$tmpdir/healthz.json"
+    echo "ok   live /metrics and /healthz sampled mid-run"
+else
+    echo "warning: curl not available; skipping the live endpoint checks" >&2
+fi
+
+wait "$run_pid"
+
+target/release/gatest trace summarize "$tmpdir/run.jsonl"
+target/release/gatest trace phases "$tmpdir/run.jsonl"
+
+# Determinism gate: the fresh trace's deterministic totals must match the
+# committed reference (wall-clock rows are machine-dependent, hence
+# --no-timing).
+target/release/gatest trace diff "$REF" "$tmpdir/run.jsonl" --no-timing
+echo "ok   trace diff against the committed reference"
+
+# Negative test: an injected coverage drop must fail the gate.
+sed 's/"event":"run_finished","detected":\([0-9]*\)/"event":"run_finished","detected":1/' \
+    "$tmpdir/run.jsonl" > "$tmpdir/regressed.jsonl"
+if target/release/gatest trace diff "$REF" "$tmpdir/regressed.jsonl" --no-timing \
+    > "$tmpdir/diff.out" 2>&1; then
+    echo "FAIL: trace diff accepted an injected coverage regression" >&2
+    cat "$tmpdir/diff.out" >&2
+    exit 1
+fi
+grep -q REGRESSED "$tmpdir/diff.out"
+echo "ok   injected regression rejected"

@@ -2,11 +2,14 @@
 //! own result: a full run's trace must tell the same story as
 //! `TestGenResult`.
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use gatest_core::{GatestConfig, TestGenerator};
 use gatest_netlist::benchmarks;
-use gatest_telemetry::{RunEvent, RunObserver};
+use gatest_telemetry::{Instruments, MetricsServer, RunEvent, RunObserver};
 
 /// Records every event, in order.
 #[derive(Default)]
@@ -166,4 +169,121 @@ fn observed_and_unobserved_runs_are_identical() {
     assert_eq!(plain.detected, observed.detected);
     assert_eq!(plain.phase_trace, observed.phase_trace);
     assert_eq!(plain.ga_evaluations, observed.ga_evaluations);
+}
+
+/// One `GET` against the metrics server; `None` on any transport failure
+/// (the poller retries, so individual misses are fine).
+fn http_get(addr: SocketAddr, path: &str) -> Option<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").ok()?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).ok()?;
+    let (_, body) = response.split_once("\r\n\r\n")?;
+    Some(body.to_owned())
+}
+
+/// Every instrumentation flag combination — event observer, span/metrics
+/// bundle, live metrics server — must produce the bit-identical result the
+/// bare run produces, on both a trivial and a mid-size circuit. The server
+/// combination also exercises `/metrics` and `/healthz` from another thread
+/// while the run executes (the exposition path only reads shared atomics).
+#[test]
+fn all_instrumentation_combinations_are_bit_identical() {
+    for (name, seed, sample) in [("s27", 3, None), ("s298", 11, Some(60))] {
+        let circuit = Arc::new(benchmarks::iscas89(name).expect("bundled circuit"));
+        let mut config = GatestConfig::for_circuit(&circuit).with_seed(seed);
+        if let Some(n) = sample {
+            config.fault_sample = gatest_core::FaultSample::Count(n);
+        }
+        let reference = TestGenerator::new(Arc::clone(&circuit), config.clone()).run();
+        assert!(
+            reference.telemetry.spans.is_empty(),
+            "no spans without an instruments bundle"
+        );
+
+        for observe in [false, true] {
+            for instrument in [false, true] {
+                for serve in [false, true] {
+                    if serve && !instrument {
+                        continue; // the server exposes the bundle
+                    }
+                    if !(observe || instrument) {
+                        continue; // that is the reference run itself
+                    }
+                    let combo =
+                        format!("{name} observe={observe} instrument={instrument} serve={serve}");
+                    let mut generator = TestGenerator::new(Arc::clone(&circuit), config.clone());
+                    let instruments = instrument.then(Instruments::new);
+                    if let Some(instruments) = &instruments {
+                        generator = generator.with_instruments(Arc::clone(instruments));
+                    }
+                    if observe {
+                        generator = generator.with_observer(Arc::new(Recorder::default()));
+                    }
+                    let server = match (&instruments, serve) {
+                        (Some(instruments), true) => Some(
+                            MetricsServer::bind(
+                                "127.0.0.1:0",
+                                Arc::clone(instruments),
+                                Arc::clone(generator.telemetry_counters()),
+                            )
+                            .expect("bind metrics server"),
+                        ),
+                        _ => None,
+                    };
+                    // Poll both endpoints concurrently with the run; the
+                    // server stays up until dropped, so the final attempts
+                    // always land.
+                    let poller = server.as_ref().map(|s| {
+                        let addr = s.local_addr();
+                        std::thread::spawn(move || {
+                            let (mut metrics, mut health) = (String::new(), String::new());
+                            for _ in 0..20 {
+                                if let Some(b) = http_get(addr, "/metrics") {
+                                    metrics = b;
+                                }
+                                if let Some(b) = http_get(addr, "/healthz") {
+                                    health = b;
+                                }
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                            (metrics, health)
+                        })
+                    });
+
+                    let result = generator.run();
+                    if let Some(poller) = poller {
+                        let (metrics, health) = poller.join().expect("poller");
+                        assert!(
+                            metrics.contains("gatest_sim_gate_evals_total"),
+                            "{combo}: metrics exposition missing counters: {metrics}"
+                        );
+                        assert!(
+                            health.contains("\"status\":\"ok\""),
+                            "{combo}: bad healthz: {health}"
+                        );
+                    }
+                    drop(server);
+
+                    assert_eq!(
+                        result.test_set, reference.test_set,
+                        "{combo}: test set diverged"
+                    );
+                    assert_eq!(result.detected, reference.detected, "{combo}");
+                    assert_eq!(result.phase_trace, reference.phase_trace, "{combo}");
+                    assert_eq!(result.ga_evaluations, reference.ga_evaluations, "{combo}");
+                    assert_eq!(
+                        result.telemetry.phase_time.len(),
+                        reference.telemetry.phase_time.len(),
+                        "{combo}"
+                    );
+                    assert_eq!(
+                        result.telemetry.spans.is_empty(),
+                        !instrument,
+                        "{combo}: span aggregates follow the bundle"
+                    );
+                }
+            }
+        }
+    }
 }
