@@ -8,6 +8,11 @@
 //! every step's faulty-event and flip-flop-effect counts — is bit-identical
 //! across all of them.
 //!
+//! A second `width` section compares the packed-value backends (Pv64 vs
+//! Pv256) at serial thread count on s298 and s1423, asserting the same
+//! identity checksum across widths — the backend must change throughput
+//! only, never results.
+//!
 //! Prints a JSON document to stdout; `scripts/bench_eval.sh` redirects it to
 //! `BENCH_sim.json` so the performance trajectory is tracked across PRs.
 //! Pass `--smoke` for a fast CI-sized run (same shape, fewer vectors).
@@ -19,14 +24,19 @@ use std::time::Instant;
 
 use gatest_ga::Rng;
 use gatest_netlist::benchmarks;
-use gatest_sim::{FaultSim, Logic};
+use gatest_sim::{FaultSim, Logic, SimBackend};
 use gatest_telemetry::json::parse_json;
 
 const CIRCUIT: &str = "s1423";
 const SIM_THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Circuits the packed-backend width comparison runs on: one mid-size and
+/// one tier-1-largest, so lane utilization at both group counts is covered.
+const WIDTH_CIRCUITS: [&str; 2] = ["s298", "s1423"];
+const WIDTH_BACKENDS: [SimBackend; 2] = [SimBackend::Scalar64, SimBackend::Wide256];
 /// Bumped whenever the document shape changes; `--validate` requires it.
-/// 2 added provenance (`git_revision`, `timestamp`).
-const SCHEMA_VERSION: u64 = 2;
+/// 2 added provenance (`git_revision`, `timestamp`); 3 added the `width`
+/// packed-backend comparison section.
+const SCHEMA_VERSION: u64 = 3;
 
 /// `--NAME VALUE` from the args, else the `env` variable, else `"unknown"`.
 /// Benchmarks never read the clock or the repo themselves — provenance is
@@ -87,20 +97,7 @@ fn main() {
     for (i, &threads) in SIM_THREADS.iter().enumerate() {
         let mut sim = base.clone();
         sim.set_sim_threads(threads);
-        let mut events = 0u64;
-        let mut sum = 0u64;
-        let start = Instant::now();
-        for (n, v) in stream.iter().enumerate() {
-            let report = sim.step(v);
-            events += report.faulty_events;
-            sum = sum
-                .wrapping_add(report.faulty_events.wrapping_mul(n as u64 + 1))
-                .wrapping_add(report.ff_effect_pairs);
-            for f in &report.newly_detected {
-                sum = sum.wrapping_add((n as u64 + 1).wrapping_mul(f.index() as u64 + 1));
-            }
-        }
-        let secs = start.elapsed().as_secs_f64();
+        let (secs, sum, events) = run_stream(&mut sim, &stream);
         match checksum {
             None => checksum = Some(sum),
             Some(c) => assert_eq!(
@@ -124,10 +121,94 @@ fn main() {
     }
 
     println!(
-        "{{\n  \"bench\": \"step_throughput\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"git_revision\": \"{git_revision}\",\n  \"timestamp\": \"{timestamp}\",\n  \"circuit\": \"{CIRCUIT}\",\n  \"mode\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"identity_checksum\": {},\n  \"results\": [\n{rows}\n  ]\n}}",
+        "{{\n  \"bench\": \"step_throughput\",\n  \"schema_version\": {SCHEMA_VERSION},\n  \"git_revision\": \"{git_revision}\",\n  \"timestamp\": \"{timestamp}\",\n  \"circuit\": \"{CIRCUIT}\",\n  \"mode\": \"{}\",\n  \"host_cpus\": {host_cpus},\n  \"identity_checksum\": {},\n  \"results\": [\n{rows}\n  ],\n  \"width\": [\n{}\n  ]\n}}",
         if smoke { "smoke" } else { "full" },
-        checksum.unwrap_or(0)
+        checksum.unwrap_or(0),
+        width_rows(smoke)
     );
+}
+
+/// Replays `stream` through `sim`, returning elapsed seconds, the identity
+/// checksum (step index × fault id over every newly detected fault plus
+/// per-step faulty-event and flip-flop-effect counts — all width- and
+/// thread-invariant), and the total faulty-event count.
+fn run_stream(sim: &mut FaultSim, stream: &[Vec<Logic>]) -> (f64, u64, u64) {
+    let mut events = 0u64;
+    let mut sum = 0u64;
+    let start = Instant::now();
+    for (n, v) in stream.iter().enumerate() {
+        let report = sim.step(v);
+        events += report.faulty_events;
+        sum = sum
+            .wrapping_add(report.faulty_events.wrapping_mul(n as u64 + 1))
+            .wrapping_add(report.ff_effect_pairs);
+        for f in &report.newly_detected {
+            sum = sum.wrapping_add((n as u64 + 1).wrapping_mul(f.index() as u64 + 1));
+        }
+    }
+    (start.elapsed().as_secs_f64(), sum, events)
+}
+
+/// The packed-backend comparison: serial step throughput per backend per
+/// circuit, asserting the identity checksum is bit-identical across widths.
+/// Wide rows carry `speedup_vs_scalar64` so the trajectory of the wide
+/// backend's advantage is tracked directly in the committed baseline.
+fn width_rows(smoke: bool) -> String {
+    let mut rows = String::new();
+    for &name in &WIDTH_CIRCUITS {
+        let circuit = Arc::new(benchmarks::iscas89(name).expect("bundled circuit"));
+        let pis = circuit.num_inputs();
+        let mut base = FaultSim::new(Arc::clone(&circuit));
+        let mut rng = Rng::new(1);
+        for _ in 0..20 {
+            let v: Vec<Logic> = (0..pis).map(|_| Logic::from_bool(rng.coin())).collect();
+            base.step(&v);
+        }
+        let vectors = match (smoke, name) {
+            (true, _) => 200,
+            (false, "s1423") => 1500,
+            (false, _) => 4000,
+        };
+        let mut vec_rng = Rng::new(9);
+        let stream: Vec<Vec<Logic>> = (0..vectors)
+            .map(|_| (0..pis).map(|_| Logic::from_bool(vec_rng.coin())).collect())
+            .collect();
+        let mut reference: Option<(u64, f64)> = None;
+        for backend in WIDTH_BACKENDS {
+            let mut sim = base.clone();
+            sim.set_backend(backend);
+            let (secs, sum, _) = run_stream(&mut sim, &stream);
+            let rate = vectors as f64 / secs;
+            let speedup = match reference {
+                None => {
+                    reference = Some((sum, rate));
+                    String::new()
+                }
+                Some((c, scalar_rate)) => {
+                    assert_eq!(
+                        c,
+                        sum,
+                        "{name}: {} diverged from the scalar64 results",
+                        backend.name()
+                    );
+                    format!(", \"speedup_vs_scalar64\": {:.3}", rate / scalar_rate)
+                }
+            };
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"circuit\": \"{name}\", \"backend\": \"{}\", \"lanes\": {}, \"vectors\": {vectors}, \"secs\": {secs:.4}, \"vectors_per_sec\": {rate:.0}, \"identity_checksum\": {sum}{speedup}}}",
+                backend.name(),
+                backend.lanes()
+            ));
+            eprintln!(
+                "width {name} {}: {vectors} vectors in {secs:.2}s = {rate:.0} vectors/sec",
+                backend.name()
+            );
+        }
+    }
+    rows
 }
 
 /// Parses `path` as a `BENCH_sim` document and checks every field the
@@ -183,8 +264,50 @@ fn validate(path: &str) -> Result<String, String> {
                 .ok_or_else(|| format!("results[{i}] missing numeric `{key}`"))?;
         }
     }
+    let width = field("width")?
+        .as_array()
+        .ok_or("`width` is not an array")?;
+    if width.is_empty() {
+        return Err("`width` is empty".into());
+    }
+    for (i, row) in width.iter().enumerate() {
+        for key in ["circuit", "backend"] {
+            row.get(key)
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("width[{i}] missing string `{key}`"))?;
+        }
+        for key in [
+            "lanes",
+            "vectors",
+            "secs",
+            "vectors_per_sec",
+            "identity_checksum",
+        ] {
+            row.get(key)
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("width[{i}] missing numeric `{key}`"))?;
+        }
+    }
+    // Per circuit, every backend row must report the same identity checksum
+    // — the baseline itself is proof the widths agreed when it was recorded.
+    for circuit in WIDTH_CIRCUITS {
+        let sums: Vec<f64> = width
+            .iter()
+            .filter(|r| r.get("circuit").and_then(|v| v.as_str()) == Some(circuit))
+            .filter_map(|r| r.get("identity_checksum").and_then(|v| v.as_f64()))
+            .collect();
+        if sums.len() < WIDTH_BACKENDS.len() {
+            return Err(format!("`width` is missing backend rows for `{circuit}`"));
+        }
+        if sums.iter().any(|&s| s != sums[0]) {
+            return Err(format!(
+                "`width` checksums disagree across backends for `{circuit}`"
+            ));
+        }
+    }
     Ok(format!(
-        "{path} ok: {} thread counts, host_cpus {cpus}",
-        results.len()
+        "{path} ok: {} thread counts, {} width rows, host_cpus {cpus}",
+        results.len(),
+        width.len()
     ))
 }

@@ -19,7 +19,7 @@ use gatest_netlist::depth::sequential_depth;
 use gatest_netlist::scoap::Scoap;
 use gatest_sim::dictionary::FaultDictionary;
 use gatest_sim::transition::TransitionFaultSim;
-use gatest_sim::{FaultSim, Logic};
+use gatest_sim::{FaultSim, Logic, SimBackend};
 use gatest_telemetry::json::{parse_json, spans_from_json, Json};
 use gatest_telemetry::{
     Instruments, JsonlTraceWriter, MetricsObserver, MetricsServer, MultiObserver, ProgressReporter,
@@ -83,6 +83,21 @@ fn sim_thread_count(opts: &Opts) -> Result<usize, Box<dyn Error>> {
     value.parse().map_err(|_| {
         UsageError::boxed(format!(
             "--sim-threads expects a non-negative integer or `auto`, got `{value}`"
+        ))
+    })
+}
+
+/// Parses `--sim-width`: `scalar64`/`64`, `wide256`/`256`, or `auto`
+/// (pick the widest backend the host supports well). Defaults to scalar64.
+/// Results are bit-identical across widths; this knob only trades per-step
+/// cost against how many fault machines ride in one packed word.
+fn sim_width_backend(opts: &Opts) -> Result<SimBackend, Box<dyn Error>> {
+    let Some(value) = opts.get("sim-width") else {
+        return Ok(SimBackend::default());
+    };
+    value.parse().map_err(|_| {
+        UsageError::boxed(format!(
+            "--sim-width expects scalar64|wide256|auto (or 64|256), got `{value}`"
         ))
     })
 }
@@ -193,6 +208,7 @@ pub fn atpg(opts: &Opts) -> Result<ExitCode, Box<dyn Error>> {
     let mut config = GatestConfig::for_circuit(&circuit)
         .with_workers(worker_count(opts)?)
         .with_sim_threads(sim_thread_count(opts)?)
+        .with_sim_width(sim_width_backend(opts)?)
         .with_dedup(!opts.has("no-dedup"));
     if let Some(entries) = eval_cache_override(opts)? {
         config = config.with_eval_cache(entries);
@@ -817,6 +833,15 @@ pub fn summarize_trace(text: &str) -> Result<String, Box<dyn Error>> {
                     field("seed"),
                     field("total_faults"),
                 );
+                // Traces recorded before the packed-backend fields existed
+                // simply omit this suffix.
+                if let Some(backend) = j.get("backend").and_then(Json::as_str) {
+                    let _ = write!(
+                        header,
+                        ", backend {backend} ({} lanes)",
+                        field("lanes").max(1)
+                    );
+                }
             }
             ("phase_entered", Some(p)) => phases[p].entered += 1,
             ("ga_generation", Some(p)) => {
@@ -850,6 +875,16 @@ pub fn summarize_trace(text: &str) -> Result<String, Box<dyn Error>> {
                             100.0 * hits as f64 / lookups.max(1) as f64,
                             cf("dedup_skips"),
                             cf("prefix_frames_avoided"),
+                        );
+                    }
+                    // Zero on scalar runs and absent (so zero) in old
+                    // traces — either way the line is omitted.
+                    if cf("wide_groups") > 0 {
+                        let _ = write!(
+                            footer,
+                            "\nwide sim: {} groups at {} lanes/group",
+                            cf("wide_groups"),
+                            cf("lanes_per_group"),
                         );
                     }
                 }
@@ -912,7 +947,7 @@ mod tests {
     #[test]
     fn summarize_trace_totals_per_phase() {
         let trace = "\
-{\"event\":\"run_started\",\"circuit\":\"s27\",\"total_faults\":26,\"seed\":1}
+{\"event\":\"run_started\",\"circuit\":\"s27\",\"total_faults\":26,\"seed\":1,\"backend\":\"wide256\",\"lanes\":256}
 {\"event\":\"phase_entered\",\"phase\":1,\"vectors\":0}
 {\"event\":\"ga_generation\",\"phase\":1,\"generation\":0,\"best\":1,\"mean\":0.5,\"evaluations\":8}
 {\"event\":\"ga_generation\",\"phase\":1,\"generation\":1,\"best\":2,\"mean\":1,\"evaluations\":8}
@@ -920,10 +955,17 @@ mod tests {
 {\"event\":\"phase_entered\",\"phase\":2,\"vectors\":1}
 {\"event\":\"vector_committed\",\"phase\":2,\"vectors\":2,\"detected_new\":3,\"detected_total\":7,\"coverage\":0.27}
 {\"event\":\"fault_detected\",\"fault\":3,\"site\":\"G10 SA1\",\"vector\":1}
-{\"event\":\"run_finished\",\"detected\":7,\"total_faults\":26,\"vectors\":2,\"ga_evaluations\":16,\"elapsed_secs\":0.5,\"phase_time_secs\":[0.3,0.2,0,0],\"counters\":{\"cache_hits\":6,\"cache_misses\":10,\"dedup_skips\":3,\"prefix_frames_avoided\":40}}
+{\"event\":\"run_finished\",\"detected\":7,\"total_faults\":26,\"vectors\":2,\"ga_evaluations\":16,\"elapsed_secs\":0.5,\"phase_time_secs\":[0.3,0.2,0,0],\"counters\":{\"cache_hits\":6,\"cache_misses\":10,\"dedup_skips\":3,\"prefix_frames_avoided\":40,\"wide_groups\":5,\"lanes_per_group\":256}}
 ";
         let summary = summarize_trace(trace).unwrap();
-        assert!(summary.contains("run: s27 seed 1 (26 faults)"));
+        assert!(
+            summary.contains("run: s27 seed 1 (26 faults), backend wide256 (256 lanes)"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("wide sim: 5 groups at 256 lanes/group"),
+            "{summary}"
+        );
         let phase1 = summary
             .lines()
             .find(|l| l.starts_with("1 initialization"))
@@ -949,6 +991,10 @@ mod tests {
         assert!(!summary.contains("cache:"), "{summary}");
         // No phase_time_secs recorded: no wall-time columns either.
         assert!(!summary.contains("wall"), "{summary}");
+        // A pre-backend trace renders without the backend header suffix or
+        // the wide-sim counter line.
+        assert!(!summary.contains("backend"), "{summary}");
+        assert!(!summary.contains("wide sim"), "{summary}");
     }
 
     const TRACED_FINISH: &str = "\

@@ -120,6 +120,7 @@ fn usage_errors_exit_with_code_2() {
         &["atpg"][..],
         &["frobnicate", "s27"][..],
         &["atpg", "s27", "-z"][..],
+        &["atpg", "s27", "--sim-width", "512"][..],
         &["trace", "s27"][..],
     ] {
         let out = gatest(args);
@@ -182,7 +183,39 @@ fn trace_out_emits_all_event_kinds_and_summarizes() {
     assert!(out.status.success());
     let summary = String::from_utf8_lossy(&out.stdout);
     assert!(summary.contains("run: s27 seed 3"), "{summary}");
+    assert!(summary.contains("backend scalar64 (64 lanes)"), "{summary}");
     assert!(summary.contains("finished: "), "{summary}");
+}
+
+#[test]
+fn sim_width_backends_produce_byte_identical_result_json() {
+    let dir = std::env::temp_dir().join("gatest_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut jsons = Vec::new();
+    for backend in ["scalar64", "wide256", "auto"] {
+        let json = dir.join(format!("s27.{backend}.json"));
+        let out = gatest(&[
+            "atpg",
+            "s27",
+            "--seed",
+            "3",
+            "--sim-width",
+            backend,
+            "--result-json",
+            json.to_str().unwrap(),
+            "--out",
+            "/dev/null",
+            "-q",
+        ]);
+        assert!(
+            out.status.success(),
+            "--sim-width {backend}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        jsons.push(std::fs::read(&json).unwrap());
+    }
+    assert_eq!(jsons[0], jsons[1], "scalar64 vs wide256 result JSON differ");
+    assert_eq!(jsons[0], jsons[2], "scalar64 vs auto result JSON differ");
 }
 
 #[test]

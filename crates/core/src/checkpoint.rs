@@ -47,8 +47,13 @@ use crate::config::{FaultSample, GatestConfig};
 pub const MAGIC: [u8; 8] = *b"GATESTCP";
 /// Current checkpoint format version. Version 2 added the evaluation epoch
 /// (the fitness cache's invalidation key) and the memoization counters;
-/// version-1 files are rejected with [`CheckpointError::VersionMismatch`].
-pub const VERSION: u32 = 2;
+/// version 3 added the wide-backend counters (`wide_groups`,
+/// `lanes_per_group`). Older files are rejected with
+/// [`CheckpointError::VersionMismatch`]. Note the simulation backend itself
+/// is *not* stored: like thread counts, it is an execution detail that
+/// cannot change results, so a run may resume under a different
+/// `--sim-width` than it was checkpointed with.
+pub const VERSION: u32 = 3;
 
 /// A complete, serializable snapshot of an in-progress (or finished)
 /// generator run. Produced by the generator's checkpoint cadence or its
@@ -222,10 +227,11 @@ pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// Digest of every configuration field that influences the search path
 /// (everything except the seed — stored separately — and the runtime-only
-/// knobs `parallel_workers`, `sim_threads`, the two budget limits, and the
-/// memoization knobs `eval_cache_entries` / `dedup` / `paranoid_cache`,
-/// which are all bit-identity-neutral). Resume compares this digest so a
-/// checkpoint is never silently continued under a different configuration.
+/// knobs `parallel_workers`, `sim_threads`, `sim_width`, the two budget
+/// limits, and the memoization knobs `eval_cache_entries` / `dedup` /
+/// `paranoid_cache`, which are all bit-identity-neutral). Resume compares
+/// this digest so a checkpoint is never silently continued under a
+/// different configuration.
 pub fn config_digest(config: &GatestConfig) -> u64 {
     let canon = format!(
         "{:?}|{:?}|{}|{}|{}|{}|{}|{}|{:?}|{:?}|{:?}|{}|{:?}|{}|{}",
@@ -545,6 +551,8 @@ impl RunSnapshot {
             c.cache_misses,
             c.dedup_skips,
             c.prefix_frames_avoided,
+            c.wide_groups,
+            c.lanes_per_group,
         ] {
             e.u64(v);
         }
@@ -670,7 +678,7 @@ impl RunSnapshot {
             })
             .collect::<Result<Vec<_>, _>>()?;
         let vectors_applied = d.u32("sim.vectors_applied")?;
-        let mut counter_fields = [0u64; 19];
+        let mut counter_fields = [0u64; 21];
         for v in &mut counter_fields {
             *v = d.u64("counters")?;
         }
@@ -694,6 +702,8 @@ impl RunSnapshot {
             cache_misses: counter_fields[16],
             dedup_skips: counter_fields[17],
             prefix_frames_avoided: counter_fields[18],
+            wide_groups: counter_fields[19],
+            lanes_per_group: counter_fields[20],
         };
         if d.pos != d.buf.len() {
             return Err(CheckpointError::Corrupt(format!(
@@ -836,6 +846,8 @@ mod tests {
                 cache_misses: 40,
                 dedup_skips: 12,
                 prefix_frames_avoided: 320,
+                wide_groups: 9,
+                lanes_per_group: 256,
                 ..CounterSnapshot::default()
             },
         }
@@ -872,15 +884,18 @@ mod tests {
     }
 
     #[test]
-    fn old_version_1_is_rejected_with_the_found_version() {
-        // Version 2 added the eval epoch and memoization counters; a v1 file
-        // has neither, so decoding must refuse it up front rather than
-        // misinterpret the stream.
-        let mut bytes = sample_snapshot().encode();
-        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
-        match RunSnapshot::decode(&bytes) {
-            Err(CheckpointError::VersionMismatch { found: 1 }) => {}
-            other => panic!("expected version-1 mismatch, got {other:?}"),
+    fn old_versions_are_rejected_with_the_found_version() {
+        // Version 2 added the eval epoch and memoization counters; version 3
+        // added the wide-backend counters. Older files lack those fields, so
+        // decoding must refuse them up front rather than misinterpret the
+        // stream.
+        for old in [1u32, 2] {
+            let mut bytes = sample_snapshot().encode();
+            bytes[8..12].copy_from_slice(&old.to_le_bytes());
+            match RunSnapshot::decode(&bytes) {
+                Err(CheckpointError::VersionMismatch { found }) if found == old => {}
+                other => panic!("expected version-{old} mismatch, got {other:?}"),
+            }
         }
     }
 
@@ -934,6 +949,7 @@ mod tests {
         b.eval_cache_entries = 0;
         b.dedup = false;
         b.paranoid_cache = true;
+        b.sim_width = gatest_sim::SimBackend::Wide256;
         assert_eq!(config_digest(&a), config_digest(&b), "runtime knobs");
         let mut c = a.clone();
         c.generations = 9;

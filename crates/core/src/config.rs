@@ -2,6 +2,7 @@
 
 use gatest_ga::{Coding, CrossoverScheme, SelectionScheme};
 use gatest_netlist::Circuit;
+use gatest_sim::SimBackend;
 
 /// How many faults to simulate when evaluating candidate fitness (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -106,6 +107,13 @@ pub struct GatestConfig {
     /// `workers × sim_threads` — and results stay bit-identical at any
     /// combination (see [`GatestConfig::resolved_sim_threads`]).
     pub sim_threads: usize,
+    /// Packed-simulation backend width: `scalar64` (one 64-lane `u64` word
+    /// per plane), `wide256` (four words, autovectorized with a runtime
+    /// AVX2 fast path), or `auto` (the widest available). Like the thread
+    /// counts this is an execution detail: results are bit-identical at any
+    /// width, so it is excluded from the checkpoint config digest and a run
+    /// may resume under a different width.
+    pub sim_width: SimBackend,
     /// Capacity (in entries) of the epoch-keyed fitness cache, the heart of
     /// the memoization layer in front of candidate evaluation. `0` disables
     /// the whole layer (cache and prefix-sharing sequence evaluation) —
@@ -157,6 +165,7 @@ impl Default for GatestConfig {
             max_vectors: 10_000,
             parallel_workers: 1,
             sim_threads: 1,
+            sim_width: SimBackend::Scalar64,
             eval_cache_entries: 4096,
             dedup: true,
             paranoid_cache: false,
@@ -205,6 +214,13 @@ impl GatestConfig {
     /// [`GatestConfig::resolved_sim_threads`]).
     pub fn with_sim_threads(mut self, sim_threads: usize) -> Self {
         self.sim_threads = sim_threads;
+        self
+    }
+
+    /// A new configuration with a different packed-simulation backend
+    /// width. Runtime-only: results are bit-identical at any width.
+    pub fn with_sim_width(mut self, backend: SimBackend) -> Self {
+        self.sim_width = backend;
         self
     }
 
@@ -357,6 +373,22 @@ mod tests {
         if let Ok(n) = std::thread::available_parallelism() {
             assert_eq!(auto.resolved_sim_threads(), n.get());
         }
+    }
+
+    #[test]
+    fn sim_width_defaults_to_scalar() {
+        let cfg = GatestConfig::default();
+        assert_eq!(cfg.sim_width, SimBackend::Scalar64);
+        assert_eq!(cfg.sim_width.lanes(), 64);
+        let wide = GatestConfig::default().with_sim_width(SimBackend::Wide256);
+        assert_eq!(wide.sim_width.lanes(), 256);
+        assert_eq!(
+            GatestConfig::default()
+                .with_sim_width(SimBackend::Auto)
+                .sim_width
+                .resolved(),
+            SimBackend::Wide256
+        );
     }
 
     #[test]

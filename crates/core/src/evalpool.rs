@@ -11,10 +11,15 @@
 //!   worker call the same function, so pooled scores are bit-identical to
 //!   serial scores by construction.
 //! * [`EvalPool`] keeps a fixed set of worker threads alive for the whole
-//!   run, each owning one `FaultSim` clone. Work arrives over per-worker
-//!   channels as (checkpoint, job, chromosome-chunk) requests and scores
-//!   return over a shared reply channel, tagged with their batch offset so
-//!   results are reassembled in input order. This replaces the old
+//!   run, each owning one `FaultSim` clone. Work arrives through one shared
+//!   injector queue of (checkpoint, job, chromosome-chunk) requests and
+//!   scores return over a shared reply channel, tagged with their batch
+//!   offset so results are reassembled in input order. The shared queue
+//!   (rather than per-worker channels) matters on oversubscribed hosts:
+//!   chunks are not pinned to particular workers, so whichever workers the
+//!   scheduler actually runs drain the whole batch while the rest stay
+//!   parked in the condvar — an idle worker never has to be scheduled just
+//!   to hand over work it was dealt. This replaces the old
 //!   spawn-scoped-threads-per-batch scheme, which deep-cloned the entire
 //!   simulator (fault tables included) for every GA generation's batch.
 //! * [`EvalContext`] bundles what a candidate's score depends on besides
@@ -23,9 +28,9 @@
 //!   fault sample, and fitness scale. One context is shared per GA
 //!   invocation via `Arc`.
 
-use std::collections::HashMap;
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -599,9 +604,43 @@ struct Reply {
     scores: Vec<f64>,
 }
 
+/// The shared work injector: one queue every worker drains.
+///
+/// Idle workers block in [`Injector::available`] — a condvar wait parks the
+/// thread in the kernel, so a worker that never gets scheduled costs
+/// nothing. [`EvalPool::dispatch`] wakes at most `min(workers, chunks)`
+/// sleepers per batch; on an oversubscribed host the workers that actually
+/// run pop whatever is queued (chunks are not pinned to threads), and the
+/// rest simply stay parked.
+struct Injector {
+    queue: Mutex<InjectorState>,
+    available: Condvar,
+}
+
+struct InjectorState {
+    requests: VecDeque<Request>,
+    /// Set once by [`EvalPool::drop`]; workers exit when the queue drains.
+    shutdown: bool,
+}
+
+impl Injector {
+    /// Blocks until a request is available (returning it) or shutdown is
+    /// flagged with the queue empty (returning `None`).
+    fn pop(&self) -> Option<Request> {
+        let mut state = self.queue.lock().expect("injector lock poisoned");
+        loop {
+            if let Some(req) = state.requests.pop_front() {
+                return Some(req);
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.available.wait(state).expect("injector lock poisoned");
+        }
+    }
+}
+
 struct Worker {
-    /// `Some` while the pool is live; taken on drop to hang up the channel.
-    tx: Option<Sender<Request>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -609,13 +648,14 @@ struct Worker {
 ///
 /// Each worker thread owns one [`FaultSim`] clone for the pool's entire
 /// lifetime (sharing the base simulator's telemetry counters), so per-batch
-/// cost is two channel messages per worker instead of a full simulator
-/// deep-clone plus thread spawn. Batches are split into contiguous chunks
-/// exactly like the old scoped-thread scheme, and replies carry their batch
-/// offset, so [`EvalPool::evaluate`] returns scores in input order —
-/// bit-identical to serial evaluation.
+/// cost is a few queue pushes instead of a full simulator deep-clone plus
+/// thread spawn. Batches are split into contiguous chunks pushed onto one
+/// shared [`Injector`] queue, and replies carry their batch offset, so
+/// [`EvalPool::evaluate`] returns scores in input order — bit-identical to
+/// serial evaluation regardless of which worker scores which chunk.
 pub struct EvalPool {
     workers: Vec<Worker>,
+    injector: Arc<Injector>,
     reply_rx: Receiver<Reply>,
     counters: Option<Arc<SimCounters>>,
 }
@@ -638,9 +678,16 @@ impl EvalPool {
         assert!(workers > 0, "a pool needs at least one worker");
         let counters = base.counters().cloned();
         let (reply_tx, reply_rx) = channel::<Reply>();
+        let injector = Arc::new(Injector {
+            queue: Mutex::new(InjectorState {
+                requests: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
         let workers = (0..workers)
             .map(|_| {
-                let (tx, rx) = channel::<Request>();
+                let injector = Arc::clone(&injector);
                 let mut sim = base.clone();
                 let reply_tx = reply_tx.clone();
                 let counters = counters.clone();
@@ -648,7 +695,7 @@ impl EvalPool {
                     let mut scratch: Vec<Logic> = Vec::new();
                     loop {
                         let wait = Instant::now();
-                        let Ok(req) = rx.recv() else { break };
+                        let Some(req) = injector.pop() else { break };
                         if let Some(c) = &counters {
                             c.record_pool_idle(wait.elapsed().as_nanos() as u64);
                         }
@@ -680,13 +727,13 @@ impl EvalPool {
                     }
                 });
                 Worker {
-                    tx: Some(tx),
                     handle: Some(handle),
                 }
             })
             .collect();
         EvalPool {
             workers,
+            injector,
             reply_rx,
             counters,
         }
@@ -700,12 +747,12 @@ impl EvalPool {
     /// Scores a batch against a shared context, in input order.
     ///
     /// The batch is split into up to [`CHUNKS_PER_WORKER`] chunks per
-    /// worker, dealt round-robin across the worker channels; replies are
-    /// placed back by offset. One big contiguous chunk per worker (the old
-    /// split) made the whole batch wait on its slowest chunk — candidate
-    /// costs are uneven, since a restore's copy-on-write traffic and a
-    /// step's event count depend on the chromosome — so finer interleaved
-    /// chunks keep the dispatch granularity ahead of the stragglers.
+    /// worker, pushed onto the shared injector queue; replies are placed
+    /// back by offset. One big contiguous chunk per worker (the old split)
+    /// made the whole batch wait on its slowest chunk — candidate costs are
+    /// uneven, since a restore's copy-on-write traffic and a step's event
+    /// count depend on the chromosome — so finer chunks pulled from a
+    /// shared queue keep the dispatch granularity ahead of the stragglers.
     ///
     /// # Panics
     ///
@@ -734,20 +781,23 @@ impl EvalPool {
         let chunks = (self.workers.len() * CHUNKS_PER_WORKER).min(batch.len());
         let chunk = batch.len().div_ceil(chunks);
         let mut sent = 0usize;
-        for (i, piece) in batch.chunks(chunk).enumerate() {
-            let req = Request {
-                ctx: Arc::clone(ctx),
-                chunk: piece.to_vec(),
-                offset: i * chunk,
-                shared_prefix,
-            };
-            self.workers[i % self.workers.len()]
-                .tx
-                .as_ref()
-                .expect("pool is live")
-                .send(req)
-                .expect("pool worker died");
-            sent += 1;
+        {
+            let mut state = self.injector.queue.lock().expect("injector lock poisoned");
+            for (i, piece) in batch.chunks(chunk).enumerate() {
+                state.requests.push_back(Request {
+                    ctx: Arc::clone(ctx),
+                    chunk: piece.to_vec(),
+                    offset: i * chunk,
+                    shared_prefix,
+                });
+                sent += 1;
+            }
+        }
+        // A chunk is claimed by exactly one worker, so waking more sleepers
+        // than chunks (or than workers exist) is pure wake-storm; each
+        // notify_one admits one parked worker to the queue.
+        for _ in 0..sent.min(self.workers.len()) {
+            self.injector.available.notify_one();
         }
         if let Some(c) = &self.counters {
             c.record_pool_tasks(sent as u64);
@@ -763,11 +813,14 @@ impl EvalPool {
 
 impl Drop for EvalPool {
     fn drop(&mut self) {
-        // Hang up every request channel, then join: recv() errors out and
-        // each worker loop exits.
-        for w in &mut self.workers {
-            w.tx.take();
-        }
+        // Flag shutdown and wake every parked worker, then join: pop()
+        // returns None once the queue drains and each worker loop exits.
+        self.injector
+            .queue
+            .lock()
+            .expect("injector lock poisoned")
+            .shutdown = true;
+        self.injector.available.notify_all();
         for w in &mut self.workers {
             if let Some(handle) = w.handle.take() {
                 let _ = handle.join();

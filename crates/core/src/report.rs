@@ -121,6 +121,17 @@ pub fn telemetry_table(result: &TestGenResult) -> String {
         "group steal",
         t.counters.group_steal_ns as f64 / 1e9
     );
+    // Wide-backend counters are zero for scalar64 runs and absent entirely
+    // in traces from before the width-generic backend; print them only when
+    // a wide backend actually ran, so old and narrow outputs are unchanged.
+    if t.counters.wide_groups > 0 {
+        let _ = writeln!(out, "{:<22} {:>10}", "wide groups", t.counters.wide_groups);
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10}",
+            "lanes/group", t.counters.lanes_per_group
+        );
+    }
     let _ = writeln!(
         out,
         "{:<22} {:>7.1} MB",
@@ -482,6 +493,8 @@ mod tests {
                     cache_misses: 430,
                     dedup_skips: 37,
                     prefix_frames_avoided: 1_900,
+                    wide_groups: 48,
+                    lanes_per_group: 256,
                 },
                 spans: SpanSnapshot {
                     nodes: vec![
@@ -569,6 +582,8 @@ mod tests {
             "pool idle",
             "group tasks",
             "group steal",
+            "wide groups",
+            "lanes/group",
             "scratch reused",
             "ckpt writes",
             "ckpt bytes",
@@ -595,6 +610,18 @@ mod tests {
         };
         let offsets: Vec<_> = lines[1..5].iter().map(|l| time_end(l)).collect();
         assert!(offsets.iter().all(|o| *o == offsets[0]), "{offsets:?}");
+    }
+
+    #[test]
+    fn telemetry_table_hides_wide_counters_for_narrow_runs() {
+        // Scalar64 runs (and traces recorded before the width-generic
+        // backend) have wide_groups == 0 and must render exactly as before.
+        let mut r = sample_result();
+        r.telemetry.counters.wide_groups = 0;
+        r.telemetry.counters.lanes_per_group = 0;
+        let table = telemetry_table(&r);
+        assert!(!table.contains("wide groups"), "{table}");
+        assert!(!table.contains("lanes/group"), "{table}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use gatest_netlist::GateKind;
 
-use crate::value::{Logic, Pv64};
+use crate::value::{Logic, PackedValue};
 
 /// Evaluates a gate over scalar three-valued fanin values.
 ///
@@ -38,47 +38,14 @@ pub fn eval_scalar(kind: GateKind, fanin: &[Logic]) -> Logic {
     }
 }
 
-/// Evaluates a gate over packed fanin words (64 slots at once).
+/// Evaluates a gate over packed fanin words (`P::LANES` lanes at once).
 ///
-/// Same contract as [`eval_scalar`].
-pub fn eval_packed(kind: GateKind, fanin: &[Pv64]) -> Pv64 {
-    match kind {
-        GateKind::And => fanin
-            .iter()
-            .copied()
-            .fold(Pv64::ALL_ONE, |acc, w| acc.and(w)),
-        GateKind::Nand => fanin
-            .iter()
-            .copied()
-            .fold(Pv64::ALL_ONE, |acc, w| acc.and(w))
-            .not(),
-        GateKind::Or => fanin
-            .iter()
-            .copied()
-            .fold(Pv64::ALL_ZERO, |acc, w| acc.or(w)),
-        GateKind::Nor => fanin
-            .iter()
-            .copied()
-            .fold(Pv64::ALL_ZERO, |acc, w| acc.or(w))
-            .not(),
-        GateKind::Xor => fanin
-            .iter()
-            .copied()
-            .fold(Pv64::ALL_ZERO, |acc, w| acc.xor(w)),
-        GateKind::Xnor => fanin
-            .iter()
-            .copied()
-            .fold(Pv64::ALL_ZERO, |acc, w| acc.xor(w))
-            .not(),
-        GateKind::Not => fanin[0].not(),
-        GateKind::Buf => fanin[0],
-        GateKind::Const0 => Pv64::ALL_ZERO,
-        GateKind::Const1 => Pv64::ALL_ONE,
-        GateKind::Input | GateKind::Dff => {
-            debug_assert!(false, "{kind} values come from the environment");
-            Pv64::ALL_X
-        }
-    }
+/// Same contract as [`eval_scalar`]. Delegates to
+/// [`PackedValue::eval_gate`], so backends with a vectorized override (e.g.
+/// [`Pv256`](crate::Pv256)'s AVX2 path) are dispatched here.
+#[inline]
+pub fn eval_packed<P: PackedValue>(kind: GateKind, fanin: &[P]) -> P {
+    P::eval_gate(kind, fanin)
 }
 
 /// The controlling input value of a gate, if it has one (e.g. 0 for AND).
@@ -115,6 +82,7 @@ pub fn is_inverting(kind: GateKind) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::value::Pv64;
     use Logic::{One, Zero, X};
 
     #[test]

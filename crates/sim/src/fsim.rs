@@ -3,8 +3,10 @@
 //! Follows the published structure of PROOFS (Niermann, Cheng, Patel, 1992):
 //!
 //! * **single-fault propagation**: each undetected fault is simulated as an
-//!   independent faulty machine, but up to 64 faults are packed into the bit
-//!   slots of a [`Pv64`] word and propagated together;
+//!   independent faulty machine, but many faults are packed into the bit
+//!   lanes of one packed word — 64 with the [`Pv64`](crate::Pv64) backend,
+//!   256 with [`Pv256`](crate::Pv256) — and propagated together (see
+//!   [`SimBackend`]);
 //! * **event-driven, levelized evaluation**: only gates in the fanout cone of
 //!   a difference are re-evaluated, in level order;
 //! * **fault dropping**: faults detected at a primary output are removed
@@ -33,7 +35,7 @@ use crate::fault::{FaultId, FaultList, FaultStatus};
 use crate::good_sim::{GoodSim, GoodSimState, GoodStepReport};
 use crate::group::{simulate_group, FaultyFfState, GroupCtx, GroupOutcome, Scratch};
 use crate::grouppool::GroupPool;
-use crate::value::Logic;
+use crate::value::{LaneMask, Logic, PackedValue, Pv256, Pv64, SimBackend};
 
 /// Statistics from simulating one vector over the active fault list.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -42,7 +44,10 @@ pub struct StepReport {
     pub newly_detected: Vec<FaultId>,
     /// Per-output detection syndrome for this vector: `(fault, po index)`
     /// pairs, one for every primary output at which a newly simulated
-    /// difference appeared. Fault dictionaries and diagnosis build on this.
+    /// difference appeared, sorted by `(fault, po)`. The sort canonicalizes
+    /// an order that would otherwise depend on how faults were grouped, so
+    /// reports compare equal across [`SimBackend`]s. Fault dictionaries and
+    /// diagnosis build on this.
     pub po_detections: Vec<(FaultId, u16)>,
     /// Fault effects latched into flip-flops by this vector, counted as
     /// (fault, flip-flop) pairs.
@@ -54,7 +59,10 @@ pub struct StepReport {
     /// Faulty-circuit events, summed over all simulated faulty machines.
     pub faulty_events: u64,
     /// Gate evaluations this frame: every good-machine combinational gate
-    /// plus one per packed (≤64-fault) faulty re-evaluation.
+    /// plus one per packed faulty re-evaluation. Telemetry only — this is
+    /// the one report field that legitimately depends on the configured
+    /// [`SimBackend`] (a wider word covers more faults per evaluation), so
+    /// cross-backend identity tests exclude it.
     pub gate_evals: u64,
     /// Good-circuit frame statistics (flip-flops set/changed).
     pub good: GoodStepReport,
@@ -183,18 +191,83 @@ pub struct FaultSim {
     probe: Option<SpanHandle>,
     /// Combinational gates evaluated by one good-machine frame.
     comb_gates: u64,
-    /// The simulator's own propagation arena, reused across steps (and
-    /// used directly when the step runs serially).
-    scratch: Scratch,
-    /// Per-group outcome slots, reused across steps.
-    outcomes: Vec<GroupOutcome>,
+    /// The requested packed-value backend (possibly `Auto`).
+    backend: SimBackend,
+    /// The width-concrete execution engine (arena, outcome slots, pool).
+    engine: Engine,
     /// Requested fault-group parallelism: 1 = serial (default), 0 = one
     /// thread per available core, N = exactly N threads.
     sim_threads: usize,
+}
+
+/// One backend's execution state: the simulator's own propagation arena,
+/// reusable per-group outcome slots, and the lazily-built worker pool.
+#[derive(Debug)]
+struct EngineState<P: PackedValue> {
+    /// The simulator's own propagation arena, reused across steps (and
+    /// used directly when the step runs serially).
+    scratch: Scratch<P>,
+    /// Per-group outcome slots, reused across steps.
+    outcomes: Vec<GroupOutcome<P>>,
     /// The persistent fault-group worker pool, created lazily on the first
     /// step that can actually use it (so serial simulators, clones, and
     /// short runs never spawn threads).
-    pool: Option<GroupPool>,
+    pool: Option<GroupPool<P>>,
+}
+
+impl<P: PackedValue> EngineState<P> {
+    fn new(circuit: &Circuit, max_level: usize) -> Self {
+        EngineState {
+            scratch: Scratch::new(circuit, max_level),
+            outcomes: Vec::new(),
+            pool: None,
+        }
+    }
+}
+
+impl<P: PackedValue> Clone for EngineState<P> {
+    /// Clones the arena and outcome slots but **not** the worker pool — the
+    /// clone lazily builds its own if a parallel step ever runs on it.
+    fn clone(&self) -> Self {
+        EngineState {
+            scratch: self.scratch.clone(),
+            outcomes: self.outcomes.clone(),
+            pool: None,
+        }
+    }
+}
+
+/// The width-concrete engine behind [`FaultSim`]: one variant per
+/// [`PackedValue`] backend. Runtime dispatch happens once per step (the
+/// match below); everything inside a variant is monomorphized over its
+/// packed type.
+#[derive(Debug, Clone)]
+enum Engine {
+    Scalar64(EngineState<Pv64>),
+    Wide256(EngineState<Pv256>),
+}
+
+impl Engine {
+    fn new(backend: SimBackend, circuit: &Circuit, max_level: usize) -> Engine {
+        match backend.resolved() {
+            SimBackend::Scalar64 => Engine::Scalar64(EngineState::new(circuit, max_level)),
+            _ => Engine::Wide256(EngineState::new(circuit, max_level)),
+        }
+    }
+
+    fn backend(&self) -> SimBackend {
+        match self {
+            Engine::Scalar64(_) => SimBackend::Scalar64,
+            Engine::Wide256(_) => SimBackend::Wide256,
+        }
+    }
+
+    fn drop_pool(&mut self) {
+        match self {
+            Engine::Scalar64(e) => e.pool = None,
+            Engine::Wide256(e) => e.pool = None,
+        }
+    }
 }
 
 impl Clone for FaultSim {
@@ -216,10 +289,9 @@ impl Clone for FaultSim {
             instruments: self.instruments.clone(),
             probe: None,
             comb_gates: self.comb_gates,
-            scratch: self.scratch.clone(),
-            outcomes: self.outcomes.clone(),
+            backend: self.backend,
+            engine: self.engine.clone(),
             sim_threads: self.sim_threads,
-            pool: None,
         }
     }
 }
@@ -241,7 +313,8 @@ impl FaultSim {
             .filter(|&id| circuit.kind(id).is_combinational())
             .count() as u64;
         let empty_ff: Arc<[(u32, Logic)]> = Arc::from(Vec::new());
-        let scratch = Scratch::new(&circuit, max_level);
+        let backend = SimBackend::default();
+        let engine = Engine::new(backend, &circuit, max_level);
         FaultSim {
             circuit,
             good,
@@ -256,10 +329,9 @@ impl FaultSim {
             probe: None,
             comb_gates,
             faults,
-            scratch,
-            outcomes: Vec::new(),
+            backend,
+            engine,
             sim_threads: 1,
-            pool: None,
         }
     }
 
@@ -354,8 +426,28 @@ impl FaultSim {
     pub fn set_sim_threads(&mut self, threads: usize) {
         if threads != self.sim_threads {
             self.sim_threads = threads;
-            self.pool = None;
+            self.engine.drop_pool();
         }
+    }
+
+    /// Sets the packed-value backend for [`FaultSim::step`] (see
+    /// [`SimBackend`]). Like thread counts, the backend is a pure execution
+    /// detail: results are bit-identical at every width, so it is safe to
+    /// change between runs (or mid-run). Switching to a different resolved
+    /// width rebuilds the engine (arena, outcome slots, worker pool);
+    /// re-setting the current width is free.
+    pub fn set_backend(&mut self, backend: SimBackend) {
+        self.backend = backend;
+        if backend.resolved() != self.engine.backend() {
+            let max_level = self.good.levelization().max_level() as usize;
+            self.engine = Engine::new(backend, &self.circuit, max_level);
+        }
+    }
+
+    /// The requested packed-value backend (possibly `Auto`; use
+    /// [`SimBackend::resolved`] for the width actually running).
+    pub fn backend(&self) -> SimBackend {
+        self.backend
     }
 
     /// The configured fault-group parallelism (see
@@ -432,81 +524,53 @@ impl FaultSim {
             ..StepReport::default()
         };
 
-        // Simulate every ≤64-fault group against the advanced good machine,
-        // writing per-group outcomes into reusable slots — serially with the
-        // simulator's own arena, or fanned out across the group pool.
-        let ngroups = targets.len().div_ceil(64);
-        if self.outcomes.len() < ngroups {
-            self.outcomes.resize_with(ngroups, GroupOutcome::default);
-        }
+        // Simulate every fault group (at most `P::LANES` faults each)
+        // against the advanced good machine, writing per-group outcomes
+        // into reusable slots — serially with the simulator's own arena, or
+        // fanned out across the group pool — then merge them back. The
+        // engine match is the per-step backend dispatch; everything inside
+        // `run_engine` is monomorphized over the packed type.
         let threads = self.resolved_sim_threads();
-        let mut group_dispatch: Option<(u64, u64, u64)> = None;
-        if threads > 1 && ngroups > 1 && self.pool.is_none() {
-            let max_level = self.good.levelization().max_level() as usize;
-            self.pool = Some(GroupPool::new(&self.circuit, max_level, threads));
-        }
-        {
-            let ctx = GroupCtx {
-                circuit: &self.circuit,
-                good: &self.good,
-                faults: &self.faults,
-                faulty_ff: &self.faulty_ff,
-                empty_ff: &self.empty_ff,
-            };
-            match &self.pool {
-                Some(pool) if threads > 1 && ngroups > 1 => {
-                    group_dispatch = Some(pool.run(
-                        &ctx,
-                        targets,
-                        &mut self.outcomes[..ngroups],
-                        &mut self.scratch,
-                    ));
-                }
-                _ => {
-                    for (group, out) in targets.chunks(64).zip(self.outcomes.iter_mut()) {
-                        simulate_group(&ctx, group, &mut self.scratch, out);
-                    }
-                }
-            }
-        }
-
-        // Merge outcomes back **in group order**. The merge is the only
-        // place simulator state is written, so the result is identical no
-        // matter how (or on how many threads) the groups were simulated.
-        let merge_span = probe.as_ref().map(|p| p.enter(SpanKind::Merge));
         let mut detected: Vec<FaultId> = Vec::new();
-        let mut scratch_bytes = 0u64;
-        for (gi, group) in targets.chunks(64).enumerate() {
-            let out = &mut self.outcomes[gi];
-            report.gate_evals += out.gate_evals;
-            report.faulty_events += out.faulty_events;
-            report.ff_effect_pairs += out.ff_effect_pairs;
-            report.ff_effect_faults += out.ff_effect_faults;
-            scratch_bytes += out.scratch_bytes;
-            for &(slot, po) in &out.po_detections {
-                report.po_detections.push((group[slot as usize], po));
-            }
-            let mut m = out.detected_mask;
-            while m != 0 {
-                let slot = m.trailing_zeros();
-                detected.push(group[slot as usize]);
-                m &= m - 1;
-            }
-            for (slot, &fid) in group.iter().enumerate() {
-                if let Some(entry) = out.new_ff[slot].take() {
-                    let idx = fid.index();
-                    let old_len = self.faulty_ff[idx].len();
-                    self.ff_entries = self.ff_entries + entry.len() - old_len;
-                    Arc::make_mut(&mut self.faulty_ff)[idx] = entry;
-                }
-            }
-        }
-        std::mem::drop(merge_span); // `drop` the fn is shadowed by the flag
+        let (ngroups, scratch_bytes, group_dispatch) = match &mut self.engine {
+            Engine::Scalar64(engine) => run_engine(
+                &self.circuit,
+                &self.good,
+                &self.faults,
+                &mut self.faulty_ff,
+                &mut self.ff_entries,
+                &self.empty_ff,
+                targets,
+                threads,
+                probe.as_ref(),
+                engine,
+                &mut report,
+                &mut detected,
+            ),
+            Engine::Wide256(engine) => run_engine(
+                &self.circuit,
+                &self.good,
+                &self.faults,
+                &mut self.faulty_ff,
+                &mut self.ff_entries,
+                &self.empty_ff,
+                targets,
+                threads,
+                probe.as_ref(),
+                engine,
+                &mut report,
+                &mut detected,
+            ),
+        };
         if let Some(counters) = &self.counters {
             counters.record_step(report.gate_evals, report.good_events, report.faulty_events);
             counters.record_scratch_reuse(scratch_bytes);
             if let Some((tasks, steal_ns, _)) = group_dispatch {
                 counters.record_group_dispatch(tasks, steal_ns);
+            }
+            let lanes = self.engine.backend().lanes();
+            if lanes > 64 {
+                counters.record_backend_groups(lanes as u64, ngroups);
             }
         }
         if let (Some(instruments), Some((_, _, wait_ns))) = (&self.instruments, group_dispatch) {
@@ -700,6 +764,97 @@ impl FaultSim {
         self.ff_entries = 0;
         self.vectors_applied = 0;
     }
+}
+
+/// Runs one step's group fan-out and merge on a width-concrete engine.
+///
+/// Returns `(ngroups, scratch_bytes, dispatch)` where `dispatch` is the
+/// pool's `(tasks, steal_ns, wait_ns)` when the step actually fanned out.
+///
+/// The merge walks outcomes **in group order**, and lane order within a
+/// group is fault order, so `detected` and every report field except
+/// `gate_evals` come out identical at every lane width and thread count;
+/// `po_detections` is additionally sorted into `(fault, po)` order because
+/// its emission order (output-major within each group) genuinely depends on
+/// how faults were grouped.
+#[allow(clippy::too_many_arguments)]
+fn run_engine<P: PackedValue>(
+    circuit: &Arc<Circuit>,
+    good: &GoodSim,
+    faults: &FaultList,
+    faulty_ff: &mut Arc<Vec<FaultyFfState>>,
+    ff_entries: &mut usize,
+    empty_ff: &FaultyFfState,
+    targets: &[FaultId],
+    threads: usize,
+    probe: Option<&SpanHandle>,
+    engine: &mut EngineState<P>,
+    report: &mut StepReport,
+    detected: &mut Vec<FaultId>,
+) -> (u64, u64, Option<(u64, u64, u64)>) {
+    let ngroups = targets.len().div_ceil(P::LANES);
+    if engine.outcomes.len() < ngroups {
+        engine.outcomes.resize_with(ngroups, GroupOutcome::default);
+    }
+    let mut dispatch: Option<(u64, u64, u64)> = None;
+    if threads > 1 && ngroups > 1 && engine.pool.is_none() {
+        let max_level = good.levelization().max_level() as usize;
+        engine.pool = Some(GroupPool::new(circuit, max_level, threads));
+    }
+    {
+        let ctx = GroupCtx {
+            circuit,
+            good,
+            faults,
+            faulty_ff: faulty_ff.as_slice(),
+            empty_ff,
+        };
+        match &engine.pool {
+            Some(pool) if threads > 1 && ngroups > 1 => {
+                dispatch = Some(pool.run(
+                    &ctx,
+                    targets,
+                    &mut engine.outcomes[..ngroups],
+                    &mut engine.scratch,
+                ));
+            }
+            _ => {
+                for (group, out) in targets.chunks(P::LANES).zip(engine.outcomes.iter_mut()) {
+                    simulate_group(&ctx, group, &mut engine.scratch, out);
+                }
+            }
+        }
+    }
+
+    // Merge outcomes back **in group order**. The merge is the only place
+    // simulator state is written, so the result is identical no matter how
+    // (on how many threads, at what width) the groups were simulated.
+    let merge_span = probe.map(|p| p.enter(SpanKind::Merge));
+    let mut scratch_bytes = 0u64;
+    for (gi, group) in targets.chunks(P::LANES).enumerate() {
+        let out = &mut engine.outcomes[gi];
+        report.gate_evals += out.gate_evals;
+        report.faulty_events += out.faulty_events;
+        report.ff_effect_pairs += out.ff_effect_pairs;
+        report.ff_effect_faults += out.ff_effect_faults;
+        scratch_bytes += out.scratch_bytes;
+        for &(lane, po) in &out.po_detections {
+            report.po_detections.push((group[lane as usize], po));
+        }
+        out.detected_mask
+            .for_each(|lane| detected.push(group[lane]));
+        for (lane, &fid) in group.iter().enumerate() {
+            if let Some(entry) = out.new_ff[lane].take() {
+                let idx = fid.index();
+                let old_len = faulty_ff[idx].len();
+                *ff_entries = *ff_entries + entry.len() - old_len;
+                Arc::make_mut(faulty_ff)[idx] = entry;
+            }
+        }
+    }
+    report.po_detections.sort_unstable();
+    drop(merge_span);
+    (ngroups as u64, scratch_bytes, dispatch)
 }
 
 #[cfg(test)]
@@ -1126,6 +1281,92 @@ mod tests {
         assert_eq!(parallel.sim_threads(), 3);
         for v in prng_sequence(circuit.num_inputs(), 48, 41) {
             assert_eq!(serial.step(&v), parallel.step(&v));
+        }
+        assert_eq!(serial.detected_count(), parallel.detected_count());
+        for &f in serial.active_faults() {
+            assert_eq!(serial.faulty_ff_state(f), parallel.faulty_ff_state(f));
+        }
+    }
+
+    /// Normalizes the one legitimately width-dependent report field so
+    /// cross-backend assertions compare everything else bit-for-bit.
+    fn without_gate_evals(mut r: StepReport) -> StepReport {
+        r.gate_evals = 0;
+        r
+    }
+
+    #[test]
+    fn wide_backend_matches_scalar_bit_for_bit() {
+        // Full fault list on s298 → several 64-fault groups collapse into
+        // few 256-lane groups; every report field except gate_evals and the
+        // sparse faulty-FF state must be identical.
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let faults = FaultList::full(&circuit);
+        let mut narrow = FaultSim::with_faults(Arc::clone(&circuit), faults.clone());
+        let mut wide = FaultSim::with_faults(Arc::clone(&circuit), faults);
+        wide.set_backend(SimBackend::Wide256);
+        assert_eq!(wide.backend(), SimBackend::Wide256);
+        for v in prng_sequence(circuit.num_inputs(), 48, 41) {
+            let a = narrow.step(&v);
+            let b = wide.step(&v);
+            assert_eq!(without_gate_evals(a), without_gate_evals(b));
+        }
+        assert_eq!(narrow.detected_count(), wide.detected_count());
+        for &f in narrow.active_faults() {
+            assert_eq!(narrow.faulty_ff_state(f), wide.faulty_ff_state(f));
+        }
+    }
+
+    #[test]
+    fn backend_can_switch_mid_run_without_diverging() {
+        // The backend is an execution detail: flipping it between steps
+        // must leave the fault-detection trajectory untouched.
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let faults = FaultList::full(&circuit);
+        let mut reference = FaultSim::with_faults(Arc::clone(&circuit), faults.clone());
+        let mut switching = FaultSim::with_faults(Arc::clone(&circuit), faults);
+        for (i, v) in prng_sequence(circuit.num_inputs(), 24, 77)
+            .iter()
+            .enumerate()
+        {
+            switching.set_backend(match i % 3 {
+                0 => SimBackend::Scalar64,
+                1 => SimBackend::Wide256,
+                _ => SimBackend::Auto,
+            });
+            let a = reference.step(v);
+            let b = switching.step(v);
+            assert_eq!(without_gate_evals(a), without_gate_evals(b));
+        }
+        assert_eq!(reference.detected_count(), switching.detected_count());
+        assert_eq!(reference.export_state(), switching.export_state());
+    }
+
+    #[test]
+    fn auto_backend_resolves_to_wide() {
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        sim.set_backend(SimBackend::Auto);
+        assert_eq!(sim.backend(), SimBackend::Auto);
+        assert_eq!(sim.backend().resolved(), SimBackend::Wide256);
+        // Clones inherit the backend setting.
+        assert_eq!(sim.clone().backend(), SimBackend::Auto);
+    }
+
+    #[test]
+    fn wide_parallel_step_matches_serial_exactly() {
+        // Width × thread composition: the wide backend under the group pool
+        // must match the serial scalar path bit-for-bit.
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let faults = FaultList::full(&circuit);
+        let mut serial = FaultSim::with_faults(Arc::clone(&circuit), faults.clone());
+        let mut parallel = FaultSim::with_faults(Arc::clone(&circuit), faults);
+        parallel.set_backend(SimBackend::Wide256);
+        parallel.set_sim_threads(3);
+        for v in prng_sequence(circuit.num_inputs(), 32, 51) {
+            let a = serial.step(&v);
+            let b = parallel.step(&v);
+            assert_eq!(without_gate_evals(a), without_gate_evals(b));
         }
         assert_eq!(serial.detected_count(), parallel.detected_count());
         for &f in serial.active_faults() {

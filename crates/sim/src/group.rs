@@ -1,27 +1,31 @@
 //! Per-group fault propagation over a reusable scratch arena.
 //!
 //! [`FaultSim::step`](crate::FaultSim::step) partitions the simulated fault
-//! list into ≤64-fault [`Pv64`] groups. Given the already-advanced good
-//! machine, every group is independent: it reads the shared circuit, good
-//! values, and per-fault sparse flip-flop state, and writes only its own
-//! slots. This module factors the per-group propagation out of `FaultSim`
-//! into a free function over borrowed shared state ([`GroupCtx`]) plus a
-//! private arena ([`Scratch`]), so the serial step and the fault-group
-//! worker pool run the exact same code — serially with the simulator's own
-//! arena, or concurrently with one arena per worker.
+//! list into groups of at most [`PackedValue::LANES`] faults. Given the
+//! already-advanced good machine, every group is independent: it reads the
+//! shared circuit, good values, and per-fault sparse flip-flop state, and
+//! writes only its own lanes. This module factors the per-group propagation
+//! out of `FaultSim` into a free function over borrowed shared state
+//! ([`GroupCtx`]) plus a private arena ([`Scratch`]), so the serial step and
+//! the fault-group worker pool run the exact same code — serially with the
+//! simulator's own arena, or concurrently with one arena per worker.
 //!
 //! Results land in a [`GroupOutcome`] instead of being applied in place;
 //! the caller merges outcomes back **in group order**, which makes every
-//! thread count bit-identical to serial execution.
+//! thread count — and every lane width — bit-identical to serial `Pv64`
+//! execution: lane order within a group is fault order, and group order is
+//! ascending fault order, so the concatenated per-lane results are the same
+//! sequence no matter how many lanes one group carries.
 //!
 //! The arena also removes the per-group/per-gate allocations the original
 //! inline implementation paid: `HashMap` forcing tables are replaced with
 //! slices sorted by net plus stamped `(start, end)` range tables, the
 //! per-gate fanin `Vec` with one reusable buffer, and the per-group
-//! faulty-FF state builders with 64 persistent vectors. A step over s1423's
-//! ~1.5k faults previously allocated on every one of its ~24 groups and
-//! every scheduled gate; with the arena the steady-state step allocates only
-//! the `Arc` payloads for faults whose sparse FF state actually changed.
+//! faulty-FF state builders with per-lane persistent vectors. Faulty net
+//! values live in structure-of-arrays form — one flat `zero` plane array
+//! and one flat `one` plane array, `P::WORDS` words per net — so a wide
+//! backend's plane arithmetic runs over contiguous words the compiler can
+//! keep in vector registers.
 
 use std::sync::Arc;
 
@@ -30,7 +34,7 @@ use gatest_netlist::{Circuit, NetId};
 use crate::eval::eval_packed;
 use crate::fault::{FaultId, FaultList, FaultSite};
 use crate::good_sim::GoodSim;
-use crate::value::{Logic, Pv64};
+use crate::value::{LaneMask, Logic, PackedValue};
 
 /// Sparse faulty flip-flop state for one fault: `(dff index, faulty value)`
 /// wherever the faulty machine differs from the good machine. `Arc`-shared
@@ -56,21 +60,21 @@ pub(crate) struct GroupCtx<'a> {
     pub empty_ff: &'a FaultyFfState,
 }
 
-/// What one group simulation produced, in slot-relative terms.
+/// What one group simulation produced, in lane-relative terms.
 ///
-/// Slots are indices into the group (`0..group.len()`); the merge loop in
+/// Lanes are indices into the group (`0..group.len()`); the merge loop in
 /// `FaultSim::step_with` translates them back to [`FaultId`]s. Outcomes are
 /// reused across steps: [`GroupOutcome::reset`] clears the vectors without
 /// releasing their capacity.
 #[derive(Debug, Default, Clone)]
-pub(crate) struct GroupOutcome {
-    /// Slots detected at any primary output this frame.
-    pub detected_mask: u64,
-    /// `(slot, po index)` detection syndrome, in primary-output order.
+pub(crate) struct GroupOutcome<P: PackedValue> {
+    /// Lanes detected at any primary output this frame.
+    pub detected_mask: P::Mask,
+    /// `(lane, po index)` detection syndrome, in primary-output order.
     pub po_detections: Vec<(u32, u16)>,
     /// Fault effects latched into flip-flops, as (fault, flip-flop) pairs.
     pub ff_effect_pairs: u64,
-    /// Distinct slots with at least one effect at a flip-flop.
+    /// Distinct lanes with at least one effect at a flip-flop.
     pub ff_effect_faults: u64,
     /// Faulty-circuit events over the group's packed machines.
     pub faulty_events: u64,
@@ -78,16 +82,16 @@ pub(crate) struct GroupOutcome {
     pub gate_evals: u64,
     /// Estimated bytes served from reused scratch this group (telemetry).
     pub scratch_bytes: u64,
-    /// Replacement sparse faulty-FF state per slot. `None` means "keep the
+    /// Replacement sparse faulty-FF state per lane. `None` means "keep the
     /// old state" — emitted only when old and new are both empty, so the
     /// merge can skip the copy-on-write table entirely.
     pub new_ff: Vec<Option<FaultyFfState>>,
 }
 
-impl GroupOutcome {
+impl<P: PackedValue> GroupOutcome<P> {
     /// Clears the outcome for reuse, keeping vector capacity.
     fn reset(&mut self) {
-        self.detected_mask = 0;
+        self.detected_mask = P::Mask::EMPTY;
         self.po_detections.clear();
         self.ff_effect_pairs = 0;
         self.ff_effect_faults = 0;
@@ -107,10 +111,13 @@ impl GroupOutcome {
 /// values, the forcing-range tables, and the scheduling guard between
 /// groups costs one integer increment instead of a sweep.
 #[derive(Debug, Clone)]
-pub(crate) struct Scratch {
-    /// Faulty value per net, valid where `fstamp` matches `stamp`.
-    fval: Vec<Pv64>,
-    /// Validity stamp for `fval`.
+pub(crate) struct Scratch<P: PackedValue> {
+    /// Zero plane of the faulty value per net (structure-of-arrays:
+    /// `P::WORDS` contiguous words per net), valid where `fstamp` matches.
+    fzero: Vec<u64>,
+    /// One plane of the faulty value per net (same layout as `fzero`).
+    fone: Vec<u64>,
+    /// Validity stamp for the faulty planes.
     fstamp: Vec<u32>,
     /// Current group stamp (bumped by 2 per group).
     stamp: u32,
@@ -118,34 +125,35 @@ pub(crate) struct Scratch {
     queued: Vec<u32>,
     /// Level-bucketed event queue; buckets keep their capacity.
     buckets: Vec<Vec<NetId>>,
-    /// Stem forcing entries `(slot, stuck)`, grouped by net.
+    /// Stem forcing entries `(lane, stuck)`, grouped by net.
     stem_entries: Vec<(u32, Logic)>,
     /// Per-net `(start, end)` range into `stem_entries`, stamped.
     stem_range: Vec<(u32, u32)>,
     /// Validity stamp for `stem_range`.
     stem_stamp: Vec<u32>,
-    /// Branch forcing entries `(pin, slot, stuck)`, grouped by gate.
+    /// Branch forcing entries `(pin, lane, stuck)`, grouped by gate.
     branch_entries: Vec<(u16, u32, Logic)>,
     /// Per-gate `(start, end)` range into `branch_entries`, stamped.
     branch_range: Vec<(u32, u32)>,
     /// Validity stamp for `branch_range`.
     branch_stamp: Vec<u32>,
-    /// Sort buffer for stem faults: `(net, slot, stuck)`.
+    /// Sort buffer for stem faults: `(net, lane, stuck)`.
     stem_tmp: Vec<(NetId, u32, Logic)>,
-    /// Sort buffer for branch faults: `(gate, pin, slot, stuck)`.
+    /// Sort buffer for branch faults: `(gate, pin, lane, stuck)`.
     branch_tmp: Vec<(NetId, u16, u32, Logic)>,
     /// Reusable gate fanin buffer (fanin is small and bounded).
-    fanin: Vec<Pv64>,
-    /// Per-slot faulty-FF state builders, reused across groups.
+    fanin: Vec<P>,
+    /// Per-lane faulty-FF state builders, reused across groups.
     new_state: Vec<Vec<(u32, Logic)>>,
 }
 
-impl Scratch {
+impl<P: PackedValue> Scratch<P> {
     /// An arena sized for `circuit` (combinational depth `max_level`).
     pub(crate) fn new(circuit: &Circuit, max_level: usize) -> Self {
         let n = circuit.num_gates();
         Scratch {
-            fval: vec![Pv64::ALL_X; n],
+            fzero: vec![0; n * P::WORDS],
+            fone: vec![0; n * P::WORDS],
             fstamp: vec![0; n],
             stamp: 0,
             queued: vec![0; n],
@@ -159,19 +167,30 @@ impl Scratch {
             stem_tmp: Vec::new(),
             branch_tmp: Vec::new(),
             fanin: Vec::new(),
-            new_state: vec![Vec::new(); 64],
+            new_state: vec![Vec::new(); P::LANES],
         }
     }
 
     /// The faulty word of `net` for the current group, defaulting to the
     /// broadcast good value if the net has not diverged.
     #[inline]
-    fn effective(&self, good: &GoodSim, net: NetId) -> Pv64 {
-        if self.fstamp[net.index()] == self.stamp {
-            self.fval[net.index()]
+    fn effective(&self, good: &GoodSim, net: NetId) -> P {
+        let i = net.index();
+        if self.fstamp[i] == self.stamp {
+            let at = i * P::WORDS;
+            P::load_planes(&self.fzero[at..], &self.fone[at..])
         } else {
-            Pv64::broadcast(good.value(net))
+            P::broadcast(good.value(net))
         }
+    }
+
+    /// Records `w` as the faulty word of `net` for the current group.
+    #[inline]
+    fn record(&mut self, net: NetId, w: P) {
+        let i = net.index();
+        let at = i * P::WORDS;
+        w.store_planes(&mut self.fzero[at..], &mut self.fone[at..]);
+        self.fstamp[i] = self.stamp;
     }
 
     /// Stem forces on `net` this group (empty when the range is stale).
@@ -217,20 +236,21 @@ impl Scratch {
     }
 }
 
-/// Simulates one group of ≤64 faults against the already-advanced good
-/// machine, writing everything it learns into `out`.
+/// Simulates one group of at most `P::LANES` faults against the
+/// already-advanced good machine, writing everything it learns into `out`.
 ///
 /// Groups are order-independent: a group reads only the previous frame's
 /// faulty-FF state for its own faults and the (frozen) good machine, so
 /// calling this from concurrent workers with private `scratch`/`out` gives
 /// the same outcomes as a serial loop.
-pub(crate) fn simulate_group(
+pub(crate) fn simulate_group<P: PackedValue>(
     ctx: &GroupCtx<'_>,
     group: &[FaultId],
-    scratch: &mut Scratch,
-    out: &mut GroupOutcome,
+    scratch: &mut Scratch<P>,
+    out: &mut GroupOutcome<P>,
 ) {
     let circuit = ctx.circuit;
+    debug_assert!(group.len() <= P::LANES);
     out.reset();
     scratch.stamp = scratch.stamp.wrapping_add(2);
     let stamp = scratch.stamp;
@@ -238,48 +258,48 @@ pub(crate) fn simulate_group(
 
     // Per-group forcing tables: sort the group's fault sites by net and
     // publish stamped (start, end) ranges over the sorted entry slices.
-    // Entry order within a net is ascending slot order (forced by the sort
+    // Entry order within a net is ascending lane order (forced by the sort
     // key), which matches the insertion order the old HashMap tables had.
     scratch.stem_tmp.clear();
     scratch.branch_tmp.clear();
-    for (slot, &fid) in group.iter().enumerate() {
-        let slot = slot as u32;
+    for (lane, &fid) in group.iter().enumerate() {
+        let lane = lane as u32;
         let fault = ctx.faults.get(fid);
         match fault.site {
-            FaultSite::Stem(net) => scratch.stem_tmp.push((net, slot, fault.stuck)),
+            FaultSite::Stem(net) => scratch.stem_tmp.push((net, lane, fault.stuck)),
             FaultSite::Branch { gate, pin } => {
-                scratch.branch_tmp.push((gate, pin, slot, fault.stuck))
+                scratch.branch_tmp.push((gate, pin, lane, fault.stuck))
             }
         }
     }
     scratch
         .stem_tmp
-        .sort_unstable_by_key(|&(net, slot, _)| (net.index(), slot));
+        .sort_unstable_by_key(|&(net, lane, _)| (net.index(), lane));
     scratch
         .branch_tmp
-        .sort_unstable_by_key(|&(gate, _, slot, _)| (gate.index(), slot));
+        .sort_unstable_by_key(|&(gate, _, lane, _)| (gate.index(), lane));
     scratch.stem_entries.clear();
     for i in 0..scratch.stem_tmp.len() {
-        let (net, slot, stuck) = scratch.stem_tmp[i];
+        let (net, lane, stuck) = scratch.stem_tmp[i];
         let n = net.index();
         let end = scratch.stem_entries.len() as u32;
         if scratch.stem_stamp[n] != stamp {
             scratch.stem_stamp[n] = stamp;
             scratch.stem_range[n].0 = end;
         }
-        scratch.stem_entries.push((slot, stuck));
+        scratch.stem_entries.push((lane, stuck));
         scratch.stem_range[n].1 = end + 1;
     }
     scratch.branch_entries.clear();
     for i in 0..scratch.branch_tmp.len() {
-        let (gate, pin, slot, stuck) = scratch.branch_tmp[i];
+        let (gate, pin, lane, stuck) = scratch.branch_tmp[i];
         let g = gate.index();
         let end = scratch.branch_entries.len() as u32;
         if scratch.branch_stamp[g] != stamp {
             scratch.branch_stamp[g] = stamp;
             scratch.branch_range[g].0 = end;
         }
-        scratch.branch_entries.push((pin, slot, stuck));
+        scratch.branch_entries.push((pin, lane, stuck));
         scratch.branch_range[g].1 = end + 1;
     }
     reused += (scratch.stem_tmp.len() * std::mem::size_of::<(NetId, u32, Logic)>()
@@ -288,15 +308,14 @@ pub(crate) fn simulate_group(
 
     // Seed faulty flip-flop state differences carried over from the
     // previous frame.
-    for (slot, &fid) in group.iter().enumerate() {
+    for (lane, &fid) in group.iter().enumerate() {
         for &(dff_idx, v) in ctx.faulty_ff[fid.index()].iter() {
             let ff = circuit.dffs()[dff_idx as usize];
             let word = scratch.effective(ctx.good, ff);
             let mut w = word;
-            w.set(slot as u32, v);
+            w.set_lane(lane, v);
             if w != word {
-                scratch.fval[ff.index()] = w;
-                scratch.fstamp[ff.index()] = stamp;
+                scratch.record(ff, w);
                 scratch.schedule_fanout(circuit, ctx.good, ff);
             }
         }
@@ -311,14 +330,13 @@ pub(crate) fn simulate_group(
         let word = scratch.effective(ctx.good, net);
         let mut w = word;
         while i < scratch.stem_tmp.len() && scratch.stem_tmp[i].0 == net {
-            let (_, slot, stuck) = scratch.stem_tmp[i];
-            w.set(slot, stuck);
+            let (_, lane, stuck) = scratch.stem_tmp[i];
+            w.set_lane(lane as usize, stuck);
             i += 1;
         }
         // Record the forced word even when it equals the good value this
         // frame, so later reads see the forcing; schedule only on change.
-        scratch.fval[net.index()] = w;
-        scratch.fstamp[net.index()] = stamp;
+        scratch.record(net, w);
         if w != word {
             scratch.schedule_fanout(circuit, ctx.good, net);
         }
@@ -352,19 +370,18 @@ pub(crate) fn simulate_group(
             for &src in circuit.fanin(gate) {
                 fanin.push(scratch.effective(ctx.good, src));
             }
-            reused += (fanin.len() * std::mem::size_of::<Pv64>()) as u64;
-            for &(pin, slot, stuck) in scratch.branch_forces(gate) {
-                fanin[pin as usize].set(slot, stuck);
+            reused += (fanin.len() * std::mem::size_of::<P>()) as u64;
+            for &(pin, lane, stuck) in scratch.branch_forces(gate) {
+                fanin[pin as usize].set_lane(lane as usize, stuck);
             }
             let mut word = eval_packed(kind, &fanin);
-            for &(slot, stuck) in scratch.stem_forces(gate) {
-                word.set(slot, stuck);
+            for &(lane, stuck) in scratch.stem_forces(gate) {
+                word.set_lane(lane as usize, stuck);
             }
             let old = scratch.effective(ctx.good, gate);
             if word != old {
-                out.faulty_events += u64::from(word.any_diff(old).count_ones());
-                scratch.fval[gate.index()] = word;
-                scratch.fstamp[gate.index()] = stamp;
+                out.faulty_events += u64::from(word.any_diff(old).count());
+                scratch.record(gate, word);
                 scratch.schedule_fanout(circuit, ctx.good, gate);
             }
         }
@@ -378,16 +395,11 @@ pub(crate) fn simulate_group(
     // Detection at primary outputs: strict binary difference. The
     // per-output masks double as the diagnosis syndrome.
     for (po_idx, &po) in circuit.outputs().iter().enumerate() {
-        let goodw = Pv64::broadcast(ctx.good.value(po));
+        let goodw = P::broadcast(ctx.good.value(po));
         let faultyw = scratch.effective(ctx.good, po);
         let mask = faultyw.binary_diff(goodw);
-        out.detected_mask |= mask;
-        let mut m = mask;
-        while m != 0 {
-            let slot = m.trailing_zeros();
-            out.po_detections.push((slot, po_idx as u16));
-            m &= m - 1;
-        }
+        out.detected_mask = out.detected_mask.or(mask);
+        mask.for_each(|lane| out.po_detections.push((lane as u32, po_idx as u16)));
     }
 
     // Fault effects at flip-flops: compare faulty D values against the
@@ -399,20 +411,18 @@ pub(crate) fn simulate_group(
     for (dff_idx, &ff) in circuit.dffs().iter().enumerate() {
         let d = circuit.fanin(ff)[0];
         let mut faultyw = scratch.effective(ctx.good, d);
-        for &(pin, slot, stuck) in scratch.branch_forces(ff) {
+        for &(pin, lane, stuck) in scratch.branch_forces(ff) {
             debug_assert_eq!(pin, 0);
-            faultyw.set(slot, stuck);
+            faultyw.set_lane(lane as usize, stuck);
         }
-        let goodw = Pv64::broadcast(ctx.good.next_state_of(dff_idx));
-        let mut diff = faultyw.any_diff(goodw);
-        while diff != 0 {
-            let slot = diff.trailing_zeros();
-            scratch.new_state[slot as usize].push((dff_idx as u32, faultyw.get(slot)));
-            diff &= diff - 1;
-        }
+        let goodw = P::broadcast(ctx.good.next_state_of(dff_idx));
+        let diff = faultyw.any_diff(goodw);
+        diff.for_each(|lane| {
+            scratch.new_state[lane].push((dff_idx as u32, faultyw.get_lane(lane)));
+        });
     }
-    for (slot, &fid) in group.iter().enumerate() {
-        let state = &scratch.new_state[slot];
+    for (lane, &fid) in group.iter().enumerate() {
+        let state = &scratch.new_state[lane];
         let effects = state.len() as u64;
         if effects > 0 {
             out.ff_effect_pairs += effects;

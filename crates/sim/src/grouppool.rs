@@ -1,43 +1,51 @@
 //! Persistent worker pool for fault-group-parallel simulation.
 //!
-//! [`FaultSim::step`](crate::FaultSim::step) simulates independent ≤64-fault
-//! groups against a frozen good machine (see [`crate::group`]). This pool
-//! runs those groups on `threads - 1` persistent worker threads plus the
-//! calling thread, with each participant owning a private
-//! [`Scratch`] arena, so a step's group fan-out costs no allocation and no
-//! thread spawn.
+//! [`FaultSim::step`](crate::FaultSim::step) simulates independent fault
+//! groups (at most [`PackedValue::LANES`] faults each) against a frozen good
+//! machine (see [`crate::group`]). This pool runs those groups on
+//! `threads - 1` persistent worker threads plus the calling thread, with
+//! each participant owning a private [`Scratch`] arena, so a step's group
+//! fan-out costs no allocation and no thread spawn.
 //!
 //! # Protocol
 //!
 //! One job is in flight at a time. [`GroupPool::run`] publishes a
-//! lifetime-erased pointer to the job description under the pool mutex,
-//! bumps an epoch, and wakes every worker. Workers claim group indices from
-//! a shared atomic cursor (`fetch_add`), so each outcome slot is written by
-//! exactly one thread; the caller participates with the simulator's own
-//! arena instead of sleeping. A job ends only when **every** worker has
+//! lifetime-erased job pointer with a `Release` store, bumps the private
+//! epoch of each worker it wants, and unparks **only those workers** — at
+//! most `ngroups - 1` of them, since the caller simulates too and waking a
+//! worker that could never claim a group is pure coordination overhead (the
+//! condvar-based predecessor woke all workers per step and paid ~27% at
+//! `--sim-threads 8` on a 1-CPU host). Workers claim group indices from a
+//! shared atomic cursor (`fetch_add`), so each outcome slot is written by
+//! exactly one thread. A job ends only when every woken worker has
 //! decremented `remaining` — workers decrement through a drop guard, so a
 //! panicking worker still releases the caller (and poisons the pool, which
-//! makes the next dispatch panic loudly instead of hanging).
+//! makes the next dispatch panic loudly instead of hanging). Between jobs,
+//! workers sit in [`std::thread::park`]; the caller waits for stragglers
+//! with a short bounded spin before parking itself. Park/unpark token
+//! semantics make the unavoidable unpark-before-park races benign: a stale
+//! token costs one spurious wake-and-recheck, never a lost wakeup.
 //!
 //! # Safety
 //!
-//! `JobPtr` erases the borrow lifetimes of the caller's circuit, good
-//! machine, fault tables, and outcome slots. This is sound because `run`
-//! does not return until `remaining == 0`, i.e. until no worker can still
-//! hold the pointer: workers copy it only while it is published
-//! (`job.is_some()`), and it is unpublished after the last decrement.
+//! The published pointer erases the borrow lifetimes of the caller's
+//! circuit, good machine, fault tables, and outcome slots. This is sound
+//! because `run` does not return until `remaining == 0`, i.e. until no
+//! woken worker can still hold the pointer: a worker reads it only after
+//! observing its own epoch bump (an `Acquire` load that synchronizes with
+//! the `Release` publication), and decrements only after its last use.
 //!
 //! # Determinism
 //!
 //! Workers race only for *which* group they simulate; every group writes
 //! its own [`GroupOutcome`] slot, and the caller merges the slots in group
 //! order afterwards. Results are therefore bit-identical for every thread
-//! count — the property `tests/sim_parallel.rs` locks down.
+//! count and lane width — the property `tests/sim_parallel.rs` locks down.
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{JoinHandle, Thread};
 use std::time::Instant;
 
 use gatest_netlist::Circuit;
@@ -45,9 +53,16 @@ use gatest_netlist::Circuit;
 use crate::fault::{FaultId, FaultList};
 use crate::good_sim::GoodSim;
 use crate::group::{simulate_group, FaultyFfState, GroupCtx, GroupOutcome, Scratch};
+use crate::value::PackedValue;
+
+/// Iterations the caller spins on `remaining` before parking. Stragglers
+/// usually finish within a group's simulation time, so a short spin avoids
+/// the park/unpark syscall pair on the common path without burning a busy
+/// core when a worker is genuinely descheduled.
+const CALLER_SPIN: usize = 256;
 
 /// Everything one parallel step's workers need, published by address.
-struct JobData<'a> {
+struct JobData<'a, P: PackedValue> {
     circuit: &'a Circuit,
     good: &'a GoodSim,
     faults: &'a FaultList,
@@ -55,7 +70,7 @@ struct JobData<'a> {
     empty_ff: &'a FaultyFfState,
     targets: &'a [FaultId],
     /// One slot per group; disjoint claims make the `*mut` races-free.
-    outcomes: *mut GroupOutcome,
+    outcomes: *mut GroupOutcome<P>,
     ngroups: usize,
     /// Next unclaimed group index.
     next: AtomicUsize,
@@ -64,30 +79,22 @@ struct JobData<'a> {
     published: Instant,
 }
 
-/// Lifetime-erased pointer to the current job (see module safety notes).
-#[derive(Clone, Copy)]
-struct JobPtr(*const ());
-
-// SAFETY: the pointee outlives every access — `GroupPool::run` keeps the
-// `JobData` alive on its stack until all workers have checked in.
-unsafe impl Send for JobPtr {}
-
-struct PoolState {
-    /// Bumped once per published job; workers run each epoch exactly once.
-    epoch: u64,
-    /// The in-flight job, `Some` only between publish and completion.
-    job: Option<JobPtr>,
-    /// Workers that have not finished the current epoch.
-    remaining: usize,
-    shutdown: bool,
-    /// Set when a worker panicked; the pool refuses further dispatches.
-    poisoned: bool,
-}
-
+/// The lock-free coordination block shared with every worker.
 struct Shared {
-    state: Mutex<PoolState>,
-    start: Condvar,
-    done: Condvar,
+    /// The in-flight job (type-erased `*const JobData<P>`), null between
+    /// jobs. `Release`-published before worker epochs are bumped.
+    job: AtomicPtr<()>,
+    /// One epoch per worker; a bump (with the job already published) is
+    /// that worker's invitation to run it. Private epochs let a dispatch
+    /// wake exactly the workers it needs.
+    epochs: Vec<AtomicU64>,
+    /// Woken workers that have not finished the current job.
+    remaining: AtomicUsize,
+    /// The dispatching thread, parked while stragglers finish.
+    caller: Mutex<Option<Thread>>,
+    /// Set when a worker panicked; the pool refuses further dispatches.
+    poisoned: AtomicBool,
+    shutdown: AtomicBool,
 }
 
 /// Decrements `remaining` when the worker finishes an epoch — including by
@@ -96,25 +103,27 @@ struct DoneGuard<'a>(&'a Shared);
 
 impl Drop for DoneGuard<'_> {
     fn drop(&mut self) {
-        let mut st = self.0.state.lock().unwrap();
         if std::thread::panicking() {
-            st.poisoned = true;
+            self.0.poisoned.store(true, Ordering::Release);
         }
-        st.remaining -= 1;
-        if st.remaining == 0 {
-            drop(st);
-            self.0.done.notify_all();
+        if self.0.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            if let Some(caller) = self.0.caller.lock().unwrap().as_ref() {
+                caller.unpark();
+            }
         }
     }
 }
 
-/// A persistent set of fault-group simulation workers.
-pub(crate) struct GroupPool {
+/// A persistent set of fault-group simulation workers over backend `P`.
+pub(crate) struct GroupPool<P: PackedValue> {
     shared: Arc<Shared>,
     handles: Vec<JoinHandle<()>>,
+    /// Unpark handles, indexed like `shared.epochs`.
+    threads: Vec<Thread>,
+    _backend: std::marker::PhantomData<fn() -> P>,
 }
 
-impl fmt::Debug for GroupPool {
+impl<P: PackedValue> fmt::Debug for GroupPool<P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("GroupPool")
             .field("workers", &self.handles.len())
@@ -122,7 +131,7 @@ impl fmt::Debug for GroupPool {
     }
 }
 
-impl GroupPool {
+impl<P: PackedValue> GroupPool<P> {
     /// Spawns `threads - 1` workers (the caller is the remaining thread),
     /// each owning a scratch arena sized for `circuit`.
     ///
@@ -132,37 +141,40 @@ impl GroupPool {
     pub(crate) fn new(circuit: &Circuit, max_level: usize, threads: usize) -> Self {
         assert!(threads >= 2, "GroupPool needs at least two threads");
         let shared = Arc::new(Shared {
-            state: Mutex::new(PoolState {
-                epoch: 0,
-                job: None,
-                remaining: 0,
-                shutdown: false,
-                poisoned: false,
-            }),
-            start: Condvar::new(),
-            done: Condvar::new(),
+            job: AtomicPtr::new(std::ptr::null_mut()),
+            epochs: (0..threads - 1).map(|_| AtomicU64::new(0)).collect(),
+            remaining: AtomicUsize::new(0),
+            caller: Mutex::new(None),
+            poisoned: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
         });
-        let handles = (0..threads - 1)
+        let handles: Vec<JoinHandle<()>> = (0..threads - 1)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let mut scratch = Scratch::new(circuit, max_level);
+                let mut scratch = Scratch::<P>::new(circuit, max_level);
                 std::thread::Builder::new()
                     .name(format!("gatest-sim-{i}"))
-                    .spawn(move || worker_loop(&shared, &mut scratch))
+                    .spawn(move || worker_loop::<P>(&shared, i, &mut scratch))
                     .expect("spawn sim worker")
             })
             .collect();
-        GroupPool { shared, handles }
+        let threads = handles.iter().map(|h| h.thread().clone()).collect();
+        GroupPool {
+            shared,
+            handles,
+            threads,
+            _backend: std::marker::PhantomData,
+        }
     }
 
-    /// Simulates every ≤64-fault chunk of `targets` into `outcomes`
+    /// Simulates every `P::LANES`-fault chunk of `targets` into `outcomes`
     /// (one slot per chunk), fanning out across the pool with the caller
     /// participating via `caller_scratch`.
     ///
     /// Returns `(groups_run, steal_ns, wait_ns)` for telemetry: `wait_ns`
-    /// is the time the caller blocked on the done-condvar after exhausting
-    /// the group cursor itself — the merge-barrier wait for the slowest
-    /// worker.
+    /// is the time the caller spent waiting (spinning, then parked) after
+    /// exhausting the group cursor itself — the merge-barrier wait for the
+    /// slowest worker.
     ///
     /// # Panics
     ///
@@ -171,10 +183,14 @@ impl GroupPool {
         &self,
         ctx: &GroupCtx<'_>,
         targets: &[FaultId],
-        outcomes: &mut [GroupOutcome],
-        caller_scratch: &mut Scratch,
+        outcomes: &mut [GroupOutcome<P>],
+        caller_scratch: &mut Scratch<P>,
     ) -> (u64, u64, u64) {
-        debug_assert_eq!(outcomes.len(), targets.len().div_ceil(64));
+        debug_assert_eq!(outcomes.len(), targets.len().div_ceil(P::LANES));
+        assert!(
+            !self.shared.poisoned.load(Ordering::Acquire),
+            "a fault-group sim worker panicked"
+        );
         let data = JobData {
             circuit: ctx.circuit,
             good: ctx.good,
@@ -188,26 +204,47 @@ impl GroupPool {
             steal_ns: AtomicU64::new(0),
             published: Instant::now(),
         };
-        {
-            let mut st = self.shared.state.lock().unwrap();
-            assert!(!st.poisoned, "a fault-group sim worker panicked");
-            st.epoch += 1;
-            st.job = Some(JobPtr(&data as *const JobData as *const ()));
-            st.remaining = self.handles.len();
-            drop(st);
-            self.shared.start.notify_all();
+        // The caller simulates too, so a job with G groups can use at most
+        // G - 1 workers; waking more would be pure overhead.
+        let woken = self.handles.len().min(data.ngroups.saturating_sub(1));
+        if woken > 0 {
+            *self.shared.caller.lock().unwrap() = Some(std::thread::current());
+            self.shared.remaining.store(woken, Ordering::Release);
+            self.shared
+                .job
+                .store(&data as *const JobData<'_, P> as *mut (), Ordering::Release);
+            for i in 0..woken {
+                // The Release bump synchronizes with the worker's Acquire
+                // epoch load, making the job publication visible to it.
+                self.shared.epochs[i].fetch_add(1, Ordering::Release);
+                self.threads[i].unpark();
+            }
         }
         run_groups(&data, caller_scratch);
-        let wait_start = Instant::now();
-        let mut st = self.shared.state.lock().unwrap();
-        while st.remaining > 0 {
-            st = self.shared.done.wait(st).unwrap();
+        let mut wait_ns = 0u64;
+        if woken > 0 {
+            let wait_start = Instant::now();
+            let mut spins = 0usize;
+            while self.shared.remaining.load(Ordering::Acquire) > 0 {
+                if spins < CALLER_SPIN {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    // A stale unpark token from an earlier job makes this
+                    // return immediately once; the loop just rechecks.
+                    std::thread::park();
+                }
+            }
+            wait_ns = wait_start.elapsed().as_nanos() as u64;
+            self.shared
+                .job
+                .store(std::ptr::null_mut(), Ordering::Release);
+            *self.shared.caller.lock().unwrap() = None;
+            assert!(
+                !self.shared.poisoned.load(Ordering::Acquire),
+                "a fault-group sim worker panicked"
+            );
         }
-        let wait_ns = wait_start.elapsed().as_nanos() as u64;
-        st.job = None;
-        let poisoned = st.poisoned;
-        drop(st);
-        assert!(!poisoned, "a fault-group sim worker panicked");
         (
             data.ngroups as u64,
             data.steal_ns.load(Ordering::Relaxed),
@@ -216,13 +253,11 @@ impl GroupPool {
     }
 }
 
-impl Drop for GroupPool {
+impl<P: PackedValue> Drop for GroupPool<P> {
     fn drop(&mut self) {
-        {
-            let mut st = self.shared.state.lock().unwrap();
-            st.shutdown = true;
-            drop(st);
-            self.shared.start.notify_all();
+        self.shared.shutdown.store(true, Ordering::Release);
+        for t in &self.threads {
+            t.unpark();
         }
         for h in self.handles.drain(..) {
             // A panicked worker already poisoned the pool; joining its
@@ -232,38 +267,39 @@ impl Drop for GroupPool {
     }
 }
 
-fn worker_loop(shared: &Shared, scratch: &mut Scratch) {
+fn worker_loop<P: PackedValue>(shared: &Shared, index: usize, scratch: &mut Scratch<P>) {
     let mut seen_epoch = 0u64;
     loop {
-        let job = {
-            let mut st = shared.state.lock().unwrap();
-            loop {
-                if st.shutdown {
-                    return;
-                }
-                if st.epoch != seen_epoch {
-                    if let Some(job) = st.job {
-                        seen_epoch = st.epoch;
-                        break job;
-                    }
-                }
-                st = shared.start.wait(st).unwrap();
-            }
-        };
-        let _guard = DoneGuard(shared);
-        // SAFETY: published jobs stay alive until this worker's guard
-        // decrement is observed by `run` (see module safety notes).
-        let data = unsafe { &*(job.0 as *const JobData) };
-        data.steal_ns.fetch_add(
-            data.published.elapsed().as_nanos() as u64,
-            Ordering::Relaxed,
-        );
-        run_groups(data, scratch);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let epoch = shared.epochs[index].load(Ordering::Acquire);
+        if epoch == seen_epoch {
+            // Parked between jobs: zero coordination cost while idle. A
+            // token left by an unpark that raced this check just causes
+            // one extra loop iteration.
+            std::thread::park();
+            continue;
+        }
+        seen_epoch = epoch;
+        let guard = DoneGuard(shared);
+        let job = shared.job.load(Ordering::Acquire);
+        if !job.is_null() {
+            // SAFETY: published jobs stay alive until this worker's guard
+            // decrement is observed by `run` (see module safety notes).
+            let data = unsafe { &*(job as *const JobData<'_, P>) };
+            data.steal_ns.fetch_add(
+                data.published.elapsed().as_nanos() as u64,
+                Ordering::Relaxed,
+            );
+            run_groups(data, scratch);
+        }
+        drop(guard);
     }
 }
 
 /// Claims and simulates groups until the job's cursor runs out.
-fn run_groups(data: &JobData<'_>, scratch: &mut Scratch) {
+fn run_groups<P: PackedValue>(data: &JobData<'_, P>, scratch: &mut Scratch<P>) {
     let ctx = GroupCtx {
         circuit: data.circuit,
         good: data.good,
@@ -276,8 +312,8 @@ fn run_groups(data: &JobData<'_>, scratch: &mut Scratch) {
         if i >= data.ngroups {
             return;
         }
-        let start = i * 64;
-        let end = (start + 64).min(data.targets.len());
+        let start = i * P::LANES;
+        let end = (start + P::LANES).min(data.targets.len());
         // SAFETY: index `i` is claimed exactly once across all threads, so
         // this is the only live reference to slot `i`.
         let out = unsafe { &mut *data.outcomes.add(i) };
@@ -288,13 +324,16 @@ fn run_groups(data: &JobData<'_>, scratch: &mut Scratch) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::value::{Pv256, Pv64};
     use std::sync::Arc as StdArc;
 
     #[test]
     fn pool_debug_reports_worker_count() {
         let circuit = StdArc::new(crate::tests_circuit());
         let max_level = gatest_netlist::levelize::Levelization::new(&circuit).max_level() as usize;
-        let pool = GroupPool::new(&circuit, max_level, 3);
+        let pool = GroupPool::<Pv64>::new(&circuit, max_level, 3);
         assert_eq!(format!("{pool:?}"), "GroupPool { workers: 2 }");
+        let wide = GroupPool::<Pv256>::new(&circuit, max_level, 2);
+        assert_eq!(format!("{wide:?}"), "GroupPool { workers: 1 }");
     }
 }

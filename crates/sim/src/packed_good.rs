@@ -1,19 +1,23 @@
-//! 64-way packed good-circuit simulator for phase-1 fitness.
+//! Packed good-circuit simulator for phase-1 fitness.
 //!
 //! Phase 1 of GATEST (flip-flop initialization) scores candidates purely on
 //! good-machine behaviour — no fault simulation. That makes it a perfect fit
-//! for the [`Pv64`] packed representation already used for faulty machines:
-//! instead of simulating one candidate vector per good-machine pass, pack 64
-//! candidate vectors into the 64 bit-slots of each net's `Pv64` word and
-//! evaluate a whole population chunk in ⌈pop/64⌉ passes.
+//! for the packed representation already used for faulty machines: instead
+//! of simulating one candidate vector per good-machine pass, pack
+//! `P::LANES` candidate vectors into the bit lanes of each net's packed
+//! word and evaluate a whole population chunk in ⌈pop/`P::LANES`⌉ passes.
+//! The width is generic ([`PackedValue`]), defaulting to [`Pv64`]; the
+//! generator picks the lane count matching the configured
+//! [`SimBackend`](crate::SimBackend).
 //!
 //! [`PackedGoodSim`] mirrors [`GoodSim::apply`] exactly — same latch order,
-//! same level-order sweep, same next-state rule — but on `Pv64` words via
-//! [`eval_packed`]. Because `eval_packed` is slot-wise identical to
-//! `eval_scalar` (exhaustively tested in `eval.rs`), the per-slot flip-flop
-//! statistics it reports are bit-identical to running 64 scalar
-//! [`GoodSim`]s. Events are *not* tracked (phase-1 fitness never reads
-//! them), so [`PackedGoodSim::phase1_stats`] reports `events: 0`.
+//! same level-order sweep, same next-state rule — but on packed words via
+//! [`eval_packed`]. Because packed evaluation is lane-wise identical to
+//! `eval_scalar` (exhaustively tested for every backend in `value.rs`), the
+//! per-lane flip-flop statistics it reports are bit-identical to running
+//! `P::LANES` scalar [`GoodSim`]s. Events are *not* tracked (phase-1
+//! fitness never reads them), so [`PackedGoodSim::phase1_stats`] reports
+//! `events: 0`.
 
 use std::sync::Arc;
 
@@ -22,23 +26,23 @@ use gatest_netlist::Circuit;
 
 use crate::eval::eval_packed;
 use crate::good_sim::{GoodSim, GoodStepReport};
-use crate::value::Pv64;
+use crate::value::{LaneMask, PackedValue, Pv64};
 
-/// A good-circuit simulator evaluating 64 independent candidate streams at
-/// once, one per [`Pv64`] bit-slot.
+/// A good-circuit simulator evaluating `P::LANES` independent candidate
+/// streams at once, one per bit lane.
 #[derive(Debug, Clone)]
-pub struct PackedGoodSim {
+pub struct PackedGoodSim<P: PackedValue = Pv64> {
     circuit: Arc<Circuit>,
     lev: Levelization,
-    /// Current value of every net, one slot per candidate.
-    values: Vec<Pv64>,
+    /// Current value of every net, one lane per candidate.
+    values: Vec<P>,
     /// Next flip-flop state, indexed like `circuit.dffs()`.
-    next_state: Vec<Pv64>,
+    next_state: Vec<P>,
     /// Scratch fanin buffer reused across gates.
-    fanin_buf: Vec<Pv64>,
+    fanin_buf: Vec<P>,
 }
 
-impl PackedGoodSim {
+impl<P: PackedValue> PackedGoodSim<P> {
     /// Creates a packed simulator with all nets and flip-flops at X.
     pub fn new(circuit: Arc<Circuit>) -> Self {
         let lev = Levelization::new(&circuit);
@@ -47,8 +51,8 @@ impl PackedGoodSim {
         PackedGoodSim {
             circuit,
             lev,
-            values: vec![Pv64::ALL_X; n],
-            next_state: vec![Pv64::ALL_X; nffs],
+            values: vec![P::ALL_X; n],
+            next_state: vec![P::ALL_X; nffs],
             fanin_buf: Vec::with_capacity(8),
         }
     }
@@ -58,7 +62,12 @@ impl PackedGoodSim {
         &self.circuit
     }
 
-    /// Broadcasts a scalar [`GoodSim`]'s current state into all 64 slots,
+    /// Candidate lanes per packed word (`P::LANES`).
+    pub fn lanes(&self) -> usize {
+        P::LANES
+    }
+
+    /// Broadcasts a scalar [`GoodSim`]'s current state into all lanes,
     /// so every candidate starts from the same machine state.
     ///
     /// # Panics
@@ -71,15 +80,15 @@ impl PackedGoodSim {
             "seed source must simulate the same circuit"
         );
         for id in self.circuit.net_ids() {
-            self.values[id.index()] = Pv64::broadcast(good.value(id));
+            self.values[id.index()] = P::broadcast(good.value(id));
         }
         for i in 0..self.circuit.num_dffs() {
-            self.next_state[i] = Pv64::broadcast(good.next_state_of(i));
+            self.next_state[i] = P::broadcast(good.next_state_of(i));
         }
     }
 
     /// Applies one time frame, driving primary input `i` with `pi_words[i]`
-    /// (one candidate per slot). Mirrors [`GoodSim::apply`] word-wise:
+    /// (one candidate per lane). Mirrors [`GoodSim::apply`] word-wise:
     /// flip-flops latch last frame's next state, inputs are driven, the
     /// combinational schedule is swept once, and the next state is latched
     /// from the D inputs.
@@ -87,7 +96,7 @@ impl PackedGoodSim {
     /// # Panics
     ///
     /// Panics if `pi_words.len() != circuit.num_inputs()`.
-    pub fn apply(&mut self, pi_words: &[Pv64]) {
+    pub fn apply(&mut self, pi_words: &[P]) {
         assert_eq!(
             pi_words.len(),
             self.circuit.num_inputs(),
@@ -124,23 +133,22 @@ impl PackedGoodSim {
         }
     }
 
-    /// Per-slot flip-flop statistics of the *last applied frame*, for the
-    /// first `slots` candidates: how many flip-flops latched a known next
+    /// Per-lane flip-flop statistics of the *last applied frame*, for the
+    /// first `lanes` candidates: how many flip-flops latched a known next
     /// state, and how many next states differ from the current state. These
     /// are exactly the numbers [`GoodSim::apply`] reports, except `events`
     /// is always 0 (untracked — phase-1 fitness ignores it).
-    pub fn phase1_stats(&self, slots: usize) -> Vec<GoodStepReport> {
-        assert!(slots <= 64, "at most 64 slots per packed word");
-        let mut out = vec![GoodStepReport::default(); slots];
+    pub fn phase1_stats(&self, lanes: usize) -> Vec<GoodStepReport> {
+        assert!(lanes <= P::LANES, "at most P::LANES lanes per packed word");
+        let mut out = vec![GoodStepReport::default(); lanes];
         for (i, &ff) in self.circuit.dffs().iter().enumerate() {
             let dw = self.next_state[i];
             let qw = self.values[ff.index()];
             let known = dw.known_mask();
             let changed = dw.any_diff(qw);
-            for (slot, report) in out.iter_mut().enumerate() {
-                let bit = 1u64 << slot;
-                report.ffs_set += usize::from(known & bit != 0);
-                report.ffs_changed += usize::from(changed & bit != 0);
+            for (lane, report) in out.iter_mut().enumerate() {
+                report.ffs_set += usize::from(known.test(lane));
+                report.ffs_changed += usize::from(changed.test(lane));
             }
         }
         out
@@ -150,7 +158,7 @@ impl PackedGoodSim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::Logic;
+    use crate::value::{Logic, Pv256};
     use gatest_netlist::benchmarks::iscas89;
 
     /// Deterministic pseudo-random bit source (xorshift).
@@ -164,9 +172,9 @@ mod tests {
         }
     }
 
-    /// Packed stats for 64 random candidates must equal 64 scalar GoodSim
-    /// runs from the same seeded state, frame by frame.
-    fn packed_matches_scalar(name: &str, seed: u64) {
+    /// Packed stats for `P::LANES` random candidates must equal as many
+    /// scalar GoodSim runs from the same seeded state, frame by frame.
+    fn packed_matches_scalar<P: PackedValue>(name: &str, seed: u64) {
         let circuit = Arc::new(iscas89(name).unwrap());
         let pis = circuit.num_inputs();
         let mut bits = Bits(seed);
@@ -178,45 +186,55 @@ mod tests {
             good.apply(&v);
         }
 
-        // 64 random candidate vectors.
-        let candidates: Vec<Vec<Logic>> = (0..64)
+        // One random candidate vector per lane.
+        let candidates: Vec<Vec<Logic>> = (0..P::LANES)
             .map(|_| (0..pis).map(|_| Logic::from_bool(bits.next())).collect())
             .collect();
 
         // Packed: two-frame hold, like phase 1.
-        let mut packed = PackedGoodSim::new(Arc::clone(&circuit));
+        let mut packed = PackedGoodSim::<P>::new(Arc::clone(&circuit));
         packed.seed_from(&good);
-        let mut pi_words = vec![Pv64::ALL_X; pis];
-        for (slot, cand) in candidates.iter().enumerate() {
+        let mut pi_words = vec![P::ALL_X; pis];
+        for (lane, cand) in candidates.iter().enumerate() {
             for (i, &v) in cand.iter().enumerate() {
-                pi_words[i].set(slot as u32, v);
+                pi_words[i].set_lane(lane, v);
             }
         }
         packed.apply(&pi_words);
         packed.apply(&pi_words);
-        let stats = packed.phase1_stats(64);
+        let stats = packed.phase1_stats(P::LANES);
 
         // Scalar reference: clone the warmed sim per candidate.
-        for (slot, cand) in candidates.iter().enumerate() {
+        for (lane, cand) in candidates.iter().enumerate() {
             let mut reference = good.clone();
             reference.apply(cand);
             let expect = reference.apply(cand);
             assert_eq!(
-                (stats[slot].ffs_set, stats[slot].ffs_changed),
+                (stats[lane].ffs_set, stats[lane].ffs_changed),
                 (expect.ffs_set, expect.ffs_changed),
-                "{name} slot {slot} diverged from scalar GoodSim"
+                "{name} lane {lane} diverged from scalar GoodSim"
             );
         }
     }
 
     #[test]
     fn s27_packed_matches_scalar() {
-        packed_matches_scalar("s27", 0x1234_5678_9abc_def1);
+        packed_matches_scalar::<Pv64>("s27", 0x1234_5678_9abc_def1);
     }
 
     #[test]
     fn s298_packed_matches_scalar() {
-        packed_matches_scalar("s298", 0xdead_beef_cafe_f00d);
+        packed_matches_scalar::<Pv64>("s298", 0xdead_beef_cafe_f00d);
+    }
+
+    #[test]
+    fn s27_wide_packed_matches_scalar() {
+        packed_matches_scalar::<Pv256>("s27", 0x1234_5678_9abc_def1);
+    }
+
+    #[test]
+    fn s298_wide_packed_matches_scalar() {
+        packed_matches_scalar::<Pv256>("s298", 0xdead_beef_cafe_f00d);
     }
 
     #[test]
@@ -224,7 +242,7 @@ mod tests {
         let circuit = Arc::new(iscas89("s27").unwrap());
         let mut good = GoodSim::new(Arc::clone(&circuit));
         good.apply(&[Logic::One, Logic::One, Logic::Zero, Logic::Zero]);
-        let mut packed = PackedGoodSim::new(Arc::clone(&circuit));
+        let mut packed = PackedGoodSim::<Pv64>::new(Arc::clone(&circuit));
         packed.seed_from(&good);
         for id in circuit.net_ids() {
             let word = packed.values[id.index()];
@@ -238,7 +256,7 @@ mod tests {
     #[should_panic(expected = "one packed word per primary input")]
     fn rejects_wrong_input_count() {
         let circuit = Arc::new(iscas89("s27").unwrap());
-        let mut packed = PackedGoodSim::new(circuit);
+        let mut packed = PackedGoodSim::<Pv64>::new(circuit);
         packed.apply(&[Pv64::ALL_X]);
     }
 }

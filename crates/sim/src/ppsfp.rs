@@ -1,15 +1,18 @@
 //! PPSFP — parallel-pattern single-fault propagation for combinational
 //! circuits (Waicukauski et al.), the classic dual of PROOFS:
 //!
-//! * PROOFS packs **64 faults** against one pattern (what sequential
-//!   circuits force on you, since patterns are order-dependent);
-//! * PPSFP packs **64 patterns** against one fault (what combinational —
-//!   e.g. full-scan — circuits allow, since patterns are independent).
+//! * PROOFS packs **one lane group of faults** against one pattern (what
+//!   sequential circuits force on you, since patterns are order-dependent);
+//! * PPSFP packs **one lane group of patterns** against one fault (what
+//!   combinational — e.g. full-scan — circuits allow, since patterns are
+//!   independent).
 //!
-//! The good machine is simulated once per 64-pattern block; each fault is
-//! then propagated event-driven from its injection site through the block,
-//! with early exit once every pattern in the block has either detected the
-//! fault or provably cannot.
+//! The good machine is simulated once per pattern block (`P::LANES`
+//! patterns wide — 64 for [`Pv64`], 256 for the wide backend via
+//! [`Ppsfp::grade_backend`]); each fault is then propagated event-driven
+//! from its injection site through the block. Because the first detecting
+//! pattern index is `block * P::LANES + lane` and lanes are filled in
+//! pattern order, results are bit-identical across backends.
 //!
 //! Use this to grade test sets on [`full_scan`](gatest_netlist::scan)
 //! circuits; apply [`FaultSim`](crate::fsim::FaultSim) for sequential ones.
@@ -21,7 +24,7 @@ use gatest_netlist::{Circuit, NetId};
 
 use crate::eval::eval_packed;
 use crate::fault::{FaultList, FaultSite};
-use crate::value::{Logic, Pv64};
+use crate::value::{LaneMask, Logic, PackedValue, Pv256, Pv64, SimBackend};
 
 /// Error for circuits PPSFP cannot handle (sequential ones).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,7 +115,7 @@ impl Ppsfp {
     }
 
     /// Grades `patterns` (each one assignment of the primary inputs),
-    /// 64 at a time, against every fault.
+    /// 64 at a time ([`Pv64`] blocks), against every fault.
     ///
     /// # Panics
     ///
@@ -141,42 +144,56 @@ impl Ppsfp {
     /// # }
     /// ```
     pub fn grade(&self, patterns: &[Vec<Logic>]) -> PpsfpResult {
+        self.grade_with::<Pv64>(patterns)
+    }
+
+    /// Like [`grade`](Ppsfp::grade), but packing `backend.lanes()` patterns
+    /// per block. Results are bit-identical to `grade` for any backend —
+    /// only throughput changes.
+    pub fn grade_backend(&self, patterns: &[Vec<Logic>], backend: SimBackend) -> PpsfpResult {
+        match backend.resolved() {
+            SimBackend::Scalar64 => self.grade_with::<Pv64>(patterns),
+            _ => self.grade_with::<Pv256>(patterns),
+        }
+    }
+
+    fn grade_with<P: PackedValue>(&self, patterns: &[Vec<Logic>]) -> PpsfpResult {
         let n = self.circuit.num_gates();
         let mut first_detection: Vec<Option<u32>> = vec![None; self.faults.len()];
 
-        let mut good = vec![Pv64::ALL_X; n];
-        let mut fval = vec![Pv64::ALL_X; n];
+        let mut good = vec![P::ALL_X; n];
+        let mut fval = vec![P::ALL_X; n];
         let mut fstamp = vec![0u32; n];
         let mut stamp = 0u32;
         let mut queued = vec![0u32; n];
         let mut buckets: Vec<Vec<NetId>> = vec![Vec::new(); self.lev.max_level() as usize + 1];
         // Reusable gate-fanin buffer: fanin is small and bounded, so one
         // buffer serves both the good sweep and every faulty event pass
-        // instead of a fresh `Vec<Pv64>` per gate evaluation.
-        let mut fanin: Vec<Pv64> = Vec::new();
+        // instead of a fresh `Vec<P>` per gate evaluation.
+        let mut fanin: Vec<P> = Vec::new();
 
-        for (block_idx, block) in patterns.chunks(64).enumerate() {
+        for (block_idx, block) in patterns.chunks(P::LANES).enumerate() {
             // Good simulation of the whole block at once.
             for (i, &pi) in self.circuit.inputs().iter().enumerate() {
-                let mut w = Pv64::ALL_X;
-                for (slot, pattern) in block.iter().enumerate() {
+                let mut w = P::ALL_X;
+                for (lane, pattern) in block.iter().enumerate() {
                     assert_eq!(
                         pattern.len(),
                         self.circuit.num_inputs(),
                         "pattern length must match the input count"
                     );
-                    w.set(slot as u32, pattern[i]);
+                    w.set_lane(lane, pattern[i]);
                 }
                 good[pi.index()] = w;
             }
             for &gate in self.lev.schedule() {
                 let kind = self.circuit.kind(gate);
                 if kind == gatest_netlist::GateKind::Const0 {
-                    good[gate.index()] = Pv64::ALL_ZERO;
+                    good[gate.index()] = P::ALL_ZERO;
                     continue;
                 }
                 if kind == gatest_netlist::GateKind::Const1 {
-                    good[gate.index()] = Pv64::ALL_ONE;
+                    good[gate.index()] = P::ALL_ONE;
                     continue;
                 }
                 if !kind.is_combinational() {
@@ -186,11 +203,7 @@ impl Ppsfp {
                 fanin.extend(self.circuit.fanin(gate).iter().map(|&s| good[s.index()]));
                 good[gate.index()] = eval_packed(kind, &fanin);
             }
-            let block_mask = if block.len() == 64 {
-                !0u64
-            } else {
-                (1u64 << block.len()) - 1
-            };
+            let block_mask = P::Mask::low(block.len());
 
             // One event-driven pass per still-undetected fault.
             for (fid, fault) in self.faults.iter() {
@@ -198,14 +211,14 @@ impl Ppsfp {
                     continue;
                 }
                 stamp = stamp.wrapping_add(2);
-                let forced = Pv64::broadcast(fault.stuck);
+                let forced = P::broadcast(fault.stuck);
 
                 // Inject.
                 match fault.site {
                     FaultSite::Stem(net) => {
                         fval[net.index()] = forced;
                         fstamp[net.index()] = stamp;
-                        if forced.any_diff(good[net.index()]) & block_mask != 0 {
+                        if forced.any_diff(good[net.index()]).and(block_mask).any() {
                             for &out in self.circuit.fanout(net) {
                                 schedule(&self.lev, &mut buckets, &mut queued, stamp, out);
                             }
@@ -260,19 +273,18 @@ impl Ppsfp {
                 }
 
                 // Detect.
-                let mut det = 0u64;
+                let mut det = P::Mask::EMPTY;
                 for &po in self.circuit.outputs() {
                     let f = if fstamp[po.index()] == stamp {
                         fval[po.index()]
                     } else {
                         good[po.index()]
                     };
-                    det |= f.binary_diff(good[po.index()]);
+                    det = det.or(f.binary_diff(good[po.index()]));
                 }
-                det &= block_mask;
-                if det != 0 {
-                    let slot = det.trailing_zeros();
-                    first_detection[fid.index()] = Some((block_idx * 64) as u32 + slot);
+                det = det.and(block_mask);
+                if let Some(lane) = det.first() {
+                    first_detection[fid.index()] = Some((block_idx * P::LANES + lane) as u32);
                 }
             }
         }
@@ -380,6 +392,25 @@ mod tests {
         let result = grader.grade(&patterns);
         for d in result.first_detection.iter().flatten() {
             assert!((*d as usize) < patterns.len());
+        }
+    }
+
+    #[test]
+    fn wide_blocks_give_identical_first_detections() {
+        // 300 patterns: two partial Pv256 blocks vs five Pv64 blocks —
+        // every fault's first detecting pattern index must agree exactly,
+        // for every backend spelling (auto resolves to wide256).
+        let comb = scanned("s386");
+        let patterns = random_patterns(comb.num_inputs(), 300, 13);
+        let grader = Ppsfp::new(Arc::clone(&comb)).unwrap();
+        let narrow = grader.grade(&patterns);
+        for backend in [SimBackend::Scalar64, SimBackend::Wide256, SimBackend::Auto] {
+            let result = grader.grade_backend(&patterns, backend);
+            assert_eq!(result.detected, narrow.detected, "{backend}");
+            assert_eq!(
+                result.first_detection, narrow.first_detection,
+                "{backend} diverged from Pv64 blocks"
+            );
         }
     }
 

@@ -61,6 +61,12 @@ pub struct SimCounters {
     /// Sequence-evaluation frames not simulated thanks to prefix sharing:
     /// candidates with a common k-vector prefix pay for those frames once.
     pub prefix_frames_avoided: AtomicU64,
+    /// Fault groups simulated by a wide (more-than-64-lane) packed backend.
+    /// Zero for scalar64 runs, so old traces and narrow runs render alike.
+    pub wide_groups: AtomicU64,
+    /// Lanes per packed fault group of the wide backend (e.g. 256). A
+    /// last-write-wins gauge, not a tally: it names the backend width.
+    pub lanes_per_group: AtomicU64,
 }
 
 impl SimCounters {
@@ -157,6 +163,14 @@ impl SimCounters {
             .fetch_add(frames, Ordering::Relaxed);
     }
 
+    /// Records fault groups simulated by a wide packed backend: `groups`
+    /// accumulates, `lanes` is stored as the backend's lane width.
+    #[inline]
+    pub fn record_backend_groups(&self, lanes: u64, groups: u64) {
+        self.wide_groups.fetch_add(groups, Ordering::Relaxed);
+        self.lanes_per_group.store(lanes, Ordering::Relaxed);
+    }
+
     /// Overwrites every counter with the totals in `snapshot`, so a resumed
     /// run continues accumulating from where the checkpointed run stopped.
     pub fn load_snapshot(&self, snapshot: &CounterSnapshot) {
@@ -198,6 +212,10 @@ impl SimCounters {
             .store(snapshot.dedup_skips, Ordering::Relaxed);
         self.prefix_frames_avoided
             .store(snapshot.prefix_frames_avoided, Ordering::Relaxed);
+        self.wide_groups
+            .store(snapshot.wide_groups, Ordering::Relaxed);
+        self.lanes_per_group
+            .store(snapshot.lanes_per_group, Ordering::Relaxed);
     }
 
     /// A plain-integer copy of the current totals.
@@ -222,6 +240,8 @@ impl SimCounters {
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             dedup_skips: self.dedup_skips.load(Ordering::Relaxed),
             prefix_frames_avoided: self.prefix_frames_avoided.load(Ordering::Relaxed),
+            wide_groups: self.wide_groups.load(Ordering::Relaxed),
+            lanes_per_group: self.lanes_per_group.load(Ordering::Relaxed),
         }
     }
 
@@ -246,6 +266,8 @@ impl SimCounters {
         self.cache_misses.store(0, Ordering::Relaxed);
         self.dedup_skips.store(0, Ordering::Relaxed);
         self.prefix_frames_avoided.store(0, Ordering::Relaxed);
+        self.wide_groups.store(0, Ordering::Relaxed);
+        self.lanes_per_group.store(0, Ordering::Relaxed);
     }
 }
 
@@ -290,6 +312,10 @@ pub struct CounterSnapshot {
     pub dedup_skips: u64,
     /// Sequence frames skipped by prefix-sharing evaluation.
     pub prefix_frames_avoided: u64,
+    /// Fault groups simulated by a wide (more-than-64-lane) backend.
+    pub wide_groups: u64,
+    /// Lanes per packed fault group of the wide backend (0 = scalar-only).
+    pub lanes_per_group: u64,
 }
 
 impl CounterSnapshot {
@@ -302,7 +328,7 @@ impl CounterSnapshot {
     /// order. The single source of field names for the JSON serializer and
     /// the Prometheus renderer, so adding a counter cannot silently skip a
     /// consumer.
-    pub fn fields(&self) -> [(&'static str, u64); 19] {
+    pub fn fields(&self) -> [(&'static str, u64); 21] {
         [
             ("step_calls", self.step_calls),
             ("good_only_calls", self.good_only_calls),
@@ -323,6 +349,8 @@ impl CounterSnapshot {
             ("cache_misses", self.cache_misses),
             ("dedup_skips", self.dedup_skips),
             ("prefix_frames_avoided", self.prefix_frames_avoided),
+            ("wide_groups", self.wide_groups),
+            ("lanes_per_group", self.lanes_per_group),
         ]
     }
 }
@@ -370,6 +398,22 @@ mod tests {
         assert_eq!(s.group_tasks, 32);
         assert_eq!(s.group_steal_ns, 4_000);
         assert_eq!(s.scratch_bytes_reused, 5_120);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn backend_group_counters_accumulate_and_reload() {
+        let c = SimCounters::new();
+        c.record_backend_groups(256, 3);
+        c.record_backend_groups(256, 2);
+        let s = c.snapshot();
+        assert_eq!(s.wide_groups, 5, "groups tally");
+        assert_eq!(s.lanes_per_group, 256, "lane width is a gauge");
+
+        let resumed = SimCounters::new();
+        resumed.load_snapshot(&s);
+        assert_eq!(resumed.snapshot(), s);
         c.reset();
         assert_eq!(c.snapshot(), CounterSnapshot::default());
     }

@@ -24,11 +24,14 @@ pub fn event_to_json(event: &RunEvent) -> String {
             circuit,
             total_faults,
             seed,
+            backend,
+            lanes,
         } => {
             let _ = write!(
                 s,
-                ",\"circuit\":{},\"total_faults\":{total_faults},\"seed\":{seed}",
-                quote(circuit)
+                ",\"circuit\":{},\"total_faults\":{total_faults},\"seed\":{seed},\"backend\":{},\"lanes\":{lanes}",
+                quote(circuit),
+                quote(backend)
             );
         }
         RunEvent::PhaseEntered { phase, vectors } => {
@@ -505,6 +508,8 @@ mod tests {
                 circuit: String::from("s27\"quoted\""),
                 total_faults: 26,
                 seed: 42,
+                backend: String::from("wide256"),
+                lanes: 256,
             },
             RunEvent::PhaseEntered {
                 phase: 1,
@@ -564,6 +569,8 @@ mod tests {
                         cache_misses: 430,
                         dedup_skips: 37,
                         prefix_frames_avoided: 1_900,
+                        wide_groups: 12,
+                        lanes_per_group: 256,
                     },
                     spans: SpanSnapshot {
                         nodes: vec![
@@ -613,6 +620,8 @@ mod tests {
         );
         assert_eq!(j.get("total_faults").and_then(Json::as_u64), Some(26));
         assert_eq!(j.get("seed").and_then(Json::as_u64), Some(42));
+        assert_eq!(j.get("backend").and_then(Json::as_str), Some("wide256"));
+        assert_eq!(j.get("lanes").and_then(Json::as_u64), Some(256));
     }
 
     #[test]

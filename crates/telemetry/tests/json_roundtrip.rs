@@ -160,8 +160,16 @@ proptest! {
         circuit in text(),
         total_faults in 0usize..1_000_000,
         seed in safe_u64(),
+        backend in text(),
+        lanes in 0usize..4096,
     ) {
-        let event = RunEvent::RunStarted { circuit: circuit.clone(), total_faults, seed };
+        let event = RunEvent::RunStarted {
+            circuit: circuit.clone(),
+            total_faults,
+            seed,
+            backend: backend.clone(),
+            lanes,
+        };
         let parsed = parse_json(&event_to_json(&event)).expect("event must parse");
         prop_assert_eq!(parsed.get("event").and_then(Json::as_str), Some("run_started"));
         prop_assert_eq!(parsed.get("circuit").and_then(Json::as_str), Some(circuit.as_str()));
@@ -170,6 +178,8 @@ proptest! {
             Some(total_faults as u64)
         );
         prop_assert_eq!(parsed.get("seed").and_then(Json::as_u64), Some(seed));
+        prop_assert_eq!(parsed.get("backend").and_then(Json::as_str), Some(backend.as_str()));
+        prop_assert_eq!(parsed.get("lanes").and_then(Json::as_u64), Some(lanes as u64));
     }
 
     #[test]

@@ -61,6 +61,12 @@ rate() {
     grep "\"$2\": *$3[,}]" "$1" | sed -n "s/.*\"$4\": *\\([0-9][0-9.]*\\).*/\\1/p" | head -n 1
 }
 
+# wrate FILE CIRCUIT BACKEND KEY -> KEY from the width row for CIRCUIT+BACKEND
+wrate() {
+    grep "\"circuit\": *\"$2\"" "$1" | grep "\"backend\": *\"$3\"" |
+        sed -n "s/.*\"$4\": *\\([0-9][0-9.]*\\).*/\\1/p" | head -n 1
+}
+
 # compare LABEL BASELINE CURRENT -> fails when CURRENT < (1-TOLERANCE)*BASELINE
 compare() {
     awk -v label="$1" -v base="$2" -v cur="$3" -v tol="$TOLERANCE" 'BEGIN {
@@ -120,6 +126,29 @@ awk -v cur="$(json_num "$tmpdir/eval.json" speedup)" -v floor=1.3 'BEGIN {
 # Like the cache speedup this is a within-run ratio, valid on any shape,
 # but the sub-second smoke passes are noisy, hence the looser ceiling.
 overhead_gate smoke "$tmpdir/eval.json" "$SMOKE_OVERHEAD_TOLERANCE"
+
+# The wide packed backend must keep its advantage over scalar64. The gate
+# compares within-run speedups, not absolute rates: step rates accelerate
+# over a run as detected faults drop out, so a short smoke stream's rate is
+# not comparable with the committed full-length baseline's — but the
+# wide/scalar ratio measured on the same stream is, on any machine shape.
+# (Absolute wide256 throughput is covered transitively: scalar64 serial
+# throughput is gated below, and this ratio ties wide256 to it.)
+for circuit in s298 s1423; do
+    awk -v label="sim width $circuit wide256" \
+        -v base="$(wrate BENCH_sim.json "$circuit" wide256 speedup_vs_scalar64)" \
+        -v cur="$(wrate "$tmpdir/sim.json" "$circuit" wide256 speedup_vs_scalar64)" \
+        -v tol="$TOLERANCE" 'BEGIN {
+        floor = base * (1 - tol)
+        if (cur < floor) {
+            printf "FAIL %s: %.2fx speedup vs scalar64 is below the committed %.2fx (floor %.2fx at %.0f%% tolerance)\n",
+                label, cur, base, floor, 100 * tol
+            exit 1
+        }
+        printf "ok   %s: %.2fx speedup vs scalar64 (committed %.2fx, floor %.2fx)\n",
+            label, cur, base, floor
+    }'
+done
 
 host_cpus="$(json_num "$tmpdir/eval.json" host_cpus)"
 base_cpus="$(json_num BENCH_eval.json host_cpus)"

@@ -151,6 +151,8 @@ fn arbitrary_snapshot(seed: u64) -> RunSnapshot {
             cache_misses: mix.next(),
             dedup_skips: mix.next(),
             prefix_frames_avoided: mix.next(),
+            wide_groups: mix.next(),
+            lanes_per_group: mix.next(),
             ..CounterSnapshot::default()
         },
     }

@@ -124,7 +124,7 @@ fn paranoid_mode_survives_a_full_run() {
 }
 
 /// Kill/resume with the cache enabled: the eval epoch round-trips through
-/// the version-2 checkpoint, so the resumed leg numbers GA invocations
+/// the checkpoint, so the resumed leg numbers GA invocations
 /// exactly like the uninterrupted run and lands on the identical result —
 /// even though its cache starts cold.
 #[test]
@@ -165,7 +165,7 @@ fn s27_kill_resume_with_cache_round_trips_the_epoch() {
     let _ = std::fs::remove_file(&ck);
 }
 
-/// Checkpoints written by this build are version 2; a version-1 header is
+/// Checkpoints written by this build are version 3; a version-1 header is
 /// refused with the found version rather than misread.
 #[test]
 fn version_1_checkpoints_are_refused() {
@@ -187,7 +187,7 @@ fn version_1_checkpoints_are_refused() {
     let mut bytes = std::fs::read(&ck).unwrap();
     assert_eq!(
         u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
-        2,
+        3,
         "current format version"
     );
     bytes[8..12].copy_from_slice(&1u32.to_le_bytes());

@@ -9,11 +9,12 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
+use gatest_core::report::result_to_json;
 use gatest_core::{FaultSample, GatestConfig, TestGenerator};
 use gatest_ga::Rng;
 use gatest_netlist::benchmarks::iscas89;
 use gatest_netlist::generate::{CircuitProfile, SyntheticGenerator};
-use gatest_sim::{FaultId, FaultSim, Logic};
+use gatest_sim::{FaultId, FaultSim, Logic, SimBackend};
 
 fn random_vector(pis: usize, rng: &mut Rng) -> Vec<Logic> {
     (0..pis).map(|_| Logic::from_bool(rng.coin())).collect()
@@ -174,6 +175,44 @@ fn workers_and_sim_threads_compose_bit_identically() {
         assert_eq!(
             serial.ga_evaluations, par.ga_evaluations,
             "workers={workers} sim_threads={sim_threads}"
+        );
+    }
+}
+
+/// The packed-value backend is an execution detail exactly like the thread
+/// knobs: whole GA runs serialize to byte-identical result JSON (test set,
+/// phase trace, and score checksum included) for scalar64, wide256, and
+/// auto at every workers × sim-threads combination. s298's full fault list
+/// spans several 64-fault groups, so the wide backend genuinely repacks
+/// faults into fewer, wider groups here — the merge order is what's under
+/// test, not just the lane arithmetic.
+#[test]
+fn runs_are_byte_identical_across_sim_widths() {
+    let circuit = Arc::new(iscas89("s298").unwrap());
+    let run = |backend: SimBackend, workers: usize, sim_threads: usize| {
+        let mut config = GatestConfig::for_circuit(&circuit)
+            .with_seed(23)
+            .with_workers(workers)
+            .with_sim_threads(sim_threads)
+            .with_sim_width(backend);
+        config.fault_sample = FaultSample::Count(60);
+        result_to_json(&TestGenerator::new(Arc::clone(&circuit), config).run())
+    };
+    let reference = run(SimBackend::Scalar64, 1, 1);
+    for workers in [1usize, 2, 8] {
+        for sim_threads in [1usize, 2, 8] {
+            let wide = run(SimBackend::Wide256, workers, sim_threads);
+            assert_eq!(
+                reference, wide,
+                "wide256 result JSON differs at workers={workers} sim_threads={sim_threads}"
+            );
+        }
+    }
+    for (workers, sim_threads) in [(1, 1), (8, 8)] {
+        let auto = run(SimBackend::Auto, workers, sim_threads);
+        assert_eq!(
+            reference, auto,
+            "auto result JSON differs at workers={workers} sim_threads={sim_threads}"
         );
     }
 }
