@@ -8,10 +8,13 @@
 //! every step's faulty-event and flip-flop-effect counts — is bit-identical
 //! across all of them.
 //!
-//! A second `width` section compares the packed-value backends (Pv64 vs
-//! Pv256) at serial thread count on s298 and s1423, asserting the same
-//! identity checksum across widths — the backend must change throughput
-//! only, never results.
+//! A second `width` section compares the packed-value backends (Pv64,
+//! Pv256, and Pv512) at serial thread count on s298 and s1423, asserting
+//! the same identity checksum across widths — the backend must change
+//! throughput only, never results. Smoke mode additionally replays a short
+//! stream through one synthetic 10k-gate circuit at every width, so CI
+//! exercises the CSR adjacency and group scheduling at a size where the
+//! ISCAS89 suite cannot.
 //!
 //! Prints a JSON document to stdout; `scripts/bench_eval.sh` redirects it to
 //! `BENCH_sim.json` so the performance trajectory is tracked across PRs.
@@ -24,6 +27,7 @@ use std::time::Instant;
 
 use gatest_ga::Rng;
 use gatest_netlist::benchmarks;
+use gatest_netlist::generate::{CircuitProfile, SyntheticGenerator};
 use gatest_sim::{FaultSim, Logic, SimBackend};
 use gatest_telemetry::json::parse_json;
 
@@ -32,7 +36,11 @@ const SIM_THREADS: [usize; 4] = [1, 2, 4, 8];
 /// Circuits the packed-backend width comparison runs on: one mid-size and
 /// one tier-1-largest, so lane utilization at both group counts is covered.
 const WIDTH_CIRCUITS: [&str; 2] = ["s298", "s1423"];
-const WIDTH_BACKENDS: [SimBackend; 2] = [SimBackend::Scalar64, SimBackend::Wide256];
+const WIDTH_BACKENDS: [SimBackend; 3] = [
+    SimBackend::Scalar64,
+    SimBackend::Wide256,
+    SimBackend::Wide512,
+];
 /// Bumped whenever the document shape changes; `--validate` requires it.
 /// 2 added provenance (`git_revision`, `timestamp`); 3 added the `width`
 /// packed-backend comparison section.
@@ -65,6 +73,9 @@ fn main() {
     }
 
     let smoke = args.iter().any(|a| a == "--smoke");
+    if smoke {
+        smoke_synthetic_10k();
+    }
     let git_revision = provenance(&args, "--git-rev", "GATEST_GIT_REV");
     let timestamp = provenance(&args, "--timestamp", "GATEST_BENCH_TIMESTAMP");
     // Full mode applies enough vectors per thread count for a stable
@@ -147,6 +158,55 @@ fn run_stream(sim: &mut FaultSim, stream: &[Vec<Logic>]) -> (f64, u64, u64) {
         }
     }
     (start.elapsed().as_secs_f64(), sum, events)
+}
+
+/// Smoke-only shakeout on a circuit an order of magnitude past tier 1: a
+/// short random stream through one synthetic 10k-gate machine, each packed
+/// width replaying it bit-identically. Stderr only — the committed JSON
+/// tracks the ISCAS89 numbers; this exists so CI exercises the levelized
+/// CSR and group scheduling at a size where s1423 cannot.
+fn smoke_synthetic_10k() {
+    let profile = CircuitProfile {
+        name: String::from("smoke_10k"),
+        inputs: 64,
+        outputs: 32,
+        dffs: 128,
+        gates: 10_000,
+        seq_depth: 4,
+    };
+    let circuit = Arc::new(SyntheticGenerator::new(94).generate(&profile));
+    let pis = circuit.num_inputs();
+    let mut base = FaultSim::new(Arc::clone(&circuit));
+    let mut rng = Rng::new(1);
+    for _ in 0..8 {
+        let v: Vec<Logic> = (0..pis).map(|_| Logic::from_bool(rng.coin())).collect();
+        base.step(&v);
+    }
+    let mut vec_rng = Rng::new(9);
+    let stream: Vec<Vec<Logic>> = (0..24)
+        .map(|_| (0..pis).map(|_| Logic::from_bool(vec_rng.coin())).collect())
+        .collect();
+    let mut reference: Option<u64> = None;
+    for backend in WIDTH_BACKENDS {
+        let mut sim = base.clone();
+        sim.set_backend(backend);
+        let (secs, sum, _) = run_stream(&mut sim, &stream);
+        match reference {
+            None => reference = Some(sum),
+            Some(c) => assert_eq!(
+                c,
+                sum,
+                "synthetic 10k: {} diverged from the scalar64 results",
+                backend.name()
+            ),
+        }
+        eprintln!(
+            "smoke synthetic 10k {}: {} vectors in {secs:.2}s = {:.0} vectors/sec",
+            backend.name(),
+            stream.len(),
+            stream.len() as f64 / secs
+        );
+    }
 }
 
 /// The packed-backend comparison: serial step throughput per backend per

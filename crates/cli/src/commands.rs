@@ -87,17 +87,17 @@ fn sim_thread_count(opts: &Opts) -> Result<usize, Box<dyn Error>> {
     })
 }
 
-/// Parses `--sim-width`: `scalar64`/`64`, `wide256`/`256`, or `auto`
-/// (pick the widest backend the host supports well). Defaults to scalar64.
-/// Results are bit-identical across widths; this knob only trades per-step
-/// cost against how many fault machines ride in one packed word.
+/// Parses `--sim-width`: `scalar64`/`64`, `wide256`/`256`, `wide512`/`512`,
+/// or `auto` (pick the widest backend the host supports well). Defaults to
+/// scalar64. Results are bit-identical across widths; this knob only trades
+/// per-step cost against how many fault machines ride in one packed word.
 fn sim_width_backend(opts: &Opts) -> Result<SimBackend, Box<dyn Error>> {
     let Some(value) = opts.get("sim-width") else {
         return Ok(SimBackend::default());
     };
     value.parse().map_err(|_| {
         UsageError::boxed(format!(
-            "--sim-width expects scalar64|wide256|auto (or 64|256), got `{value}`"
+            "--sim-width expects scalar64|wide256|wide512|auto (or 64|256|512), got `{value}`"
         ))
     })
 }
@@ -887,6 +887,14 @@ pub fn summarize_trace(text: &str) -> Result<String, Box<dyn Error>> {
                             cf("lanes_per_group"),
                         );
                     }
+                    if cf("events_amortized") + cf("commit_batch_frames") > 0 {
+                        let _ = write!(
+                            footer,
+                            "\namortized: {} events shared across lanes, {} frames batch-committed",
+                            cf("events_amortized"),
+                            cf("commit_batch_frames"),
+                        );
+                    }
                 }
             }
             _ => {}
@@ -955,7 +963,7 @@ mod tests {
 {\"event\":\"phase_entered\",\"phase\":2,\"vectors\":1}
 {\"event\":\"vector_committed\",\"phase\":2,\"vectors\":2,\"detected_new\":3,\"detected_total\":7,\"coverage\":0.27}
 {\"event\":\"fault_detected\",\"fault\":3,\"site\":\"G10 SA1\",\"vector\":1}
-{\"event\":\"run_finished\",\"detected\":7,\"total_faults\":26,\"vectors\":2,\"ga_evaluations\":16,\"elapsed_secs\":0.5,\"phase_time_secs\":[0.3,0.2,0,0],\"counters\":{\"cache_hits\":6,\"cache_misses\":10,\"dedup_skips\":3,\"prefix_frames_avoided\":40,\"wide_groups\":5,\"lanes_per_group\":256}}
+{\"event\":\"run_finished\",\"detected\":7,\"total_faults\":26,\"vectors\":2,\"ga_evaluations\":16,\"elapsed_secs\":0.5,\"phase_time_secs\":[0.3,0.2,0,0],\"counters\":{\"cache_hits\":6,\"cache_misses\":10,\"dedup_skips\":3,\"prefix_frames_avoided\":40,\"wide_groups\":5,\"lanes_per_group\":256,\"events_amortized\":120,\"commit_batch_frames\":8}}
 ";
         let summary = summarize_trace(trace).unwrap();
         assert!(
@@ -964,6 +972,10 @@ mod tests {
         );
         assert!(
             summary.contains("wide sim: 5 groups at 256 lanes/group"),
+            "{summary}"
+        );
+        assert!(
+            summary.contains("amortized: 120 events shared across lanes, 8 frames batch-committed"),
             "{summary}"
         );
         let phase1 = summary

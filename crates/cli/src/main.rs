@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! gatest atpg     <circuit> [--seed N] [--sample N] [--workers N|auto]
-//!                 [--sim-threads N|auto] [--sim-width scalar64|wide256|auto]
+//!                 [--sim-threads N|auto] [--sim-width scalar64|wide256|wide512|auto]
 //!                 [--out tests.txt]
 //!                 [--eval-cache N|off] [--no-dedup] [--paranoid-cache]
 //!                 [--trace-out trace.jsonl] [--progress] [-v|--verbose] [-q|--quiet]
@@ -18,9 +18,11 @@
 //!
 //! `--sim-width` picks the packed-simulation backend: `scalar64` (default,
 //! 64 fault machines per word), `wide256` (256 lanes, autovectorized with
-//! an AVX2 path when the host has it), or `auto` (widest available). Like
-//! the thread knobs it is an execution detail: results are bit-identical
-//! at every width, and a checkpoint taken at one width resumes at another.
+//! an AVX2 path when the host has it), `wide512` (512 lanes, same AVX2
+//! path over twice the words — opt-in, wins only on large circuits), or
+//! `auto` (widest that reliably helps, currently wide256). Like the thread
+//! knobs it is an execution detail: results are bit-identical at every
+//! width, and a checkpoint taken at one width resumes at another.
 //!
 //! `--eval-cache N` bounds the epoch-keyed fitness cache (default 4096
 //! entries); `off` (or `0`) disables the whole memoization layer — cache,
@@ -125,8 +127,8 @@ fn usage() -> String {
     s.push_str("\nparallelism (atpg): --workers N (alias --threads) sizes the\n");
     s.push_str("fitness-evaluation pool; --sim-threads N sizes the fault-group\n");
     s.push_str("pool inside each simulator; 0 or `auto` uses all available\n");
-    s.push_str("cores; --sim-width scalar64|wide256|auto picks the packed\n");
-    s.push_str("backend (64 or 256 fault machines per word); results are\n");
+    s.push_str("cores; --sim-width scalar64|wide256|wide512|auto picks the packed\n");
+    s.push_str("backend (64, 256, or 512 fault machines per word); results are\n");
     s.push_str("bit-identical at every workers/sim-threads/sim-width combination\n");
     s.push_str("\nmemoization (atpg): --eval-cache N bounds the fitness cache\n");
     s.push_str("(default 4096; `off` disables cache, dedup, and prefix sharing);\n");

@@ -704,6 +704,11 @@ impl RunSnapshot {
             prefix_frames_avoided: counter_fields[18],
             wide_groups: counter_fields[19],
             lanes_per_group: counter_fields[20],
+            // Not persisted (format v3 predates them); a resumed run
+            // restarts these from zero like any other fresh process.
+            events_amortized: 0,
+            commit_batch_frames: 0,
+            csr_bytes: 0,
         };
         if d.pos != d.buf.len() {
             return Err(CheckpointError::Corrupt(format!(

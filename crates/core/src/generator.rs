@@ -955,18 +955,15 @@ impl TestGenerator {
         let result = active.engine.finish(active.state);
         m.sequence_attempts += 1;
 
-        // Commit with full simulation only if it helps.
+        // Commit with full simulation only if it helps. The whole sequence
+        // goes through the batched window path: one good-machine pass over
+        // all frames, then each fault group replays the window in one go.
         self.sim.restore(&active.ctx.checkpoint);
-        let mut detected = 0usize;
-        let mut seq = Vec::with_capacity(len);
-        let mut reports = Vec::with_capacity(len);
-        for frame in 0..len {
-            let v = decode_frame(&result.best.chromosome, dctx.pis, frame);
-            let report = self.sim.step(&v);
-            detected += report.detected();
-            reports.push(report);
-            seq.push(v);
-        }
+        let seq: Vec<_> = (0..len)
+            .map(|frame| decode_frame(&result.best.chromosome, dctx.pis, frame))
+            .collect();
+        let reports = self.sim.step_window(&seq);
+        let detected: usize = reports.iter().map(|r| r.detected()).sum();
         if detected > 0 {
             m.phase_vectors[3] += seq.len();
             m.phase_trace.extend(std::iter::repeat_n(4u8, seq.len()));

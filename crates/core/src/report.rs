@@ -132,6 +132,30 @@ pub fn telemetry_table(result: &TestGenResult) -> String {
             "lanes/group", t.counters.lanes_per_group
         );
     }
+    // Amortization counters follow the same rule: zero on runs (and absent
+    // in traces) from before the CSR/window work, so hide them there.
+    if t.counters.events_amortized > 0 {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10}",
+            "events amortized", t.counters.events_amortized
+        );
+    }
+    if t.counters.commit_batch_frames > 0 {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>10}",
+            "batched frames", t.counters.commit_batch_frames
+        );
+    }
+    if t.counters.csr_bytes > 0 {
+        let _ = writeln!(
+            out,
+            "{:<22} {:>7.1} KB",
+            "csr adjacency",
+            t.counters.csr_bytes as f64 / 1_000.0
+        );
+    }
     let _ = writeln!(
         out,
         "{:<22} {:>7.1} MB",
@@ -495,6 +519,9 @@ mod tests {
                     prefix_frames_avoided: 1_900,
                     wide_groups: 48,
                     lanes_per_group: 256,
+                    events_amortized: 2_100,
+                    commit_batch_frames: 18,
+                    csr_bytes: 64_000,
                 },
                 spans: SpanSnapshot {
                     nodes: vec![
@@ -584,6 +611,9 @@ mod tests {
             "group steal",
             "wide groups",
             "lanes/group",
+            "events amortized",
+            "batched frames",
+            "csr adjacency",
             "scratch reused",
             "ckpt writes",
             "ckpt bytes",
@@ -619,9 +649,15 @@ mod tests {
         let mut r = sample_result();
         r.telemetry.counters.wide_groups = 0;
         r.telemetry.counters.lanes_per_group = 0;
+        r.telemetry.counters.events_amortized = 0;
+        r.telemetry.counters.commit_batch_frames = 0;
+        r.telemetry.counters.csr_bytes = 0;
         let table = telemetry_table(&r);
         assert!(!table.contains("wide groups"), "{table}");
         assert!(!table.contains("lanes/group"), "{table}");
+        assert!(!table.contains("events amortized"), "{table}");
+        assert!(!table.contains("batched frames"), "{table}");
+        assert!(!table.contains("csr adjacency"), "{table}");
     }
 
     #[test]

@@ -7,7 +7,17 @@
 //! guarantees each gate is evaluated after all of its fanins within a frame.
 
 use crate::circuit::Circuit;
-use crate::gate::NetId;
+use crate::gate::{GateKind, NetId};
+
+/// One combinational consumer of a net, with its evaluation level
+/// precomputed so event scheduling never touches the level table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FanoutEdge {
+    /// The consuming combinational gate.
+    pub gate: NetId,
+    /// `Levelization::level(gate)`, baked into the edge.
+    pub level: u32,
+}
 
 /// Level assignment for a circuit, plus a level-ordered gate schedule.
 ///
@@ -35,6 +45,24 @@ pub struct Levelization {
     levels: Vec<u32>,
     schedule: Vec<NetId>,
     max_level: u32,
+    /// Combinational gates in schedule order (the schedule minus sources
+    /// and flip-flops), stored structure-of-arrays with their kinds and a
+    /// flat fan-in arena so the good-machine sweep is one contiguous pass.
+    comb_gates: Vec<NetId>,
+    comb_kinds: Vec<GateKind>,
+    /// `comb_fanin_offsets[i]..[i+1]` indexes `comb_fanin_edges` for record
+    /// `i`; edges are packed in schedule order, so a full sweep reads the
+    /// arena front to back.
+    comb_fanin_offsets: Vec<u32>,
+    comb_fanin_edges: Vec<NetId>,
+    /// Record index of each net in `comb_gates` (`u32::MAX` for sources and
+    /// flip-flops), for event-driven random access into the fan-in arena.
+    comb_index: Vec<u32>,
+    /// Per-net combinational fanout CSR: consumers that are ordinary logic
+    /// gates (flip-flop D pins are latched between frames, not scheduled),
+    /// each carrying its precomputed level.
+    comb_fanout_offsets: Vec<u32>,
+    comb_fanout_edges: Vec<FanoutEdge>,
 }
 
 impl Levelization {
@@ -97,10 +125,55 @@ impl Levelization {
         );
 
         let max_level = levels.iter().copied().max().unwrap_or(0);
+
+        // Schedule-order CSR over the combinational gates: the fan-in arena
+        // is laid out in exactly the order the sweep visits records, and the
+        // per-net fanout lists are pre-filtered to combinational consumers
+        // with their levels baked in.
+        let mut comb_gates = Vec::new();
+        let mut comb_kinds = Vec::new();
+        let mut comb_fanin_offsets = Vec::with_capacity(n + 1);
+        let mut comb_fanin_edges = Vec::new();
+        let mut comb_index = vec![u32::MAX; n];
+        comb_fanin_offsets.push(0u32);
+        for &gate in &schedule {
+            let kind = circuit.kind(gate);
+            if !kind.is_combinational() {
+                continue;
+            }
+            comb_index[gate.index()] = comb_gates.len() as u32;
+            comb_gates.push(gate);
+            comb_kinds.push(kind);
+            comb_fanin_edges.extend_from_slice(circuit.fanin(gate));
+            comb_fanin_offsets.push(comb_fanin_edges.len() as u32);
+        }
+
+        let mut comb_fanout_offsets = Vec::with_capacity(n + 1);
+        let mut comb_fanout_edges = Vec::new();
+        comb_fanout_offsets.push(0u32);
+        for id in circuit.net_ids() {
+            for &out in circuit.fanout(id) {
+                if circuit.kind(out).is_combinational() {
+                    comb_fanout_edges.push(FanoutEdge {
+                        gate: out,
+                        level: levels[out.index()],
+                    });
+                }
+            }
+            comb_fanout_offsets.push(comb_fanout_edges.len() as u32);
+        }
+
         Levelization {
             levels,
             schedule,
             max_level,
+            comb_gates,
+            comb_kinds,
+            comb_fanin_offsets,
+            comb_fanin_edges,
+            comb_index,
+            comb_fanout_offsets,
+            comb_fanout_edges,
         }
     }
 
@@ -119,6 +192,89 @@ impl Levelization {
     /// The largest combinational level (the circuit's combinational depth).
     pub fn max_level(&self) -> u32 {
         self.max_level
+    }
+
+    /// Number of combinational-gate records in the schedule-order CSR.
+    #[inline]
+    pub fn comb_len(&self) -> usize {
+        self.comb_gates.len()
+    }
+
+    /// The combinational gates in schedule order (the schedule with sources
+    /// and flip-flops removed).
+    #[inline]
+    pub fn comb_gates(&self) -> &[NetId] {
+        &self.comb_gates
+    }
+
+    /// CSR record `i`: the gate, its kind, and its fan-in slice from the
+    /// schedule-ordered arena. A sweep over `0..comb_len()` visits gates in
+    /// exactly the order of [`schedule`](Levelization::schedule) restricted
+    /// to combinational gates, reading the arena contiguously.
+    #[inline]
+    pub fn comb_record(&self, i: usize) -> (NetId, GateKind, &[NetId]) {
+        let lo = self.comb_fanin_offsets[i] as usize;
+        let hi = self.comb_fanin_offsets[i + 1] as usize;
+        (
+            self.comb_gates[i],
+            self.comb_kinds[i],
+            &self.comb_fanin_edges[lo..hi],
+        )
+    }
+
+    /// Iterates the CSR records in schedule order.
+    pub fn comb_records(&self) -> impl Iterator<Item = (NetId, GateKind, &[NetId])> + '_ {
+        (0..self.comb_len()).map(move |i| self.comb_record(i))
+    }
+
+    /// Fan-in slice of combinational gate `gate` from the CSR arena, for
+    /// event-driven (random-access) evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not a combinational gate.
+    #[inline]
+    pub fn comb_fanin(&self, gate: NetId) -> &[NetId] {
+        let i = self.comb_index[gate.index()] as usize;
+        let lo = self.comb_fanin_offsets[i] as usize;
+        let hi = self.comb_fanin_offsets[i + 1] as usize;
+        &self.comb_fanin_edges[lo..hi]
+    }
+
+    /// Kind of combinational gate `gate` from the CSR record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gate` is not a combinational gate.
+    #[inline]
+    pub fn comb_kind(&self, gate: NetId) -> GateKind {
+        self.comb_kinds[self.comb_index[gate.index()] as usize]
+    }
+
+    /// The combinational consumers of `net`, each with its precomputed
+    /// level — flip-flop D pins are filtered out at build time, so event
+    /// scheduling needs neither a kind check nor a level lookup per edge.
+    /// Edge order matches [`Circuit::fanout`] restricted to combinational
+    /// consumers, so traversal order (and therefore every event-driven
+    /// result) is unchanged from the pointer-chasing layout.
+    #[inline]
+    pub fn comb_fanout(&self, net: NetId) -> &[FanoutEdge] {
+        let lo = self.comb_fanout_offsets[net.index()] as usize;
+        let hi = self.comb_fanout_offsets[net.index() + 1] as usize;
+        &self.comb_fanout_edges[lo..hi]
+    }
+
+    /// Total bytes of the schedule-order CSR (both arenas, offsets, and the
+    /// record index) — the working-set cost of the layout, surfaced through
+    /// the `csr_bytes` telemetry counter.
+    pub fn csr_bytes(&self) -> u64 {
+        (self.comb_gates.len() * std::mem::size_of::<NetId>()
+            + self.comb_kinds.len() * std::mem::size_of::<GateKind>()
+            + self.comb_fanin_offsets.len() * 4
+            + self.comb_fanin_edges.len() * std::mem::size_of::<NetId>()
+            + self.comb_index.len() * 4
+            + self.comb_fanout_offsets.len() * 4
+            + self.comb_fanout_edges.len() * std::mem::size_of::<FanoutEdge>()) as u64
     }
 
     /// Gates grouped by level, for wavefront-style evaluation.
@@ -222,5 +378,68 @@ mod tests {
         let lev = Levelization::new(&c);
         assert!(lev.max_level() >= 2);
         assert_eq!(lev.schedule().len(), c.num_gates());
+    }
+
+    /// The CSR sweep must visit gates in exactly the order of the levelized
+    /// schedule restricted to combinational gates, with identical kinds and
+    /// fan-in slices — the bit-identity foundation for every CSR consumer.
+    fn assert_csr_matches_schedule(c: &Circuit) {
+        let lev = Levelization::new(c);
+        let expected: Vec<NetId> = lev
+            .schedule()
+            .iter()
+            .copied()
+            .filter(|&g| c.kind(g).is_combinational())
+            .collect();
+        assert_eq!(lev.comb_gates(), expected.as_slice(), "traversal order");
+        assert_eq!(lev.comb_len(), expected.len());
+        for (i, (gate, kind, fanin)) in lev.comb_records().enumerate() {
+            assert_eq!(gate, expected[i]);
+            assert_eq!(kind, c.kind(gate));
+            assert_eq!(fanin, c.fanin(gate), "fan-in slice of {gate}");
+            assert_eq!(lev.comb_fanin(gate), c.fanin(gate));
+            assert_eq!(lev.comb_kind(gate), c.kind(gate));
+        }
+        for id in c.net_ids() {
+            let expected_fanout: Vec<NetId> = c
+                .fanout(id)
+                .iter()
+                .copied()
+                .filter(|&g| c.kind(g).is_combinational())
+                .collect();
+            let edges = lev.comb_fanout(id);
+            assert_eq!(
+                edges.iter().map(|e| e.gate).collect::<Vec<_>>(),
+                expected_fanout,
+                "comb fanout of {id}"
+            );
+            for e in edges {
+                assert_eq!(e.level, lev.level(e.gate), "baked level of {}", e.gate);
+            }
+        }
+        assert!(lev.csr_bytes() > 0);
+    }
+
+    #[test]
+    fn csr_traversal_matches_schedule_on_benchmarks() {
+        for name in ["s27", "s298", "s1423"] {
+            assert_csr_matches_schedule(&crate::benchmarks::iscas89(name).unwrap());
+        }
+    }
+
+    #[test]
+    fn csr_traversal_matches_schedule_on_synthetic_circuits() {
+        for seed in 0..8u64 {
+            let profile = crate::generate::CircuitProfile {
+                name: format!("csr-prop-{seed}"),
+                inputs: 6 + (seed as usize % 5),
+                outputs: 4,
+                dffs: 5 + (seed as usize % 7),
+                gates: 120 + 40 * seed as usize,
+                seq_depth: 3 + (seed as u32 % 3),
+            };
+            let c = crate::generate::SyntheticGenerator::new(seed).generate(&profile);
+            assert_csr_matches_schedule(&c);
+        }
     }
 }

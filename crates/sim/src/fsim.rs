@@ -33,9 +33,12 @@ use gatest_telemetry::{Instruments, SimCounters, SpanHandle, SpanKind};
 
 use crate::fault::{FaultId, FaultList, FaultStatus};
 use crate::good_sim::{GoodSim, GoodSimState, GoodStepReport};
-use crate::group::{simulate_group, FaultyFfState, GroupCtx, GroupOutcome, Scratch};
+use crate::group::{
+    simulate_group, simulate_group_window, FaultyFfState, GoodFrame, GroupCtx, GroupOutcome,
+    Scratch,
+};
 use crate::grouppool::GroupPool;
-use crate::value::{LaneMask, Logic, PackedValue, Pv256, Pv64, SimBackend};
+use crate::value::{LaneMask, Logic, PackedValue, Pv256, Pv512, Pv64, SimBackend};
 
 /// Statistics from simulating one vector over the active fault list.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -245,12 +248,14 @@ impl<P: PackedValue> Clone for EngineState<P> {
 enum Engine {
     Scalar64(EngineState<Pv64>),
     Wide256(EngineState<Pv256>),
+    Wide512(EngineState<Pv512>),
 }
 
 impl Engine {
     fn new(backend: SimBackend, circuit: &Circuit, max_level: usize) -> Engine {
         match backend.resolved() {
             SimBackend::Scalar64 => Engine::Scalar64(EngineState::new(circuit, max_level)),
+            SimBackend::Wide512 => Engine::Wide512(EngineState::new(circuit, max_level)),
             _ => Engine::Wide256(EngineState::new(circuit, max_level)),
         }
     }
@@ -259,6 +264,7 @@ impl Engine {
         match self {
             Engine::Scalar64(_) => SimBackend::Scalar64,
             Engine::Wide256(_) => SimBackend::Wide256,
+            Engine::Wide512(_) => SimBackend::Wide512,
         }
     }
 
@@ -266,6 +272,7 @@ impl Engine {
         match self {
             Engine::Scalar64(e) => e.pool = None,
             Engine::Wide256(e) => e.pool = None,
+            Engine::Wide512(e) => e.pool = None,
         }
     }
 }
@@ -381,6 +388,11 @@ impl FaultSim {
     /// hot-path cost is negligible; clones of this simulator keep reporting
     /// into the same shared instance.
     pub fn set_counters(&mut self, counters: Option<Arc<SimCounters>>) {
+        if let Some(counters) = &counters {
+            // The CSR adjacency arena is sized at construction, so report
+            // the gauge once at attach time rather than per step.
+            counters.record_csr_bytes(self.good.levelization().csr_bytes());
+        }
         self.counters = counters;
     }
 
@@ -511,6 +523,142 @@ impl FaultSim {
         report
     }
 
+    /// Applies a window of vectors in one batched commit, returning one
+    /// report per vector.
+    ///
+    /// The good machine advances over all frames first (snapshotting each),
+    /// then every fault group replays the whole window against those
+    /// snapshots, carrying its faulty flip-flop divergence frame to frame
+    /// inside the propagation arena instead of round-tripping it through
+    /// the shared copy-on-write table after every vector. Lanes detected at
+    /// a frame are masked out of later frames, exactly like fault dropping
+    /// between serial steps.
+    ///
+    /// Detection, dropping, final faulty-FF state, and every report field
+    /// are bit-identical to calling [`FaultSim::step`] once per vector,
+    /// except `gate_evals` (dead lanes may still occupy packed evaluations
+    /// their group schedules — the field is already excluded from identity
+    /// comparisons as width-dependent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector's length differs from `circuit.num_inputs()`.
+    pub fn step_window(&mut self, vectors: &[Vec<Logic>]) -> Vec<StepReport> {
+        if vectors.is_empty() {
+            return Vec::new();
+        }
+        let probe = self.probe();
+        let _step_span = probe.as_ref().map(|p| p.enter(SpanKind::SimStep));
+        let targets = Arc::clone(&self.active);
+        let base_vector = self.vectors_applied;
+
+        // Phase A: advance the good machine over every frame, snapshotting
+        // each frame's net values and latched next state.
+        let mut reports: Vec<StepReport> = Vec::with_capacity(vectors.len());
+        let mut snapshots: Vec<GoodSimState> = Vec::with_capacity(vectors.len());
+        for vector in vectors {
+            let good_report = self.good.apply(vector);
+            self.vectors_applied += 1;
+            reports.push(StepReport {
+                good_events: good_report.events,
+                gate_evals: self.comb_gates,
+                good: good_report,
+                ..StepReport::default()
+            });
+            snapshots.push(self.good.snapshot());
+        }
+        let frames: Vec<GoodFrame<'_>> = snapshots
+            .iter()
+            .map(|s| GoodFrame {
+                values: s.values(),
+                next_state: s.next_state(),
+            })
+            .collect();
+
+        // Phase B: replay every fault group across the whole window. Each
+        // group merges its per-frame outcomes in frame order, and groups
+        // run in group order, so every frame's accumulators see groups in
+        // the same order as a serial step's merge.
+        let mut detected: Vec<Vec<FaultId>> = vec![Vec::new(); vectors.len()];
+        let (ngroups, scratch_bytes, events_amortized) = match &mut self.engine {
+            Engine::Scalar64(engine) => run_engine_window(
+                &self.circuit,
+                &self.good,
+                &self.faults,
+                &mut self.faulty_ff,
+                &mut self.ff_entries,
+                &self.empty_ff,
+                &targets,
+                &frames,
+                engine,
+                &mut reports,
+                &mut detected,
+            ),
+            Engine::Wide256(engine) => run_engine_window(
+                &self.circuit,
+                &self.good,
+                &self.faults,
+                &mut self.faulty_ff,
+                &mut self.ff_entries,
+                &self.empty_ff,
+                &targets,
+                &frames,
+                engine,
+                &mut reports,
+                &mut detected,
+            ),
+            Engine::Wide512(engine) => run_engine_window(
+                &self.circuit,
+                &self.good,
+                &self.faults,
+                &mut self.faulty_ff,
+                &mut self.ff_entries,
+                &self.empty_ff,
+                &targets,
+                &frames,
+                engine,
+                &mut reports,
+                &mut detected,
+            ),
+        };
+        if let Some(counters) = &self.counters {
+            for report in &reports {
+                counters.record_step(report.gate_evals, report.good_events, report.faulty_events);
+            }
+            counters.record_scratch_reuse(scratch_bytes);
+            counters.record_events_amortized(events_amortized);
+            counters.record_commit_batch(vectors.len() as u64);
+            let lanes = self.engine.backend().lanes();
+            if lanes > 64 {
+                counters.record_backend_groups(lanes as u64, ngroups * vectors.len() as u64);
+            }
+        }
+
+        // Drop detected faults frame by frame, stamping each with the
+        // 0-based index of the vector that caught it (as the serial path's
+        // `vectors_applied - 1` does).
+        for (f, (report, mut newly)) in reports.iter_mut().zip(detected).enumerate() {
+            if !newly.is_empty() {
+                newly.sort_unstable();
+                newly.dedup();
+                let status = Arc::make_mut(&mut self.status);
+                let faulty_ff = Arc::make_mut(&mut self.faulty_ff);
+                for &fault in &newly {
+                    status[fault.index()] = FaultStatus::Detected {
+                        vector: base_vector + f as u32,
+                    };
+                    self.ff_entries -= faulty_ff[fault.index()].len();
+                    faulty_ff[fault.index()] = Arc::clone(&self.empty_ff);
+                }
+            }
+            report.newly_detected = newly;
+        }
+        let status = &self.status;
+        Arc::make_mut(&mut self.active)
+            .retain(|f| matches!(status[f.index()], FaultStatus::Undetected));
+        reports
+    }
+
     fn step_with(&mut self, vector: &[Logic], targets: &[FaultId], drop: bool) -> StepReport {
         let probe = self.probe();
         let _step_span = probe.as_ref().map(|p| p.enter(SpanKind::SimStep));
@@ -532,7 +680,7 @@ impl FaultSim {
         // `run_engine` is monomorphized over the packed type.
         let threads = self.resolved_sim_threads();
         let mut detected: Vec<FaultId> = Vec::new();
-        let (ngroups, scratch_bytes, group_dispatch) = match &mut self.engine {
+        let (ngroups, scratch_bytes, events_amortized, group_dispatch) = match &mut self.engine {
             Engine::Scalar64(engine) => run_engine(
                 &self.circuit,
                 &self.good,
@@ -561,10 +709,25 @@ impl FaultSim {
                 &mut report,
                 &mut detected,
             ),
+            Engine::Wide512(engine) => run_engine(
+                &self.circuit,
+                &self.good,
+                &self.faults,
+                &mut self.faulty_ff,
+                &mut self.ff_entries,
+                &self.empty_ff,
+                targets,
+                threads,
+                probe.as_ref(),
+                engine,
+                &mut report,
+                &mut detected,
+            ),
         };
         if let Some(counters) = &self.counters {
             counters.record_step(report.gate_evals, report.good_events, report.faulty_events);
             counters.record_scratch_reuse(scratch_bytes);
+            counters.record_events_amortized(events_amortized);
             if let Some((tasks, steal_ns, _)) = group_dispatch {
                 counters.record_group_dispatch(tasks, steal_ns);
             }
@@ -768,8 +931,9 @@ impl FaultSim {
 
 /// Runs one step's group fan-out and merge on a width-concrete engine.
 ///
-/// Returns `(ngroups, scratch_bytes, dispatch)` where `dispatch` is the
-/// pool's `(tasks, steal_ns, wait_ns)` when the step actually fanned out.
+/// Returns `(ngroups, scratch_bytes, events_amortized, dispatch)` where
+/// `dispatch` is the pool's `(tasks, steal_ns, wait_ns)` when the step
+/// actually fanned out.
 ///
 /// The merge walks outcomes **in group order**, and lane order within a
 /// group is fault order, so `detected` and every report field except
@@ -791,7 +955,7 @@ fn run_engine<P: PackedValue>(
     engine: &mut EngineState<P>,
     report: &mut StepReport,
     detected: &mut Vec<FaultId>,
-) -> (u64, u64, Option<(u64, u64, u64)>) {
+) -> (u64, u64, u64, Option<(u64, u64, u64)>) {
     let ngroups = targets.len().div_ceil(P::LANES);
     if engine.outcomes.len() < ngroups {
         engine.outcomes.resize_with(ngroups, GroupOutcome::default);
@@ -831,6 +995,7 @@ fn run_engine<P: PackedValue>(
     // (on how many threads, at what width) the groups were simulated.
     let merge_span = probe.map(|p| p.enter(SpanKind::Merge));
     let mut scratch_bytes = 0u64;
+    let mut events_amortized = 0u64;
     for (gi, group) in targets.chunks(P::LANES).enumerate() {
         let out = &mut engine.outcomes[gi];
         report.gate_evals += out.gate_evals;
@@ -838,6 +1003,7 @@ fn run_engine<P: PackedValue>(
         report.ff_effect_pairs += out.ff_effect_pairs;
         report.ff_effect_faults += out.ff_effect_faults;
         scratch_bytes += out.scratch_bytes;
+        events_amortized += out.events_amortized;
         for &(lane, po) in &out.po_detections {
             report.po_detections.push((group[lane as usize], po));
         }
@@ -854,7 +1020,88 @@ fn run_engine<P: PackedValue>(
     }
     report.po_detections.sort_unstable();
     drop(merge_span);
-    (ngroups as u64, scratch_bytes, dispatch)
+    (ngroups as u64, scratch_bytes, events_amortized, dispatch)
+}
+
+/// Runs a whole commit window's group replay and per-frame merge on a
+/// width-concrete engine. Always serial: committed vectors are rare next to
+/// candidate evaluations, and the win here is the frame-to-frame faulty-FF
+/// carry inside the arena, not fan-out.
+///
+/// Returns `(ngroups, scratch_bytes, events_amortized)`. The merge is the
+/// same walk as [`run_engine`]'s, once per frame: groups in group order,
+/// lanes in fault order, `po_detections` sorted per frame.
+#[allow(clippy::too_many_arguments)]
+fn run_engine_window<P: PackedValue>(
+    circuit: &Arc<Circuit>,
+    good: &GoodSim,
+    faults: &FaultList,
+    faulty_ff: &mut Arc<Vec<FaultyFfState>>,
+    ff_entries: &mut usize,
+    empty_ff: &FaultyFfState,
+    targets: &[FaultId],
+    frames: &[GoodFrame<'_>],
+    engine: &mut EngineState<P>,
+    reports: &mut [StepReport],
+    detected: &mut [Vec<FaultId>],
+) -> (u64, u64, u64) {
+    let ngroups = targets.len().div_ceil(P::LANES);
+    if engine.outcomes.len() < frames.len() {
+        engine
+            .outcomes
+            .resize_with(frames.len(), GroupOutcome::default);
+    }
+    let mut scratch_bytes = 0u64;
+    let mut events_amortized = 0u64;
+    for group in targets.chunks(P::LANES) {
+        {
+            // Rebuilt per group: the faulty-FF table is borrowed shared
+            // during simulation and mutated by the merge just below.
+            let ctx = GroupCtx {
+                circuit,
+                good,
+                faults,
+                faulty_ff: faulty_ff.as_slice(),
+                empty_ff,
+            };
+            simulate_group_window(
+                &ctx,
+                frames,
+                group,
+                &mut engine.scratch,
+                &mut engine.outcomes[..frames.len()],
+            );
+        }
+        for (f, out) in engine.outcomes[..frames.len()].iter_mut().enumerate() {
+            let report = &mut reports[f];
+            report.gate_evals += out.gate_evals;
+            report.faulty_events += out.faulty_events;
+            report.ff_effect_pairs += out.ff_effect_pairs;
+            report.ff_effect_faults += out.ff_effect_faults;
+            scratch_bytes += out.scratch_bytes;
+            events_amortized += out.events_amortized;
+            for &(lane, po) in &out.po_detections {
+                report.po_detections.push((group[lane as usize], po));
+            }
+            out.detected_mask
+                .for_each(|lane| detected[f].push(group[lane]));
+            // Only the window's last frame carries new faulty-FF state
+            // (earlier frames leave `new_ff` empty, so the zip skips them;
+            // lanes detected mid-window carry none at all).
+            for (slot, &fid) in out.new_ff.iter_mut().zip(group) {
+                if let Some(entry) = slot.take() {
+                    let idx = fid.index();
+                    let old_len = faulty_ff[idx].len();
+                    *ff_entries = *ff_entries + entry.len() - old_len;
+                    Arc::make_mut(faulty_ff)[idx] = entry;
+                }
+            }
+        }
+    }
+    for report in reports.iter_mut() {
+        report.po_detections.sort_unstable();
+    }
+    (ngroups as u64, scratch_bytes, events_amortized)
 }
 
 #[cfg(test)]
@@ -1372,6 +1619,79 @@ mod tests {
         for &f in serial.active_faults() {
             assert_eq!(serial.faulty_ff_state(f), parallel.faulty_ff_state(f));
         }
+    }
+
+    #[test]
+    fn wide512_backend_matches_scalar_bit_for_bit() {
+        // Same contract as wide256: only gate_evals may differ per step.
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let faults = FaultList::full(&circuit);
+        let mut narrow = FaultSim::with_faults(Arc::clone(&circuit), faults.clone());
+        let mut wide = FaultSim::with_faults(Arc::clone(&circuit), faults);
+        wide.set_backend(SimBackend::Wide512);
+        assert_eq!(wide.backend(), SimBackend::Wide512);
+        for v in prng_sequence(circuit.num_inputs(), 48, 41) {
+            let a = narrow.step(&v);
+            let b = wide.step(&v);
+            assert_eq!(without_gate_evals(a), without_gate_evals(b));
+        }
+        assert_eq!(narrow.detected_count(), wide.detected_count());
+        for &f in narrow.active_faults() {
+            assert_eq!(narrow.faulty_ff_state(f), wide.faulty_ff_state(f));
+        }
+    }
+
+    #[test]
+    fn step_window_matches_serial_steps_bit_for_bit() {
+        // The batched commit path must reproduce serial stepping exactly —
+        // same per-vector reports (minus gate_evals), same detection
+        // vector indices, same final state — at every backend width and
+        // for windows of mixed sizes (including single-frame windows).
+        let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+        let faults = FaultList::full(&circuit);
+        let seq = prng_sequence(circuit.num_inputs(), 36, 61);
+        for backend in [
+            SimBackend::Scalar64,
+            SimBackend::Wide256,
+            SimBackend::Wide512,
+        ] {
+            let mut serial = FaultSim::with_faults(Arc::clone(&circuit), faults.clone());
+            let mut windowed = FaultSim::with_faults(Arc::clone(&circuit), faults.clone());
+            serial.set_backend(backend);
+            windowed.set_backend(backend);
+            let mut serial_reports = Vec::new();
+            for v in &seq {
+                serial_reports.push(serial.step(v));
+            }
+            let mut window_reports = Vec::new();
+            for chunk in [&seq[..1], &seq[1..8], &seq[8..20], &seq[20..]] {
+                window_reports.extend(windowed.step_window(chunk));
+            }
+            assert_eq!(serial_reports.len(), window_reports.len());
+            for (i, (a, b)) in serial_reports.iter().zip(&window_reports).enumerate() {
+                assert_eq!(
+                    without_gate_evals(a.clone()),
+                    without_gate_evals(b.clone()),
+                    "{backend} vector {i}"
+                );
+            }
+            assert_eq!(
+                serial.detected_count(),
+                windowed.detected_count(),
+                "{backend}"
+            );
+            assert_eq!(serial.vectors_applied(), windowed.vectors_applied());
+            assert_eq!(serial.export_state(), windowed.export_state(), "{backend}");
+        }
+    }
+
+    #[test]
+    fn step_window_of_empty_vector_list_is_a_no_op() {
+        let circuit = s27();
+        let mut sim = FaultSim::new(circuit);
+        let before = sim.export_state();
+        assert!(sim.step_window(&[]).is_empty());
+        assert_eq!(sim.export_state(), before);
     }
 
     #[test]

@@ -154,15 +154,13 @@ impl GoodSim {
             self.values[pi.index()] = vector[i];
         }
 
-        // Evaluate combinational gates in level order.
+        // Evaluate combinational gates in level order, sweeping the
+        // schedule-ordered CSR: records and the fan-in arena are read
+        // contiguously, with no per-gate kind test or offset-table hop.
         let mut fanin_buf: Vec<Logic> = Vec::with_capacity(8);
-        for &gate in self.lev.schedule() {
-            let kind = circuit.kind(gate);
-            if !kind.is_combinational() {
-                continue;
-            }
+        for (gate, kind, fanin) in self.lev.comb_records() {
             fanin_buf.clear();
-            fanin_buf.extend(circuit.fanin(gate).iter().map(|&n| self.values[n.index()]));
+            fanin_buf.extend(fanin.iter().map(|&n| self.values[n.index()]));
             let v = eval_scalar(kind, &fanin_buf);
             if self.values[gate.index()] != v {
                 events += 1;
@@ -220,6 +218,18 @@ impl GoodSim {
     #[inline]
     pub fn next_state_of(&self, i: usize) -> Logic {
         self.next_state[i]
+    }
+
+    /// All net values this frame, indexed by net.
+    #[inline]
+    pub fn values(&self) -> &[Logic] {
+        &self.values
+    }
+
+    /// All latched next-state values, indexed like `circuit.dffs()`.
+    #[inline]
+    pub fn next_states(&self) -> &[Logic] {
+        &self.next_state
     }
 
     /// Number of flip-flops currently holding known values in the next state.

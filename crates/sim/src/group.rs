@@ -26,9 +26,19 @@
 //! and one flat `one` plane array, `P::WORDS` words per net — so a wide
 //! backend's plane arithmetic runs over contiguous words the compiler can
 //! keep in vector registers.
+//!
+//! Scheduling runs entirely on the levelized CSR
+//! ([`Levelization::comb_fanout`]): fanout edges carry their consumer's
+//! level, so pushing an event needs neither a gate-kind check nor a level
+//! lookup, and the sweep walks only the `[sched_lo, sched_hi]` level band a
+//! group actually touched. The queue is shared by all lanes of the group —
+//! a gate whose fan-in changed in *any* lane is evaluated once for the
+//! whole group — and the lane evaluations that sharing saves are tallied as
+//! `events_amortized`.
 
 use std::sync::Arc;
 
+use gatest_netlist::levelize::{FanoutEdge, Levelization};
 use gatest_netlist::{Circuit, NetId};
 
 use crate::eval::eval_packed;
@@ -60,6 +70,17 @@ pub(crate) struct GroupCtx<'a> {
     pub empty_ff: &'a FaultyFfState,
 }
 
+/// One committed good-machine frame the windowed path replays against: net
+/// values after the combinational settle plus the latched next state, as
+/// slices so both a live [`GoodSim`] and stored snapshots can back it.
+#[derive(Clone, Copy)]
+pub(crate) struct GoodFrame<'a> {
+    /// Net values after the frame, one per net.
+    pub values: &'a [Logic],
+    /// Latched next-state values, indexed like `circuit.dffs()`.
+    pub next_state: &'a [Logic],
+}
+
 /// What one group simulation produced, in lane-relative terms.
 ///
 /// Lanes are indices into the group (`0..group.len()`); the merge loop in
@@ -78,13 +99,19 @@ pub(crate) struct GroupOutcome<P: PackedValue> {
     pub ff_effect_faults: u64,
     /// Faulty-circuit events over the group's packed machines.
     pub faulty_events: u64,
+    /// Lane events served by an evaluation shared with another lane: at
+    /// every changed gate, all diverged lanes beyond the first ride the one
+    /// packed evaluation the shared per-group queue issued.
+    pub events_amortized: u64,
     /// Packed faulty gate re-evaluations.
     pub gate_evals: u64,
     /// Estimated bytes served from reused scratch this group (telemetry).
     pub scratch_bytes: u64,
     /// Replacement sparse faulty-FF state per lane. `None` means "keep the
     /// old state" — emitted only when old and new are both empty, so the
-    /// merge can skip the copy-on-write table entirely.
+    /// merge can skip the copy-on-write table entirely. (The windowed path
+    /// also emits `None` for lanes detected mid-window: the caller's drop
+    /// logic clears their state exactly as the serial path does.)
     pub new_ff: Vec<Option<FaultyFfState>>,
 }
 
@@ -96,6 +123,7 @@ impl<P: PackedValue> GroupOutcome<P> {
         self.ff_effect_pairs = 0;
         self.ff_effect_faults = 0;
         self.faulty_events = 0;
+        self.events_amortized = 0;
         self.gate_evals = 0;
         self.scratch_bytes = 0;
         self.new_ff.clear();
@@ -125,6 +153,10 @@ pub(crate) struct Scratch<P: PackedValue> {
     queued: Vec<u32>,
     /// Level-bucketed event queue; buckets keep their capacity.
     buckets: Vec<Vec<NetId>>,
+    /// Lowest level with a queued gate this group (`u32::MAX` when none).
+    sched_lo: u32,
+    /// Highest level with a queued gate this group.
+    sched_hi: u32,
     /// Stem forcing entries `(lane, stuck)`, grouped by net.
     stem_entries: Vec<(u32, Logic)>,
     /// Per-net `(start, end)` range into `stem_entries`, stamped.
@@ -145,6 +177,10 @@ pub(crate) struct Scratch<P: PackedValue> {
     fanin: Vec<P>,
     /// Per-lane faulty-FF state builders, reused across groups.
     new_state: Vec<Vec<(u32, Logic)>>,
+    /// Per-lane carry of the previous frame's faulty-FF state, used by the
+    /// windowed path to seed frame `f+1` from frame `f` without touching
+    /// the shared copy-on-write table.
+    carry_state: Vec<Vec<(u32, Logic)>>,
 }
 
 impl<P: PackedValue> Scratch<P> {
@@ -158,6 +194,8 @@ impl<P: PackedValue> Scratch<P> {
             stamp: 0,
             queued: vec![0; n],
             buckets: vec![Vec::new(); max_level + 1],
+            sched_lo: u32::MAX,
+            sched_hi: 0,
             stem_entries: Vec::new(),
             stem_range: vec![(0, 0); n],
             stem_stamp: vec![0; n],
@@ -168,19 +206,28 @@ impl<P: PackedValue> Scratch<P> {
             branch_tmp: Vec::new(),
             fanin: Vec::new(),
             new_state: vec![Vec::new(); P::LANES],
+            carry_state: vec![Vec::new(); P::LANES],
         }
     }
 
+    /// Starts a new group (or window frame): bumps the stamp and resets the
+    /// scheduled level band.
+    fn begin_frame(&mut self) {
+        self.stamp = self.stamp.wrapping_add(2);
+        self.sched_lo = u32::MAX;
+        self.sched_hi = 0;
+    }
+
     /// The faulty word of `net` for the current group, defaulting to the
-    /// broadcast good value if the net has not diverged.
+    /// broadcast good value (`values[net]`) if the net has not diverged.
     #[inline]
-    fn effective(&self, good: &GoodSim, net: NetId) -> P {
+    fn effective(&self, values: &[Logic], net: NetId) -> P {
         let i = net.index();
         if self.fstamp[i] == self.stamp {
             let at = i * P::WORDS;
             P::load_planes(&self.fzero[at..], &self.fone[at..])
         } else {
-            P::broadcast(good.value(net))
+            P::broadcast(values[i])
         }
     }
 
@@ -217,54 +264,44 @@ impl<P: PackedValue> Scratch<P> {
         }
     }
 
-    fn schedule_fanout(&mut self, circuit: &Circuit, good: &GoodSim, net: NetId) {
-        for &out in circuit.fanout(net) {
-            if circuit.kind(out).is_combinational() {
-                self.schedule(good, out);
-            }
+    /// Schedules every combinational consumer of `net` via the CSR fanout
+    /// edges: each edge carries its precomputed level, so this is one
+    /// contiguous read and a guarded bucket push per consumer.
+    fn schedule_fanout(&mut self, lev: &Levelization, net: NetId) {
+        for &FanoutEdge { gate, level } in lev.comb_fanout(net) {
+            self.schedule(gate, level);
         }
     }
 
     #[inline]
-    fn schedule(&mut self, good: &GoodSim, gate: NetId) {
+    fn schedule(&mut self, gate: NetId, level: u32) {
         if self.queued[gate.index()] != self.stamp {
             self.queued[gate.index()] = self.stamp;
-            let level = good.levelization().level(gate) as usize;
             debug_assert!(level >= 1, "combinational gates are level >= 1");
-            self.buckets[level].push(gate);
+            self.buckets[level as usize].push(gate);
+            self.sched_lo = self.sched_lo.min(level);
+            self.sched_hi = self.sched_hi.max(level);
         }
     }
 }
 
-/// Simulates one group of at most `P::LANES` faults against the
-/// already-advanced good machine, writing everything it learns into `out`.
-///
-/// Groups are order-independent: a group reads only the previous frame's
-/// faulty-FF state for its own faults and the (frozen) good machine, so
-/// calling this from concurrent workers with private `scratch`/`out` gives
-/// the same outcomes as a serial loop.
-pub(crate) fn simulate_group<P: PackedValue>(
-    ctx: &GroupCtx<'_>,
+/// Builds the per-group stem/branch forcing tables for the current stamp:
+/// sorts the group's fault sites by net and publishes stamped
+/// `(start, end)` ranges over the sorted entry slices. Entry order within a
+/// net is ascending lane order (forced by the sort key), which matches the
+/// insertion order the old HashMap tables had. Returns the estimated
+/// scratch bytes served.
+fn publish_forcing<P: PackedValue>(
+    faults: &FaultList,
     group: &[FaultId],
     scratch: &mut Scratch<P>,
-    out: &mut GroupOutcome<P>,
-) {
-    let circuit = ctx.circuit;
-    debug_assert!(group.len() <= P::LANES);
-    out.reset();
-    scratch.stamp = scratch.stamp.wrapping_add(2);
+) -> u64 {
     let stamp = scratch.stamp;
-    let mut reused = 0u64;
-
-    // Per-group forcing tables: sort the group's fault sites by net and
-    // publish stamped (start, end) ranges over the sorted entry slices.
-    // Entry order within a net is ascending lane order (forced by the sort
-    // key), which matches the insertion order the old HashMap tables had.
     scratch.stem_tmp.clear();
     scratch.branch_tmp.clear();
     for (lane, &fid) in group.iter().enumerate() {
         let lane = lane as u32;
-        let fault = ctx.faults.get(fid);
+        let fault = faults.get(fid);
         match fault.site {
             FaultSite::Stem(net) => scratch.stem_tmp.push((net, lane, fault.stuck)),
             FaultSite::Branch { gate, pin } => {
@@ -302,21 +339,47 @@ pub(crate) fn simulate_group<P: PackedValue>(
         scratch.branch_entries.push((pin, lane, stuck));
         scratch.branch_range[g].1 = end + 1;
     }
-    reused += (scratch.stem_tmp.len() * std::mem::size_of::<(NetId, u32, Logic)>()
-        + scratch.branch_tmp.len() * std::mem::size_of::<(NetId, u16, u32, Logic)>())
-        as u64;
+    (scratch.stem_tmp.len() * std::mem::size_of::<(NetId, u32, Logic)>()
+        + scratch.branch_tmp.len() * std::mem::size_of::<(NetId, u16, u32, Logic)>()) as u64
+}
+
+/// Propagates one group through one good-machine frame: seeds faulty-FF
+/// divergence from `seeds`, injects the (already published) stem and branch
+/// forces, sweeps the touched level band event-driven, detects at primary
+/// outputs, and collects per-lane faulty-FF effects into
+/// `scratch.new_state`.
+///
+/// `live` masks the lanes still being simulated: events, detections, and
+/// flip-flop effects of dead lanes are suppressed, mirroring the serial
+/// semantics where a dropped fault leaves the group. (Lane values are
+/// independent, so letting a dead lane keep propagating cannot perturb any
+/// live lane.) The single-frame path passes all group lanes live, which
+/// reproduces the ungated behaviour bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn run_frame<'a, P: PackedValue>(
+    circuit: &Circuit,
+    lev: &Levelization,
+    frame: GoodFrame<'_>,
+    seeds: impl Fn(usize) -> &'a [(u32, Logic)],
+    group_len: usize,
+    live: P::Mask,
+    scratch: &mut Scratch<P>,
+    out: &mut GroupOutcome<P>,
+) {
+    let values = frame.values;
+    let mut reused = 0u64;
 
     // Seed faulty flip-flop state differences carried over from the
     // previous frame.
-    for (lane, &fid) in group.iter().enumerate() {
-        for &(dff_idx, v) in ctx.faulty_ff[fid.index()].iter() {
+    for lane in 0..group_len {
+        for &(dff_idx, v) in seeds(lane) {
             let ff = circuit.dffs()[dff_idx as usize];
-            let word = scratch.effective(ctx.good, ff);
+            let word = scratch.effective(values, ff);
             let mut w = word;
             w.set_lane(lane, v);
             if w != word {
                 scratch.record(ff, w);
-                scratch.schedule_fanout(circuit, ctx.good, ff);
+                scratch.schedule_fanout(lev, ff);
             }
         }
     }
@@ -327,7 +390,7 @@ pub(crate) fn simulate_group<P: PackedValue>(
     let mut i = 0;
     while i < scratch.stem_tmp.len() {
         let net = scratch.stem_tmp[i].0;
-        let word = scratch.effective(ctx.good, net);
+        let word = scratch.effective(values, net);
         let mut w = word;
         while i < scratch.stem_tmp.len() && scratch.stem_tmp[i].0 == net {
             let (_, lane, stuck) = scratch.stem_tmp[i];
@@ -338,7 +401,7 @@ pub(crate) fn simulate_group<P: PackedValue>(
         // frame, so later reads see the forcing; schedule only on change.
         scratch.record(net, w);
         if w != word {
-            scratch.schedule_fanout(circuit, ctx.good, net);
+            scratch.schedule_fanout(lev, net);
         }
     }
 
@@ -351,24 +414,26 @@ pub(crate) fn simulate_group<P: PackedValue>(
             i += 1;
         }
         if circuit.kind(gate).is_combinational() {
-            scratch.schedule(ctx.good, gate);
+            scratch.schedule(gate, lev.level(gate));
         }
     }
 
-    // Event-driven, levelized propagation. The fanin buffer is taken out
-    // of the arena for the duration of the sweep so the borrow checker can
-    // see it is disjoint from the stamped tables.
+    // Event-driven propagation over the touched level band only. The fanin
+    // buffer is taken out of the arena for the duration of the sweep so the
+    // borrow checker can see it is disjoint from the stamped tables; gate
+    // kinds and fan-in slices come from the schedule-ordered CSR.
     let mut fanin = std::mem::take(&mut scratch.fanin);
-    for level in 1..scratch.buckets.len() {
+    let mut level = scratch.sched_lo as usize;
+    while level <= scratch.sched_hi as usize {
         let mut gates = std::mem::take(&mut scratch.buckets[level]);
         for &gate in &gates {
             scratch.queued[gate.index()] = 0;
             out.gate_evals += 1;
-            let kind = circuit.kind(gate);
+            let kind = lev.comb_kind(gate);
             debug_assert!(kind.is_combinational());
             fanin.clear();
-            for &src in circuit.fanin(gate) {
-                fanin.push(scratch.effective(ctx.good, src));
+            for &src in lev.comb_fanin(gate) {
+                fanin.push(scratch.effective(values, src));
             }
             reused += (fanin.len() * std::mem::size_of::<P>()) as u64;
             for &(pin, lane, stuck) in scratch.branch_forces(gate) {
@@ -378,56 +443,82 @@ pub(crate) fn simulate_group<P: PackedValue>(
             for &(lane, stuck) in scratch.stem_forces(gate) {
                 word.set_lane(lane as usize, stuck);
             }
-            let old = scratch.effective(ctx.good, gate);
+            let old = scratch.effective(values, gate);
             if word != old {
-                out.faulty_events += u64::from(word.any_diff(old).count());
+                let diff_lanes = u64::from(word.any_diff(old).and(live).count());
+                out.faulty_events += diff_lanes;
+                // Every diverged lane beyond the first rode this one packed
+                // evaluation: that is the scheduling work the shared
+                // per-group queue amortized away.
+                out.events_amortized += diff_lanes.saturating_sub(1);
                 scratch.record(gate, word);
-                scratch.schedule_fanout(circuit, ctx.good, gate);
+                scratch.schedule_fanout(lev, gate);
             }
         }
         // Fanout is strictly higher-level, so nothing was appended to this
         // bucket while we iterated; put it back empty with its capacity.
         gates.clear();
         scratch.buckets[level] = gates;
+        level += 1;
     }
     scratch.fanin = fanin;
 
     // Detection at primary outputs: strict binary difference. The
     // per-output masks double as the diagnosis syndrome.
     for (po_idx, &po) in circuit.outputs().iter().enumerate() {
-        let goodw = P::broadcast(ctx.good.value(po));
-        let faultyw = scratch.effective(ctx.good, po);
-        let mask = faultyw.binary_diff(goodw);
+        let goodw = P::broadcast(values[po.index()]);
+        let faultyw = scratch.effective(values, po);
+        let mask = faultyw.binary_diff(goodw).and(live);
         out.detected_mask = out.detected_mask.or(mask);
         mask.for_each(|lane| out.po_detections.push((lane as u32, po_idx as u16)));
     }
 
     // Fault effects at flip-flops: compare faulty D values against the
     // good next state, and record the new sparse faulty state.
-    for state in scratch.new_state[..group.len()].iter_mut() {
+    for state in scratch.new_state[..group_len].iter_mut() {
         state.clear();
     }
-    reused += (group.len() * std::mem::size_of::<Vec<(u32, Logic)>>()) as u64;
+    reused += (group_len * std::mem::size_of::<Vec<(u32, Logic)>>()) as u64;
     for (dff_idx, &ff) in circuit.dffs().iter().enumerate() {
         let d = circuit.fanin(ff)[0];
-        let mut faultyw = scratch.effective(ctx.good, d);
+        let mut faultyw = scratch.effective(values, d);
         for &(pin, lane, stuck) in scratch.branch_forces(ff) {
             debug_assert_eq!(pin, 0);
             faultyw.set_lane(lane as usize, stuck);
         }
-        let goodw = P::broadcast(ctx.good.next_state_of(dff_idx));
-        let diff = faultyw.any_diff(goodw);
+        let goodw = P::broadcast(frame.next_state[dff_idx]);
+        let diff = faultyw.any_diff(goodw).and(live);
         diff.for_each(|lane| {
             scratch.new_state[lane].push((dff_idx as u32, faultyw.get_lane(lane)));
         });
     }
-    for (lane, &fid) in group.iter().enumerate() {
-        let state = &scratch.new_state[lane];
+    for state in scratch.new_state[..group_len].iter() {
         let effects = state.len() as u64;
         if effects > 0 {
             out.ff_effect_pairs += effects;
             out.ff_effect_faults += 1;
         }
+    }
+    out.scratch_bytes += reused;
+}
+
+/// Materializes `scratch.new_state` into per-lane replacement faulty-FF
+/// state, comparing against the pre-step shared table to skip no-op writes.
+fn materialize_new_ff<P: PackedValue>(
+    ctx: &GroupCtx<'_>,
+    group: &[FaultId],
+    keep: P::Mask,
+    scratch: &Scratch<P>,
+    out: &mut GroupOutcome<P>,
+) {
+    let mut reused = 0u64;
+    for (lane, &fid) in group.iter().enumerate() {
+        if !keep.test(lane) {
+            // Dropped mid-window: the caller's drop logic clears the state.
+            out.new_ff.push(None);
+            continue;
+        }
+        let state = &scratch.new_state[lane];
         if state.is_empty() && ctx.faulty_ff[fid.index()].is_empty() {
             // Keep sharing the empty slice: no write, no unshare.
             out.new_ff.push(None);
@@ -438,5 +529,111 @@ pub(crate) fn simulate_group<P: PackedValue>(
             out.new_ff.push(Some(Arc::from(state.as_slice())));
         }
     }
-    out.scratch_bytes = reused;
+    out.scratch_bytes += reused;
+}
+
+/// Simulates one group of at most `P::LANES` faults against the
+/// already-advanced good machine, writing everything it learns into `out`.
+///
+/// Groups are order-independent: a group reads only the previous frame's
+/// faulty-FF state for its own faults and the (frozen) good machine, so
+/// calling this from concurrent workers with private `scratch`/`out` gives
+/// the same outcomes as a serial loop.
+pub(crate) fn simulate_group<P: PackedValue>(
+    ctx: &GroupCtx<'_>,
+    group: &[FaultId],
+    scratch: &mut Scratch<P>,
+    out: &mut GroupOutcome<P>,
+) {
+    debug_assert!(group.len() <= P::LANES);
+    out.reset();
+    scratch.begin_frame();
+    out.scratch_bytes += publish_forcing(ctx.faults, group, scratch);
+    let live = P::Mask::low(group.len());
+    run_frame(
+        ctx.circuit,
+        ctx.good.levelization(),
+        GoodFrame {
+            values: ctx.good.values(),
+            next_state: ctx.good.next_states(),
+        },
+        |lane| &ctx.faulty_ff[group[lane].index()][..],
+        group.len(),
+        live,
+        scratch,
+        out,
+    );
+    materialize_new_ff(ctx, group, live, scratch, out);
+}
+
+/// Simulates one group across a *window* of already-committed good-machine
+/// frames in a single pass, producing one [`GroupOutcome`] per frame.
+///
+/// Frame `0` seeds from the shared faulty-FF table exactly like
+/// [`simulate_group`]; each later frame seeds from the previous frame's
+/// per-lane state carried inside the arena, so the window never touches the
+/// copy-on-write table in between. Lanes detected at frame `f` are masked
+/// out of frames `f+1..` (events, detections, and FF effects), mirroring
+/// the serial drop-after-step semantics; because lane values are
+/// independent, their continued propagation cannot perturb live lanes.
+/// Only the *last* frame's outcome carries `new_ff` entries.
+///
+/// Every per-frame outcome is bit-identical to what `simulate_group` would
+/// have produced step by step — except `gate_evals`/`scratch_bytes`, which
+/// (as with lane widths) depend on how the work was batched.
+pub(crate) fn simulate_group_window<P: PackedValue>(
+    ctx: &GroupCtx<'_>,
+    frames: &[GoodFrame<'_>],
+    group: &[FaultId],
+    scratch: &mut Scratch<P>,
+    outs: &mut [GroupOutcome<P>],
+) {
+    debug_assert!(group.len() <= P::LANES);
+    debug_assert_eq!(frames.len(), outs.len());
+    let lev = ctx.good.levelization();
+    let mut live = P::Mask::low(group.len());
+    let mut carry = std::mem::take(&mut scratch.carry_state);
+    for (f, (frame, out)) in frames.iter().zip(outs.iter_mut()).enumerate() {
+        out.reset();
+        scratch.begin_frame();
+        out.scratch_bytes += publish_forcing(ctx.faults, group, scratch);
+        if f == 0 {
+            run_frame(
+                ctx.circuit,
+                lev,
+                *frame,
+                |lane| &ctx.faulty_ff[group[lane].index()][..],
+                group.len(),
+                live,
+                scratch,
+                out,
+            );
+        } else {
+            // Previous frame's per-lane states move to the carry side so
+            // this frame can read them while writing `new_state`.
+            std::mem::swap(&mut scratch.new_state, &mut carry);
+            let carry_ref = &carry;
+            run_frame(
+                ctx.circuit,
+                lev,
+                *frame,
+                |lane| {
+                    if live.test(lane) {
+                        carry_ref[lane].as_slice()
+                    } else {
+                        &[]
+                    }
+                },
+                group.len(),
+                live,
+                scratch,
+                out,
+            );
+        }
+        live = live.and(out.detected_mask.invert());
+    }
+    if let Some(last) = outs.last_mut() {
+        materialize_new_ff(ctx, group, live, scratch, last);
+    }
+    scratch.carry_state = carry;
 }

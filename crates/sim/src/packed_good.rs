@@ -114,15 +114,13 @@ impl<P: PackedValue> PackedGoodSim<P> {
             self.values[pi.index()] = pi_words[i];
         }
 
-        // Evaluate combinational gates in level order.
-        for &gate in self.lev.schedule() {
-            let kind = circuit.kind(gate);
-            if !kind.is_combinational() {
-                continue;
-            }
+        // Evaluate combinational gates in level order via the
+        // schedule-ordered CSR (same traversal order as the scalar sweep).
+        for i in 0..self.lev.comb_len() {
+            let (gate, kind, fanin) = self.lev.comb_record(i);
             self.fanin_buf.clear();
             self.fanin_buf
-                .extend(circuit.fanin(gate).iter().map(|&n| self.values[n.index()]));
+                .extend(fanin.iter().map(|&n| self.values[n.index()]));
             self.values[gate.index()] = eval_packed(kind, &self.fanin_buf);
         }
 

@@ -8,7 +8,7 @@
 //!   independent).
 //!
 //! The good machine is simulated once per pattern block (`P::LANES`
-//! patterns wide — 64 for [`Pv64`], 256 for the wide backend via
+//! patterns wide — 64 for [`Pv64`], 256 or 512 for the wide backends via
 //! [`Ppsfp::grade_backend`]); each fault is then propagated event-driven
 //! from its injection site through the block. Because the first detecting
 //! pattern index is `block * P::LANES + lane` and lanes are filled in
@@ -19,12 +19,12 @@
 
 use std::sync::Arc;
 
-use gatest_netlist::levelize::Levelization;
-use gatest_netlist::{Circuit, NetId};
+use gatest_netlist::levelize::{FanoutEdge, Levelization};
+use gatest_netlist::{Circuit, GateKind, NetId};
 
 use crate::eval::eval_packed;
 use crate::fault::{FaultList, FaultSite};
-use crate::value::{LaneMask, Logic, PackedValue, Pv256, Pv64, SimBackend};
+use crate::value::{LaneMask, Logic, PackedValue, Pv256, Pv512, Pv64, SimBackend};
 
 /// Error for circuits PPSFP cannot handle (sequential ones).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,6 +153,7 @@ impl Ppsfp {
     pub fn grade_backend(&self, patterns: &[Vec<Logic>], backend: SimBackend) -> PpsfpResult {
         match backend.resolved() {
             SimBackend::Scalar64 => self.grade_with::<Pv64>(patterns),
+            SimBackend::Wide512 => self.grade_with::<Pv512>(patterns),
             _ => self.grade_with::<Pv256>(patterns),
         }
     }
@@ -172,6 +173,16 @@ impl Ppsfp {
         // instead of a fresh `Vec<P>` per gate evaluation.
         let mut fanin: Vec<P> = Vec::new();
 
+        // Constant gates are sources, not CSR records: pin them once (they
+        // never change between blocks).
+        for id in self.circuit.net_ids() {
+            match self.circuit.kind(id) {
+                GateKind::Const0 => good[id.index()] = P::ALL_ZERO,
+                GateKind::Const1 => good[id.index()] = P::ALL_ONE,
+                _ => {}
+            }
+        }
+
         for (block_idx, block) in patterns.chunks(P::LANES).enumerate() {
             // Good simulation of the whole block at once.
             for (i, &pi) in self.circuit.inputs().iter().enumerate() {
@@ -186,21 +197,11 @@ impl Ppsfp {
                 }
                 good[pi.index()] = w;
             }
-            for &gate in self.lev.schedule() {
-                let kind = self.circuit.kind(gate);
-                if kind == gatest_netlist::GateKind::Const0 {
-                    good[gate.index()] = P::ALL_ZERO;
-                    continue;
-                }
-                if kind == gatest_netlist::GateKind::Const1 {
-                    good[gate.index()] = P::ALL_ONE;
-                    continue;
-                }
-                if !kind.is_combinational() {
-                    continue;
-                }
+            // Full sweep over the schedule-ordered CSR: gate id, kind, and
+            // fan-in slice all come from one contiguous arena walk.
+            for (gate, kind, fan) in self.lev.comb_records() {
                 fanin.clear();
-                fanin.extend(self.circuit.fanin(gate).iter().map(|&s| good[s.index()]));
+                fanin.extend(fan.iter().map(|&s| good[s.index()]));
                 good[gate.index()] = eval_packed(kind, &fanin);
             }
             let block_mask = P::Mask::low(block.len());
@@ -213,19 +214,20 @@ impl Ppsfp {
                 stamp = stamp.wrapping_add(2);
                 let forced = P::broadcast(fault.stuck);
 
-                // Inject.
+                // Inject. Fanout edges carry their consumer's level baked
+                // into the CSR, so scheduling never chases a level lookup.
                 match fault.site {
                     FaultSite::Stem(net) => {
                         fval[net.index()] = forced;
                         fstamp[net.index()] = stamp;
                         if forced.any_diff(good[net.index()]).and(block_mask).any() {
-                            for &out in self.circuit.fanout(net) {
-                                schedule(&self.lev, &mut buckets, &mut queued, stamp, out);
+                            for &FanoutEdge { gate, level } in self.lev.comb_fanout(net) {
+                                schedule(&mut buckets, &mut queued, stamp, gate, level);
                             }
                         }
                     }
                     FaultSite::Branch { gate, .. } => {
-                        schedule(&self.lev, &mut buckets, &mut queued, stamp, gate);
+                        schedule(&mut buckets, &mut queued, stamp, gate, self.lev.level(gate));
                     }
                 }
 
@@ -234,9 +236,9 @@ impl Ppsfp {
                     let mut gates = std::mem::take(&mut buckets[level]);
                     for &gate in &gates {
                         queued[gate.index()] = 0;
-                        let kind = self.circuit.kind(gate);
+                        let kind = self.lev.comb_kind(gate);
                         fanin.clear();
-                        for (pin, &s) in self.circuit.fanin(gate).iter().enumerate() {
+                        for (pin, &s) in self.lev.comb_fanin(gate).iter().enumerate() {
                             let mut w = if fstamp[s.index()] == stamp {
                                 fval[s.index()]
                             } else {
@@ -261,8 +263,8 @@ impl Ppsfp {
                         if out != old {
                             fval[gate.index()] = out;
                             fstamp[gate.index()] = stamp;
-                            for &next in self.circuit.fanout(gate) {
-                                schedule(&self.lev, &mut buckets, &mut queued, stamp, next);
+                            for &FanoutEdge { gate: next, level } in self.lev.comb_fanout(gate) {
+                                schedule(&mut buckets, &mut queued, stamp, next, level);
                             }
                         }
                     }
@@ -298,16 +300,10 @@ impl Ppsfp {
     }
 }
 
-fn schedule(
-    lev: &Levelization,
-    buckets: &mut [Vec<NetId>],
-    queued: &mut [u32],
-    stamp: u32,
-    gate: NetId,
-) {
+fn schedule(buckets: &mut [Vec<NetId>], queued: &mut [u32], stamp: u32, gate: NetId, level: u32) {
     if queued[gate.index()] != stamp {
         queued[gate.index()] = stamp;
-        buckets[lev.level(gate) as usize].push(gate);
+        buckets[level as usize].push(gate);
     }
 }
 
@@ -404,7 +400,12 @@ mod tests {
         let patterns = random_patterns(comb.num_inputs(), 300, 13);
         let grader = Ppsfp::new(Arc::clone(&comb)).unwrap();
         let narrow = grader.grade(&patterns);
-        for backend in [SimBackend::Scalar64, SimBackend::Wide256, SimBackend::Auto] {
+        for backend in [
+            SimBackend::Scalar64,
+            SimBackend::Wide256,
+            SimBackend::Wide512,
+            SimBackend::Auto,
+        ] {
             let result = grader.grade_backend(&patterns, backend);
             assert_eq!(result.detected, narrow.detected, "{backend}");
             assert_eq!(

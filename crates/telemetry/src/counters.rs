@@ -67,6 +67,16 @@ pub struct SimCounters {
     /// Lanes per packed fault group of the wide backend (e.g. 256). A
     /// last-write-wins gauge, not a tally: it names the backend width.
     pub lanes_per_group: AtomicU64,
+    /// Faulty-circuit events beyond the first lane of each changed packed
+    /// word: lanes that rode an evaluation another lane already paid for.
+    /// Zero for scalar runs of single-lane groups; grows with lane width.
+    pub events_amortized: AtomicU64,
+    /// Vectors committed through the batched window path
+    /// (`FaultSim::step_window`) rather than one `step` call each.
+    pub commit_batch_frames: AtomicU64,
+    /// Bytes of the levelized CSR adjacency arena (schedule-ordered fanin
+    /// records plus per-net fanout edges). A last-write-wins gauge.
+    pub csr_bytes: AtomicU64,
 }
 
 impl SimCounters {
@@ -171,6 +181,26 @@ impl SimCounters {
         self.lanes_per_group.store(lanes, Ordering::Relaxed);
     }
 
+    /// Records faulty events that shared a packed evaluation with another
+    /// lane (every lane after the first of each changed word).
+    #[inline]
+    pub fn record_events_amortized(&self, events: u64) {
+        self.events_amortized.fetch_add(events, Ordering::Relaxed);
+    }
+
+    /// Records vectors committed through the batched window path.
+    #[inline]
+    pub fn record_commit_batch(&self, frames: u64) {
+        self.commit_batch_frames
+            .fetch_add(frames, Ordering::Relaxed);
+    }
+
+    /// Stores the CSR adjacency arena size (a gauge, not a tally).
+    #[inline]
+    pub fn record_csr_bytes(&self, bytes: u64) {
+        self.csr_bytes.store(bytes, Ordering::Relaxed);
+    }
+
     /// Overwrites every counter with the totals in `snapshot`, so a resumed
     /// run continues accumulating from where the checkpointed run stopped.
     pub fn load_snapshot(&self, snapshot: &CounterSnapshot) {
@@ -216,6 +246,11 @@ impl SimCounters {
             .store(snapshot.wide_groups, Ordering::Relaxed);
         self.lanes_per_group
             .store(snapshot.lanes_per_group, Ordering::Relaxed);
+        self.events_amortized
+            .store(snapshot.events_amortized, Ordering::Relaxed);
+        self.commit_batch_frames
+            .store(snapshot.commit_batch_frames, Ordering::Relaxed);
+        self.csr_bytes.store(snapshot.csr_bytes, Ordering::Relaxed);
     }
 
     /// A plain-integer copy of the current totals.
@@ -242,6 +277,9 @@ impl SimCounters {
             prefix_frames_avoided: self.prefix_frames_avoided.load(Ordering::Relaxed),
             wide_groups: self.wide_groups.load(Ordering::Relaxed),
             lanes_per_group: self.lanes_per_group.load(Ordering::Relaxed),
+            events_amortized: self.events_amortized.load(Ordering::Relaxed),
+            commit_batch_frames: self.commit_batch_frames.load(Ordering::Relaxed),
+            csr_bytes: self.csr_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -268,6 +306,9 @@ impl SimCounters {
         self.prefix_frames_avoided.store(0, Ordering::Relaxed);
         self.wide_groups.store(0, Ordering::Relaxed);
         self.lanes_per_group.store(0, Ordering::Relaxed);
+        self.events_amortized.store(0, Ordering::Relaxed);
+        self.commit_batch_frames.store(0, Ordering::Relaxed);
+        self.csr_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -316,6 +357,12 @@ pub struct CounterSnapshot {
     pub wide_groups: u64,
     /// Lanes per packed fault group of the wide backend (0 = scalar-only).
     pub lanes_per_group: u64,
+    /// Faulty events that shared a packed evaluation with another lane.
+    pub events_amortized: u64,
+    /// Vectors committed through the batched window path.
+    pub commit_batch_frames: u64,
+    /// Bytes of the levelized CSR adjacency arena (gauge).
+    pub csr_bytes: u64,
 }
 
 impl CounterSnapshot {
@@ -328,7 +375,7 @@ impl CounterSnapshot {
     /// order. The single source of field names for the JSON serializer and
     /// the Prometheus renderer, so adding a counter cannot silently skip a
     /// consumer.
-    pub fn fields(&self) -> [(&'static str, u64); 21] {
+    pub fn fields(&self) -> [(&'static str, u64); 24] {
         [
             ("step_calls", self.step_calls),
             ("good_only_calls", self.good_only_calls),
@@ -351,6 +398,9 @@ impl CounterSnapshot {
             ("prefix_frames_avoided", self.prefix_frames_avoided),
             ("wide_groups", self.wide_groups),
             ("lanes_per_group", self.lanes_per_group),
+            ("events_amortized", self.events_amortized),
+            ("commit_batch_frames", self.commit_batch_frames),
+            ("csr_bytes", self.csr_bytes),
         ]
     }
 }
@@ -410,6 +460,27 @@ mod tests {
         let s = c.snapshot();
         assert_eq!(s.wide_groups, 5, "groups tally");
         assert_eq!(s.lanes_per_group, 256, "lane width is a gauge");
+
+        let resumed = SimCounters::new();
+        resumed.load_snapshot(&s);
+        assert_eq!(resumed.snapshot(), s);
+        c.reset();
+        assert_eq!(c.snapshot(), CounterSnapshot::default());
+    }
+
+    #[test]
+    fn amortization_counters_accumulate_and_reload() {
+        let c = SimCounters::new();
+        c.record_events_amortized(30);
+        c.record_events_amortized(12);
+        c.record_commit_batch(8);
+        c.record_commit_batch(8);
+        c.record_csr_bytes(10_000);
+        c.record_csr_bytes(12_000);
+        let s = c.snapshot();
+        assert_eq!(s.events_amortized, 42, "events tally");
+        assert_eq!(s.commit_batch_frames, 16, "frames tally");
+        assert_eq!(s.csr_bytes, 12_000, "arena size is a gauge");
 
         let resumed = SimCounters::new();
         resumed.load_snapshot(&s);

@@ -571,6 +571,9 @@ mod tests {
                         prefix_frames_avoided: 1_900,
                         wide_groups: 12,
                         lanes_per_group: 256,
+                        events_amortized: 5_600,
+                        commit_batch_frames: 24,
+                        csr_bytes: 96_000,
                     },
                     spans: SpanSnapshot {
                         nodes: vec![

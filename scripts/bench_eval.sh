@@ -1,8 +1,9 @@
 #!/bin/sh
 # Measure candidate-evaluation throughput (the evaluation engine's headline
-# number) and fault-simulation step throughput (the fault-group pool's
-# headline number), recording them in BENCH_eval.json and BENCH_sim.json so
-# the performance trajectory is tracked across PRs. Pass --smoke for a fast
+# number), fault-simulation step throughput (the fault-group pool's
+# headline number), and the synthetic scaling sweep, recording them in
+# BENCH_eval.json, BENCH_sim.json, and BENCH_scale.json so the performance
+# trajectory is tracked across PRs. Pass --smoke for a fast
 # CI-sized run. Validation and the regression gate live in check_bench.sh —
 # this script only refreshes the committed baselines.
 set -eu
@@ -24,11 +25,14 @@ GATEST_GIT_REV="${GATEST_GIT_REV:-$(git rev-parse --short HEAD 2>/dev/null || ec
 GATEST_BENCH_TIMESTAMP="${GATEST_BENCH_TIMESTAMP:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
 export GATEST_GIT_REV GATEST_BENCH_TIMESTAMP
 
-cargo build --release -p gatest-bench --bin bench_eval --bin bench_sim
+cargo build --release -p gatest-bench --bin bench_eval --bin bench_sim --bin bench_scale
 target/release/bench_eval $mode > BENCH_eval.json
 echo "wrote BENCH_eval.json:" >&2
 cat BENCH_eval.json
 target/release/bench_sim $mode > BENCH_sim.json
 echo "wrote BENCH_sim.json:" >&2
 cat BENCH_sim.json
+target/release/bench_scale $mode > BENCH_scale.json
+echo "wrote BENCH_scale.json:" >&2
+cat BENCH_scale.json
 scripts/check_bench.sh --validate >&2

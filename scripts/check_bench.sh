@@ -1,8 +1,8 @@
 #!/bin/sh
 # The single bench gate used by CI and local runs.
 #
-#   check_bench.sh --validate   schema-validate the committed BENCH_eval.json
-#                               and BENCH_sim.json baselines
+#   check_bench.sh --validate   schema-validate the committed BENCH_eval.json,
+#                               BENCH_sim.json, and BENCH_scale.json baselines
 #   check_bench.sh --smoke      run both microbenchmarks in smoke mode,
 #                               schema-validate their output, and fail when
 #                               the serial (workers=1 / sim_threads=1)
@@ -44,11 +44,12 @@ case "$mode" in
     *) usage ;;
 esac
 
-cargo build --release -p gatest-bench --bin bench_eval --bin bench_sim
+cargo build --release -p gatest-bench --bin bench_eval --bin bench_sim --bin bench_scale
 
 validate_committed() {
     target/release/bench_eval --validate BENCH_eval.json
     target/release/bench_sim --validate BENCH_sim.json
+    target/release/bench_scale --validate BENCH_scale.json
 }
 
 # json_num FILE KEY -> first numeric value of "KEY" in FILE
@@ -108,8 +109,10 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 target/release/bench_eval --smoke > "$tmpdir/eval.json"
 target/release/bench_sim --smoke > "$tmpdir/sim.json"
+target/release/bench_scale --smoke > "$tmpdir/scale.json"
 target/release/bench_eval --validate "$tmpdir/eval.json"
 target/release/bench_sim --validate "$tmpdir/sim.json"
+target/release/bench_scale --validate "$tmpdir/scale.json"
 
 # The memoization layer must earn its keep on the duplicate-heavy cache
 # workload. The speedup is a within-run ratio, so unlike the absolute
@@ -150,6 +153,20 @@ for circuit in s298 s1423; do
     }'
 done
 
+# srate FILE CIRCUIT BACKEND THREADS -> vectors_per_sec from BENCH_scale's
+# row for that size, backend, and thread count.
+srate() {
+    awk -v circuit="$2" -v backend="$3" -v threads="$4" '
+        /"circuit":/ { inside = index($0, "\"" circuit "\"") > 0 }
+        inside && index($0, "\"backend\": \"" backend "\"") > 0 \
+               && index($0, "\"sim_threads\": " threads ",") > 0 {
+            if (match($0, /"vectors_per_sec": [0-9.]+/)) {
+                print substr($0, RSTART + 19, RLENGTH - 19)
+                exit
+            }
+        }' "$1"
+}
+
 host_cpus="$(json_num "$tmpdir/eval.json" host_cpus)"
 base_cpus="$(json_num BENCH_eval.json host_cpus)"
 if [ "$host_cpus" != "$base_cpus" ]; then
@@ -163,3 +180,9 @@ compare "eval workers=1" \
 compare "sim sim_threads=1" \
     "$(rate BENCH_sim.json sim_threads 1 vectors_per_sec)" \
     "$(rate "$tmpdir/sim.json" sim_threads 1 vectors_per_sec)"
+# The scaling sweep's regression gate runs on the largest size the smoke
+# run covers (its per-size stream and warmup match the committed full-mode
+# baseline's, so the absolute rates are comparable on the same shape).
+compare "scale 10k scalar64" \
+    "$(srate BENCH_scale.json scale_10000 scalar64 1)" \
+    "$(srate "$tmpdir/scale.json" scale_10000 scalar64 1)"

@@ -279,6 +279,47 @@ fn s298_sampled_kills_resume_bit_identically() {
     let _ = std::fs::remove_file(&ck);
 }
 
+/// Backend width is an execution detail, not run state: a checkpoint taken
+/// under one width resumes under any other — same v3 format, no width
+/// recorded, no adjacency persisted (the CSR is derived data rebuilt on
+/// load) — and reproduces the uninterrupted run byte for byte.
+#[test]
+fn checkpoint_resumes_across_sim_widths_bit_identically() {
+    use gatest_sim::SimBackend;
+    let circuit = Arc::new(gatest_netlist::benchmarks::iscas89("s298").unwrap());
+    let make = |backend: SimBackend| {
+        let mut config = GatestConfig::for_circuit(&circuit)
+            .with_seed(21)
+            .with_sim_width(backend);
+        config.fault_sample = FaultSample::Count(60);
+        TestGenerator::new(Arc::clone(&circuit), config)
+    };
+    let expected = fingerprint(&make(SimBackend::Scalar64).run());
+    let ck = temp_path("s298-xwidth");
+    for (writer, resumer) in [
+        (SimBackend::Scalar64, SimBackend::Wide256),
+        (SimBackend::Wide256, SimBackend::Wide512),
+        (SimBackend::Wide512, SimBackend::Scalar64),
+    ] {
+        let leg = make(writer).run_controlled(&RunControls {
+            checkpoint_path: Some(ck.clone()),
+            max_ticks: Some(53),
+            ..RunControls::default()
+        });
+        assert_eq!(leg.stop, StopCause::Interrupted, "{writer} leg too short");
+        let snap = RunSnapshot::load(&ck).unwrap();
+        let resumed = make(resumer)
+            .resume(&snap, &RunControls::default())
+            .unwrap();
+        assert_eq!(
+            fingerprint(&resumed),
+            expected,
+            "{writer} checkpoint resumed at {resumer}"
+        );
+    }
+    let _ = std::fs::remove_file(&ck);
+}
+
 /// Interrupting twice (three legs total) still lands on the identical
 /// result: elapsed and counters accumulate across legs without skew.
 #[test]

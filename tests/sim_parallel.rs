@@ -181,11 +181,11 @@ fn workers_and_sim_threads_compose_bit_identically() {
 
 /// The packed-value backend is an execution detail exactly like the thread
 /// knobs: whole GA runs serialize to byte-identical result JSON (test set,
-/// phase trace, and score checksum included) for scalar64, wide256, and
-/// auto at every workers × sim-threads combination. s298's full fault list
-/// spans several 64-fault groups, so the wide backend genuinely repacks
-/// faults into fewer, wider groups here — the merge order is what's under
-/// test, not just the lane arithmetic.
+/// phase trace, and score checksum included) for scalar64, wide256,
+/// wide512, and auto at every workers × sim-threads combination. s298's
+/// full fault list spans several 64-fault groups, so the wide backends
+/// genuinely repack faults into fewer, wider groups here — the merge order
+/// is what's under test, not just the lane arithmetic.
 #[test]
 fn runs_are_byte_identical_across_sim_widths() {
     let circuit = Arc::new(iscas89("s298").unwrap());
@@ -209,6 +209,11 @@ fn runs_are_byte_identical_across_sim_widths() {
         }
     }
     for (workers, sim_threads) in [(1, 1), (8, 8)] {
+        let wide = run(SimBackend::Wide512, workers, sim_threads);
+        assert_eq!(
+            reference, wide,
+            "wide512 result JSON differs at workers={workers} sim_threads={sim_threads}"
+        );
         let auto = run(SimBackend::Auto, workers, sim_threads);
         assert_eq!(
             reference, auto,
